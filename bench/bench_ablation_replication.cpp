@@ -1,0 +1,55 @@
+// Ablation: replication factor. The paper evaluates on HDFS's default 3-way
+// replication; replication also controls how much placement freedom any
+// locality-preserving scheduler has (each block may run on r nodes without a
+// remote read). This bench sweeps r = 1, 2, 3, 5 and reports the balance
+// both schedulers achieve and the remote reads DataNet needs.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "scheduler/datanet_sched.hpp"
+#include "scheduler/locality.hpp"
+#include "stats/descriptive.hpp"
+
+int main() {
+  using namespace datanet;
+  benchutil::print_header(
+      "Ablation: replication factor (placement freedom)",
+      "higher replication gives locality-preserving schedulers more freedom; "
+      "r = 1 forces DataNet to trade remote reads for balance");
+
+  common::TextTable table({"replication", "locality max/mean",
+                           "DataNet max/mean", "DataNet cv",
+                           "DataNet remote tasks"});
+  for (const std::uint32_t repl : {1u, 2u, 3u, 5u}) {
+    auto cfg = benchutil::paper_config();
+    cfg.replication = repl;
+    const auto ds = core::make_movie_dataset(cfg, 192, 2000);
+    const auto& key = ds.hot_keys[0];
+
+    scheduler::LocalityScheduler base(7);
+    const auto sel_loc =
+        core::run_selection(*ds.dfs, ds.path, key, base, nullptr, cfg);
+    const core::DataNet net(*ds.dfs, ds.path, {.alpha = 0.3});
+    scheduler::DataNetScheduler dn;
+    const auto sel_dn = core::run_selection(*ds.dfs, ds.path, key, dn, &net, cfg);
+
+    const auto stat = [](const std::vector<std::uint64_t>& v) {
+      std::vector<double> d(v.begin(), v.end());
+      return stats::summarize(d);
+    };
+    table.add_row(
+        {std::to_string(repl),
+         common::fmt_double(stat(sel_loc.node_filtered_bytes).max_over_mean(), 2),
+         common::fmt_double(stat(sel_dn.node_filtered_bytes).max_over_mean(), 2),
+         common::fmt_double(stat(sel_dn.node_filtered_bytes).coeff_variation(), 3),
+         std::to_string(sel_dn.assignment.remote_tasks)});
+  }
+  std::printf("\n%s\n", table.to_string().c_str());
+  std::printf("the locality baseline's imbalance is replication-insensitive "
+              "(it is content-blind either way); DataNet balances at every r, "
+              "paying remote reads only when replicas pin hot blocks "
+              "together.\n");
+  return 0;
+}

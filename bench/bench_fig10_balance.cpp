@@ -1,0 +1,50 @@
+// Figure 10 reproduction: the degree of balanced computing as the hash-map
+// fraction alpha sweeps from 10% to 100%. For each alpha, the target
+// sub-dataset is scheduled with Algorithm 1 using ElasticMap weights, and
+// the per-node workload max/min/avg (normalized to the mean) and standard
+// deviation are reported.
+//
+// Paper shape: with only ~15% of sub-datasets in the hash map the balance is
+// already satisfactory (max ~0.9+, min ~0.7 of normalized workload);
+// increasing alpha beyond that barely helps.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "scheduler/datanet_sched.hpp"
+#include "stats/descriptive.hpp"
+
+int main() {
+  using namespace datanet;
+  benchutil::print_header(
+      "Figure 10: workload balance vs alpha",
+      "balance saturates around alpha = 15%; more hash-map memory adds "
+      "little");
+
+  auto cfg = benchutil::paper_config();
+  const auto ds = core::make_movie_dataset(cfg, 256, 2000);
+  const auto& key = ds.hot_keys[0];
+
+  common::TextTable table(
+      {"alpha", "max/mean", "min/mean", "std/mean", "blocks scanned"});
+  for (const double alpha : {0.05, 0.10, 0.15, 0.20, 0.30, 0.40, 0.50, 0.65,
+                             0.80, 1.00}) {
+    const core::DataNet net(*ds.dfs, ds.path, {.alpha = alpha});
+    scheduler::DataNetScheduler sched;
+    const auto sel = core::run_selection(*ds.dfs, ds.path, key, sched, &net, cfg);
+    std::vector<double> loads(sel.node_filtered_bytes.begin(),
+                              sel.node_filtered_bytes.end());
+    const auto s = stats::summarize(loads);
+    table.add_row({common::fmt_percent(alpha, 0),
+                   common::fmt_double(s.max_over_mean(), 2),
+                   common::fmt_double(s.min_over_mean(), 2),
+                   common::fmt_double(s.coeff_variation(), 3),
+                   std::to_string(sel.blocks_scanned)});
+  }
+  std::printf("\n%s\n", table.to_string().c_str());
+  std::printf("(the normalized max/min flatten beyond ~15%%: content "
+              "clustering concentrates the balance-relevant data in the few "
+              "sub-datasets a small hash map already captures)\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Figure 7 reproduction: shuffle-phase execution times for WordCount and
+// TopKSearch with and without DataNet. The paper defines a shuffle task as
+// alive from the first map completion until all maps finish (plus its own
+// transfer), so an imbalanced map phase stretches every shuffle task.
+//
+// Paper shape: without DataNet the shuffle takes 4-5x longer; TopK's
+// speedup exceeds WordCount's because its map phase is longer.
+
+#include <cstdio>
+
+#include "apps/topk_search.hpp"
+#include "apps/word_count.hpp"
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "scheduler/datanet_sched.hpp"
+#include "scheduler/locality.hpp"
+#include "stats/descriptive.hpp"
+
+int main() {
+  using namespace datanet;
+  benchutil::print_header(
+      "Figure 7: shuffle-phase execution time",
+      "shuffle without DataNet is 4-5x longer; TopK speedup > WordCount "
+      "speedup");
+
+  auto cfg = benchutil::paper_config();
+  const auto ds = core::make_movie_dataset(cfg, 256, 2000);
+  const auto& key = ds.hot_keys[0];
+  const core::DataNet net(*ds.dfs, ds.path, {.alpha = 0.3});
+
+  scheduler::LocalityScheduler base(7);
+  const auto sel_base =
+      core::run_selection(*ds.dfs, ds.path, key, base, nullptr, cfg);
+  scheduler::DataNetScheduler dn;
+  const auto sel_dn = core::run_selection(*ds.dfs, ds.path, key, dn, &net, cfg);
+
+  common::TextTable table(
+      {"job", "scheduler", "min (s)", "avg (s)", "max (s)"});
+  double speedup_wc = 0.0, speedup_topk = 0.0;
+  const auto add = [&](const char* name, const mapred::Job& job) {
+    const auto without = core::run_analysis(job, sel_base, cfg);
+    const auto with = core::run_analysis(job, sel_dn, cfg);
+    const auto swo = stats::summarize(without.shuffle_task_seconds);
+    const auto swi = stats::summarize(with.shuffle_task_seconds);
+    table.add_row({name, "without", common::fmt_double(swo.min, 1),
+                   common::fmt_double(swo.mean, 1), common::fmt_double(swo.max, 1)});
+    table.add_row({name, "with", common::fmt_double(swi.min, 1),
+                   common::fmt_double(swi.mean, 1), common::fmt_double(swi.max, 1)});
+    return swo.mean / swi.mean;
+  };
+  speedup_wc = add("WordCount", datanet::apps::make_word_count_job());
+  speedup_topk =
+      add("TopKSearch", datanet::apps::make_topk_search_job("a stunning film", 10));
+
+  std::printf("\n%s\n", table.to_string().c_str());
+  std::printf("avg shuffle speedup: WordCount %.1fx, TopKSearch %.1fx\n",
+              speedup_wc, speedup_topk);
+  return 0;
+}

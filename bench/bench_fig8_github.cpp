@@ -1,0 +1,79 @@
+// Figure 8 reproduction: GitHub event-log data (Section V-A-4). The
+// "IssueEvent" sub-dataset is NOT content-clustered — it appears throughout
+// the log — but its per-block density still fluctuates, so the workload is
+// imbalanced and DataNet still helps, though less than on the movie data.
+//
+// Paper shape: Fig. 8a per-block sizes vary several-fold with no clustered
+// prefix; TopK longest map time 125 s without DataNet vs 107 s with
+// (a modest ~14% gain vs ~42% on movies).
+
+#include <algorithm>
+#include <cstdio>
+
+#include "apps/topk_search.hpp"
+#include "bench_util.hpp"
+#include "scheduler/datanet_sched.hpp"
+#include "scheduler/locality.hpp"
+#include "stats/descriptive.hpp"
+
+int main() {
+  using namespace datanet;
+  benchutil::print_header(
+      "Figure 8: GitHub IssueEvent — imbalanced without content clustering",
+      "per-block density fluctuates but is spread over all blocks; longest "
+      "TopK map time 125 s -> 107 s with DataNet");
+
+  auto cfg = benchutil::paper_config();
+  const auto ds = core::make_github_dataset(cfg, /*num_blocks=*/128);
+  const std::string key = "IssueEvent";
+  const auto id = workload::subdataset_id(key);
+
+  // ---- Fig. 8a: per-block sizes ----
+  const auto dist = ds.truth->distribution(id);
+  std::printf("\nFig 8a: size of IssueEvent data per block (KiB), %zu blocks\n",
+              dist.size());
+  for (std::size_t b = 0; b < dist.size(); ++b) {
+    std::printf("%5zu: %.2f\n", b, static_cast<double>(dist[b]) / 1024.0);
+  }
+  std::size_t nonzero = 0;
+  for (const auto v : dist) nonzero += (v > 0);
+  const auto mx = *std::max_element(dist.begin(), dist.end());
+  std::vector<double> d(dist.begin(), dist.end());
+  const auto s = stats::summarize(d);
+  std::printf("\nblocks containing IssueEvent: %zu/%zu (no clustering); "
+              "max/mean density = %.2f\n",
+              nonzero, dist.size(), static_cast<double>(mx) / s.mean);
+
+  // ---- Fig. 8b + map-time comparison ----
+  // Only ~22 event types exist, so the realistic ElasticMap keeps most of
+  // them exactly (the hash map is tiny); alpha = 0.6.
+  const core::DataNet net(*ds.dfs, ds.path, {.alpha = 0.6});
+  const auto job = apps::make_topk_search_job("fix crash in parser", 10);
+
+  scheduler::LocalityScheduler base(7);
+  const auto without =
+      core::run_end_to_end(*ds.dfs, ds.path, key, base, nullptr, job, cfg);
+  scheduler::DataNetScheduler dn;
+  const auto with = core::run_end_to_end(*ds.dfs, ds.path, key, dn, &net, job, cfg);
+
+  std::printf("\nFig 8b: filtered IssueEvent bytes per node (KiB)\n");
+  std::printf("node  without  with\n");
+  for (std::uint32_t n = 0; n < cfg.num_nodes; ++n) {
+    std::printf(
+        "%4u  %7.1f  %7.1f\n", n,
+        static_cast<double>(without.selection.node_filtered_bytes[n]) / 1024.0,
+        static_cast<double>(with.selection.node_filtered_bytes[n]) / 1024.0);
+  }
+
+  const auto max_map = [](const mapred::JobReport& r) {
+    return *std::max_element(r.node_map_seconds.begin(), r.node_map_seconds.end());
+  };
+  const double wo = max_map(without.analysis);
+  const double wi = max_map(with.analysis);
+  std::printf("\nlongest TopK map time: without = %.1f s, with = %.1f s "
+              "(%.1f%% improvement; paper: 125 s -> 107 s = 14.4%%)\n",
+              wo, wi, 100.0 * (1.0 - wi / wo));
+  std::printf("(compare with the ~40%%+ movie-dataset gain: weaker clustering "
+              "=> smaller benefit, as the paper reports)\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 9 reproduction: per-sub-dataset accuracy of the ElasticMap size
+// estimate (Eq. 6) versus the actual sub-dataset size. Movies are sorted by
+// size, largest first.
+//
+// Paper shape: large sub-datasets (dominant in most blocks, hash-map
+// resident) are estimated almost exactly; sub-datasets below ~a block's
+// dominance threshold are overestimated by the bloom-filter delta — but
+// those are exactly the ones too small to cause imbalance.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "elasticmap/elastic_map.hpp"
+
+int main() {
+  using namespace datanet;
+  benchutil::print_header(
+      "Figure 9: ElasticMap accuracy for individual sub-datasets",
+      "estimate ~= actual for large movies; growing overestimate below the "
+      "dominance threshold");
+
+  auto cfg = benchutil::paper_config();
+  const auto ds = core::make_movie_dataset(cfg, 256, 2000);
+  const auto em =
+      elasticmap::ElasticMapArray::build(*ds.dfs, ds.path, {.alpha = 0.3});
+
+  const auto ids = ds.truth->ids_by_size();
+  std::printf("\nrank: actual(KiB) estimated(KiB) est/actual\n");
+  // Log-ish sampling across ranks, as the figure's x-axis compresses tails.
+  double worst_top10 = 0.0;
+  for (std::size_t r = 0; r < ids.size();
+       r = (r < 20 ? r + 1 : r + r / 4)) {
+    const double actual =
+        static_cast<double>(ds.truth->total_size(ids[r])) / 1024.0;
+    const double est =
+        static_cast<double>(em.estimate_total_size(ids[r])) / 1024.0;
+    std::printf("%4zu: %11.1f %14.1f %10.2f\n", r, actual, est, est / actual);
+    if (r < 10) worst_top10 = std::max(worst_top10, est / actual);
+  }
+  std::printf("\nworst est/actual among the 10 largest sub-datasets: %.2f "
+              "(near 1.0 = Fig. 9's left side)\n",
+              worst_top10);
+  std::printf("small sub-datasets are overestimated (bloom delta), matching "
+              "the paper's divergence below ~32 MB — harmless for balance, "
+              "since they are too small to overload a node.\n");
+  return 0;
+}

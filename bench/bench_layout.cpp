@@ -1,0 +1,103 @@
+// Storage-layout study: content clustering is a property of how records are
+// *stored*, not of the data itself. The same review stream is ingested three
+// ways — chronological (the paper's setting: release-decay clustering),
+// key-sorted (every sub-dataset fully contiguous, maximal clustering, the
+// layout an OPASS-style reorganizer would produce), and shuffled (records
+// randomly permuted, minimal clustering) — and the locality baseline's
+// imbalance plus DataNet's gain are measured under each.
+//
+// Expected shape: baseline imbalance and DataNet's benefit both grow with
+// the clustering degree (gini); the shuffled layout needs no DataNet, the
+// key-sorted layout needs it most. This isolates the paper's causal claim:
+// clustering causes the imbalance DataNet removes.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "scheduler/datanet_sched.hpp"
+#include "scheduler/locality.hpp"
+#include "stats/concentration.hpp"
+#include "stats/descriptive.hpp"
+#include "workload/dataset.hpp"
+#include "workload/movie_gen.hpp"
+
+int main() {
+  using namespace datanet;
+  benchutil::print_header(
+      "Storage-layout study: the clustering dial",
+      "baseline imbalance and DataNet's gain both track the storage "
+      "layout's clustering degree");
+
+  auto cfg = benchutil::paper_config();
+
+  workload::MovieGenOptions gopt;
+  gopt.num_movies = 2000;
+  gopt.num_records = static_cast<std::uint64_t>(
+      256.0 * static_cast<double>(cfg.block_size) / 150.0);
+  gopt.seed = cfg.seed;
+  const workload::MovieLogGenerator gen(gopt);
+  auto records = gen.generate();
+  const auto key = gen.movie_key(0);
+
+  common::TextTable table({"layout", "gini", "locality max/mean",
+                           "DataNet max/mean", "blocks scanned (DataNet)"});
+
+  const auto run_layout = [&](const char* name,
+                              const std::vector<workload::Record>& recs) {
+    dfs::DfsOptions dopt;
+    dopt.block_size = cfg.block_size;
+    dopt.replication = cfg.replication;
+    dopt.seed = cfg.seed;
+    dfs::MiniDfs fs(dfs::ClusterTopology::flat(cfg.num_nodes), dopt);
+    workload::ingest(fs, "/data", recs);
+    const workload::GroundTruth truth(fs, "/data");
+    const auto dist = truth.distribution(workload::subdataset_id(key));
+    const double g = stats::gini(std::span<const std::uint64_t>(dist));
+
+    scheduler::LocalityScheduler base(7);
+    const auto sel_loc = core::run_selection(fs, "/data", key, base, nullptr, cfg);
+    const core::DataNet net(fs, "/data", {.alpha = 0.3});
+    scheduler::DataNetScheduler dn;
+    const auto sel_dn = core::run_selection(fs, "/data", key, dn, &net, cfg);
+
+    const auto stat = [](const std::vector<std::uint64_t>& v) {
+      std::vector<double> d(v.begin(), v.end());
+      return stats::summarize(d);
+    };
+    table.add_row(
+        {name, common::fmt_double(g, 3),
+         common::fmt_double(stat(sel_loc.node_filtered_bytes).max_over_mean(), 2),
+         common::fmt_double(stat(sel_dn.node_filtered_bytes).max_over_mean(), 2),
+         std::to_string(sel_dn.blocks_scanned) + "/" +
+             std::to_string(fs.num_blocks())});
+  };
+
+  // Chronological: as generated (the paper's Flume-style setting).
+  run_layout("chronological", records);
+
+  // Key-sorted: every sub-dataset fully contiguous.
+  auto sorted = records;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const workload::Record& a, const workload::Record& b) {
+                     return a.key < b.key;
+                   });
+  run_layout("key-sorted", sorted);
+
+  // Shuffled: minimal clustering.
+  auto shuffled = records;
+  common::Rng rng(99);
+  for (std::size_t i = shuffled.size(); i > 1; --i) {
+    std::swap(shuffled[i - 1], shuffled[rng.bounded(i)]);
+  }
+  run_layout("shuffled", shuffled);
+
+  std::printf("\n%s\n", table.to_string().c_str());
+  std::printf("clustering (gini) drives both the baseline's imbalance and "
+              "DataNet's pruning power — with a shuffled layout neither "
+              "matters, with a key-sorted layout DataNet reads only the "
+              "blocks that contain the movie.\n");
+  return 0;
+}

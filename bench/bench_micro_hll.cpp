@@ -1,0 +1,74 @@
+// Micro-benchmarks for the HyperLogLog sketch: insert/estimate/merge
+// throughput and the precision-vs-error curve that justifies the
+// DistinctUsers job's default precision.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bloom/hyperloglog.hpp"
+#include "common/rng.hpp"
+
+namespace {
+
+using datanet::bloom::HyperLogLog;
+
+void BM_HllInsert(benchmark::State& state) {
+  HyperLogLog hll(static_cast<std::uint32_t>(state.range(0)));
+  datanet::common::Rng rng(1);
+  for (auto _ : state) {
+    hll.insert(rng());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HllInsert)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_HllEstimate(benchmark::State& state) {
+  HyperLogLog hll(static_cast<std::uint32_t>(state.range(0)));
+  datanet::common::Rng rng(2);
+  for (int i = 0; i < 100000; ++i) hll.insert(rng());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hll.estimate());
+  }
+}
+BENCHMARK(BM_HllEstimate)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_HllMerge(benchmark::State& state) {
+  HyperLogLog a(12), b(12);
+  datanet::common::Rng rng(3);
+  for (int i = 0; i < 50000; ++i) {
+    a.insert(rng());
+    b.insert(rng());
+  }
+  for (auto _ : state) {
+    HyperLogLog c = a;
+    c.merge(b);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_HllMerge);
+
+// Error curve: measured relative error vs the 1.04/sqrt(m) theory, reported
+// as counters per precision.
+void BM_HllErrorCurve(benchmark::State& state) {
+  const auto precision = static_cast<std::uint32_t>(state.range(0));
+  double rel_err = 0.0;
+  constexpr std::uint64_t kTrue = 200000;
+  for (auto _ : state) {
+    HyperLogLog hll(precision);
+    datanet::common::Rng rng(7);
+    for (std::uint64_t i = 0; i < kTrue; ++i) hll.insert(rng());
+    rel_err = std::fabs(hll.estimate() - static_cast<double>(kTrue)) /
+              static_cast<double>(kTrue);
+    benchmark::DoNotOptimize(rel_err);
+  }
+  state.counters["rel_error"] = rel_err;
+  state.counters["theory"] =
+      1.04 / std::sqrt(static_cast<double>(1u << precision));
+  state.counters["bytes"] = static_cast<double>(1u << precision);
+}
+BENCHMARK(BM_HllErrorCurve)->Arg(6)->Arg(8)->Arg(10)->Arg(12)->Arg(14);
+
+}  // namespace
+
+BENCHMARK_MAIN();

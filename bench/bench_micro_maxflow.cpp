@@ -1,0 +1,77 @@
+// Micro-benchmark: Dinic max-flow scaling on bipartite assignment networks
+// of increasing size (the cost of the paper's Ford–Fulkerson "optimal"
+// variant, which motivates why Algorithm 1's greedy is the default).
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "graph/assignment.hpp"
+#include "graph/maxflow.hpp"
+
+namespace {
+
+using namespace datanet;
+
+void BM_DinicAssignmentNetwork(benchmark::State& state) {
+  const auto nodes = static_cast<std::uint32_t>(state.range(0));
+  const auto blocks = static_cast<std::size_t>(state.range(1));
+  common::Rng rng(13);
+  std::vector<graph::BlockVertex> bs;
+  for (std::size_t j = 0; j < blocks; ++j) {
+    graph::BlockVertex v;
+    v.block_id = j;
+    v.weight = 10 + rng.bounded(5000);
+    while (v.hosts.size() < 3) {
+      const auto n = static_cast<dfs::NodeId>(rng.bounded(nodes));
+      if (std::find(v.hosts.begin(), v.hosts.end(), n) == v.hosts.end()) {
+        v.hosts.push_back(n);
+      }
+    }
+    bs.push_back(std::move(v));
+  }
+  const graph::BipartiteGraph g(nodes, std::move(bs));
+  std::uint64_t capacity = 0;
+  for (auto _ : state) {
+    const auto res = graph::balanced_assignment(g);
+    capacity = res.fractional_capacity;
+    benchmark::DoNotOptimize(res);
+  }
+  state.counters["capacity"] = static_cast<double>(capacity);
+  state.counters["ideal"] =
+      static_cast<double>(g.total_weight()) / static_cast<double>(nodes);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(blocks));
+}
+
+BENCHMARK(BM_DinicAssignmentNetwork)
+    ->Args({8, 64})
+    ->Args({32, 256})
+    ->Args({128, 1024});
+
+void BM_DinicRawGrid(benchmark::State& state) {
+  // Layered grid network: s -> L1 (n) -> L2 (n) -> t with random capacities.
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    common::Rng rng(17);
+    graph::MaxFlow mf(2 * n + 2);
+    const std::uint32_t s = 2 * n, t = 2 * n + 1;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      mf.add_edge(s, i, 1 + rng.bounded(100));
+      mf.add_edge(n + i, t, 1 + rng.bounded(100));
+      for (std::uint32_t j = 0; j < 4; ++j) {
+        mf.add_edge(i, n + static_cast<std::uint32_t>(rng.bounded(n)),
+                    1 + rng.bounded(50));
+      }
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(mf.solve(s, t));
+  }
+}
+BENCHMARK(BM_DinicRawGrid)->Arg(100)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

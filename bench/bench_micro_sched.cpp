@@ -1,0 +1,78 @@
+// Micro-benchmarks + ablation for the schedulers: assignment latency of the
+// locality baseline, Algorithm 1 (greedy), and the max-flow variant, plus a
+// quality ablation reporting the achieved balance of each on one clustered
+// instance (the DESIGN.md "greedy vs flow vs baseline" ablation).
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "scheduler/datanet_sched.hpp"
+#include "scheduler/flow_sched.hpp"
+#include "scheduler/locality.hpp"
+#include "stats/descriptive.hpp"
+
+namespace {
+
+using namespace datanet;
+
+graph::BipartiteGraph make_graph(std::uint32_t nodes, std::size_t blocks,
+                                 std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<graph::BlockVertex> bs;
+  const std::size_t hot = blocks / 4;
+  for (std::size_t j = 0; j < blocks; ++j) {
+    graph::BlockVertex v;
+    v.block_id = j;
+    v.weight = j < hot ? 2000 + rng.bounded(8000) : rng.bounded(60);
+    while (v.hosts.size() < 3) {
+      const auto n = static_cast<dfs::NodeId>(rng.bounded(nodes));
+      if (std::find(v.hosts.begin(), v.hosts.end(), n) == v.hosts.end()) {
+        v.hosts.push_back(n);
+      }
+    }
+    bs.push_back(std::move(v));
+  }
+  return graph::BipartiteGraph(nodes, std::move(bs));
+}
+
+std::vector<std::uint64_t> unit_bytes(const graph::BipartiteGraph& g) {
+  return std::vector<std::uint64_t>(g.num_blocks(), 1 << 20);
+}
+
+template <typename Sched>
+void run_assignment(benchmark::State& state) {
+  const auto g = make_graph(static_cast<std::uint32_t>(state.range(0)),
+                            static_cast<std::size_t>(state.range(1)), 11);
+  const auto bytes = unit_bytes(g);
+  double cv = 0.0;
+  for (auto _ : state) {
+    Sched sched;
+    const auto rec = scheduler::drain(sched, g, bytes);
+    benchmark::DoNotOptimize(rec);
+    std::vector<double> loads(rec.node_load.begin(), rec.node_load.end());
+    cv = stats::summarize(loads).coeff_variation();
+  }
+  state.counters["balance_cv"] = cv;
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(1));
+}
+
+void BM_LocalityAssign(benchmark::State& state) {
+  run_assignment<scheduler::LocalityScheduler>(state);
+}
+void BM_DataNetAssign(benchmark::State& state) {
+  run_assignment<scheduler::DataNetScheduler>(state);
+}
+void BM_FlowAssign(benchmark::State& state) {
+  run_assignment<scheduler::FlowScheduler>(state);
+}
+
+BENCHMARK(BM_LocalityAssign)->Args({32, 256})->Args({128, 2048});
+BENCHMARK(BM_DataNetAssign)->Args({32, 256})->Args({128, 2048});
+BENCHMARK(BM_FlowAssign)->Args({32, 256})->Args({128, 2048});
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// Ablation: Hadoop-style speculative execution vs DataNet. Speculation is
+// the classic reactive answer to stragglers (re-run slow tasks elsewhere);
+// the paper argues reactive mitigation cannot fix a *data* imbalance — a
+// node with 3x the sub-dataset bytes runs 3x longer whether or not its last
+// task gets a backup. This bench quantifies that on the movie workload.
+
+#include <cstdio>
+
+#include "apps/topk_search.hpp"
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "mapred/engine.hpp"
+#include "scheduler/datanet_sched.hpp"
+#include "scheduler/locality.hpp"
+
+namespace {
+
+using namespace datanet;
+
+// Re-run the analysis phase of a selection under an engine flag; an
+// optional slow node models machine (not data) skew.
+mapred::JobReport analyze(const core::SelectionResult& sel,
+                          const core::ExperimentConfig& cfg, bool speculative,
+                          double slow_node0_speed = 1.0) {
+  mapred::Job job = apps::make_topk_search_job("a stunning film", 10);
+  job.config.cost.time_scale = cfg.effective_time_scale();
+  mapred::EngineOptions opt;
+  opt.num_nodes = cfg.num_nodes;
+  opt.slots_per_node = cfg.slots_per_node;
+  opt.speculative = speculative;
+  if (slow_node0_speed != 1.0) {
+    opt.node_speed.assign(cfg.num_nodes, 1.0);
+    opt.node_speed[0] = slow_node0_speed;
+  }
+  const mapred::Engine engine(opt);
+
+  std::vector<mapred::InputSplit> splits;
+  for (std::uint32_t n = 0; n < cfg.num_nodes; ++n) {
+    const std::string_view data = sel.node_local_data[n];
+    if (data.empty()) continue;
+    const std::uint64_t chunk =
+        std::max<std::uint64_t>(data.size() / cfg.slots_per_node, 1);
+    std::size_t start = 0;
+    while (start < data.size()) {
+      std::size_t end = std::min<std::size_t>(start + chunk, data.size());
+      if (end < data.size()) {
+        const std::size_t nl = data.find('\n', end);
+        end = (nl == std::string_view::npos) ? data.size() : nl + 1;
+      }
+      splits.push_back({.node = n, .data = data.substr(start, end - start),
+                        .charged_bytes = 0});
+      start = end;
+    }
+  }
+  return engine.run(job, splits);
+}
+
+}  // namespace
+
+int main() {
+  benchutil::print_header(
+      "Ablation: speculative execution vs distribution-aware scheduling",
+      "reactive task re-execution cannot fix a data-placement imbalance");
+
+  auto cfg = benchutil::paper_config();
+  const auto ds = core::make_movie_dataset(cfg, 256, 2000);
+  const auto& key = ds.hot_keys[0];
+
+  scheduler::LocalityScheduler base(7);
+  const auto sel_base =
+      core::run_selection(*ds.dfs, ds.path, key, base, nullptr, cfg);
+  const core::DataNet net(*ds.dfs, ds.path, {.alpha = 0.3});
+  scheduler::DataNetScheduler dn;
+  const auto sel_dn = core::run_selection(*ds.dfs, ds.path, key, dn, &net, cfg);
+
+  common::TextTable table({"configuration", "map phase (s)", "vs baseline"});
+  const double baseline = analyze(sel_base, cfg, false).map_phase_seconds;
+  const auto row = [&](const char* name, double v) {
+    table.add_row({name, common::fmt_double(v, 1),
+                   common::fmt_percent(1.0 - v / baseline)});
+  };
+  row("locality", baseline);
+  row("locality + speculation", analyze(sel_base, cfg, true).map_phase_seconds);
+  row("DataNet", analyze(sel_dn, cfg, false).map_phase_seconds);
+  row("DataNet + speculation", analyze(sel_dn, cfg, true).map_phase_seconds);
+  std::printf("\nData skew (clustered sub-dataset):\n%s\n",
+              table.to_string().c_str());
+  std::printf("speculation cannot shorten a node that simply holds several "
+              "times more data — every one of its tasks is long; DataNet "
+              "removes the imbalance that created the straggler.\n");
+
+  // Contrast: MACHINE skew (one node at quarter speed, data balanced) is the
+  // regime speculation was designed for — there it does help.
+  common::TextTable machine({"configuration", "map phase (s)"});
+  const double slow_plain =
+      analyze(sel_dn, cfg, false, 0.25).map_phase_seconds;
+  const double slow_spec = analyze(sel_dn, cfg, true, 0.25).map_phase_seconds;
+  machine.add_row({"DataNet, node0 4x slow", common::fmt_double(slow_plain, 1)});
+  machine.add_row(
+      {"DataNet, node0 4x slow + speculation", common::fmt_double(slow_spec, 1)});
+  std::printf("\nMachine skew (one 4x-slower node, balanced data):\n%s\n",
+              machine.to_string().c_str());
+  std::printf("the two mechanisms are complementary: DataNet fixes data "
+              "skew proactively, speculation fixes machine skew reactively.\n");
+  return 0;
+}

@@ -1,0 +1,32 @@
+#pragma once
+// Shared configuration for the figure/table reproduction binaries. All
+// benches use the paper's evaluation setup scaled down: 32 worker nodes,
+// 256 blocks (Section V-A), with a block size of 128 KiB standing in for
+// 64 MiB (time_scale maps costs back to full-size blocks, so reported
+// simulated seconds are comparable to the paper's).
+
+#include <cstdio>
+#include <string>
+
+#include "datanet/experiment.hpp"
+
+namespace benchutil {
+
+inline datanet::core::ExperimentConfig paper_config() {
+  datanet::core::ExperimentConfig cfg;
+  cfg.num_nodes = 32;
+  cfg.block_size = 128 * 1024;
+  cfg.replication = 3;
+  cfg.slots_per_node = 2;
+  cfg.seed = 2016;  // IPDPS 2016
+  return cfg;
+}
+
+inline void print_header(const char* experiment, const char* paper_claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("Paper: %s\n", paper_claim);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace benchutil

@@ -1,0 +1,64 @@
+// GitHub event analytics — the paper's second scenario (Section V-A-4). An
+// infrastructure team stores the public event firehose and analyzes single
+// event types ("sub-datasets" keyed by event type). Unlike movie reviews,
+// event types are NOT content-clustered, so this example shows (a) DataNet's
+// smaller-but-real benefit in that regime and (b) using the ElasticMap as a
+// catalog: per-type size estimates without touching the raw data.
+
+#include <cstdio>
+
+#include "apps/word_count.hpp"
+#include "common/table.hpp"
+#include "datanet/datanet.hpp"
+#include "datanet/experiment.hpp"
+#include "scheduler/datanet_sched.hpp"
+#include "scheduler/locality.hpp"
+#include "workload/github_gen.hpp"
+
+int main() {
+  using namespace datanet;
+
+  core::ExperimentConfig cfg;
+  cfg.num_nodes = 16;
+  cfg.block_size = 128 * 1024;
+  cfg.seed = 2023;
+  const auto ds = core::make_github_dataset(cfg, /*num_blocks=*/96);
+  // ~22 event types per block: a high alpha keeps most exact at tiny cost.
+  const core::DataNet net(*ds.dfs, ds.path, {.alpha = 0.6});
+
+  // (b) Catalog view: per-event-type sizes straight from the ElasticMap.
+  std::printf("event-type catalog from ElasticMap (no raw-data scan):\n");
+  common::TextTable catalog({"event type", "estimated size (KiB)",
+                             "actual size (KiB)", "candidate blocks"});
+  for (const auto& type : workload::github_event_types()) {
+    const auto est = net.estimate_total_size(type);
+    if (est == 0) continue;
+    const auto actual =
+        ds.truth->total_size(workload::subdataset_id(type));
+    catalog.add_row({type,
+                     common::fmt_double(static_cast<double>(est) / 1024.0, 1),
+                     common::fmt_double(static_cast<double>(actual) / 1024.0, 1),
+                     std::to_string(net.distribution(type).size())});
+  }
+  std::printf("%s\n", catalog.to_string().c_str());
+
+  // (a) Analyze IssueEvent comment vocabulary both ways.
+  const std::string key = "IssueEvent";
+  const auto job = apps::make_word_count_job();
+  scheduler::LocalityScheduler base(7);
+  const auto without =
+      core::run_end_to_end(*ds.dfs, ds.path, key, base, nullptr, job, cfg);
+  scheduler::DataNetScheduler dn;
+  const auto with =
+      core::run_end_to_end(*ds.dfs, ds.path, key, dn, &net, job, cfg);
+
+  std::printf("WordCount over IssueEvent bodies:\n");
+  std::printf("  locality : %.1f simulated s (longest node map %.1f s)\n",
+              without.total_seconds(), without.analysis.map_phase_seconds);
+  std::printf("  DataNet  : %.1f simulated s (longest node map %.1f s)\n",
+              with.total_seconds(), with.analysis.map_phase_seconds);
+  std::printf("  gain     : %.1f%% — modest, as the paper reports for "
+              "non-clustered sub-datasets\n",
+              100.0 * (1.0 - with.total_seconds() / without.total_seconds()));
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Movie log analysis — the paper's primary scenario end-to-end. A
+// recommendation-system team keeps a year of chronologically stored review
+// logs on the DFS and routinely analyzes individual movies: rating trends
+// (MovingAverage), vocabulary (WordCount), and similar-review search (TopK).
+//
+// This example shows the full production flow a DataNet adopter would run:
+// build the meta-data once, then reuse it for many per-movie analyses, and
+// inspect where the time goes for hot vs cold movies.
+
+#include <cstdio>
+
+#include "apps/moving_average.hpp"
+#include "apps/topk_search.hpp"
+#include "apps/word_count.hpp"
+#include "common/table.hpp"
+#include "datanet/datanet.hpp"
+#include "datanet/experiment.hpp"
+#include "scheduler/datanet_sched.hpp"
+#include "scheduler/locality.hpp"
+
+int main() {
+  using namespace datanet;
+
+  core::ExperimentConfig cfg;
+  cfg.num_nodes = 32;
+  cfg.block_size = 128 * 1024;
+  cfg.seed = 77;
+  const auto ds = core::make_movie_dataset(cfg, /*num_blocks=*/128,
+                                           /*num_movies=*/1000);
+
+  // Meta-data is built once per dataset and reused by every analysis.
+  const core::DataNet net(*ds.dfs, ds.path, {.alpha = 0.3});
+  std::printf("dataset: %llu blocks, %llu sub-datasets; ElasticMap %.1f KiB\n\n",
+              static_cast<unsigned long long>(ds.dfs->num_blocks()),
+              static_cast<unsigned long long>(ds.truth->num_subdatasets()),
+              static_cast<double>(net.meta().memory_bytes()) / 1024.0);
+
+  // Analyze a hot, a warm and a cold movie with all three jobs.
+  const std::vector<std::pair<const char*, std::string>> movies = {
+      {"hot", ds.hot_keys[0]}, {"warm", ds.hot_keys[5]}, {"cold", ds.hot_keys[15]}};
+
+  common::TextTable table({"movie", "job", "locality (s)", "DataNet (s)",
+                           "gain", "blocks scanned (DataNet)"});
+  for (const auto& [label, key] : movies) {
+    struct JobRow {
+      const char* name;
+      mapred::Job job;
+    };
+    std::vector<JobRow> jobs;
+    jobs.push_back({"MovingAverage", apps::make_moving_average_job(86400 * 7)});
+    jobs.push_back({"WordCount", apps::make_word_count_job()});
+    jobs.push_back({"TopKSearch",
+                    apps::make_topk_search_job("best movie i have seen", 5)});
+    for (auto& [name, job] : jobs) {
+      scheduler::LocalityScheduler base(7);
+      const auto without =
+          core::run_end_to_end(*ds.dfs, ds.path, key, base, nullptr, job, cfg);
+      scheduler::DataNetScheduler dn;
+      const auto with =
+          core::run_end_to_end(*ds.dfs, ds.path, key, dn, &net, job, cfg);
+      table.add_row(
+          {std::string(label) + " (" + key + ")", name,
+           common::fmt_double(without.total_seconds(), 1),
+           common::fmt_double(with.total_seconds(), 1),
+           common::fmt_percent(1.0 -
+                               with.total_seconds() / without.total_seconds()),
+           std::to_string(with.selection.blocks_scanned) + "/" +
+               std::to_string(ds.dfs->num_blocks())});
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  // Show real analysis output for the hot movie: the weekly rating trend.
+  scheduler::DataNetScheduler dn;
+  const auto sel = core::run_selection(*ds.dfs, ds.path, ds.hot_keys[0], dn,
+                                       &net, cfg);
+  const auto trend =
+      core::run_analysis(apps::make_moving_average_job(86400 * 7), sel, cfg);
+  std::printf("weekly rating trend for %s (first 10 windows):\n",
+              ds.hot_keys[0].c_str());
+  int shown = 0;
+  for (const auto& [window, avg] : trend.output) {
+    if (shown++ >= 10) break;
+    std::printf("  week %s: avg rating %s\n", window.c_str(), avg.c_str());
+  }
+  return 0;
+}

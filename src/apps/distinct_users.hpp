@@ -1,0 +1,21 @@
+#pragma once
+// Distinct-entity counting per sub-dataset key: "how many unique users
+// reviewed this movie / clients hit this page?" — the classic companion to
+// sessionization in log analytics. Each map task keeps one HyperLogLog per
+// key seen in its split and emits the serialized sketch; the reducer merges
+// sketches, so the job shuffles O(keys x sketch) bytes instead of O(events).
+
+#include <cstdint>
+#include <string>
+
+#include "mapred/job.hpp"
+
+namespace datanet::apps {
+
+// Output per record key: the estimated number of distinct values of
+// `field_prefix` (e.g. "client=", "actor=") among its records, as a decimal
+// integer string. Precision controls sketch size/accuracy (see HyperLogLog).
+[[nodiscard]] mapred::Job make_distinct_users_job(std::string field_prefix,
+                                                  std::uint32_t precision = 12);
+
+}  // namespace datanet::apps

@@ -1,0 +1,14 @@
+#pragma once
+// Aggregate Word Histogram (Section V-A): the MapReduce aggregate plug-in
+// that histograms the words of the input — here both the distribution of
+// word lengths and the occurrence-frequency deciles of distinct words.
+
+#include "mapred/job.hpp"
+
+namespace datanet::apps {
+
+// Output keys: "len_<n>" -> number of word occurrences of length n, and
+// "total_words" / "distinct_hint" summary counters.
+[[nodiscard]] mapred::Job make_word_histogram_job();
+
+}  // namespace datanet::apps

@@ -1,0 +1,16 @@
+#pragma once
+// Moving Average (Section V-A): a series of rating averages over fixed time
+// windows of the sub-dataset — trend smoothing. Computationally the lightest
+// of the four jobs: one parse per record, tiny intermediate state.
+
+#include <cstdint>
+
+#include "mapred/job.hpp"
+
+namespace datanet::apps {
+
+// Mapper emits (window_index, "sum,count") partials; reducer averages. The
+// output key is the zero-padded window index, value the mean rating.
+[[nodiscard]] mapred::Job make_moving_average_job(std::uint64_t window_seconds);
+
+}  // namespace datanet::apps

@@ -1,0 +1,26 @@
+#pragma once
+// User sessionization (the paper's introductory motivating analysis: "the
+// analysis on the webpage click streams needs to perform user sessionization
+// analysis"). Records are grouped by an entity field extracted from the
+// payload (e.g. "client=" for web logs, "actor=" for GitHub events); each
+// entity's timestamps are split into sessions wherever the gap between
+// consecutive events exceeds `session_gap_seconds`.
+
+#include <cstdint>
+#include <string>
+
+#include "mapred/job.hpp"
+
+namespace datanet::apps {
+
+// Extract the value of `field_prefix` (e.g. "client=") from a payload of
+// space-separated fields; empty view if absent. Exposed for tests.
+[[nodiscard]] std::string_view extract_field(std::string_view payload,
+                                             std::string_view field_prefix);
+
+// Output per entity: "sessions=<n> events=<m> span=<total in-session secs>".
+// Keys are the entity values; records without the field are skipped.
+[[nodiscard]] mapred::Job make_sessionize_job(std::string field_prefix,
+                                              std::uint64_t session_gap_seconds);
+
+}  // namespace datanet::apps

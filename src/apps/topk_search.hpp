@@ -1,0 +1,23 @@
+#pragma once
+// Top-K Search (Section V-A): find the K records most similar to a query
+// sequence. Similarity is cosine over character-bigram frequency vectors —
+// the heavy per-record computation that makes this the most CPU-intensive of
+// the four jobs (largest DataNet gain in Fig. 5a).
+
+#include <cstdint>
+#include <string>
+
+#include "mapred/job.hpp"
+
+namespace datanet::apps {
+
+// Cosine similarity of the character-bigram profiles of two strings; in
+// [0, 1], 1 for identical non-empty profiles. Exposed for tests.
+[[nodiscard]] double bigram_cosine(std::string_view a, std::string_view b);
+
+// Each map task keeps a local top-K heap (by similarity to `query`) and
+// emits it at finish; a single-key reduce merges to the global top K.
+// Output: keys "topk_00" .. ordered best-first, values "score<TAB>payload".
+[[nodiscard]] mapred::Job make_topk_search_job(std::string query, std::uint32_t k);
+
+}  // namespace datanet::apps

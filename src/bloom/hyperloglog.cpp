@@ -1,0 +1,97 @@
+#include "bloom/hyperloglog.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/hash.hpp"
+
+namespace datanet::bloom {
+
+HyperLogLog::HyperLogLog(std::uint32_t precision) : precision_(precision) {
+  if (precision < 4 || precision > 16) {
+    throw std::invalid_argument("HyperLogLog: precision in [4, 16]");
+  }
+  registers_.assign(std::size_t{1} << precision, 0);
+}
+
+void HyperLogLog::insert(std::uint64_t hashed_key) {
+  // Re-mix so raw (possibly sequential) keys behave; the top p bits pick the
+  // register, the remaining bits feed the rank.
+  const std::uint64_t h = common::mix64(hashed_key ^ 0x9e3779b97f4a7c15ULL);
+  const std::uint64_t idx = h >> (64 - precision_);
+  const std::uint64_t rest = h << precision_;
+  // Rank: position of the leftmost 1 in the remaining 64-p bits, 1-based;
+  // all-zero remainder gets the maximum rank.
+  const int zeros = rest == 0 ? static_cast<int>(64 - precision_)
+                              : std::countl_zero(rest);
+  const auto rank = static_cast<std::uint8_t>(
+      std::min<int>(zeros + 1, 64 - static_cast<int>(precision_) + 1));
+  registers_[idx] = std::max(registers_[idx], rank);
+}
+
+double HyperLogLog::estimate() const {
+  const double m = static_cast<double>(registers_.size());
+  const double alpha =
+      registers_.size() == 16 ? 0.673
+      : registers_.size() == 32 ? 0.697
+      : registers_.size() == 64 ? 0.709
+                                : 0.7213 / (1.0 + 1.079 / m);
+  double sum = 0.0;
+  std::size_t zero_registers = 0;
+  for (const auto r : registers_) {
+    sum += std::ldexp(1.0, -static_cast<int>(r));
+    zero_registers += (r == 0);
+  }
+  double e = alpha * m * m / sum;
+
+  if (e <= 2.5 * m && zero_registers > 0) {
+    // Small-range correction: linear counting.
+    e = m * std::log(m / static_cast<double>(zero_registers));
+  } else if (e > (1.0 / 30.0) * 4294967296.0) {
+    // Large-range correction (32-bit hash-space variant kept for parity with
+    // the published algorithm; rarely triggered with 64-bit hashing).
+    e = -4294967296.0 * std::log(1.0 - e / 4294967296.0);
+  }
+  return e;
+}
+
+void HyperLogLog::merge(const HyperLogLog& other) {
+  if (other.precision_ != precision_) {
+    throw std::invalid_argument("HyperLogLog::merge: precision mismatch");
+  }
+  for (std::size_t i = 0; i < registers_.size(); ++i) {
+    registers_[i] = std::max(registers_[i], other.registers_[i]);
+  }
+}
+
+std::string HyperLogLog::serialize() const {
+  std::string out;
+  out.reserve(4 + registers_.size());
+  out.push_back('H');
+  out.push_back('L');
+  out.push_back('L');
+  out.push_back(static_cast<char>(precision_));
+  out.append(reinterpret_cast<const char*>(registers_.data()),
+             registers_.size());
+  return out;
+}
+
+HyperLogLog HyperLogLog::deserialize(std::string_view bytes) {
+  if (bytes.size() < 5 || bytes.substr(0, 3) != "HLL") {
+    throw std::invalid_argument("HyperLogLog: bad header");
+  }
+  const auto precision = static_cast<std::uint32_t>(
+      static_cast<unsigned char>(bytes[3]));
+  HyperLogLog hll(precision);  // validates precision
+  if (bytes.size() != 4 + hll.registers_.size()) {
+    throw std::invalid_argument("HyperLogLog: size mismatch");
+  }
+  for (std::size_t i = 0; i < hll.registers_.size(); ++i) {
+    hll.registers_[i] = static_cast<std::uint8_t>(bytes[4 + i]);
+  }
+  return hll;
+}
+
+}  // namespace datanet::bloom

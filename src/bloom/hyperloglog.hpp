@@ -1,0 +1,44 @@
+#pragma once
+// HyperLogLog distinct-value estimator (Flajolet et al. 2007), the companion
+// sketch to the Bloom filter in this library's probabilistic toolbox. Used
+// by the DistinctUsers analysis job to count unique users/clients per
+// sub-dataset in O(2^precision) space, and available to ElasticMap users who
+// want per-block sub-dataset cardinalities instead of byte sizes.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace datanet::bloom {
+
+class HyperLogLog {
+ public:
+  // precision p in [4, 16]: 2^p one-byte registers; relative error is about
+  // 1.04 / sqrt(2^p) (p = 12 -> ~1.6%).
+  explicit HyperLogLog(std::uint32_t precision = 12);
+
+  void insert(std::uint64_t hashed_key);
+
+  // Bias-corrected estimate with the small-range (linear counting) and
+  // large-range corrections from the paper.
+  [[nodiscard]] double estimate() const;
+
+  // In-place union: the sketch of the union of both multisets.
+  void merge(const HyperLogLog& other);
+
+  [[nodiscard]] std::uint32_t precision() const noexcept { return precision_; }
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return registers_.size();
+  }
+
+  // Compact binary round-trip (register dump + header).
+  [[nodiscard]] std::string serialize() const;
+  static HyperLogLog deserialize(std::string_view bytes);
+
+ private:
+  std::uint32_t precision_;
+  std::vector<std::uint8_t> registers_;
+};
+
+}  // namespace datanet::bloom

@@ -1,0 +1,36 @@
+#pragma once
+// The datanet CLI subcommands, implemented as library functions writing to a
+// caller-supplied stream (testable without spawning processes).
+//
+//   generate  — synthesize a movie/github/worldcup log file
+//   inspect   — per-sub-dataset statistics, concentration metrics, and a
+//               Gamma model fit of a log file
+//   analyze   — ingest a log file into the simulated cluster and run one of
+//               the analysis jobs over a sub-dataset, DataNet vs baseline
+//   simulate  — event-driven selection timing on configurable hardware
+//   forecast  — Section II-B imbalance forecast fitted from a log file
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "cli/args.hpp"
+
+namespace datanet::cli {
+
+// Each returns a process exit code (0 = success) and writes human-readable
+// output (or an error explanation) to `out`.
+int cmd_generate(const Args& args, std::ostream& out);
+int cmd_inspect(const Args& args, std::ostream& out);
+int cmd_analyze(const Args& args, std::ostream& out);
+int cmd_simulate(const Args& args, std::ostream& out);
+int cmd_forecast(const Args& args, std::ostream& out);
+
+// Dispatch "generate|inspect|analyze --flags..." and handle help/unknown
+// commands. `argv` excludes the program name.
+int run_cli(const std::vector<std::string>& argv, std::ostream& out);
+
+// Usage text for --help and error paths.
+[[nodiscard]] std::string usage();
+
+}  // namespace datanet::cli

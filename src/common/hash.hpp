@@ -1,0 +1,46 @@
+#pragma once
+// 64-bit hashing primitives used across DataNet: sub-dataset ids, Bloom filter
+// probes, and shuffle partitioning. All hashes are deterministic across runs
+// and platforms (no libstdc++ std::hash, whose value is unspecified).
+
+#include <cstdint>
+#include <string_view>
+
+namespace datanet::common {
+
+// Finalizer from MurmurHash3 / splitmix64: bijective 64-bit avalanche mix.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+// FNV-1a over bytes, then avalanche-mixed. Good enough distribution for hash
+// tables, Bloom filters and partitioners without external dependencies.
+[[nodiscard]] constexpr std::uint64_t hash_bytes(std::string_view bytes,
+                                                 std::uint64_t seed = 0) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ mix64(seed);
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return mix64(h);
+}
+
+// Combine two hashes (boost::hash_combine style, 64-bit constant).
+[[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t a,
+                                                   std::uint64_t b) noexcept {
+  return mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+// Kirsch–Mitzenmacher double hashing: derive the i-th probe from two base
+// hashes. Used by the Bloom filter so each key is hashed only once.
+[[nodiscard]] constexpr std::uint64_t double_hash(std::uint64_t h1, std::uint64_t h2,
+                                                  std::uint64_t i) noexcept {
+  return h1 + i * h2 + (i * i * i - i) / 6;  // enhanced double hashing
+}
+
+}  // namespace datanet::common

@@ -1,0 +1,59 @@
+#pragma once
+// Minimal JSON writer for machine-readable reports (no parsing, no external
+// dependency). Values are written depth-first through a small builder that
+// guarantees syntactic validity: balanced containers, comma placement, and
+// string escaping are handled by the builder, not the caller.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace datanet::common {
+
+// Escape a string for embedding in a JSON document (quotes not included).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  // Inside an object: write the key for the next value.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  // Convenience: key + value in one call.
+  template <typename T>
+  JsonWriter& field(std::string_view name, const T& v) {
+    key(name);
+    return value(v);
+  }
+
+  // The finished document; throws if containers are unbalanced.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  void comma();
+
+  std::string out_;
+  // Stack of container states: true = object expecting key, false = array.
+  struct Frame {
+    bool is_object;
+    bool first = true;
+    bool expecting_value = false;  // object: key() was just written
+  };
+  std::vector<Frame> stack_;
+  bool done_ = false;
+};
+
+}  // namespace datanet::common

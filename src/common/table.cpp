@@ -1,0 +1,74 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace datanet::common {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+TextTable& TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+namespace {
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!(std::isdigit(static_cast<unsigned char>(c)) || c == '.' || c == '-' ||
+          c == '+' || c == '%' || c == 'e' || c == 'E' || c == 'x'))
+      return false;
+  }
+  return true;
+}
+}  // namespace
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& row, bool align_numeric) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const std::size_t pad = widths[c] - row[c].size();
+      const bool right = align_numeric && looks_numeric(row[c]);
+      if (c) out += "  ";
+      if (right) out.append(pad, ' ');
+      out += row[c];
+      if (!right) out.append(pad, ' ');
+    }
+    // Strip trailing spaces for clean diffs.
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out += '\n';
+  };
+
+  emit_row(headers_, /*align_numeric=*/false);
+  std::string rule;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    if (c) rule += "  ";
+    rule.append(widths[c], '-');
+  }
+  out += rule + '\n';
+  for (const auto& row : rows_) emit_row(row, /*align_numeric=*/true);
+  return out;
+}
+
+std::string fmt_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_percent(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace datanet::common

@@ -1,0 +1,29 @@
+#pragma once
+// Minimal fixed-column text table used by the bench harnesses to print the
+// paper's tables/figure series in aligned, diff-friendly form.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace datanet::common {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  TextTable& add_row(std::vector<std::string> cells);
+
+  // Render with column alignment; numeric-looking cells are right-aligned.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formatting helpers for table cells.
+[[nodiscard]] std::string fmt_double(double v, int precision = 2);
+[[nodiscard]] std::string fmt_percent(double fraction, int precision = 1);
+
+}  // namespace datanet::common

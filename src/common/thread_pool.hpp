@@ -1,0 +1,55 @@
+#pragma once
+// Fixed-size thread pool. The MapReduce engine parallelizes real task
+// execution on it; all *simulated* timing stays deterministic because task
+// assignment and cost accounting are computed before execution (see
+// mapred::Engine).
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace datanet::common {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueue a task. Tasks must not throw; exceptions terminate (by design —
+  // worker tasks in this codebase report errors through their results).
+  void submit(std::function<void()> task);
+
+  // Block until every submitted task has finished.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+};
+
+// Run fn(i) for i in [0, n) across the pool and wait for completion.
+template <typename Fn>
+void parallel_for(ThreadPool& pool, std::size_t n, Fn&& fn) {
+  for (std::size_t i = 0; i < n; ++i) {
+    pool.submit([&fn, i] { fn(i); });
+  }
+  pool.wait_idle();
+}
+
+}  // namespace datanet::common

@@ -1,0 +1,19 @@
+#pragma once
+// Byte-size helpers. Sizes flow through the whole system (block sizes,
+// sub-dataset sizes, meta-data budgets), so keep them readable at call sites.
+
+#include <cstdint>
+#include <string>
+
+namespace datanet::common {
+
+inline namespace literals {
+constexpr std::uint64_t operator""_KiB(unsigned long long v) { return v << 10; }
+constexpr std::uint64_t operator""_MiB(unsigned long long v) { return v << 20; }
+constexpr std::uint64_t operator""_GiB(unsigned long long v) { return v << 30; }
+}  // namespace literals
+
+// Human-readable rendering, e.g. "64.0 MiB". Used in reports and benches.
+[[nodiscard]] std::string format_bytes(std::uint64_t bytes);
+
+}  // namespace datanet::common

@@ -1,0 +1,71 @@
+#include "datanet/aggregation.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace datanet::core {
+
+namespace {
+
+AggregationPlan finish_plan(const std::vector<std::uint64_t>& node_output_bytes,
+                            std::vector<std::uint32_t> hosts) {
+  AggregationPlan plan;
+  const auto r = static_cast<std::uint64_t>(hosts.size());
+  plan.reducer_hosts = std::move(hosts);
+  plan.total_bytes = std::accumulate(node_output_bytes.begin(),
+                                     node_output_bytes.end(), std::uint64_t{0});
+  // Node n retains hosted_reducers(n)/R of its own output.
+  std::vector<std::uint32_t> hosted(node_output_bytes.size(), 0);
+  for (const auto h : plan.reducer_hosts) ++hosted[h];
+  std::uint64_t retained = 0;
+  for (std::size_t n = 0; n < node_output_bytes.size(); ++n) {
+    retained += node_output_bytes[n] * hosted[n] / r;
+  }
+  plan.transfer_bytes = plan.total_bytes - retained;
+  return plan;
+}
+
+void validate(const std::vector<std::uint64_t>& node_output_bytes,
+              std::uint32_t num_reducers) {
+  if (node_output_bytes.empty()) {
+    throw std::invalid_argument("plan_aggregation: no nodes");
+  }
+  if (num_reducers == 0) {
+    throw std::invalid_argument("plan_aggregation: num_reducers == 0");
+  }
+}
+
+}  // namespace
+
+AggregationPlan plan_aggregation(
+    const std::vector<std::uint64_t>& node_output_bytes,
+    std::uint32_t num_reducers) {
+  validate(node_output_bytes, num_reducers);
+  // Rank nodes by predicted output, biggest first; assign reducers greedily.
+  // With more reducers than nodes, wrap around the ranking (heavy nodes get
+  // extra reducers first, maximizing retained bytes).
+  std::vector<std::uint32_t> order(node_output_bytes.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return node_output_bytes[a] > node_output_bytes[b];
+  });
+  std::vector<std::uint32_t> hosts(num_reducers);
+  for (std::uint32_t p = 0; p < num_reducers; ++p) {
+    hosts[p] = order[p % order.size()];
+  }
+  return finish_plan(node_output_bytes, std::move(hosts));
+}
+
+AggregationPlan plan_aggregation_roundrobin(
+    const std::vector<std::uint64_t>& node_output_bytes,
+    std::uint32_t num_reducers) {
+  validate(node_output_bytes, num_reducers);
+  std::vector<std::uint32_t> hosts(num_reducers);
+  for (std::uint32_t p = 0; p < num_reducers; ++p) {
+    hosts[p] = static_cast<std::uint32_t>(p % node_output_bytes.size());
+  }
+  return finish_plan(node_output_bytes, std::move(hosts));
+}
+
+}  // namespace datanet::core

@@ -1,0 +1,43 @@
+#pragma once
+// Aggregation-transfer planning — the optimization the paper leaves as
+// future work at the end of Section IV-B: "For applications with
+// aggregation requirements ... ElasticMap can also be used to minimize the
+// data transferred with the knowledge of sub-dataset distributions."
+//
+// Model: a job's map output is hash-partitioned across R reducers, so each
+// node ships (R-1)/R of its output remotely unless a reducer runs locally;
+// a node hosting k reducers retains k/R of its own output. Total transfer
+// is therefore minimized by placing reducers on the nodes that will produce
+// the most map output — which DataNet can predict from the ElasticMap
+// before the job starts.
+
+#include <cstdint>
+#include <vector>
+
+namespace datanet::core {
+
+struct AggregationPlan {
+  std::vector<std::uint32_t> reducer_hosts;  // R entries, node per reducer
+  std::uint64_t transfer_bytes = 0;          // shuffled remotely under this plan
+  std::uint64_t total_bytes = 0;             // total map output
+
+  [[nodiscard]] double transfer_fraction() const {
+    return total_bytes ? static_cast<double>(transfer_bytes) /
+                             static_cast<double>(total_bytes)
+                       : 0.0;
+  }
+};
+
+// Place `num_reducers` on the nodes with the largest predicted map output
+// (ties to lower node ids). `node_output_bytes` is the per-node predicted
+// map-output volume — e.g. the ElasticMap-estimated filtered bytes.
+[[nodiscard]] AggregationPlan plan_aggregation(
+    const std::vector<std::uint64_t>& node_output_bytes,
+    std::uint32_t num_reducers);
+
+// Baseline: reducers spread round-robin over all nodes, content-blind.
+[[nodiscard]] AggregationPlan plan_aggregation_roundrobin(
+    const std::vector<std::uint64_t>& node_output_bytes,
+    std::uint32_t num_reducers);
+
+}  // namespace datanet::core

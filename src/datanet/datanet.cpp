@@ -1,0 +1,59 @@
+#include "datanet/datanet.hpp"
+
+namespace datanet::core {
+
+DataNet::DataNet(const dfs::MiniDfs& dfs, std::string path,
+                 elasticmap::BuildOptions options)
+    : dfs_(&dfs),
+      path_(std::move(path)),
+      meta_(elasticmap::ElasticMapArray::build(dfs, path_, options)) {}
+
+std::vector<elasticmap::BlockShare> DataNet::distribution(
+    std::string_view key) const {
+  return meta_.distribution(workload::subdataset_id(key));
+}
+
+std::uint64_t DataNet::estimate_total_size(std::string_view key) const {
+  return meta_.estimate_total_size(workload::subdataset_id(key));
+}
+
+graph::BipartiteGraph DataNet::scheduling_graph(std::string_view key) const {
+  const auto shares = distribution(key);
+  std::vector<graph::BlockVertex> blocks;
+  blocks.reserve(shares.size());
+  for (const auto& share : shares) {
+    blocks.push_back(graph::BlockVertex{
+        .block_id = share.block_id,
+        .weight = share.estimated_bytes,
+        .hosts = dfs_->block(share.block_id).replicas});
+  }
+  return graph::BipartiteGraph(dfs_->topology().num_nodes(), std::move(blocks));
+}
+
+graph::BipartiteGraph DataNet::scheduling_graph(
+    std::span<const std::string> keys) const {
+  // Accumulate per-block weights over all requested sub-datasets.
+  std::vector<std::uint64_t> weight(meta_.num_blocks(), 0);
+  for (const auto& key : keys) {
+    for (const auto& share : distribution(key)) {
+      weight[share.block_index] += share.estimated_bytes;
+    }
+  }
+  std::vector<graph::BlockVertex> blocks;
+  for (std::uint64_t b = 0; b < meta_.num_blocks(); ++b) {
+    if (weight[b] == 0) continue;
+    const dfs::BlockId bid = meta_.block_id(b);
+    blocks.push_back(graph::BlockVertex{.block_id = bid,
+                                        .weight = weight[b],
+                                        .hosts = dfs_->block(bid).replicas});
+  }
+  return graph::BipartiteGraph(dfs_->topology().num_nodes(), std::move(blocks));
+}
+
+graph::BipartiteGraph DataNet::baseline_graph() const {
+  return graph::BipartiteGraph::from_dfs(
+      *dfs_, path_, [](std::size_t, dfs::BlockId) { return 0; },
+      /*keep_zero_weight=*/true);
+}
+
+}  // namespace datanet::core

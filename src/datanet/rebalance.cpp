@@ -1,0 +1,84 @@
+#include "datanet/rebalance.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+
+namespace datanet::core {
+
+double RebalancePlan::migration_seconds(double net_s_per_mib) const {
+  // Per-node send and receive totals; the phase ends when the busiest NIC
+  // finishes (full-duplex, pairwise transfers overlap).
+  std::vector<double> tx, rx;
+  for (const auto& m : moves) {
+    const std::size_t need = std::max<std::size_t>(m.from, m.to) + 1;
+    if (tx.size() < need) {
+      tx.resize(need, 0.0);
+      rx.resize(need, 0.0);
+    }
+    tx[m.from] += static_cast<double>(m.bytes);
+    rx[m.to] += static_cast<double>(m.bytes);
+  }
+  double busiest = 0.0;
+  for (std::size_t n = 0; n < tx.size(); ++n) {
+    busiest = std::max({busiest, tx[n], rx[n]});
+  }
+  return net_s_per_mib * busiest / (1024.0 * 1024.0);
+}
+
+RebalancePlan plan_rebalance(const std::vector<std::uint64_t>& node_bytes,
+                             double tolerance) {
+  if (node_bytes.empty()) throw std::invalid_argument("plan_rebalance: no nodes");
+  if (tolerance < 0.0) throw std::invalid_argument("plan_rebalance: tolerance < 0");
+
+  RebalancePlan plan;
+  plan.loads_after = node_bytes;
+  plan.total_bytes =
+      std::accumulate(node_bytes.begin(), node_bytes.end(), std::uint64_t{0});
+  const double mean = static_cast<double>(plan.total_bytes) /
+                      static_cast<double>(node_bytes.size());
+  const auto hi_mark = static_cast<std::uint64_t>(mean * (1.0 + tolerance));
+  const auto lo_mark = static_cast<std::uint64_t>(mean * (1.0 - tolerance));
+
+  // Largest surplus pairs with largest deficit first — the natural greedy a
+  // runtime mitigator implements (fewest, biggest moves).
+  auto& loads = plan.loads_after;
+  for (;;) {
+    std::size_t donor = loads.size(), taker = loads.size();
+    std::uint64_t best_surplus = 0, best_deficit = 0;
+    for (std::size_t n = 0; n < loads.size(); ++n) {
+      if (loads[n] > hi_mark && loads[n] - hi_mark > best_surplus) {
+        best_surplus = loads[n] - hi_mark;
+        donor = n;
+      }
+      if (loads[n] < lo_mark && lo_mark - loads[n] > best_deficit) {
+        best_deficit = lo_mark - loads[n];
+        taker = n;
+      }
+    }
+    if (donor == loads.size() || taker == loads.size()) break;
+    // Move enough to bring one of the two inside the band.
+    const auto donor_excess =
+        loads[donor] - static_cast<std::uint64_t>(mean);
+    const auto taker_need =
+        static_cast<std::uint64_t>(mean) - loads[taker];
+    const std::uint64_t bytes = std::min(donor_excess, taker_need);
+    if (bytes == 0) break;
+    loads[donor] -= bytes;
+    loads[taker] += bytes;
+    plan.moves.push_back(MigrationMove{static_cast<std::uint32_t>(donor),
+                                       static_cast<std::uint32_t>(taker), bytes});
+    plan.migrated_bytes += bytes;
+  }
+
+  std::set<std::uint32_t> touched;
+  for (const auto& m : plan.moves) {
+    touched.insert(m.from);
+    touched.insert(m.to);
+  }
+  plan.nodes_touched = static_cast<std::uint32_t>(touched.size());
+  return plan;
+}
+
+}  // namespace datanet::core

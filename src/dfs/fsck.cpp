@@ -1,0 +1,91 @@
+#include "dfs/fsck.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace datanet::dfs {
+
+FsckReport fsck(const MiniDfs& dfs) {
+  FsckReport report;
+  const std::uint32_t target = dfs.options().replication;
+  const std::uint32_t nodes = dfs.topology().num_nodes();
+  report.node_block_counts.assign(nodes, 0);
+
+  for (BlockId id = 0; id < dfs.num_blocks(); ++id) {
+    const auto& reps = dfs.block(id).replicas;
+    ++report.total_blocks;
+    if (reps.empty()) {
+      ++report.missing_blocks;
+    } else if (reps.size() < target) {
+      // Under-replication only counts when spare active nodes exist.
+      if (reps.size() < std::min<std::size_t>(target, dfs.num_active_nodes())) {
+        ++report.under_replicated;
+      } else {
+        ++report.healthy_blocks;
+      }
+    } else if (reps.size() > target) {
+      ++report.over_replicated;
+    } else {
+      ++report.healthy_blocks;
+    }
+    for (const NodeId n : reps) ++report.node_block_counts[n];
+  }
+
+  // Balance over active nodes only.
+  double sum = 0.0, count = 0.0;
+  for (NodeId n = 0; n < nodes; ++n) {
+    if (!dfs.is_active(n)) continue;
+    sum += static_cast<double>(report.node_block_counts[n]);
+    count += 1.0;
+  }
+  if (count > 0.0 && sum > 0.0) {
+    const double mean = sum / count;
+    double ss = 0.0;
+    for (NodeId n = 0; n < nodes; ++n) {
+      if (!dfs.is_active(n)) continue;
+      const double d = static_cast<double>(report.node_block_counts[n]) - mean;
+      ss += d * d;
+    }
+    report.replica_balance_cv = std::sqrt(ss / count) / mean;
+  }
+  return report;
+}
+
+BalanceResult balance_replicas(MiniDfs& dfs, std::uint64_t tolerance) {
+  BalanceResult result;
+  const std::uint32_t nodes = dfs.topology().num_nodes();
+
+  for (;;) {
+    // Recompute per-node counts (active nodes only participate).
+    std::vector<std::uint64_t> counts(nodes, 0);
+    for (BlockId id = 0; id < dfs.num_blocks(); ++id) {
+      for (const NodeId n : dfs.block(id).replicas) ++counts[n];
+    }
+    NodeId busiest = nodes, idlest = nodes;
+    for (NodeId n = 0; n < nodes; ++n) {
+      if (!dfs.is_active(n)) continue;
+      if (busiest == nodes || counts[n] > counts[busiest]) busiest = n;
+      if (idlest == nodes || counts[n] < counts[idlest]) idlest = n;
+    }
+    if (busiest == nodes || idlest == nodes ||
+        counts[busiest] <= counts[idlest] + tolerance) {
+      break;
+    }
+    // Move the first block on the busiest node that the idlest doesn't hold.
+    bool moved = false;
+    for (const BlockId id : std::vector<BlockId>(dfs.blocks_on(busiest))) {
+      const auto& reps = dfs.block(id).replicas;
+      if (std::find(reps.begin(), reps.end(), idlest) == reps.end()) {
+        dfs.move_replica(id, busiest, idlest);
+        ++result.moves;
+        moved = true;
+        break;
+      }
+    }
+    if (!moved) break;  // no legal move between this pair
+  }
+  result.after = fsck(dfs);
+  return result;
+}
+
+}  // namespace datanet::dfs

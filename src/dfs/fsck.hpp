@@ -1,0 +1,43 @@
+#pragma once
+// NameNode administrative utilities: fsck (replication health report) and a
+// balancer that evens out per-node block counts by moving replicas — the
+// MiniDfs counterparts of `hdfs fsck` and the HDFS balancer. Used by the
+// fault-handling tests and available to examples/CLI users.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dfs/mini_dfs.hpp"
+
+namespace datanet::dfs {
+
+struct FsckReport {
+  std::uint64_t total_blocks = 0;
+  std::uint64_t healthy_blocks = 0;        // replicas == target
+  std::uint64_t under_replicated = 0;      // 0 < replicas < target
+  std::uint64_t missing_blocks = 0;        // no replicas at all
+  std::uint64_t over_replicated = 0;       // replicas > target
+  std::vector<std::uint64_t> node_block_counts;  // replicas hosted per node
+  double replica_balance_cv = 0.0;  // cv of counts over *active* nodes
+
+  [[nodiscard]] bool healthy() const {
+    return missing_blocks == 0 && under_replicated == 0;
+  }
+};
+
+// Inspect the replica map against the configured replication target.
+[[nodiscard]] FsckReport fsck(const MiniDfs& dfs);
+
+struct BalanceResult {
+  std::uint64_t moves = 0;  // replicas relocated
+  FsckReport after;
+};
+
+// Even out per-node replica counts: repeatedly move one replica from the
+// most-loaded active node to the least-loaded active node that does not
+// already hold the block, until the spread is within `tolerance` blocks or
+// no legal move remains. Never changes a block's replica count.
+BalanceResult balance_replicas(MiniDfs& dfs, std::uint64_t tolerance = 1);
+
+}  // namespace datanet::dfs

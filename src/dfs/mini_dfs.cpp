@@ -1,0 +1,189 @@
+#include "dfs/mini_dfs.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace datanet::dfs {
+
+FileWriter::FileWriter(MiniDfs* dfs, std::string path)
+    : dfs_(dfs), path_(std::move(path)) {}
+
+FileWriter::FileWriter(FileWriter&& other) noexcept
+    : dfs_(std::exchange(other.dfs_, nullptr)),
+      path_(std::move(other.path_)),
+      buffer_(std::move(other.buffer_)),
+      buffered_records_(other.buffered_records_) {}
+
+FileWriter::~FileWriter() { close(); }
+
+void FileWriter::append(std::string_view record) {
+  if (dfs_ == nullptr) throw std::logic_error("FileWriter: append after close");
+  if (record.find('\n') != std::string_view::npos) {
+    throw std::invalid_argument("FileWriter: record contains newline");
+  }
+  const std::uint64_t needed = record.size() + 1;
+  if (!buffer_.empty() && buffer_.size() + needed > dfs_->options().block_size) {
+    seal_block();
+  }
+  buffer_.append(record);
+  buffer_.push_back('\n');
+  ++buffered_records_;
+}
+
+void FileWriter::seal_block() {
+  dfs_->commit_block(path_, std::move(buffer_), buffered_records_);
+  buffer_.clear();
+  buffered_records_ = 0;
+}
+
+void FileWriter::close() {
+  if (dfs_ == nullptr) return;
+  if (!buffer_.empty()) seal_block();
+  dfs_ = nullptr;
+}
+
+MiniDfs::MiniDfs(ClusterTopology topology, DfsOptions options,
+                 std::unique_ptr<PlacementPolicy> placement)
+    : topology_(std::move(topology)),
+      options_(options),
+      placement_(std::move(placement)),
+      placement_rng_(options.seed) {
+  if (options_.block_size == 0) throw std::invalid_argument("block_size == 0");
+  if (options_.replication == 0) throw std::invalid_argument("replication == 0");
+  if (options_.replication > topology_.num_nodes()) {
+    throw std::invalid_argument("replication exceeds cluster size");
+  }
+  node_blocks_.resize(topology_.num_nodes());
+  node_active_.assign(topology_.num_nodes(), true);
+  active_nodes_ = topology_.num_nodes();
+}
+
+MiniDfs::MiniDfs(ClusterTopology topology, DfsOptions options)
+    : MiniDfs(std::move(topology), options, std::make_unique<RandomPlacement>()) {}
+
+FileWriter MiniDfs::create(std::string path) {
+  if (files_.contains(path)) throw std::invalid_argument("file exists: " + path);
+  files_.emplace(path, std::vector<BlockId>{});
+  return FileWriter(this, std::move(path));
+}
+
+BlockId MiniDfs::commit_block(const std::string& path, std::string data,
+                              std::uint64_t num_records) {
+  const BlockId id = blocks_.size();
+  BlockInfo info;
+  info.id = id;
+  info.file = path;
+  info.index_in_file = static_cast<std::uint32_t>(files_.at(path).size());
+  info.size_bytes = data.size();
+  info.num_records = num_records;
+  info.replicas = placement_->place(topology_, options_.replication, placement_rng_);
+  for (NodeId n : info.replicas) node_blocks_[n].push_back(id);
+  total_bytes_ += info.size_bytes;
+  files_.at(path).push_back(id);
+  blocks_.push_back(std::move(info));
+  block_data_.push_back(std::move(data));
+  return id;
+}
+
+bool MiniDfs::exists(std::string_view path) const {
+  return files_.contains(std::string(path));
+}
+
+const std::vector<BlockId>& MiniDfs::blocks_of(std::string_view path) const {
+  const auto it = files_.find(std::string(path));
+  if (it == files_.end()) throw std::out_of_range("no such file: " + std::string(path));
+  return it->second;
+}
+
+const BlockInfo& MiniDfs::block(BlockId id) const {
+  if (id >= blocks_.size()) throw std::out_of_range("bad block id");
+  return blocks_[id];
+}
+
+std::string_view MiniDfs::read_block(BlockId id) const {
+  if (id >= block_data_.size()) throw std::out_of_range("bad block id");
+  return block_data_[id];
+}
+
+const std::vector<BlockId>& MiniDfs::blocks_on(NodeId node) const {
+  if (node >= node_blocks_.size()) throw std::out_of_range("bad node id");
+  return node_blocks_[node];
+}
+
+std::vector<std::string> MiniDfs::list_files() const {
+  std::vector<std::string> names;
+  names.reserve(files_.size());
+  for (const auto& [name, _] : files_) names.push_back(name);
+  return names;
+}
+
+bool MiniDfs::is_local(BlockId id, NodeId node) const {
+  const auto& reps = block(id).replicas;
+  return std::find(reps.begin(), reps.end(), node) != reps.end();
+}
+
+bool MiniDfs::is_active(NodeId node) const {
+  if (node >= node_active_.size()) throw std::out_of_range("is_active: bad node");
+  return node_active_[node];
+}
+
+void MiniDfs::move_replica(BlockId id, NodeId from, NodeId to) {
+  if (id >= blocks_.size()) throw std::out_of_range("move_replica: bad block");
+  if (from >= node_blocks_.size() || to >= node_blocks_.size()) {
+    throw std::out_of_range("move_replica: bad node");
+  }
+  if (!node_active_[to]) {
+    throw std::invalid_argument("move_replica: target node inactive");
+  }
+  auto& reps = blocks_[id].replicas;
+  const auto it = std::find(reps.begin(), reps.end(), from);
+  if (it == reps.end()) {
+    throw std::invalid_argument("move_replica: source does not host block");
+  }
+  if (std::find(reps.begin(), reps.end(), to) != reps.end()) {
+    throw std::invalid_argument("move_replica: target already hosts block");
+  }
+  *it = to;
+  auto& from_inv = node_blocks_[from];
+  from_inv.erase(std::remove(from_inv.begin(), from_inv.end(), id),
+                 from_inv.end());
+  node_blocks_[to].push_back(id);
+}
+
+std::vector<dfs::BlockId> MiniDfs::decommission(NodeId node) {
+  if (node >= node_active_.size()) {
+    throw std::out_of_range("decommission: bad node");
+  }
+  if (!node_active_[node]) return {};
+  node_active_[node] = false;
+  --active_nodes_;
+
+  std::vector<BlockId> lost;
+  const std::vector<BlockId> hosted = std::move(node_blocks_[node]);
+  node_blocks_[node].clear();
+
+  for (const BlockId id : hosted) {
+    auto& reps = blocks_[id].replicas;
+    reps.erase(std::remove(reps.begin(), reps.end(), node), reps.end());
+    if (reps.empty()) {
+      lost.push_back(id);
+      continue;  // no surviving copy to re-replicate from
+    }
+    // Re-replicate onto an active node that does not already hold the block.
+    std::vector<NodeId> candidates;
+    for (NodeId n = 0; n < topology_.num_nodes(); ++n) {
+      if (node_active_[n] &&
+          std::find(reps.begin(), reps.end(), n) == reps.end()) {
+        candidates.push_back(n);
+      }
+    }
+    if (candidates.empty()) continue;  // under-replicated, but not lost
+    const NodeId target = candidates[placement_rng_.bounded(candidates.size())];
+    reps.push_back(target);
+    node_blocks_[target].push_back(id);
+  }
+  return lost;
+}
+
+}  // namespace datanet::dfs

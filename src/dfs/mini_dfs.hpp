@@ -1,0 +1,130 @@
+#pragma once
+// MiniDfs: an in-memory simulation of HDFS with exactly the properties the
+// paper relies on — fixed-size blocks, r-way replication, a NameNode-style
+// block->replica map, and per-node block inventories. Record lines never
+// straddle a block boundary (Hadoop's line record reader presents the same
+// record-complete view to map tasks).
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dfs/placement.hpp"
+#include "dfs/topology.hpp"
+
+namespace datanet::dfs {
+
+using BlockId = std::uint64_t;
+
+struct BlockInfo {
+  BlockId id = 0;
+  std::string file;
+  std::uint32_t index_in_file = 0;  // 0-based block ordinal within the file
+  std::uint64_t size_bytes = 0;
+  std::uint64_t num_records = 0;
+  std::vector<NodeId> replicas;  // distinct nodes hosting a copy
+};
+
+struct DfsOptions {
+  std::uint64_t block_size = 1ull << 20;  // scaled-down stand-in for 64 MB
+  std::uint32_t replication = 3;
+  std::uint64_t seed = 42;
+};
+
+class MiniDfs;
+
+// Append-only writer; blocks are sealed when a record would overflow the
+// block size (a record larger than a block gets a block of its own).
+class FileWriter {
+ public:
+  ~FileWriter();
+  FileWriter(const FileWriter&) = delete;
+  FileWriter& operator=(const FileWriter&) = delete;
+  FileWriter(FileWriter&&) noexcept;
+  FileWriter& operator=(FileWriter&&) = delete;
+
+  // `record` must not contain '\n'; a trailing '\n' is added by the writer.
+  void append(std::string_view record);
+
+  void close();
+
+ private:
+  friend class MiniDfs;
+  FileWriter(MiniDfs* dfs, std::string path);
+  void seal_block();
+
+  MiniDfs* dfs_;  // null after close/move
+  std::string path_;
+  std::string buffer_;
+  std::uint64_t buffered_records_ = 0;
+};
+
+class MiniDfs {
+ public:
+  MiniDfs(ClusterTopology topology, DfsOptions options,
+          std::unique_ptr<PlacementPolicy> placement);
+
+  // Convenience: random placement (the regime analyzed in Section II-B).
+  MiniDfs(ClusterTopology topology, DfsOptions options);
+
+  [[nodiscard]] FileWriter create(std::string path);
+
+  [[nodiscard]] bool exists(std::string_view path) const;
+  [[nodiscard]] const std::vector<BlockId>& blocks_of(std::string_view path) const;
+  [[nodiscard]] const BlockInfo& block(BlockId id) const;
+  [[nodiscard]] std::string_view read_block(BlockId id) const;
+  [[nodiscard]] const std::vector<BlockId>& blocks_on(NodeId node) const;
+
+  [[nodiscard]] const ClusterTopology& topology() const noexcept { return topology_; }
+  [[nodiscard]] const DfsOptions& options() const noexcept { return options_; }
+  [[nodiscard]] std::uint64_t num_blocks() const noexcept { return blocks_.size(); }
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept { return total_bytes_; }
+  [[nodiscard]] std::vector<std::string> list_files() const;
+
+  // True iff `node` hosts a replica of `id`.
+  [[nodiscard]] bool is_local(BlockId id, NodeId node) const;
+
+  // ---- fault handling ----
+
+  // Take a node out of service. Every replica it held is re-created on an
+  // active node that does not already hold the block (NameNode
+  // re-replication). Returns the ids of blocks whose LAST replica lived on
+  // the node — with a single in-memory copy per block those are lost only
+  // when replication = 1. Idempotent for already-inactive nodes.
+  std::vector<BlockId> decommission(NodeId node);
+
+  [[nodiscard]] bool is_active(NodeId node) const;
+  [[nodiscard]] std::uint32_t num_active_nodes() const noexcept {
+    return active_nodes_;
+  }
+
+  // Relocate one replica of `id` from `from` to `to` (balancer primitive).
+  // Throws unless `from` hosts the block, `to` is an active node that does
+  // not already host it.
+  void move_replica(BlockId id, NodeId from, NodeId to);
+
+ private:
+  friend class FileWriter;
+  BlockId commit_block(const std::string& path, std::string data,
+                       std::uint64_t num_records);
+
+  ClusterTopology topology_;
+  DfsOptions options_;
+  std::unique_ptr<PlacementPolicy> placement_;
+  common::Rng placement_rng_;
+
+  std::vector<BlockInfo> blocks_;             // BlockId == index
+  std::vector<std::string> block_data_;       // BlockId -> bytes (one copy)
+  std::unordered_map<std::string, std::vector<BlockId>> files_;
+  std::vector<std::vector<BlockId>> node_blocks_;  // node -> hosted blocks
+  std::vector<bool> node_active_;
+  std::uint32_t active_nodes_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace datanet::dfs

@@ -1,0 +1,89 @@
+#include "dfs/placement.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace datanet::dfs {
+
+namespace {
+
+// Choose `count` distinct nodes uniformly from `pool`, excluding any already
+// in `out`. Appends to `out`.
+void pick_distinct(const std::vector<NodeId>& pool, std::uint32_t count,
+                   common::Rng& rng, std::vector<NodeId>& out) {
+  std::vector<NodeId> candidates;
+  candidates.reserve(pool.size());
+  for (NodeId n : pool) {
+    if (std::find(out.begin(), out.end(), n) == out.end()) candidates.push_back(n);
+  }
+  if (candidates.size() < count) {
+    throw std::invalid_argument("placement: not enough nodes for replication");
+  }
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint64_t j =
+        i + rng.bounded(static_cast<std::uint64_t>(candidates.size()) - i);
+    std::swap(candidates[i], candidates[j]);
+    out.push_back(candidates[i]);
+  }
+}
+
+std::vector<NodeId> all_nodes(const ClusterTopology& topo) {
+  std::vector<NodeId> v(topo.num_nodes());
+  for (NodeId n = 0; n < topo.num_nodes(); ++n) v[n] = n;
+  return v;
+}
+
+}  // namespace
+
+std::vector<NodeId> RandomPlacement::place(const ClusterTopology& topo,
+                                           std::uint32_t replication,
+                                           common::Rng& rng) {
+  std::vector<NodeId> out;
+  out.reserve(replication);
+  pick_distinct(all_nodes(topo), replication, rng, out);
+  return out;
+}
+
+std::vector<NodeId> RoundRobinPlacement::place(const ClusterTopology& topo,
+                                               std::uint32_t replication,
+                                               common::Rng& rng) {
+  std::vector<NodeId> out;
+  out.reserve(replication);
+  out.push_back(next_);
+  next_ = (next_ + 1) % topo.num_nodes();
+  if (replication > 1) pick_distinct(all_nodes(topo), replication - 1, rng, out);
+  return out;
+}
+
+std::vector<NodeId> RackAwarePlacement::place(const ClusterTopology& topo,
+                                              std::uint32_t replication,
+                                              common::Rng& rng) {
+  std::vector<NodeId> out;
+  out.reserve(replication);
+  const NodeId writer = static_cast<NodeId>(rng.bounded(topo.num_nodes()));
+  out.push_back(writer);
+  if (replication == 1) return out;
+
+  if (topo.num_racks() <= 1) {
+    pick_distinct(all_nodes(topo), replication - 1, rng, out);
+    return out;
+  }
+  // Pick a remote rack with enough free nodes; fall back to the whole cluster
+  // if none can host all remaining replicas.
+  const RackId local = topo.rack_of(writer);
+  std::vector<RackId> remote;
+  for (RackId r = 0; r < topo.num_racks(); ++r) {
+    if (r != local && topo.nodes_in_rack(r).size() >= replication - 1) {
+      remote.push_back(r);
+    }
+  }
+  if (remote.empty()) {
+    pick_distinct(all_nodes(topo), replication - 1, rng, out);
+  } else {
+    const RackId r = remote[rng.bounded(remote.size())];
+    pick_distinct(topo.nodes_in_rack(r), replication - 1, rng, out);
+  }
+  return out;
+}
+
+}  // namespace datanet::dfs

@@ -1,0 +1,57 @@
+#pragma once
+// Replica placement policies. Real HDFS places the first replica on the
+// writer's node, the second and third on two nodes of one remote rack; with a
+// single ingestion point (e.g. Flume) that degenerates to effectively random
+// spreading, which is what the paper's analysis assumes. All three policies
+// are provided and unit-tested.
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dfs/topology.hpp"
+
+namespace datanet::dfs {
+
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  // Return `replication` distinct nodes for the next block. `rng` is owned by
+  // the caller (the NameNode) so placement is deterministic per DFS seed.
+  [[nodiscard]] virtual std::vector<NodeId> place(const ClusterTopology& topo,
+                                                  std::uint32_t replication,
+                                                  common::Rng& rng) = 0;
+};
+
+// r distinct nodes chosen uniformly at random (partial Fisher–Yates).
+class RandomPlacement final : public PlacementPolicy {
+ public:
+  [[nodiscard]] std::vector<NodeId> place(const ClusterTopology& topo,
+                                          std::uint32_t replication,
+                                          common::Rng& rng) override;
+};
+
+// Primary replica cycles round-robin; remaining replicas random. Gives the
+// most uniform block count per node — useful as a best-case baseline.
+class RoundRobinPlacement final : public PlacementPolicy {
+ public:
+  [[nodiscard]] std::vector<NodeId> place(const ClusterTopology& topo,
+                                          std::uint32_t replication,
+                                          common::Rng& rng) override;
+
+ private:
+  NodeId next_ = 0;
+};
+
+// HDFS default policy: replica 1 on a random "writer" node, replicas 2..r on
+// distinct nodes of one different rack (falls back to any node when the
+// topology has a single rack).
+class RackAwarePlacement final : public PlacementPolicy {
+ public:
+  [[nodiscard]] std::vector<NodeId> place(const ClusterTopology& topo,
+                                          std::uint32_t replication,
+                                          common::Rng& rng) override;
+};
+
+}  // namespace datanet::dfs

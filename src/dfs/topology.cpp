@@ -1,0 +1,25 @@
+#include "dfs/topology.hpp"
+
+namespace datanet::dfs {
+
+ClusterTopology ClusterTopology::flat(std::uint32_t num_nodes) {
+  return racked(num_nodes, num_nodes);
+}
+
+ClusterTopology ClusterTopology::racked(std::uint32_t num_nodes,
+                                        std::uint32_t nodes_per_rack) {
+  if (num_nodes == 0) throw std::invalid_argument("topology: num_nodes == 0");
+  if (nodes_per_rack == 0) throw std::invalid_argument("topology: rack size == 0");
+  ClusterTopology t;
+  t.rack_of_.resize(num_nodes);
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    const RackId r = n / nodes_per_rack;
+    t.rack_of_[n] = r;
+    if (r >= t.racks_.size()) t.racks_.emplace_back();
+    t.racks_[r].push_back(n);
+  }
+  t.num_racks_ = static_cast<std::uint32_t>(t.racks_.size());
+  return t;
+}
+
+}  // namespace datanet::dfs

@@ -1,0 +1,47 @@
+#pragma once
+// Cluster topology for the simulated DFS: nodes grouped into racks. The
+// paper's testbed (PRObE Marmot) is 128 nodes on one switch; we additionally
+// support racked layouts so the rack-aware placement policy (default in real
+// HDFS) can be exercised.
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace datanet::dfs {
+
+using NodeId = std::uint32_t;
+using RackId = std::uint32_t;
+
+class ClusterTopology {
+ public:
+  // All nodes in a single rack (flat switch, like Marmot).
+  static ClusterTopology flat(std::uint32_t num_nodes);
+
+  // Nodes split into consecutive racks of `nodes_per_rack` (last may be short).
+  static ClusterTopology racked(std::uint32_t num_nodes, std::uint32_t nodes_per_rack);
+
+  [[nodiscard]] std::uint32_t num_nodes() const noexcept {
+    return static_cast<std::uint32_t>(rack_of_.size());
+  }
+  [[nodiscard]] std::uint32_t num_racks() const noexcept { return num_racks_; }
+
+  [[nodiscard]] RackId rack_of(NodeId node) const {
+    if (node >= rack_of_.size()) throw std::out_of_range("rack_of: bad node");
+    return rack_of_[node];
+  }
+
+  [[nodiscard]] const std::vector<NodeId>& nodes_in_rack(RackId rack) const {
+    if (rack >= racks_.size()) throw std::out_of_range("nodes_in_rack: bad rack");
+    return racks_[rack];
+  }
+
+ private:
+  ClusterTopology() = default;
+
+  std::vector<RackId> rack_of_;           // node -> rack
+  std::vector<std::vector<NodeId>> racks_;  // rack -> nodes
+  std::uint32_t num_racks_ = 0;
+};
+
+}  // namespace datanet::dfs

@@ -1,0 +1,115 @@
+#include "elasticmap/block_meta.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/varint.hpp"
+
+namespace datanet::elasticmap {
+
+namespace {
+constexpr std::uint64_t kMagic = 0x454d4254u;  // "EMBT"
+constexpr std::uint64_t kVersion = 2;          // v2: varint sizes
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+std::uint64_t get_u64(std::string_view bytes, std::size_t off) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(bytes[off + i]))
+         << (8 * i);
+  return v;
+}
+}  // namespace
+
+BlockMeta::BlockMeta(
+    std::unordered_map<workload::SubDatasetId, std::uint64_t> dominant,
+    const std::vector<workload::SubDatasetId>& tail_ids, double bloom_fpp,
+    std::uint64_t delta)
+    : dominant_(std::move(dominant)),
+      bloom_(std::max<std::uint64_t>(tail_ids.size(), 1), bloom_fpp),
+      delta_(delta) {
+  for (const auto id : tail_ids) bloom_.insert(id);
+}
+
+BlockMeta::BlockMeta(
+    std::unordered_map<workload::SubDatasetId, std::uint64_t> dominant,
+    bloom::BloomFilter bloom, std::uint64_t delta)
+    : dominant_(std::move(dominant)), bloom_(std::move(bloom)), delta_(delta) {}
+
+std::optional<std::uint64_t> BlockMeta::exact_size(
+    workload::SubDatasetId id) const {
+  const auto it = dominant_.find(id);
+  if (it == dominant_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool BlockMeta::maybe_in_tail(workload::SubDatasetId id) const {
+  return bloom_.maybe_contains(id);
+}
+
+std::uint64_t BlockMeta::estimate_size(workload::SubDatasetId id,
+                                       bool* was_exact) const {
+  if (const auto exact = exact_size(id)) {
+    if (was_exact) *was_exact = true;
+    return *exact;
+  }
+  if (was_exact) *was_exact = false;
+  return maybe_in_tail(id) ? delta_ : 0;
+}
+
+std::uint64_t BlockMeta::memory_bytes() const {
+  // Exactly what serialize() writes: 16-byte header, varint delta, varint
+  // count, per-record fixed 8-byte id + varint size, then the bloom filter
+  // (32-byte header + bitmap).
+  std::uint64_t bytes = 16 + common::varint_length(delta_) +
+                        common::varint_length(dominant_.size());
+  for (const auto& [id, size] : dominant_) {
+    (void)id;
+    bytes += 8 + common::varint_length(size);
+  }
+  return bytes + 32 + bloom_.memory_bytes();
+}
+
+std::string BlockMeta::serialize() const {
+  std::string out;
+  out.reserve(memory_bytes());
+  put_u64(out, kMagic);
+  put_u64(out, kVersion);
+  common::put_varint(out, delta_);
+  common::put_varint(out, dominant_.size());
+  for (const auto& [id, size] : dominant_) {
+    put_u64(out, id);  // hashed ids are high-entropy; varint would not help
+    common::put_varint(out, size);
+  }
+  out += bloom_.serialize();
+  return out;
+}
+
+BlockMeta BlockMeta::deserialize(std::string_view bytes) {
+  if (bytes.size() < 18) throw std::invalid_argument("BlockMeta: truncated");
+  if (get_u64(bytes, 0) != kMagic) throw std::invalid_argument("BlockMeta: magic");
+  if (get_u64(bytes, 8) != kVersion) {
+    throw std::invalid_argument("BlockMeta: unsupported version");
+  }
+  std::size_t off = 16;
+  const auto delta = common::get_varint(bytes, off);
+  const auto count = common::get_varint(bytes, off);
+  if (!delta || !count) throw std::invalid_argument("BlockMeta: bad header");
+  std::unordered_map<workload::SubDatasetId, std::uint64_t> dominant;
+  dominant.reserve(*count);
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    if (off + 8 > bytes.size()) throw std::invalid_argument("BlockMeta: truncated");
+    const std::uint64_t id = get_u64(bytes, off);
+    off += 8;
+    const auto size = common::get_varint(bytes, off);
+    if (!size) throw std::invalid_argument("BlockMeta: truncated size");
+    dominant.emplace(id, *size);
+  }
+  auto bloom = bloom::BloomFilter::deserialize(bytes.substr(off));
+  return BlockMeta(std::move(dominant), std::move(bloom), *delta);
+}
+
+}  // namespace datanet::elasticmap

@@ -1,0 +1,53 @@
+#include "elasticmap/index.hpp"
+
+#include <algorithm>
+
+namespace datanet::elasticmap {
+
+SubDatasetIndex::SubDatasetIndex(const ElasticMapArray& array) {
+  for (std::uint64_t b = 0; b < array.num_blocks(); ++b) {
+    for (const auto& [id, bytes] : array.block_meta(b).dominant()) {
+      postings_[id].push_back(
+          Posting{static_cast<std::uint32_t>(b), bytes});
+      totals_[id] += bytes;
+    }
+  }
+  // Block order is already ascending (outer loop), so postings are sorted.
+}
+
+std::span<const SubDatasetIndex::Posting> SubDatasetIndex::dominant_blocks(
+    workload::SubDatasetId id) const {
+  const auto it = postings_.find(id);
+  if (it == postings_.end()) return {};
+  return it->second;
+}
+
+std::uint64_t SubDatasetIndex::exact_total(workload::SubDatasetId id) const {
+  const auto it = totals_.find(id);
+  return it == totals_.end() ? 0 : it->second;
+}
+
+std::vector<std::pair<workload::SubDatasetId, std::uint64_t>>
+SubDatasetIndex::top_subdatasets(std::size_t k) const {
+  std::vector<std::pair<workload::SubDatasetId, std::uint64_t>> all(
+      totals_.begin(), totals_.end());
+  const std::size_t n = std::min(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + static_cast<long>(n), all.end(),
+                    [](const auto& a, const auto& b) {
+                      return a.second != b.second ? a.second > b.second
+                                                  : a.first < b.first;
+                    });
+  all.resize(n);
+  return all;
+}
+
+std::uint64_t SubDatasetIndex::memory_bytes() const {
+  std::uint64_t bytes = 0;
+  for (const auto& [id, posts] : postings_) {
+    bytes += 8 + posts.size() * sizeof(Posting);
+  }
+  bytes += totals_.size() * 16;
+  return bytes;
+}
+
+}  // namespace datanet::elasticmap

@@ -1,0 +1,50 @@
+#pragma once
+// Inverted index over an ElasticMapArray: sub-dataset id -> the blocks where
+// it is *dominant* (hash-map resident), plus its exact byte total across
+// those blocks. distribution()/estimate_total_size() walk every BlockMeta
+// (O(n) per query); the index answers the common "where is this sub-dataset
+// concentrated?" and "what are the biggest sub-datasets?" queries in O(hits)
+// — the access pattern of an interactive master node serving many analyses
+// over one dataset.
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "elasticmap/elastic_map.hpp"
+
+namespace datanet::elasticmap {
+
+class SubDatasetIndex {
+ public:
+  explicit SubDatasetIndex(const ElasticMapArray& array);
+
+  struct Posting {
+    std::uint32_t block_index;
+    std::uint64_t bytes;  // exact |b ∩ s|
+  };
+
+  // Blocks where `id` is dominant, ascending block order; empty if the id is
+  // nowhere dominant (it may still be bloom-resident).
+  [[nodiscard]] std::span<const Posting> dominant_blocks(
+      workload::SubDatasetId id) const;
+
+  // Total exact bytes recorded for `id` (the tau_1 term of Eq. 6).
+  [[nodiscard]] std::uint64_t exact_total(workload::SubDatasetId id) const;
+
+  // The `k` sub-datasets with the largest exact totals, descending.
+  [[nodiscard]] std::vector<std::pair<workload::SubDatasetId, std::uint64_t>>
+  top_subdatasets(std::size_t k) const;
+
+  [[nodiscard]] std::size_t num_subdatasets() const noexcept {
+    return totals_.size();
+  }
+  [[nodiscard]] std::uint64_t memory_bytes() const;
+
+ private:
+  std::unordered_map<workload::SubDatasetId, std::vector<Posting>> postings_;
+  std::unordered_map<workload::SubDatasetId, std::uint64_t> totals_;
+};
+
+}  // namespace datanet::elasticmap

@@ -1,0 +1,246 @@
+#include "elasticmap/meta_store.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace datanet::elasticmap {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x44417441534e4554ULL;  // "DAtASNET"
+constexpr std::uint64_t kVersion = 1;
+
+void put_u64(std::ofstream& f, std::uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  f.write(buf, 8);
+}
+
+void put_f64(std::ofstream& f, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  put_u64(f, bits);
+}
+
+std::uint64_t get_u64(std::istream& f) {
+  char buf[8];
+  f.read(buf, 8);
+  if (!f) throw std::runtime_error("MetaStore: truncated file");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(buf[i])) << (8 * i);
+  }
+  return v;
+}
+
+double get_f64(std::istream& f) {
+  const std::uint64_t bits = get_u64(f);
+  double v;
+  std::memcpy(&v, &bits, 8);
+  return v;
+}
+
+struct StoredEntry {
+  std::uint64_t global_index;
+  dfs::BlockId block_id;
+  std::string blob;
+};
+
+// Write one store file holding the given (already serialized) entries.
+void write_store(const std::string& file_path, const std::string& dataset_path,
+                 std::uint64_t raw_bytes, const BuildOptions& options,
+                 const std::vector<StoredEntry>& entries) {
+  std::ofstream f(file_path, std::ios::binary | std::ios::trunc);
+  if (!f) throw std::runtime_error("MetaStore: cannot open " + file_path);
+  put_u64(f, kMagic);
+  put_u64(f, kVersion);
+  put_u64(f, raw_bytes);
+  put_f64(f, options.alpha);
+  put_f64(f, options.bloom_fpp);
+  put_u64(f, dataset_path.size());
+  f.write(dataset_path.data(), static_cast<std::streamsize>(dataset_path.size()));
+  put_u64(f, entries.size());
+
+  // Index: (global_index, block_id, offset, length) per entry. Offsets are
+  // relative to the end of the index.
+  std::uint64_t offset = 0;
+  for (const auto& e : entries) {
+    put_u64(f, e.global_index);
+    put_u64(f, e.block_id);
+    put_u64(f, offset);
+    put_u64(f, e.blob.size());
+    offset += e.blob.size();
+  }
+  for (const auto& e : entries) {
+    f.write(e.blob.data(), static_cast<std::streamsize>(e.blob.size()));
+  }
+  if (!f) throw std::runtime_error("MetaStore: write failed for " + file_path);
+}
+
+struct StoreContents {
+  std::string dataset_path;
+  std::uint64_t raw_bytes;
+  BuildOptions options;
+  std::vector<StoredEntry> entries;
+};
+
+StoreContents read_store(const std::string& file_path) {
+  std::ifstream f(file_path, std::ios::binary);
+  if (!f) throw std::runtime_error("MetaStore: cannot open " + file_path);
+  if (get_u64(f) != kMagic) throw std::runtime_error("MetaStore: bad magic");
+  if (get_u64(f) != kVersion) throw std::runtime_error("MetaStore: bad version");
+  StoreContents out;
+  out.raw_bytes = get_u64(f);
+  out.options.alpha = get_f64(f);
+  out.options.bloom_fpp = get_f64(f);
+  const std::uint64_t path_len = get_u64(f);
+  out.dataset_path.resize(path_len);
+  f.read(out.dataset_path.data(), static_cast<std::streamsize>(path_len));
+  const std::uint64_t n = get_u64(f);
+  struct RawIdx {
+    std::uint64_t global, bid, off, len;
+  };
+  std::vector<RawIdx> idx(n);
+  for (auto& e : idx) {
+    e.global = get_u64(f);
+    e.bid = get_u64(f);
+    e.off = get_u64(f);
+    e.len = get_u64(f);
+  }
+  const auto blobs_begin = f.tellg();
+  out.entries.resize(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    out.entries[i].global_index = idx[i].global;
+    out.entries[i].block_id = idx[i].bid;
+    out.entries[i].blob.resize(idx[i].len);
+    f.seekg(blobs_begin + static_cast<std::streamoff>(idx[i].off));
+    f.read(out.entries[i].blob.data(), static_cast<std::streamsize>(idx[i].len));
+    if (!f) throw std::runtime_error("MetaStore: truncated blob");
+  }
+  return out;
+}
+
+ElasticMapArray assemble(StoreContents&& contents) {
+  std::sort(contents.entries.begin(), contents.entries.end(),
+            [](const StoredEntry& a, const StoredEntry& b) {
+              return a.global_index < b.global_index;
+            });
+  std::vector<BlockMeta> metas;
+  std::vector<dfs::BlockId> ids;
+  metas.reserve(contents.entries.size());
+  ids.reserve(contents.entries.size());
+  for (std::uint64_t i = 0; i < contents.entries.size(); ++i) {
+    if (contents.entries[i].global_index != i) {
+      throw std::runtime_error("MetaStore: missing block in store");
+    }
+    metas.push_back(BlockMeta::deserialize(contents.entries[i].blob));
+    ids.push_back(contents.entries[i].block_id);
+  }
+  return ElasticMapArray::from_parts(std::move(contents.dataset_path),
+                                     contents.options, std::move(metas),
+                                     std::move(ids), contents.raw_bytes);
+}
+
+std::vector<StoredEntry> serialize_all(const ElasticMapArray& array) {
+  std::vector<StoredEntry> entries(array.num_blocks());
+  for (std::uint64_t i = 0; i < array.num_blocks(); ++i) {
+    entries[i].global_index = i;
+    entries[i].block_id = array.block_id(i);
+    entries[i].blob = array.block_meta(i).serialize();
+  }
+  return entries;
+}
+
+}  // namespace
+
+void MetaStore::save(const ElasticMapArray& array, const std::string& file_path) {
+  write_store(file_path, array.path(), array.raw_bytes(), array.options(),
+              serialize_all(array));
+}
+
+ElasticMapArray MetaStore::load(const std::string& file_path) {
+  return assemble(read_store(file_path));
+}
+
+MetaStore::Reader::Reader(const std::string& file_path)
+    : file_(file_path, std::ios::binary) {
+  if (!file_) throw std::runtime_error("MetaStore::Reader: cannot open " + file_path);
+  if (get_u64(file_) != kMagic) throw std::runtime_error("Reader: bad magic");
+  if (get_u64(file_) != kVersion) throw std::runtime_error("Reader: bad version");
+  raw_bytes_ = get_u64(file_);
+  (void)get_f64(file_);  // alpha
+  (void)get_f64(file_);  // fpp
+  const std::uint64_t path_len = get_u64(file_);
+  dataset_path_.resize(path_len);
+  file_.read(dataset_path_.data(), static_cast<std::streamsize>(path_len));
+  const std::uint64_t n = get_u64(file_);
+  index_.resize(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    auto& e = index_[i];
+    const std::uint64_t global = get_u64(file_);
+    e.block_id = get_u64(file_);
+    e.offset = get_u64(file_);
+    e.length = get_u64(file_);
+    // The lazy reader addresses blocks positionally, so it requires a full
+    // (non-sharded) store whose entries are in global order.
+    if (global != i) throw std::runtime_error("Reader: store is sharded/unordered");
+  }
+  blobs_begin_ = file_.tellg();
+}
+
+BlockMeta MetaStore::Reader::load_block(std::uint64_t block_index) {
+  if (block_index >= index_.size()) throw std::out_of_range("Reader::load_block");
+  const auto& e = index_[block_index];
+  std::string blob(e.length, '\0');
+  file_.seekg(blobs_begin_ + static_cast<std::streamoff>(e.offset));
+  file_.read(blob.data(), static_cast<std::streamsize>(e.length));
+  if (!file_) throw std::runtime_error("Reader: truncated blob");
+  return BlockMeta::deserialize(blob);
+}
+
+dfs::BlockId MetaStore::Reader::block_id(std::uint64_t block_index) const {
+  if (block_index >= index_.size()) throw std::out_of_range("Reader::block_id");
+  return index_[block_index].block_id;
+}
+
+std::string ShardedMetaStore::shard_file(const std::string& prefix,
+                                         std::uint32_t shard) {
+  return prefix + ".shard" + std::to_string(shard);
+}
+
+void ShardedMetaStore::save(const ElasticMapArray& array, const std::string& prefix,
+                            std::uint32_t num_shards) {
+  if (num_shards == 0) throw std::invalid_argument("ShardedMetaStore: 0 shards");
+  const auto all = serialize_all(array);
+  for (std::uint32_t s = 0; s < num_shards; ++s) {
+    std::vector<StoredEntry> shard_entries;
+    for (std::uint64_t i = s; i < all.size(); i += num_shards) {
+      shard_entries.push_back(all[i]);
+    }
+    write_store(shard_file(prefix, s), array.path(), array.raw_bytes(),
+                array.options(), shard_entries);
+  }
+}
+
+ElasticMapArray ShardedMetaStore::load(const std::string& prefix,
+                                       std::uint32_t num_shards) {
+  if (num_shards == 0) throw std::invalid_argument("ShardedMetaStore: 0 shards");
+  StoreContents merged;
+  bool first = true;
+  for (std::uint32_t s = 0; s < num_shards; ++s) {
+    auto part = read_store(shard_file(prefix, s));
+    if (first) {
+      merged.dataset_path = part.dataset_path;
+      merged.raw_bytes = part.raw_bytes;
+      merged.options = part.options;
+      first = false;
+    } else if (part.dataset_path != merged.dataset_path) {
+      throw std::runtime_error("ShardedMetaStore: shards disagree on dataset");
+    }
+    for (auto& e : part.entries) merged.entries.push_back(std::move(e));
+  }
+  return assemble(std::move(merged));
+}
+
+}  // namespace datanet::elasticmap

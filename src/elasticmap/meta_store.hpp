@@ -1,0 +1,76 @@
+#pragma once
+// Persistence for ElasticMap meta-data (the paper's Section V-B-1 note:
+// "as the problem size becomes extremely large, the meta-data ... can be
+// stored into a database or distributed among multiple machines").
+//
+// Two layers:
+//  * MetaStore — a single file: header, per-block (offset, length) index,
+//    then serialized BlockMetas. Supports eager full load and a lazy Reader
+//    that deserializes one block's meta on demand (the "does not fit in the
+//    master's memory" regime).
+//  * ShardedMetaStore — partitions the block index across S shard files
+//    (block i lives in shard i % S), modeling meta-data spread over
+//    multiple master machines.
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "elasticmap/elastic_map.hpp"
+
+namespace datanet::elasticmap {
+
+class MetaStore {
+ public:
+  // Write the full array to `file_path` (overwrites).
+  static void save(const ElasticMapArray& array, const std::string& file_path);
+
+  // Read the whole file back into memory.
+  static ElasticMapArray load(const std::string& file_path);
+
+  // Lazy access: header and index in memory, block metas read on demand.
+  class Reader {
+   public:
+    explicit Reader(const std::string& file_path);
+
+    [[nodiscard]] std::uint64_t num_blocks() const noexcept {
+      return index_.size();
+    }
+    [[nodiscard]] const std::string& dataset_path() const noexcept {
+      return dataset_path_;
+    }
+    [[nodiscard]] std::uint64_t raw_bytes() const noexcept { return raw_bytes_; }
+
+    // Deserialize one block's meta (one seek + one read).
+    [[nodiscard]] BlockMeta load_block(std::uint64_t block_index);
+    [[nodiscard]] dfs::BlockId block_id(std::uint64_t block_index) const;
+
+   private:
+    struct Entry {
+      std::uint64_t offset;
+      std::uint64_t length;
+      dfs::BlockId block_id;
+    };
+    std::ifstream file_;
+    std::string dataset_path_;
+    std::uint64_t raw_bytes_ = 0;
+    std::vector<Entry> index_;
+    std::streamoff blobs_begin_ = 0;
+  };
+};
+
+class ShardedMetaStore {
+ public:
+  // Writes `num_shards` files "<prefix>.shard<k>"; block i -> shard i % S.
+  static void save(const ElasticMapArray& array, const std::string& prefix,
+                   std::uint32_t num_shards);
+
+  // Reassemble the full array from the shard files.
+  static ElasticMapArray load(const std::string& prefix, std::uint32_t num_shards);
+
+  [[nodiscard]] static std::string shard_file(const std::string& prefix,
+                                              std::uint32_t shard);
+};
+
+}  // namespace datanet::elasticmap

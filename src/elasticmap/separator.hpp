@@ -1,0 +1,74 @@
+#pragma once
+// Single-scan dominant/non-dominant separation (Section III-B). While a block
+// is scanned, per-sub-dataset byte counts S_j are accumulated; sizes are
+// simultaneously counted into Fibonacci-spaced buckets (bucket/count-sort
+// style, O(m) — no sorting). After the scan, `threshold_for_fraction` walks
+// the bucket counts from the top to find the smallest size cutoff that keeps
+// at most an alpha-fraction of sub-datasets in the hash map.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "stats/histogram.hpp"
+#include "workload/record.hpp"
+
+namespace datanet::elasticmap {
+
+struct SeparatorOptions {
+  // Bucket geometry: Fibonacci multiples of `bucket_unit` up to
+  // `bucket_max`. The paper uses 1 KiB..32 KiB for 64 MiB blocks, i.e.
+  // unit ~= block_size / 65536 and max ~= block_size / 2048.
+  std::uint64_t bucket_unit = 64;     // bytes
+  std::uint64_t bucket_max = 16384;   // bytes
+
+  // Derive unit/max from a block size with the paper's 64 MiB ratios.
+  static SeparatorOptions for_block_size(std::uint64_t block_size_bytes);
+};
+
+class DominantSeparator {
+ public:
+  explicit DominantSeparator(SeparatorOptions options);
+
+  // Accumulate `bytes` for sub-dataset `id`; bucket counts are adjusted
+  // incrementally (old bucket --, new bucket ++), exactly the single-scan
+  // update the paper describes.
+  void add(workload::SubDatasetId id, std::uint64_t bytes);
+
+  // Smallest size threshold T such that |{j : S_j >= T}| <= alpha * m, where
+  // m is the number of distinct sub-datasets seen. Returns bucket lower
+  // bounds only (granularity of the method). alpha in [0, 1]; alpha = 1
+  // keeps everything (threshold 0).
+  [[nodiscard]] std::uint64_t threshold_for_fraction(double alpha) const;
+
+  // Number of sub-datasets with S_j >= threshold.
+  [[nodiscard]] std::uint64_t count_at_or_above(std::uint64_t threshold) const;
+
+  [[nodiscard]] const std::unordered_map<workload::SubDatasetId, std::uint64_t>&
+  sizes() const noexcept {
+    return sizes_;
+  }
+  [[nodiscard]] std::uint64_t num_subdatasets() const noexcept {
+    return sizes_.size();
+  }
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept { return total_; }
+
+  // Bucket lower-bound edges (ascending) and the per-bucket sub-dataset
+  // counts; exposed for tests and the bucket-geometry ablation bench.
+  [[nodiscard]] const std::vector<std::uint64_t>& bucket_edges() const noexcept {
+    return edges_;
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& bucket_counts() const noexcept {
+    return counts_;
+  }
+
+ private:
+  [[nodiscard]] std::size_t bucket_of(std::uint64_t bytes) const;
+
+  std::vector<std::uint64_t> edges_;   // ascending bucket lower bounds (> 0)
+  std::vector<std::uint64_t> counts_;  // edges_.size() + 1 buckets
+  std::unordered_map<workload::SubDatasetId, std::uint64_t> sizes_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace datanet::elasticmap

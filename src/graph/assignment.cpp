@@ -1,0 +1,100 @@
+#include "graph/assignment.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "graph/maxflow.hpp"
+
+namespace datanet::graph {
+
+namespace {
+
+// Try capacity C; on success fill per-(block,replica) flows.
+bool feasible(const BipartiteGraph& g, std::uint64_t capacity,
+              std::vector<std::vector<std::uint64_t>>* replica_flow) {
+  const auto nb = g.num_blocks();
+  const std::uint32_t nn = g.num_nodes();
+  // Vertex ids: 0 = source, 1..nb = blocks, nb+1..nb+nn = nodes, last = sink.
+  const std::uint32_t source = 0;
+  const auto sink = static_cast<std::uint32_t>(nb + nn + 1);
+  MaxFlow mf(sink + 1);
+
+  std::vector<std::vector<std::size_t>> edge_idx(nb);
+  for (std::size_t j = 0; j < nb; ++j) {
+    const auto& blk = g.block(j);
+    mf.add_edge(source, static_cast<std::uint32_t>(1 + j), blk.weight);
+    for (const dfs::NodeId n : blk.hosts) {
+      edge_idx[j].push_back(mf.add_edge(static_cast<std::uint32_t>(1 + j),
+                                        static_cast<std::uint32_t>(1 + nb + n),
+                                        blk.weight));
+    }
+  }
+  for (std::uint32_t n = 0; n < nn; ++n) {
+    mf.add_edge(static_cast<std::uint32_t>(1 + nb + n), sink, capacity);
+  }
+  const std::uint64_t flow = mf.solve(source, sink);
+  if (flow < g.total_weight()) return false;
+  if (replica_flow) {
+    replica_flow->assign(nb, {});
+    for (std::size_t j = 0; j < nb; ++j) {
+      for (const std::size_t e : edge_idx[j]) {
+        (*replica_flow)[j].push_back(mf.flow_on(e));
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+AssignmentResult balanced_assignment(const BipartiteGraph& g) {
+  for (std::size_t j = 0; j < g.num_blocks(); ++j) {
+    if (g.block(j).hosts.empty()) {
+      throw std::invalid_argument("balanced_assignment: block without replicas");
+    }
+  }
+
+  const std::uint64_t total = g.total_weight();
+  const std::uint64_t nn = g.num_nodes();
+  std::uint64_t lo = (total + nn - 1) / nn;  // perfect split lower bound
+  std::uint64_t hi = std::max<std::uint64_t>(total, 1);
+  if (lo == 0) lo = 1;
+
+  std::vector<std::vector<std::uint64_t>> flows;
+  // Find the smallest feasible capacity; `hi` (everything on one node's
+  // replicas) is feasible only if replicas cover the load, but capacity =
+  // total is always feasible because each block can route to any replica.
+  while (lo < hi) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    if (feasible(g, mid, nullptr)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  feasible(g, hi, &flows);
+
+  AssignmentResult res;
+  res.fractional_capacity = hi;
+  res.assignment.resize(g.num_blocks());
+  res.node_load.assign(nn, 0);
+  for (std::size_t j = 0; j < g.num_blocks(); ++j) {
+    const auto& hosts = g.block(j).hosts;
+    // Pick the replica with the most routed flow; break ties toward the
+    // currently least-loaded node so rounding stays balanced.
+    std::size_t best = 0;
+    for (std::size_t r = 1; r < hosts.size(); ++r) {
+      if (flows[j][r] > flows[j][best] ||
+          (flows[j][r] == flows[j][best] &&
+           res.node_load[hosts[r]] < res.node_load[hosts[best]])) {
+        best = r;
+      }
+    }
+    res.assignment[j] = hosts[best];
+    res.node_load[hosts[best]] += g.block(j).weight;
+  }
+  return res;
+}
+
+}  // namespace datanet::graph

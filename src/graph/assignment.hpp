@@ -1,0 +1,29 @@
+#pragma once
+// Flow-based balanced block->node assignment (the paper's Ford–Fulkerson
+// remark, Section IV-B). We binary-search the per-node capacity C, build
+//   source -> block_j (cap w_j),  block_j -> node_i (cap w_j, replicas only),
+//   node_i -> sink (cap C),
+// and accept the smallest C whose max flow saturates the total weight. The
+// fractional optimum is rounded by assigning each block to the replica that
+// carried the largest share of its flow — blocks are atomic tasks, so the
+// rounded makespan can exceed C by at most one block weight.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/bipartite.hpp"
+
+namespace datanet::graph {
+
+struct AssignmentResult {
+  // assignment[k] = node chosen for graph.block(k).
+  std::vector<dfs::NodeId> assignment;
+  // Per-node total assigned weight.
+  std::vector<std::uint64_t> node_load;
+  // The capacity bound the flow certified (before rounding).
+  std::uint64_t fractional_capacity = 0;
+};
+
+[[nodiscard]] AssignmentResult balanced_assignment(const BipartiteGraph& graph);
+
+}  // namespace datanet::graph

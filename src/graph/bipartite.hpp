@@ -1,0 +1,63 @@
+#pragma once
+// Bipartite graph G = (CN, B, E) of Section IV-A: cluster nodes × block
+// files, an edge (cn_i, b_j) iff node cn_i hosts a replica of b_j, edge
+// weight |b_j ∩ s| (the size of the target sub-dataset in that block).
+// This is the structure both the greedy Algorithm 1 scheduler and the
+// flow-based scheduler operate on.
+
+#include <cstdint>
+#include <vector>
+
+#include "dfs/mini_dfs.hpp"
+
+namespace datanet::graph {
+
+struct BlockVertex {
+  dfs::BlockId block_id = 0;
+  std::uint64_t weight = 0;          // |b ∩ s| (estimated or exact bytes)
+  std::vector<dfs::NodeId> hosts;    // replicas
+};
+
+class BipartiteGraph {
+ public:
+  BipartiteGraph(std::uint32_t num_nodes, std::vector<BlockVertex> blocks);
+
+  [[nodiscard]] std::uint32_t num_nodes() const noexcept { return num_nodes_; }
+  [[nodiscard]] std::size_t num_blocks() const noexcept { return blocks_.size(); }
+  [[nodiscard]] const BlockVertex& block(std::size_t idx) const;
+  [[nodiscard]] const std::vector<BlockVertex>& blocks() const noexcept {
+    return blocks_;
+  }
+
+  // Indices of blocks hosted on `node` (the d_i sets of Algorithm 1).
+  [[nodiscard]] const std::vector<std::size_t>& blocks_on(dfs::NodeId node) const;
+
+  [[nodiscard]] std::uint64_t total_weight() const noexcept { return total_weight_; }
+
+  // Build the graph for one sub-dataset from the DFS replica map plus a
+  // per-block weight lookup; blocks with zero weight can optionally be kept
+  // (the locality baseline must still process them: it does not know they
+  // are empty).
+  template <typename WeightFn>
+  static BipartiteGraph from_dfs(const dfs::MiniDfs& dfs, const std::string& path,
+                                 WeightFn&& weight_of, bool keep_zero_weight) {
+    std::vector<BlockVertex> blocks;
+    const auto& ids = dfs.blocks_of(path);
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      const std::uint64_t w = weight_of(i, ids[i]);
+      if (w == 0 && !keep_zero_weight) continue;
+      blocks.push_back(BlockVertex{.block_id = ids[i],
+                                   .weight = w,
+                                   .hosts = dfs.block(ids[i]).replicas});
+    }
+    return BipartiteGraph(dfs.topology().num_nodes(), std::move(blocks));
+  }
+
+ private:
+  std::uint32_t num_nodes_;
+  std::vector<BlockVertex> blocks_;
+  std::vector<std::vector<std::size_t>> node_to_blocks_;
+  std::uint64_t total_weight_ = 0;
+};
+
+}  // namespace datanet::graph

@@ -1,0 +1,77 @@
+#include "graph/maxflow.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+
+namespace datanet::graph {
+
+MaxFlow::MaxFlow(std::uint32_t num_vertices) : adj_(num_vertices) {
+  if (num_vertices < 2) throw std::invalid_argument("MaxFlow: need >= 2 vertices");
+}
+
+std::size_t MaxFlow::add_edge(std::uint32_t u, std::uint32_t v,
+                              std::uint64_t capacity) {
+  if (u >= adj_.size() || v >= adj_.size()) {
+    throw std::out_of_range("MaxFlow::add_edge");
+  }
+  adj_[u].push_back(Edge{v, capacity, capacity, adj_[v].size()});
+  adj_[v].push_back(Edge{u, 0, 0, adj_[u].size() - 1});
+  edge_refs_.emplace_back(u, adj_[u].size() - 1);
+  return edge_refs_.size() - 1;
+}
+
+bool MaxFlow::bfs(std::uint32_t s, std::uint32_t t) {
+  level_.assign(adj_.size(), -1);
+  std::deque<std::uint32_t> q{s};
+  level_[s] = 0;
+  while (!q.empty()) {
+    const std::uint32_t v = q.front();
+    q.pop_front();
+    for (const Edge& e : adj_[v]) {
+      if (e.cap > 0 && level_[e.to] < 0) {
+        level_[e.to] = level_[v] + 1;
+        q.push_back(e.to);
+      }
+    }
+  }
+  return level_[t] >= 0;
+}
+
+std::uint64_t MaxFlow::dfs(std::uint32_t v, std::uint32_t t, std::uint64_t pushed) {
+  if (v == t) return pushed;
+  for (std::size_t& i = iter_[v]; i < adj_[v].size(); ++i) {
+    Edge& e = adj_[v][i];
+    if (e.cap == 0 || level_[e.to] != level_[v] + 1) continue;
+    const std::uint64_t d = dfs(e.to, t, std::min(pushed, e.cap));
+    if (d > 0) {
+      e.cap -= d;
+      adj_[e.to][e.rev].cap += d;
+      return d;
+    }
+  }
+  return 0;
+}
+
+std::uint64_t MaxFlow::solve(std::uint32_t s, std::uint32_t t) {
+  if (s == t) throw std::invalid_argument("MaxFlow::solve: s == t");
+  std::uint64_t flow = 0;
+  while (bfs(s, t)) {
+    iter_.assign(adj_.size(), 0);
+    while (const std::uint64_t pushed =
+               dfs(s, t, std::numeric_limits<std::uint64_t>::max())) {
+      flow += pushed;
+    }
+  }
+  return flow;
+}
+
+std::uint64_t MaxFlow::flow_on(std::size_t edge_index) const {
+  if (edge_index >= edge_refs_.size()) throw std::out_of_range("flow_on");
+  const auto [u, idx] = edge_refs_[edge_index];
+  const Edge& e = adj_[u][idx];
+  return e.original - e.cap;
+}
+
+}  // namespace datanet::graph

@@ -1,0 +1,296 @@
+#include "mapred/engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <queue>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "common/hash.hpp"
+#include "common/thread_pool.hpp"
+
+namespace datanet::mapred {
+
+namespace {
+
+// Collects emitted pairs in order; partitions lazily afterwards. Named
+// counters accumulate into a per-task map merged by the engine.
+class VectorEmitter final : public Emitter {
+ public:
+  void emit(Key key, Value value) override {
+    pairs_.emplace_back(std::move(key), std::move(value));
+  }
+  void count(std::string_view counter, std::uint64_t delta) override {
+    counters_[std::string(counter)] += delta;
+  }
+  [[nodiscard]] std::vector<std::pair<Key, Value>>& pairs() { return pairs_; }
+  [[nodiscard]] std::map<std::string, std::uint64_t>& counters() {
+    return counters_;
+  }
+
+ private:
+  std::vector<std::pair<Key, Value>> pairs_;
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+// Deterministic reducer partition for a key.
+std::uint32_t partition_of(const Key& key, std::uint32_t num_reducers) {
+  return static_cast<std::uint32_t>(common::hash_bytes(key, 0x9e3779b9) %
+                                    num_reducers);
+}
+
+// Group pairs by key preserving first-seen key order, then apply a reducer.
+// Counter emissions are merged into `counters` when provided.
+std::vector<std::pair<Key, Value>> reduce_pairs(
+    Reducer& reducer, std::vector<std::pair<Key, Value>> pairs,
+    std::map<std::string, std::uint64_t>* counters = nullptr) {
+  // Stable sort by key keeps values in emission order within a key.
+  std::stable_sort(pairs.begin(), pairs.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  VectorEmitter out;
+  std::size_t i = 0;
+  std::vector<Value> values;
+  while (i < pairs.size()) {
+    std::size_t j = i;
+    values.clear();
+    while (j < pairs.size() && pairs[j].first == pairs[i].first) {
+      values.push_back(std::move(pairs[j].second));
+      ++j;
+    }
+    reducer.reduce(pairs[i].first, values, out);
+    i = j;
+  }
+  if (counters) {
+    for (const auto& [name, v] : out.counters()) (*counters)[name] += v;
+  }
+  return std::move(out.pairs());
+}
+
+struct TaskResult {
+  std::vector<std::pair<Key, Value>> pairs;  // post-combiner map output
+  std::map<std::string, std::uint64_t> counters;
+  std::uint64_t records = 0;
+  std::uint64_t skipped = 0;
+};
+
+}  // namespace
+
+Engine::Engine(EngineOptions options) : options_(std::move(options)) {
+  if (options_.num_nodes == 0) throw std::invalid_argument("num_nodes == 0");
+  if (options_.slots_per_node == 0) {
+    throw std::invalid_argument("slots_per_node == 0");
+  }
+  if (!options_.node_speed.empty()) {
+    if (options_.node_speed.size() != options_.num_nodes) {
+      throw std::invalid_argument("node_speed size != num_nodes");
+    }
+    for (const double s : options_.node_speed) {
+      if (!(s > 0.0)) throw std::invalid_argument("node_speed must be > 0");
+    }
+  }
+}
+
+JobReport Engine::run(const Job& job, const std::vector<InputSplit>& splits) const {
+  if (!job.mapper_factory || !job.reducer_factory) {
+    throw std::invalid_argument("job needs mapper and reducer factories");
+  }
+  if (job.config.num_reducers == 0) {
+    throw std::invalid_argument("num_reducers == 0");
+  }
+  for (const auto& s : splits) {
+    if (s.node >= options_.num_nodes) {
+      throw std::invalid_argument("split placed on nonexistent node");
+    }
+  }
+
+  JobReport report;
+
+  // ---- Real map execution (parallel, order-independent results). ----
+  std::vector<TaskResult> results(splits.size());
+  {
+    const std::uint32_t threads = options_.execution_threads
+                                      ? options_.execution_threads
+                                      : std::max(1u, std::thread::hardware_concurrency());
+    common::ThreadPool pool(threads);
+    common::parallel_for(pool, splits.size(), [&](std::size_t t) {
+      const InputSplit& split = splits[t];
+      auto mapper = job.mapper_factory();
+      VectorEmitter emitter;
+      std::uint64_t records = 0;
+      const std::uint64_t skipped =
+          workload::for_each_record(split.data, [&](const workload::RecordView& rv) {
+            mapper->map(rv, emitter);
+            ++records;
+          });
+      mapper->finish(emitter);
+      TaskResult& r = results[t];
+      r.records = records;
+      r.skipped = skipped;
+      r.counters = std::move(emitter.counters());
+      if (job.combiner_factory) {
+        auto combiner = job.combiner_factory();
+        r.pairs = reduce_pairs(*combiner, std::move(emitter.pairs()));
+      } else {
+        r.pairs = std::move(emitter.pairs());
+      }
+    });
+  }
+
+  // ---- Deterministic simulated map timing. ----
+  report.map_tasks.resize(splits.size());
+  report.node_map_seconds.assign(options_.num_nodes, 0.0);
+  const auto speed_of = [&](std::uint32_t node) {
+    return options_.node_speed.empty() ? 1.0 : options_.node_speed[node];
+  };
+  {
+    // Per node: multi-slot list scheduling in task arrival order.
+    std::vector<std::vector<double>> slot_free(
+        options_.num_nodes, std::vector<double>(options_.slots_per_node, 0.0));
+    for (std::size_t t = 0; t < splits.size(); ++t) {
+      const InputSplit& split = splits[t];
+      auto& slots = slot_free[split.node];
+      auto it = std::min_element(slots.begin(), slots.end());
+      const double start = *it;
+      const double dur = job.config.cost.map_seconds(split.effective_bytes(),
+                                                     results[t].records) /
+                         speed_of(split.node);
+      *it = start + dur;
+      report.map_tasks[t] = TaskTiming{split.node, start, start + dur};
+      report.node_map_seconds[split.node] =
+          std::max(report.node_map_seconds[split.node], start + dur);
+    }
+  }
+
+  if (options_.speculative && options_.num_nodes > 1 && !splits.empty()) {
+    // Speculative execution: while one node finishes well after the rest,
+    // its last-running task gets a backup on the earliest idle node and the
+    // earlier copy wins. Iterated until no backup would finish earlier —
+    // Hadoop keeps speculating as slots free up. (Results are unaffected;
+    // only the simulated clock moves.)
+    // Per-node "owner" of each task for recomputing node finish times.
+    std::vector<std::uint32_t> owner(splits.size());
+    for (std::size_t t = 0; t < splits.size(); ++t) owner[t] = splits[t].node;
+
+    const std::size_t max_waves = 4 * splits.size();
+    for (std::size_t wave = 0; wave < max_waves; ++wave) {
+      const auto straggler = static_cast<std::uint32_t>(
+          std::max_element(report.node_map_seconds.begin(),
+                           report.node_map_seconds.end()) -
+          report.node_map_seconds.begin());
+      std::uint32_t backup_node = straggler;
+      double earliest_idle = report.node_map_seconds[straggler];
+      for (std::uint32_t n = 0; n < options_.num_nodes; ++n) {
+        if (n == straggler) continue;
+        if (report.node_map_seconds[n] < earliest_idle) {
+          earliest_idle = report.node_map_seconds[n];
+          backup_node = n;
+        }
+      }
+      if (backup_node == straggler) break;
+
+      // The straggler's last-finishing task.
+      std::size_t tail = splits.size();
+      for (std::size_t t = 0; t < splits.size(); ++t) {
+        if (owner[t] != straggler) continue;
+        if (tail == splits.size() ||
+            report.map_tasks[t].finish > report.map_tasks[tail].finish) {
+          tail = t;
+        }
+      }
+      if (tail == splits.size()) break;
+
+      const double launch = std::max(earliest_idle, report.map_tasks[tail].start);
+      const double backup_dur =
+          job.config.cost.map_seconds(splits[tail].effective_bytes(),
+                                      results[tail].records) /
+          speed_of(backup_node);
+      const double backup_finish = launch + backup_dur;
+      if (backup_finish >= report.map_tasks[tail].finish) break;  // no gain left
+
+      report.map_tasks[tail].finish = backup_finish;
+      report.map_tasks[tail].node = backup_node;
+      owner[tail] = backup_node;
+      report.node_map_seconds[backup_node] =
+          std::max(report.node_map_seconds[backup_node], backup_finish);
+      double node_finish = 0.0;
+      for (std::size_t t = 0; t < splits.size(); ++t) {
+        if (owner[t] == straggler) {
+          node_finish = std::max(node_finish, report.map_tasks[t].finish);
+        }
+      }
+      report.node_map_seconds[straggler] = node_finish;
+    }
+  }
+
+  report.map_phase_seconds = splits.empty()
+                                 ? 0.0
+                                 : *std::max_element(report.node_map_seconds.begin(),
+                                                     report.node_map_seconds.end());
+  report.first_map_finish_seconds = report.map_phase_seconds;
+  for (const auto& tt : report.map_tasks) {
+    report.first_map_finish_seconds =
+        std::min(report.first_map_finish_seconds, tt.finish);
+  }
+
+  // ---- Shuffle: partition post-combiner pairs, sized per reducer. ----
+  const std::uint32_t R = job.config.num_reducers;
+  std::vector<std::vector<std::pair<Key, Value>>> partitions(R);
+  std::vector<std::uint64_t> partition_bytes(R, 0);
+  for (std::size_t t = 0; t < splits.size(); ++t) {
+    report.input_records += results[t].records;
+    report.skipped_lines += results[t].skipped;
+    report.input_bytes += splits[t].data.size();
+    report.map_output_pairs += results[t].pairs.size();
+    for (const auto& [name, v] : results[t].counters) {
+      report.counters[name] += v;
+    }
+    for (auto& kv : results[t].pairs) {
+      const std::uint32_t p = partition_of(kv.first, R);
+      partition_bytes[p] += kv.first.size() + kv.second.size() + 2;
+      partitions[p].push_back(std::move(kv));
+    }
+  }
+  for (std::uint32_t p = 0; p < R; ++p) report.shuffle_bytes += partition_bytes[p];
+
+  report.shuffle_task_seconds.resize(R);
+  for (std::uint32_t p = 0; p < R; ++p) {
+    // Paper semantics: a shuffle task is alive from the first map completion
+    // until the last map completes, plus its own transfer time.
+    const double wait = splits.empty() ? 0.0
+                                       : report.map_phase_seconds -
+                                             report.first_map_finish_seconds;
+    report.shuffle_task_seconds[p] =
+        wait + job.config.cost.transfer_seconds(partition_bytes[p]);
+  }
+  report.shuffle_phase_seconds =
+      R ? *std::max_element(report.shuffle_task_seconds.begin(),
+                            report.shuffle_task_seconds.end())
+        : 0.0;
+
+  // ---- Real reduce + simulated reduce timing. ----
+  report.reduce_task_seconds.resize(R);
+  for (std::uint32_t p = 0; p < R; ++p) {
+    auto reducer = job.reducer_factory();
+    auto reduced =
+        reduce_pairs(*reducer, std::move(partitions[p]), &report.counters);
+    for (auto& kv : reduced) report.output.insert(std::move(kv));
+    report.reduce_task_seconds[p] =
+        job.config.cost.reduce_seconds(partition_bytes[p]);
+  }
+  report.reduce_phase_seconds =
+      R ? *std::max_element(report.reduce_task_seconds.begin(),
+                            report.reduce_task_seconds.end())
+        : 0.0;
+
+  // Total: map phase, then the slowest reducer's transfer + reduce. The wait
+  // component of shuffle overlaps the map phase tail by construction.
+  double tail = 0.0;
+  for (std::uint32_t p = 0; p < R; ++p) {
+    tail = std::max(tail, job.config.cost.transfer_seconds(partition_bytes[p]) +
+                              report.reduce_task_seconds[p]);
+  }
+  report.total_seconds = report.map_phase_seconds + tail;
+  return report;
+}
+
+}  // namespace datanet::mapred

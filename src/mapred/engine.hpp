@@ -1,0 +1,102 @@
+#pragma once
+// The MapReduce engine: executes a Job over input splits placed on cluster
+// nodes. Real work happens on a thread pool; simulated time is computed
+// deterministically from the cost model and the split->node placement, so a
+// run's JobReport is bit-for-bit reproducible regardless of thread count.
+//
+// Timing model (matches the phase structure measured in Section V):
+//   * map: each node runs its splits on `slots_per_node` slots in arrival
+//     order; node map time = latest slot finish. Map phase = max over nodes.
+//   * shuffle (paper's definition, Section V-A-3: "starts whenever a map
+//     task is finished and ends when all map tasks have been executed"):
+//     shuffle task r spans [first map task finish, map phase end] plus its
+//     partition transfer — so an imbalanced map phase directly stretches
+//     every shuffle task.
+//   * reduce: per-reducer cost on its partition; reduce phase = max.
+
+#include <cstdint>
+#include <map>
+#include <string_view>
+#include <vector>
+
+#include "mapred/job.hpp"
+
+namespace datanet::mapred {
+
+// One map task: a chunk of input data resident on `node`.
+struct InputSplit {
+  std::uint32_t node = 0;
+  std::string_view data;  // newline-separated encoded records; caller-owned
+  // Bytes charged to the simulated clock; defaults to data.size() but can be
+  // overridden (e.g. remote reads charged with a network penalty).
+  std::uint64_t charged_bytes = 0;
+
+  [[nodiscard]] std::uint64_t effective_bytes() const {
+    return charged_bytes ? charged_bytes : data.size();
+  }
+};
+
+struct TaskTiming {
+  std::uint32_t node = 0;
+  double start = 0.0;
+  double finish = 0.0;
+  [[nodiscard]] double duration() const { return finish - start; }
+};
+
+struct JobReport {
+  // Real output of the job (reduced key -> value), sorted by key.
+  std::map<Key, Value> output;
+
+  // Simulated per-task and per-node map timing.
+  std::vector<TaskTiming> map_tasks;
+  std::vector<double> node_map_seconds;   // per node: latest task finish
+  double map_phase_seconds = 0.0;         // max over nodes
+  double first_map_finish_seconds = 0.0;  // earliest task completion
+
+  // Simulated shuffle/reduce timing (per reducer partition).
+  std::vector<double> shuffle_task_seconds;
+  std::vector<double> reduce_task_seconds;
+  double shuffle_phase_seconds = 0.0;  // max shuffle task
+  double reduce_phase_seconds = 0.0;   // max reduce task
+  double total_seconds = 0.0;
+
+  // Counters.
+  std::uint64_t input_records = 0;
+  std::uint64_t input_bytes = 0;
+  std::uint64_t map_output_pairs = 0;   // after combiner
+  std::uint64_t shuffle_bytes = 0;
+  std::uint64_t skipped_lines = 0;
+  // User-defined named counters (Emitter::count), merged across all map and
+  // reduce tasks in deterministic (name-sorted) order.
+  std::map<std::string, std::uint64_t> counters;
+};
+
+struct EngineOptions {
+  std::uint32_t num_nodes = 1;
+  std::uint32_t slots_per_node = 2;  // Marmot nodes are dual-processor
+  // Worker threads for real execution (0 = hardware concurrency).
+  std::uint32_t execution_threads = 0;
+  // Relative processing speed per node (empty = homogeneous 1.0). A task's
+  // simulated duration on node n is cost / node_speed[n].
+  std::vector<double> node_speed;
+  // Hadoop-style single-wave speculative execution: when the cluster is
+  // otherwise idle, the straggler node's running tail task is duplicated on
+  // the earliest idle node and the earlier copy wins. Affects simulated map
+  // timing only (results are identical either way).
+  bool speculative = false;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineOptions options);
+
+  // Execute `job` over `splits`. Splits run as independent map tasks; the
+  // i-th split's node must be < num_nodes.
+  [[nodiscard]] JobReport run(const Job& job,
+                              const std::vector<InputSplit>& splits) const;
+
+ private:
+  EngineOptions options_;
+};
+
+}  // namespace datanet::mapred

@@ -1,0 +1,90 @@
+#pragma once
+// Job model for the mini-MapReduce engine. Jobs execute for real (mappers
+// parse records, reducers aggregate), while a per-job cost model drives the
+// deterministic simulated clock used for all timing figures. Mappers are
+// created per task so they may keep state (combining, windows, top-K heaps).
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "workload/record.hpp"
+
+namespace datanet::mapred {
+
+using Key = std::string;
+using Value = std::string;
+
+class Emitter {
+ public:
+  virtual ~Emitter() = default;
+  virtual void emit(Key key, Value value) = 0;
+
+  // Hadoop-style named counters: accumulated per task and merged into the
+  // JobReport. Counting is side-channel telemetry — it never affects
+  // output. Default implementation drops counts (combiner contexts).
+  virtual void count(std::string_view counter, std::uint64_t delta = 1) {
+    (void)counter;
+    (void)delta;
+  }
+};
+
+class Mapper {
+ public:
+  virtual ~Mapper() = default;
+  // Called once per record of the task's input split.
+  virtual void map(const workload::RecordView& record, Emitter& out) = 0;
+  // Called once after the split is exhausted (emit held state, e.g. top-K).
+  virtual void finish(Emitter& out) { (void)out; }
+};
+
+class Reducer {
+ public:
+  virtual ~Reducer() = default;
+  // `values` are all values observed for `key` (combiner: within one task;
+  // reducer: across all tasks), in deterministic task-then-emit order.
+  virtual void reduce(const Key& key, std::span<const Value> values,
+                      Emitter& out) = 0;
+};
+
+// Simulated-time cost model. Charged per map task:
+//   io_s_per_mib * input_MiB + cpu_s_per_mib * input_MiB
+//     + cpu_us_per_record * records * 1e-6
+// Shuffle transfer per reducer: net_s_per_mib * partition_MiB. Reduce:
+// reduce_s_per_mib * partition_MiB. All scaled by time_scale (experiments
+// use it to make one scaled-down block cost what a 64 MiB block costs).
+struct CostModel {
+  double io_s_per_mib = 0.30;
+  double cpu_s_per_mib = 0.10;
+  double cpu_us_per_record = 0.0;
+  double net_s_per_mib = 0.40;
+  double reduce_s_per_mib = 0.20;
+  double task_overhead_s = 0.0;  // fixed JVM-style startup charge per task
+  double time_scale = 1.0;
+
+  [[nodiscard]] double map_seconds(std::uint64_t bytes,
+                                   std::uint64_t records) const;
+  [[nodiscard]] double transfer_seconds(std::uint64_t bytes) const;
+  [[nodiscard]] double reduce_seconds(std::uint64_t bytes) const;
+};
+
+struct JobConfig {
+  std::string name = "job";
+  std::uint32_t num_reducers = 8;
+  CostModel cost;
+};
+
+struct Job {
+  JobConfig config;
+  std::function<std::unique_ptr<Mapper>()> mapper_factory;
+  std::function<std::unique_ptr<Reducer>()> reducer_factory;
+  // Optional per-task combiner (usually the reducer itself); reduces shuffle
+  // volume exactly as in Hadoop.
+  std::function<std::unique_ptr<Reducer>()> combiner_factory;
+};
+
+}  // namespace datanet::mapred

@@ -1,0 +1,48 @@
+#include "mapred/report_json.hpp"
+
+#include "common/json.hpp"
+
+namespace datanet::mapred {
+
+std::string report_to_json(const JobReport& report, bool include_output) {
+  common::JsonWriter w;
+  w.begin_object();
+
+  w.key("timing").begin_object();
+  w.field("map_phase_seconds", report.map_phase_seconds);
+  w.field("first_map_finish_seconds", report.first_map_finish_seconds);
+  w.field("shuffle_phase_seconds", report.shuffle_phase_seconds);
+  w.field("reduce_phase_seconds", report.reduce_phase_seconds);
+  w.field("total_seconds", report.total_seconds);
+  w.key("node_map_seconds").begin_array();
+  for (const double t : report.node_map_seconds) w.value(t);
+  w.end_array();
+  w.key("shuffle_task_seconds").begin_array();
+  for (const double t : report.shuffle_task_seconds) w.value(t);
+  w.end_array();
+  w.end_object();
+
+  w.key("aggregates").begin_object();
+  w.field("input_records", report.input_records);
+  w.field("input_bytes", report.input_bytes);
+  w.field("map_output_pairs", report.map_output_pairs);
+  w.field("shuffle_bytes", report.shuffle_bytes);
+  w.field("skipped_lines", report.skipped_lines);
+  w.field("output_keys", static_cast<std::uint64_t>(report.output.size()));
+  w.end_object();
+
+  w.key("counters").begin_object();
+  for (const auto& [name, v] : report.counters) w.field(name, v);
+  w.end_object();
+
+  if (include_output) {
+    w.key("output").begin_object();
+    for (const auto& [k, v] : report.output) w.field(k, v);
+    w.end_object();
+  }
+
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace datanet::mapred

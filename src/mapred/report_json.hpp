@@ -1,0 +1,16 @@
+#pragma once
+// JSON serialization of a JobReport for machine consumption (CI dashboards,
+// notebooks, the CLI's --json mode). Timing, counters, and aggregates are
+// always included; the full key->value output only when `include_output`
+// (it can be large).
+
+#include <string>
+
+#include "mapred/engine.hpp"
+
+namespace datanet::mapred {
+
+[[nodiscard]] std::string report_to_json(const JobReport& report,
+                                         bool include_output = false);
+
+}  // namespace datanet::mapred

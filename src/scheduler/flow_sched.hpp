@@ -1,0 +1,35 @@
+#pragma once
+// Flow-based scheduler: precomputes the max-flow balanced assignment
+// (graph::balanced_assignment — the paper's Ford–Fulkerson remark) at
+// reset() and serves each node its precomputed queue. If a node is asked for
+// work after its queue drains (e.g. heterogeneous progress), it steals from
+// the most-loaded remaining queue so the schedule stays work-conserving.
+
+#include <deque>
+
+#include "scheduler/scheduler.hpp"
+
+namespace datanet::scheduler {
+
+class FlowScheduler final : public TaskScheduler {
+ public:
+  FlowScheduler() = default;
+
+  void reset(const graph::BipartiteGraph& graph) override;
+  std::optional<std::size_t> next_task(dfs::NodeId node) override;
+  [[nodiscard]] std::string_view name() const override { return "maxflow"; }
+
+  // The fractional capacity bound certified by the flow (before rounding).
+  [[nodiscard]] std::uint64_t fractional_capacity() const noexcept {
+    return fractional_capacity_;
+  }
+
+ private:
+  const graph::BipartiteGraph* graph_ = nullptr;
+  std::vector<std::deque<std::size_t>> queues_;
+  std::vector<std::uint64_t> pending_weight_;
+  std::size_t remaining_ = 0;
+  std::uint64_t fractional_capacity_ = 0;
+};
+
+}  // namespace datanet::scheduler

@@ -1,0 +1,52 @@
+#include "scheduler/locality.hpp"
+
+#include <algorithm>
+
+namespace datanet::scheduler {
+
+LocalityScheduler::LocalityScheduler(std::uint64_t seed)
+    : rng_(seed), seed_(seed) {}
+
+void LocalityScheduler::reset(const graph::BipartiteGraph& graph) {
+  graph_ = &graph;
+  rng_.reseed(seed_);
+  assigned_.assign(graph.num_blocks(), false);
+  remaining_ = graph.num_blocks();
+  local_.assign(graph.num_nodes(), {});
+  for (dfs::NodeId n = 0; n < graph.num_nodes(); ++n) {
+    local_[n] = graph.blocks_on(n);
+    // Shuffle so the "random local block" pick is O(1) off the back.
+    for (std::size_t i = local_[n].size(); i > 1; --i) {
+      std::swap(local_[n][i - 1], local_[n][rng_.bounded(i)]);
+    }
+  }
+}
+
+std::optional<std::size_t> LocalityScheduler::next_task(dfs::NodeId node) {
+  if (graph_ == nullptr || remaining_ == 0) return std::nullopt;
+
+  auto& mine = local_[node];
+  while (!mine.empty()) {
+    const std::size_t cand = mine.back();
+    mine.pop_back();
+    if (!assigned_[cand]) {
+      assigned_[cand] = true;
+      --remaining_;
+      return cand;
+    }
+  }
+  // No local block left: fall back to a random remaining block (the
+  // rack-remote / off-rack path in Hadoop).
+  std::vector<std::size_t> pool;
+  pool.reserve(remaining_);
+  for (std::size_t j = 0; j < assigned_.size(); ++j) {
+    if (!assigned_[j]) pool.push_back(j);
+  }
+  if (pool.empty()) return std::nullopt;
+  const std::size_t pick = pool[rng_.bounded(pool.size())];
+  assigned_[pick] = true;
+  --remaining_;
+  return pick;
+}
+
+}  // namespace datanet::scheduler

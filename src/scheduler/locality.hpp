@@ -1,0 +1,31 @@
+#pragma once
+// Hadoop's default block-locality scheduling (the paper's "without DataNet"
+// baseline): a requesting node receives a random unassigned block hosted
+// locally; if it has none left, a random remaining block (rack/any fallback).
+// It balances block *counts*, but is blind to sub-dataset content — the
+// source of the imbalance analyzed in Section II.
+
+#include "common/rng.hpp"
+#include "scheduler/scheduler.hpp"
+
+namespace datanet::scheduler {
+
+class LocalityScheduler final : public TaskScheduler {
+ public:
+  explicit LocalityScheduler(std::uint64_t seed = 7);
+
+  void reset(const graph::BipartiteGraph& graph) override;
+  std::optional<std::size_t> next_task(dfs::NodeId node) override;
+  [[nodiscard]] std::string_view name() const override { return "locality"; }
+
+ private:
+  common::Rng rng_;
+  std::uint64_t seed_;
+  const graph::BipartiteGraph* graph_ = nullptr;
+  std::vector<bool> assigned_;
+  std::size_t remaining_ = 0;
+  // Per-node cursor into its local block list to avoid rescanning.
+  std::vector<std::vector<std::size_t>> local_;
+};
+
+}  // namespace datanet::scheduler

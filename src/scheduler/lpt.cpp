@@ -1,0 +1,72 @@
+#include "scheduler/lpt.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace datanet::scheduler {
+
+void LptScheduler::reset(const graph::BipartiteGraph& graph) {
+  graph_ = &graph;
+  queues_.assign(graph.num_nodes(), {});
+  pending_weight_.assign(graph.num_nodes(), 0);
+  planned_.assign(graph.num_nodes(), 0);
+  remaining_ = graph.num_blocks();
+
+  std::vector<std::size_t> order(graph.num_blocks());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return graph.block(a).weight > graph.block(b).weight;
+  });
+
+  const double average = static_cast<double>(graph.total_weight()) /
+                         static_cast<double>(graph.num_nodes());
+  for (const std::size_t j : order) {
+    const auto& hosts = graph.block(j).hosts;
+    // Least-loaded replica holder.
+    dfs::NodeId target = hosts.empty() ? 0 : hosts[0];
+    for (const dfs::NodeId n : hosts) {
+      if (planned_[n] < planned_[target]) target = n;
+    }
+    // Optional relocation when every holder is already past the bar.
+    if (!hosts.empty() && options_.relocation_threshold >= 0.0) {
+      const double bar = average * (1.0 + options_.relocation_threshold);
+      if (static_cast<double>(planned_[target]) > bar) {
+        for (dfs::NodeId n = 0; n < graph.num_nodes(); ++n) {
+          if (planned_[n] < planned_[target]) target = n;
+        }
+      }
+    }
+    planned_[target] += graph.block(j).weight;
+    queues_[target].push_back(j);
+    pending_weight_[target] += graph.block(j).weight;
+  }
+}
+
+std::optional<std::size_t> LptScheduler::next_task(dfs::NodeId node) {
+  if (graph_ == nullptr || remaining_ == 0) return std::nullopt;
+  auto pop = [&](dfs::NodeId owner) {
+    const std::size_t j = queues_[owner].front();
+    queues_[owner].pop_front();
+    pending_weight_[owner] -= graph_->block(j).weight;
+    --remaining_;
+    return j;
+  };
+  if (!queues_[node].empty()) return pop(node);
+  // Work-conserving steal from the most-loaded remaining queue.
+  dfs::NodeId victim = node;
+  std::uint64_t most = 0;
+  for (dfs::NodeId n = 0; n < static_cast<dfs::NodeId>(queues_.size()); ++n) {
+    if (!queues_[n].empty() && pending_weight_[n] >= most) {
+      most = pending_weight_[n];
+      victim = n;
+    }
+  }
+  if (queues_[victim].empty()) return std::nullopt;
+  const std::size_t j = queues_[victim].back();
+  queues_[victim].pop_back();
+  pending_weight_[victim] -= graph_->block(j).weight;
+  --remaining_;
+  return j;
+}
+
+}  // namespace datanet::scheduler

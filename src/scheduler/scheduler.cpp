@@ -1,0 +1,115 @@
+#include "scheduler/scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace datanet::scheduler {
+
+AssignmentRecord drain_timed(TaskScheduler& sched,
+                             const graph::BipartiteGraph& graph,
+                             const std::vector<std::uint64_t>& block_bytes,
+                             const std::vector<double>& node_speed) {
+  if (block_bytes.size() != graph.num_blocks()) {
+    throw std::invalid_argument("drain_timed: block_bytes size mismatch");
+  }
+  if (!node_speed.empty()) {
+    if (node_speed.size() != graph.num_nodes()) {
+      throw std::invalid_argument("drain_timed: node_speed size mismatch");
+    }
+    for (const double s : node_speed) {
+      if (!(s > 0.0)) throw std::invalid_argument("drain_timed: speed <= 0");
+    }
+  }
+  sched.reset(graph);
+  AssignmentRecord rec;
+  rec.block_to_node.assign(graph.num_blocks(), 0);
+  rec.node_load.assign(graph.num_nodes(), 0);
+  rec.node_input_bytes.assign(graph.num_nodes(), 0);
+
+  std::vector<double> clock(graph.num_nodes(), 0.0);
+  std::vector<bool> exhausted(graph.num_nodes(), false);
+  std::size_t remaining = graph.num_blocks();
+  std::uint32_t live_nodes = graph.num_nodes();
+
+  while (remaining > 0 && live_nodes > 0) {
+    // Earliest-clock non-exhausted node requests next; ties to lowest id.
+    dfs::NodeId next = 0;
+    double best = std::numeric_limits<double>::infinity();
+    for (dfs::NodeId n = 0; n < graph.num_nodes(); ++n) {
+      if (!exhausted[n] && clock[n] < best) {
+        best = clock[n];
+        next = n;
+      }
+    }
+    const auto task = sched.next_task(next);
+    if (!task) {
+      exhausted[next] = true;
+      --live_nodes;
+      continue;
+    }
+    if (*task >= graph.num_blocks()) {
+      throw std::logic_error("drain_timed: scheduler returned bad task");
+    }
+    rec.block_to_node[*task] = next;
+    rec.node_load[next] += graph.block(*task).weight;
+    rec.node_input_bytes[next] += block_bytes[*task];
+    const double speed = node_speed.empty() ? 1.0 : node_speed[next];
+    clock[next] += static_cast<double>(block_bytes[*task]) / speed;
+    --remaining;
+    const auto& hosts = graph.block(*task).hosts;
+    if (std::find(hosts.begin(), hosts.end(), next) != hosts.end()) {
+      ++rec.local_tasks;
+    } else {
+      ++rec.remote_tasks;
+    }
+  }
+  if (remaining > 0) {
+    throw std::logic_error("drain_timed: scheduler stalled with tasks remaining");
+  }
+  return rec;
+}
+
+AssignmentRecord drain(TaskScheduler& sched, const graph::BipartiteGraph& graph,
+                       const std::vector<std::uint64_t>& block_bytes) {
+  if (block_bytes.size() != graph.num_blocks()) {
+    throw std::invalid_argument("drain: block_bytes size mismatch");
+  }
+  sched.reset(graph);
+  AssignmentRecord rec;
+  rec.block_to_node.assign(graph.num_blocks(), 0);
+  rec.node_load.assign(graph.num_nodes(), 0);
+  rec.node_input_bytes.assign(graph.num_nodes(), 0);
+
+  std::vector<bool> assigned(graph.num_blocks(), false);
+  std::size_t remaining = graph.num_blocks();
+  bool progress = true;
+  while (remaining > 0 && progress) {
+    progress = false;
+    for (dfs::NodeId n = 0; n < graph.num_nodes() && remaining > 0; ++n) {
+      const auto task = sched.next_task(n);
+      if (!task) continue;
+      if (*task >= graph.num_blocks() || assigned[*task]) {
+        throw std::logic_error("drain: scheduler returned bad/duplicate task");
+      }
+      assigned[*task] = true;
+      --remaining;
+      progress = true;
+      rec.block_to_node[*task] = n;
+      rec.node_load[n] += graph.block(*task).weight;
+      rec.node_input_bytes[n] += block_bytes[*task];
+      const auto& hosts = graph.block(*task).hosts;
+      if (std::find(hosts.begin(), hosts.end(), n) != hosts.end()) {
+        ++rec.local_tasks;
+      } else {
+        ++rec.remote_tasks;
+      }
+    }
+  }
+  if (remaining > 0) {
+    throw std::logic_error("drain: scheduler stalled with tasks remaining");
+  }
+  return rec;
+}
+
+}  // namespace datanet::scheduler

@@ -1,0 +1,58 @@
+#pragma once
+// Pull-model task schedulers (Section IV-B). Workers request tasks one at a
+// time, exactly like Hadoop task trackers heartbeating the JobTracker; a
+// scheduler answers each request with a block index from the job's bipartite
+// graph, or nothing when the task set T is exhausted.
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "graph/bipartite.hpp"
+
+namespace datanet::scheduler {
+
+class TaskScheduler {
+ public:
+  virtual ~TaskScheduler() = default;
+
+  // Bind to a job. `graph` must outlive the scheduler use.
+  virtual void reset(const graph::BipartiteGraph& graph) = 0;
+
+  // A worker on `node` requests its next task. Returns the chosen block
+  // index (into graph.blocks()), or nullopt when no tasks remain.
+  virtual std::optional<std::size_t> next_task(dfs::NodeId node) = 0;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+// Summary of a completed assignment: which node ran each block, and the
+// per-node byte loads (weights of assigned blocks) — the workload series
+// plotted in Fig. 1b / 5c / 8b.
+struct AssignmentRecord {
+  std::vector<dfs::NodeId> block_to_node;  // index-aligned with graph.blocks()
+  std::vector<std::uint64_t> node_load;    // bytes of sub-dataset per node
+  std::vector<std::uint64_t> node_input_bytes;  // raw block bytes per node
+  std::uint64_t local_tasks = 0;   // tasks served from a hosting node
+  std::uint64_t remote_tasks = 0;  // tasks that required a remote read
+};
+
+// Drive a scheduler through a full assignment with a fair request order:
+// every node requests in round-robin until all tasks are handed out. Returns
+// the per-node loads. `block_bytes[j]` is the raw size of block j (for the
+// node_input_bytes accounting).
+AssignmentRecord drain(TaskScheduler& sched, const graph::BipartiteGraph& graph,
+                       const std::vector<std::uint64_t>& block_bytes);
+
+// Speed-aware pull model: each node carries a virtual clock advanced by
+// block_bytes / node_speed per assigned task, and the node with the earliest
+// clock requests next — a slow node naturally asks for fewer blocks, like a
+// real task tracker that heartbeats only when a slot frees up. Empty
+// `node_speed` = homogeneous (equivalent to round-robin drain).
+AssignmentRecord drain_timed(TaskScheduler& sched,
+                             const graph::BipartiteGraph& graph,
+                             const std::vector<std::uint64_t>& block_bytes,
+                             const std::vector<double>& node_speed);
+
+}  // namespace datanet::scheduler

@@ -1,0 +1,28 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace datanet::sim {
+
+void EventQueue::schedule(Time at, std::function<void()> fn) {
+  if (at < now_) throw std::invalid_argument("EventQueue: scheduling in the past");
+  heap_.push(Entry{at, next_seq_++, std::move(fn)});
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top is const; the function is copied out before pop.
+  Entry e = heap_.top();
+  heap_.pop();
+  now_ = e.at;
+  e.fn();
+  return true;
+}
+
+void EventQueue::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace datanet::sim

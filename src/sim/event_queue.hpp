@@ -1,0 +1,46 @@
+#pragma once
+// A minimal discrete-event simulation core: a time-ordered event queue with
+// deterministic FIFO tie-breaking. The cluster simulator (cluster_sim.hpp)
+// builds on it; it is generic enough for any future event-driven model.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace datanet::sim {
+
+using Time = double;
+
+class EventQueue {
+ public:
+  // Schedule `fn` at absolute time `at` (must be >= now()).
+  void schedule(Time at, std::function<void()> fn);
+
+  // Pop and execute the earliest event; returns false when empty.
+  bool step();
+
+  // Run until no events remain.
+  void run();
+
+  [[nodiscard]] Time now() const noexcept { return now_; }
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+
+ private:
+  struct Entry {
+    Time at;
+    std::uint64_t seq;  // insertion order breaks time ties deterministically
+    std::function<void()> fn;
+    bool operator>(const Entry& other) const {
+      if (at != other.at) return at > other.at;
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace datanet::sim

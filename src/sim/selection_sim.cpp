@@ -1,0 +1,42 @@
+#include "sim/selection_sim.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace datanet::sim {
+
+SelectionSimReport simulate_selection(const dfs::MiniDfs& dfs,
+                                      const graph::BipartiteGraph& graph,
+                                      scheduler::TaskScheduler& sched,
+                                      const SelectionSimOptions& options) {
+  if (options.cluster.num_nodes != graph.num_nodes()) {
+    throw std::invalid_argument("simulate_selection: node count mismatch");
+  }
+  sched.reset(graph);
+
+  std::vector<SimTask> tasks(graph.num_blocks());
+  for (std::size_t j = 0; j < graph.num_blocks(); ++j) {
+    const auto bytes = dfs.block(graph.block(j).block_id).size_bytes;
+    tasks[j].input_bytes = bytes;
+    tasks[j].cpu_seconds = options.cpu_seconds_per_mib *
+                           static_cast<double>(bytes) / (1024.0 * 1024.0);
+  }
+
+  SelectionSimReport report;
+  report.node_filtered_bytes.assign(graph.num_nodes(), 0);
+
+  ClusterSim cluster(options.cluster);
+  report.sim = cluster.run(
+      tasks,
+      [&](std::uint32_t node) -> std::optional<std::size_t> {
+        const auto j = sched.next_task(node);
+        if (j) report.node_filtered_bytes[node] += graph.block(*j).weight;
+        return j;
+      },
+      [&](std::uint32_t node, std::size_t j) {
+        return !dfs.is_local(graph.block(j).block_id, node);
+      });
+  return report;
+}
+
+}  // namespace datanet::sim

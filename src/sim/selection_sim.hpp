@@ -1,0 +1,38 @@
+#pragma once
+// Bridge between the real TaskSchedulers and the discrete-event cluster
+// simulator: run a selection phase (one map task per block of a scheduling
+// graph) under event-driven timing with genuine pull-on-slot-free ordering.
+// Complements core::run_selection's analytic timing; bench_sim_vs_analytic
+// cross-checks the two backends.
+
+#include <cstdint>
+#include <vector>
+
+#include "dfs/mini_dfs.hpp"
+#include "graph/bipartite.hpp"
+#include "scheduler/scheduler.hpp"
+#include "sim/cluster_sim.hpp"
+
+namespace datanet::sim {
+
+struct SelectionSimOptions {
+  SimConfig cluster;
+  // Compute cost of the selection map (filtering) per input MiB, at cpu
+  // speed 1.0.
+  double cpu_seconds_per_mib = 0.2;
+};
+
+struct SelectionSimReport {
+  SimResult sim;
+  // Bytes of the target sub-dataset landing on each node (graph weights of
+  // the blocks each node executed).
+  std::vector<std::uint64_t> node_filtered_bytes;
+};
+
+// Drives `sched` with the simulator's pull events: the node whose slot frees
+// first requests the next block, exactly the paper's task-request loop.
+[[nodiscard]] SelectionSimReport simulate_selection(
+    const dfs::MiniDfs& dfs, const graph::BipartiteGraph& graph,
+    scheduler::TaskScheduler& sched, const SelectionSimOptions& options);
+
+}  // namespace datanet::sim

@@ -1,0 +1,32 @@
+#pragma once
+// Descriptive statistics over workload/time series. Used by scheduling
+// reports (Fig. 5c, 6, 7, 10) and ElasticMap accuracy summaries.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace datanet::stats {
+
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  // population standard deviation
+  double sum = 0.0;
+
+  // Imbalance measures used throughout the evaluation.
+  [[nodiscard]] double max_over_mean() const { return mean > 0 ? max / mean : 0.0; }
+  [[nodiscard]] double min_over_mean() const { return mean > 0 ? min / mean : 0.0; }
+  [[nodiscard]] double coeff_variation() const {
+    return mean > 0 ? stddev / mean : 0.0;
+  }
+};
+
+[[nodiscard]] Summary summarize(std::span<const double> xs);
+
+// p in [0, 1]; linear interpolation between order statistics.
+[[nodiscard]] double percentile(std::vector<double> xs, double p);
+
+}  // namespace datanet::stats

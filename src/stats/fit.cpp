@@ -1,0 +1,103 @@
+#include "stats/fit.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace datanet::stats {
+
+double digamma(double x) {
+  if (!(x > 0.0)) throw std::invalid_argument("digamma: x must be > 0");
+  double result = 0.0;
+  // Upward recurrence ψ(x) = ψ(x+1) - 1/x until x is large enough for the
+  // asymptotic series (error ~ 1/(240 x^8) < 1e-12 at x >= 12).
+  while (x < 12.0) {
+    result -= 1.0 / x;
+    x += 1.0;
+  }
+  // ψ(x) ~ ln x - 1/(2x) - 1/(12x^2) + 1/(120x^4) - 1/(252x^6) + 1/(240x^8).
+  const double inv = 1.0 / x;
+  const double inv2 = inv * inv;
+  result += std::log(x) - 0.5 * inv -
+            inv2 * (1.0 / 12.0 -
+                    inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0 - inv2 / 240.0)));
+  return result;
+}
+
+namespace {
+
+struct Moments {
+  double mean;
+  double var;
+  double mean_log;
+  std::size_t n;
+};
+
+Moments compute_moments(std::span<const double> xs, bool need_log) {
+  if (xs.size() < 2) throw std::invalid_argument("gamma fit: need >= 2 samples");
+  double sum = 0.0, sum_log = 0.0;
+  for (const double x : xs) {
+    if (need_log && !(x > 0.0)) {
+      throw std::invalid_argument("gamma fit: samples must be > 0");
+    }
+    sum += x;
+    if (need_log) sum_log += std::log(x);
+  }
+  const double n = static_cast<double>(xs.size());
+  const double mean = sum / n;
+  double ss = 0.0;
+  for (const double x : xs) {
+    const double d = x - mean;
+    ss += d * d;
+  }
+  return Moments{mean, ss / n, need_log ? sum_log / n : 0.0, xs.size()};
+}
+
+}  // namespace
+
+GammaFit fit_gamma_moments(std::span<const double> xs) {
+  const auto m = compute_moments(xs, /*need_log=*/false);
+  if (!(m.mean > 0.0) || !(m.var > 0.0)) {
+    throw std::invalid_argument("gamma fit: need positive mean and variance");
+  }
+  GammaFit fit;
+  fit.shape = m.mean * m.mean / m.var;
+  fit.scale = m.var / m.mean;
+  fit.iterations = 0;
+  return fit;
+}
+
+GammaFit fit_gamma_mle(std::span<const double> xs) {
+  const auto m = compute_moments(xs, /*need_log=*/true);
+  if (!(m.mean > 0.0)) throw std::invalid_argument("gamma fit: mean must be > 0");
+  const double s = std::log(m.mean) - m.mean_log;  // always >= 0 (Jensen)
+  if (!(s > 0.0)) {
+    // Degenerate (all samples equal): variance 0; fall back to a huge shape.
+    GammaFit fit;
+    fit.shape = 1e12;
+    fit.scale = m.mean / fit.shape;
+    return fit;
+  }
+  // Minka's closed-form start.
+  double k = (3.0 - s + std::sqrt((s - 3.0) * (s - 3.0) + 24.0 * s)) / (12.0 * s);
+  GammaFit fit;
+  for (int i = 0; i < 100; ++i) {
+    const double f = std::log(k) - digamma(k) - s;
+    // d/dk [ln k - psi(k)] = 1/k - psi'(k); approximate trigamma by the
+    // asymptotic 1/k + 1/(2k^2) + 1/(6k^3).
+    const double trigamma =
+        1.0 / k + 1.0 / (2.0 * k * k) + 1.0 / (6.0 * k * k * k);
+    const double fprime = 1.0 / k - trigamma;
+    const double step = f / fprime;
+    k -= step;
+    if (!(k > 0.0)) {
+      k = 1e-8;  // guard; next iterations recover
+    }
+    fit.iterations = i + 1;
+    if (std::fabs(step) < 1e-12 * (1.0 + k)) break;
+  }
+  fit.shape = k;
+  fit.scale = m.mean / k;
+  return fit;
+}
+
+}  // namespace datanet::stats

@@ -1,0 +1,30 @@
+#pragma once
+// Fitting the Section II-B workload model to data. The paper *assumes*
+// per-block sub-dataset sizes follow Gamma(k, theta); these routines let an
+// operator estimate (k, theta) from an observed distribution (e.g. the
+// ElasticMap's per-block sizes) so the Figure 2 imbalance forecasts can be
+// made for a real dataset rather than assumed parameters.
+
+#include <span>
+
+namespace datanet::stats {
+
+// Digamma ψ(x) (derivative of ln Γ): asymptotic series with upward
+// recurrence, |error| < 1e-12 for x > 0.
+[[nodiscard]] double digamma(double x);
+
+struct GammaFit {
+  double shape = 0.0;  // k
+  double scale = 0.0;  // theta
+  int iterations = 0;  // Newton steps used (0 => moments-only fallback)
+};
+
+// Method-of-moments estimate: k = mean^2 / var, theta = var / mean.
+[[nodiscard]] GammaFit fit_gamma_moments(std::span<const double> xs);
+
+// Maximum-likelihood estimate via Newton iteration on
+//   ln(k) - psi(k) = ln(mean) - mean(ln x),
+// started from the Minka closed-form approximation. Requires all xs > 0.
+[[nodiscard]] GammaFit fit_gamma_mle(std::span<const double> xs);
+
+}  // namespace datanet::stats

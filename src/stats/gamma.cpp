@@ -1,0 +1,123 @@
+#include "stats/gamma.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace datanet::stats {
+
+namespace {
+
+constexpr int kMaxIter = 500;
+constexpr double kEps = 3.0e-15;
+constexpr double kFpMin = std::numeric_limits<double>::min() / kEps;
+
+// Series representation of P(a, x): converges fast for x < a + 1.
+double gamma_p_series(double a, double x) {
+  double ap = a;
+  double sum = 1.0 / a;
+  double del = sum;
+  for (int i = 0; i < kMaxIter; ++i) {
+    ap += 1.0;
+    del *= x / ap;
+    sum += del;
+    if (std::fabs(del) < std::fabs(sum) * kEps) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+// Lentz continued fraction for Q(a, x): converges fast for x > a + 1.
+double gamma_q_contfrac(double a, double x) {
+  double b = x + 1.0 - a;
+  double c = 1.0 / kFpMin;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= kMaxIter; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = b + an / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return std::exp(-x + a * std::log(x) - std::lgamma(a)) * h;
+}
+
+}  // namespace
+
+double regularized_gamma_p(double a, double x) {
+  if (!(a > 0.0) || x < 0.0) {
+    throw std::invalid_argument("regularized_gamma_p: require a > 0, x >= 0");
+  }
+  if (x == 0.0) return 0.0;
+  if (x < a + 1.0) return gamma_p_series(a, x);
+  return 1.0 - gamma_q_contfrac(a, x);
+}
+
+double regularized_gamma_q(double a, double x) {
+  if (!(a > 0.0) || x < 0.0) {
+    throw std::invalid_argument("regularized_gamma_q: require a > 0, x >= 0");
+  }
+  if (x == 0.0) return 1.0;
+  if (x < a + 1.0) return 1.0 - gamma_p_series(a, x);
+  return gamma_q_contfrac(a, x);
+}
+
+GammaDistribution::GammaDistribution(double shape, double scale)
+    : shape_(shape), scale_(scale) {
+  if (!(shape > 0.0) || !(scale > 0.0)) {
+    throw std::invalid_argument("GammaDistribution: shape and scale must be > 0");
+  }
+}
+
+double GammaDistribution::pdf(double x) const {
+  if (x < 0.0) return 0.0;
+  if (x == 0.0) {
+    if (shape_ < 1.0) return std::numeric_limits<double>::infinity();
+    if (shape_ == 1.0) return 1.0 / scale_;
+    return 0.0;
+  }
+  const double log_pdf = (shape_ - 1.0) * std::log(x) - x / scale_ -
+                         std::lgamma(shape_) - shape_ * std::log(scale_);
+  return std::exp(log_pdf);
+}
+
+double GammaDistribution::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return regularized_gamma_p(shape_, x / scale_);
+}
+
+double GammaDistribution::quantile(double p) const {
+  if (!(p > 0.0) || !(p < 1.0)) {
+    throw std::invalid_argument("GammaDistribution::quantile: p must be in (0,1)");
+  }
+  // Bracket: mean-scaled exponential expansion, then bisection to 1e-12 rel.
+  double lo = 0.0;
+  double hi = mean() + 1.0;
+  while (cdf(hi) < p) hi *= 2.0;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (cdf(mid) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo <= 1e-12 * (1.0 + hi)) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+GammaDistribution node_workload_distribution(double k, double theta,
+                                             std::uint64_t n_blocks,
+                                             std::uint64_t m_nodes) {
+  if (m_nodes == 0) throw std::invalid_argument("m_nodes must be > 0");
+  const double shape = k * static_cast<double>(n_blocks) / static_cast<double>(m_nodes);
+  return GammaDistribution(shape, theta);
+}
+
+}  // namespace datanet::stats

@@ -1,0 +1,53 @@
+#include "stats/goodness_of_fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace datanet::stats {
+
+double chi_squared_sf(double x, std::uint32_t dof) {
+  if (dof == 0) throw std::invalid_argument("chi_squared_sf: dof == 0");
+  if (x <= 0.0) return 1.0;
+  return regularized_gamma_q(static_cast<double>(dof) / 2.0, x / 2.0);
+}
+
+GofResult chi_squared_gof(std::span<const double> xs,
+                          const GammaDistribution& model,
+                          std::uint32_t fitted_params) {
+  const std::size_t n = xs.size();
+  // Equal-probability bins with expected count >= 5.
+  const auto max_bins = static_cast<std::uint32_t>(
+      std::min<std::size_t>(n / 5, 50));
+  if (max_bins < fitted_params + 2) {
+    throw std::invalid_argument("chi_squared_gof: too few samples");
+  }
+  const std::uint32_t bins = max_bins;
+
+  // Bin edges at model quantiles i/bins.
+  std::vector<double> edges(bins - 1);
+  for (std::uint32_t i = 1; i < bins; ++i) {
+    edges[i - 1] = model.quantile(static_cast<double>(i) /
+                                  static_cast<double>(bins));
+  }
+
+  std::vector<std::uint64_t> observed(bins, 0);
+  for (const double x : xs) {
+    const auto it = std::upper_bound(edges.begin(), edges.end(), x);
+    ++observed[static_cast<std::size_t>(it - edges.begin())];
+  }
+
+  const double expected = static_cast<double>(n) / static_cast<double>(bins);
+  GofResult result;
+  result.bins = bins;
+  for (const auto o : observed) {
+    const double d = static_cast<double>(o) - expected;
+    result.statistic += d * d / expected;
+  }
+  result.dof = bins - 1 - fitted_params;
+  result.p_value = chi_squared_sf(result.statistic, result.dof);
+  return result;
+}
+
+}  // namespace datanet::stats

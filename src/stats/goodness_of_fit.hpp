@@ -1,0 +1,34 @@
+#pragma once
+// Chi-square goodness-of-fit for the Section II-B Gamma model: before
+// trusting a Fig. 2-style forecast, check that Gamma(k, theta) actually
+// describes the observed per-block sizes. Uses equal-probability bins (so
+// expected counts are uniform) and the regularized incomplete gamma for the
+// chi-square tail probability.
+
+#include <cstdint>
+#include <span>
+
+#include "stats/gamma.hpp"
+
+namespace datanet::stats {
+
+struct GofResult {
+  double statistic = 0.0;   // chi-square statistic
+  std::uint32_t dof = 0;    // bins - 1 - fitted_params
+  double p_value = 1.0;     // P(chi2_dof >= statistic)
+  std::uint32_t bins = 0;
+};
+
+// Chi-square survival function via Q(dof/2, x/2).
+[[nodiscard]] double chi_squared_sf(double x, std::uint32_t dof);
+
+// Test H0: `xs` ~ `model`. `fitted_params` is how many of the model's
+// parameters were estimated from these same samples (2 for a fitted Gamma),
+// which reduces the degrees of freedom. Bins are chosen so the expected
+// count per bin is >= 5 (capped at 50 bins). Requires enough samples for at
+// least fitted_params + 2 bins.
+[[nodiscard]] GofResult chi_squared_gof(std::span<const double> xs,
+                                        const GammaDistribution& model,
+                                        std::uint32_t fitted_params = 2);
+
+}  // namespace datanet::stats

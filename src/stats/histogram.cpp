@@ -1,0 +1,46 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace datanet::stats {
+
+Histogram::Histogram(std::vector<double> edges) : edges_(std::move(edges)) {
+  if (!std::is_sorted(edges_.begin(), edges_.end()) ||
+      std::adjacent_find(edges_.begin(), edges_.end()) != edges_.end()) {
+    throw std::invalid_argument("Histogram: edges must be strictly increasing");
+  }
+  counts_.assign(edges_.size() + 1, 0);
+}
+
+void Histogram::add(double x, std::uint64_t count) {
+  counts_[bucket_index(x)] += count;
+  total_ += count;
+}
+
+std::size_t Histogram::bucket_index(double x) const {
+  const auto it = std::upper_bound(edges_.begin(), edges_.end(), x);
+  return static_cast<std::size_t>(it - edges_.begin());
+}
+
+std::uint64_t Histogram::count(std::size_t bucket) const {
+  if (bucket >= counts_.size()) throw std::out_of_range("Histogram::count");
+  return counts_[bucket];
+}
+
+std::vector<double> fibonacci_edges(double unit, double max_edge) {
+  if (!(unit > 0.0) || !(max_edge >= unit)) {
+    throw std::invalid_argument("fibonacci_edges: require unit > 0, max >= unit");
+  }
+  std::vector<double> edges;
+  double a = 1.0, b = 2.0;
+  while (a * unit <= max_edge) {
+    edges.push_back(a * unit);
+    const double next = a + b;
+    a = b;
+    b = next;
+  }
+  return edges;
+}
+
+}  // namespace datanet::stats

@@ -1,0 +1,35 @@
+#pragma once
+// Variable-edge histogram. The ElasticMap bucket separator and several bench
+// reports are built on this.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace datanet::stats {
+
+class Histogram {
+ public:
+  // `edges` are the interior bucket boundaries, strictly increasing.
+  // Buckets: (-inf, e0), [e0, e1), ..., [e_{k-1}, +inf) — k+1 buckets.
+  explicit Histogram(std::vector<double> edges);
+
+  void add(double x, std::uint64_t count = 1);
+
+  [[nodiscard]] std::size_t bucket_index(double x) const;
+  [[nodiscard]] std::size_t num_buckets() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t count(std::size_t bucket) const;
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::span<const double> edges() const noexcept { return edges_; }
+
+ private:
+  std::vector<double> edges_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+// Fibonacci-style edges used by the paper's bucket separation (Section
+// III-B): 1, 2, 3, 5, 8, 13, 21, 34, ... scaled by `unit` until `max_edge`.
+[[nodiscard]] std::vector<double> fibonacci_edges(double unit, double max_edge);
+
+}  // namespace datanet::stats

@@ -1,0 +1,34 @@
+#include "stats/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace datanet::stats {
+
+ZipfSampler::ZipfSampler(std::uint64_t num_items, double exponent)
+    : exponent_(exponent) {
+  if (num_items == 0) throw std::invalid_argument("ZipfSampler: num_items == 0");
+  if (exponent < 0.0) throw std::invalid_argument("ZipfSampler: exponent < 0");
+  cdf_.resize(num_items);
+  double acc = 0.0;
+  for (std::uint64_t r = 0; r < num_items; ++r) {
+    acc += 1.0 / std::pow(static_cast<double>(r + 1), exponent);
+    cdf_[r] = acc;
+  }
+  for (auto& v : cdf_) v /= acc;
+  cdf_.back() = 1.0;  // guard against fp rounding at the top
+}
+
+std::uint64_t ZipfSampler::sample(common::Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::uint64_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::probability(std::uint64_t rank) const {
+  if (rank >= cdf_.size()) throw std::out_of_range("ZipfSampler::probability");
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+}  // namespace datanet::stats

@@ -1,0 +1,33 @@
+#pragma once
+// Zipf(s, N) sampler for skewed popularity (movie popularity, event types).
+// Uses precomputed CDF + binary search: O(N) setup, O(log N) per draw,
+// exact distribution (no rejection approximation error).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace datanet::stats {
+
+class ZipfSampler {
+ public:
+  // Ranks are 0-based: rank 0 has probability proportional to 1/1^s.
+  ZipfSampler(std::uint64_t num_items, double exponent);
+
+  [[nodiscard]] std::uint64_t sample(common::Rng& rng) const;
+
+  // P(rank) for diagnostics/tests.
+  [[nodiscard]] double probability(std::uint64_t rank) const;
+
+  [[nodiscard]] std::uint64_t num_items() const noexcept {
+    return static_cast<std::uint64_t>(cdf_.size());
+  }
+  [[nodiscard]] double exponent() const noexcept { return exponent_; }
+
+ private:
+  std::vector<double> cdf_;
+  double exponent_;
+};
+
+}  // namespace datanet::stats

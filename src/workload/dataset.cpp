@@ -1,0 +1,59 @@
+#include "workload/dataset.hpp"
+
+#include <algorithm>
+
+namespace datanet::workload {
+
+std::uint64_t ingest(dfs::MiniDfs& dfs, const std::string& path,
+                     std::span<const Record> records) {
+  auto writer = dfs.create(path);
+  for (const Record& r : records) writer.append(encode_record(r));
+  writer.close();
+  return dfs.blocks_of(path).size();
+}
+
+GroundTruth::GroundTruth(const dfs::MiniDfs& dfs, const std::string& path) {
+  const auto& blocks = dfs.blocks_of(path);
+  per_block_.resize(blocks.size());
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    for_each_record(dfs.read_block(blocks[i]), [&](const RecordView& rv) {
+      const std::uint64_t sz = rv.encoded_size();
+      per_block_[i][rv.id()] += sz;
+      totals_[rv.id()] += sz;
+      total_bytes_ += sz;
+    });
+  }
+}
+
+std::uint64_t GroundTruth::size_in_block(std::uint64_t block_index,
+                                         SubDatasetId id) const {
+  if (block_index >= per_block_.size()) return 0;
+  const auto it = per_block_[block_index].find(id);
+  return it == per_block_[block_index].end() ? 0 : it->second;
+}
+
+std::uint64_t GroundTruth::total_size(SubDatasetId id) const {
+  const auto it = totals_.find(id);
+  return it == totals_.end() ? 0 : it->second;
+}
+
+std::vector<std::uint64_t> GroundTruth::distribution(SubDatasetId id) const {
+  std::vector<std::uint64_t> out(per_block_.size(), 0);
+  for (std::size_t i = 0; i < per_block_.size(); ++i) {
+    out[i] = size_in_block(i, id);
+  }
+  return out;
+}
+
+std::vector<SubDatasetId> GroundTruth::ids_by_size() const {
+  std::vector<SubDatasetId> ids;
+  ids.reserve(totals_.size());
+  for (const auto& [id, _] : totals_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end(), [&](SubDatasetId a, SubDatasetId b) {
+    const auto sa = totals_.at(a), sb = totals_.at(b);
+    return sa != sb ? sa > sb : a < b;
+  });
+  return ids;
+}
+
+}  // namespace datanet::workload

@@ -1,0 +1,56 @@
+#pragma once
+// Glue between generators and the DFS: ingest a record stream into MiniDfs
+// (Flume-style chronological append) and compute exact per-block sub-dataset
+// ground truth for accuracy evaluation (Fig. 9, Table II) and tests.
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dfs/mini_dfs.hpp"
+#include "workload/record.hpp"
+
+namespace datanet::workload {
+
+// Write `records` (already in storage order) into a new DFS file.
+// Returns the number of blocks the file occupies.
+std::uint64_t ingest(dfs::MiniDfs& dfs, const std::string& path,
+                     std::span<const Record> records);
+
+// Exact |b ∩ s| for every block of a file and every sub-dataset: the oracle
+// DataNet's ElasticMap approximates.
+class GroundTruth {
+ public:
+  GroundTruth(const dfs::MiniDfs& dfs, const std::string& path);
+
+  // Bytes of sub-dataset `id` inside block ordinal `block_index` (0 if none).
+  [[nodiscard]] std::uint64_t size_in_block(std::uint64_t block_index,
+                                            SubDatasetId id) const;
+
+  // Total bytes of sub-dataset `id` across the file.
+  [[nodiscard]] std::uint64_t total_size(SubDatasetId id) const;
+
+  // Per-block distribution vector for one sub-dataset (Fig. 1a / 5b series).
+  [[nodiscard]] std::vector<std::uint64_t> distribution(SubDatasetId id) const;
+
+  // All sub-dataset ids present in the file, sorted by descending total size.
+  [[nodiscard]] std::vector<SubDatasetId> ids_by_size() const;
+
+  [[nodiscard]] std::uint64_t num_blocks() const noexcept {
+    return per_block_.size();
+  }
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept { return total_bytes_; }
+  [[nodiscard]] std::uint64_t num_subdatasets() const noexcept {
+    return totals_.size();
+  }
+
+ private:
+  std::vector<std::unordered_map<SubDatasetId, std::uint64_t>> per_block_;
+  std::unordered_map<SubDatasetId, std::uint64_t> totals_;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace datanet::workload

@@ -1,0 +1,64 @@
+#include "workload/io.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace datanet::workload {
+
+std::uint64_t save_records(const std::string& file_path,
+                           std::span<const Record> records) {
+  std::ofstream out(file_path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("save_records: cannot open " + file_path);
+  std::uint64_t bytes = 0;
+  for (const Record& r : records) {
+    const auto line = encode_record(r);
+    out.write(line.data(), static_cast<std::streamsize>(line.size()));
+    out.put('\n');
+    bytes += line.size() + 1;
+  }
+  if (!out) throw std::runtime_error("save_records: write failed");
+  return bytes;
+}
+
+std::vector<Record> load_records(const std::string& file_path, LoadStats* stats) {
+  std::ifstream in(file_path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_records: cannot open " + file_path);
+  std::vector<Record> records;
+  LoadStats local;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (const auto rv = decode_record(line)) {
+      records.push_back(Record{rv->timestamp, std::string(rv->key),
+                               std::string(rv->payload)});
+      ++local.loaded;
+    } else {
+      ++local.skipped;
+    }
+  }
+  if (stats) *stats = local;
+  return records;
+}
+
+std::uint64_t ingest_file(dfs::MiniDfs& dfs, const std::string& dfs_path,
+                          const std::string& local_file, LoadStats* stats) {
+  std::ifstream in(local_file, std::ios::binary);
+  if (!in) throw std::runtime_error("ingest_file: cannot open " + local_file);
+  auto writer = dfs.create(dfs_path);
+  LoadStats local;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (decode_record(line)) {
+      writer.append(line);
+      ++local.loaded;
+    } else {
+      ++local.skipped;
+    }
+  }
+  writer.close();
+  if (stats) *stats = local;
+  return dfs.blocks_of(dfs_path).size();
+}
+
+}  // namespace datanet::workload

@@ -1,0 +1,38 @@
+#pragma once
+// Local-file import/export for record streams: lets the CLI (and users) run
+// DataNet over real log files instead of synthetic generators, and dump
+// generated datasets for inspection. Files are newline-separated encoded
+// records ("ts\tkey\tpayload").
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dfs/mini_dfs.hpp"
+#include "workload/record.hpp"
+
+namespace datanet::workload {
+
+// Write records as encoded lines; returns bytes written. Overwrites.
+std::uint64_t save_records(const std::string& file_path,
+                           std::span<const Record> records);
+
+struct LoadStats {
+  std::uint64_t loaded = 0;
+  std::uint64_t skipped = 0;  // malformed lines
+};
+
+// Read and validate records from a local file; malformed lines are counted
+// and dropped. Throws on I/O failure.
+[[nodiscard]] std::vector<Record> load_records(const std::string& file_path,
+                                               LoadStats* stats = nullptr);
+
+// Stream a local log file straight into a DFS file without materializing
+// all records (line-validated). Returns the number of blocks written;
+// `stats` reports skipped lines.
+std::uint64_t ingest_file(dfs::MiniDfs& dfs, const std::string& dfs_path,
+                          const std::string& local_file,
+                          LoadStats* stats = nullptr);
+
+}  // namespace datanet::workload

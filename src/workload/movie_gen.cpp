@@ -1,0 +1,80 @@
+#include "workload/movie_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "stats/zipf.hpp"
+#include "workload/text_gen.hpp"
+
+namespace datanet::workload {
+
+MovieLogGenerator::MovieLogGenerator(MovieGenOptions options)
+    : options_(options) {
+  if (options_.num_movies == 0) throw std::invalid_argument("num_movies == 0");
+  if (options_.num_records == 0) throw std::invalid_argument("num_records == 0");
+  if (options_.horizon_seconds == 0) throw std::invalid_argument("horizon == 0");
+
+  common::Rng rng(options_.seed);
+  const stats::ZipfSampler pop(options_.num_movies, options_.popularity_zipf);
+  movies_.resize(options_.num_movies);
+  for (std::uint64_t m = 0; m < options_.num_movies; ++m) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "movie_%05llu",
+                  static_cast<unsigned long long>(m));
+    movies_[m].key = buf;
+    // Releases spread over the first 90% of the horizon so late releases
+    // still accumulate reviews inside the log window.
+    movies_[m].release = rng.bounded(options_.horizon_seconds * 9 / 10);
+    movies_[m].popularity = pop.probability(m);
+  }
+}
+
+std::string MovieLogGenerator::movie_key(std::uint64_t rank) const {
+  if (rank >= movies_.size()) throw std::out_of_range("movie_key: bad rank");
+  return movies_[rank].key;  // rank order == construction order (Zipf ranks)
+}
+
+std::vector<Record> MovieLogGenerator::generate() const {
+  common::Rng rng(options_.seed ^ 0x9d2c5680ULL);
+  const stats::ZipfSampler pop(options_.num_movies, options_.popularity_zipf);
+  const TextGenerator text;
+
+  std::vector<Record> records;
+  records.reserve(options_.num_records);
+  for (std::uint64_t i = 0; i < options_.num_records; ++i) {
+    const std::uint64_t m = pop.sample(rng);
+    const MovieInfo& movie = movies_[m];
+
+    std::uint64_t ts;
+    if (rng.bernoulli(options_.background_fraction)) {
+      // Background chatter: uniform over the post-release window.
+      ts = movie.release + rng.bounded(options_.horizon_seconds - movie.release);
+    } else {
+      // Release-decay burst: Exp(decay) after release, clamped into horizon.
+      const double delay = -options_.decay_seconds * std::log(1.0 - rng.uniform());
+      ts = movie.release + static_cast<std::uint64_t>(delay);
+      if (ts >= options_.horizon_seconds) ts = options_.horizon_seconds - 1;
+    }
+
+    Record r;
+    r.timestamp = ts;
+    r.key = movie.key;
+    const int rating = static_cast<int>(rng.range(1, 10));
+    r.payload = "rating=" + std::to_string(rating) + " " +
+                text.sentence(rng, options_.min_review_words,
+                              options_.max_review_words);
+    records.push_back(std::move(r));
+  }
+
+  // Chronological storage order; stable so equal timestamps keep draw order
+  // and the stream is deterministic.
+  std::stable_sort(records.begin(), records.end(),
+                   [](const Record& a, const Record& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+  return records;
+}
+
+}  // namespace datanet::workload

@@ -1,0 +1,61 @@
+#pragma once
+// MovieLens/MovieTweetings-shaped review log (the paper's primary dataset,
+// ref [11]): a chronological stream of movie ratings + text reviews. Content
+// clustering is produced by the release-decay model — each movie's reviews
+// arrive at an exponentially decaying rate after its release date, so the
+// bulk of a movie's sub-dataset lands in the few blocks covering that period
+// (Fig. 1a / Fig. 5b). Movie popularity follows a Zipf law, so a block is
+// dominated by a handful of then-hot movies while containing stray records of
+// many others — the regime ElasticMap's hashmap/bloom split targets.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "workload/record.hpp"
+
+namespace datanet::workload {
+
+struct MovieGenOptions {
+  std::uint64_t num_movies = 2000;
+  std::uint64_t num_records = 200'000;
+  std::uint64_t horizon_seconds = 86400ull * 365;  // one year of logs
+  double popularity_zipf = 0.95;  // movie popularity skew
+  double decay_seconds = 86400.0 * 30;  // mean review delay after release
+  // Fraction of reviews that ignore the release decay (background chatter
+  // about old movies); keeps tails realistic.
+  double background_fraction = 0.02;
+  std::uint32_t min_review_words = 6;
+  std::uint32_t max_review_words = 30;
+  std::uint64_t seed = 1234;
+};
+
+struct MovieInfo {
+  std::string key;          // "movie_00042"
+  std::uint64_t release = 0;  // release timestamp
+  double popularity = 0.0;    // relative share of total reviews
+};
+
+class MovieLogGenerator {
+ public:
+  explicit MovieLogGenerator(MovieGenOptions options);
+
+  // Generate the full stream sorted by timestamp (chronological storage, as
+  // the paper's dataset is stored).
+  [[nodiscard]] std::vector<Record> generate() const;
+
+  [[nodiscard]] const std::vector<MovieInfo>& movies() const noexcept {
+    return movies_;
+  }
+  [[nodiscard]] const MovieGenOptions& options() const noexcept { return options_; }
+
+  // The key of the `rank`-th most popular movie (rank 0 = most popular).
+  [[nodiscard]] std::string movie_key(std::uint64_t rank) const;
+
+ private:
+  MovieGenOptions options_;
+  std::vector<MovieInfo> movies_;
+};
+
+}  // namespace datanet::workload

@@ -1,0 +1,49 @@
+#include "workload/record.hpp"
+
+#include <charconv>
+
+namespace datanet::workload {
+
+std::uint64_t RecordView::encoded_size() const noexcept {
+  // digits(ts) + '\t' + key + '\t' + payload + '\n'
+  std::uint64_t ts = timestamp;
+  std::uint64_t digits = 1;
+  while (ts >= 10) {
+    ts /= 10;
+    ++digits;
+  }
+  return digits + 1 + key.size() + 1 + payload.size() + 1;
+}
+
+std::string encode_record(const Record& r) {
+  std::string out;
+  out.reserve(24 + r.key.size() + r.payload.size());
+  char buf[24];
+  const auto [p, ec] = std::to_chars(buf, buf + sizeof(buf), r.timestamp);
+  (void)ec;
+  out.append(buf, p);
+  out.push_back('\t');
+  out.append(r.key);
+  out.push_back('\t');
+  out.append(r.payload);
+  return out;
+}
+
+std::optional<RecordView> decode_record(std::string_view line) {
+  const std::size_t t1 = line.find('\t');
+  if (t1 == std::string_view::npos) return std::nullopt;
+  const std::size_t t2 = line.find('\t', t1 + 1);
+  if (t2 == std::string_view::npos) return std::nullopt;
+
+  RecordView rv;
+  const std::string_view ts = line.substr(0, t1);
+  const auto [ptr, ec] = std::from_chars(ts.data(), ts.data() + ts.size(),
+                                         rv.timestamp);
+  if (ec != std::errc{} || ptr != ts.data() + ts.size()) return std::nullopt;
+  rv.key = line.substr(t1 + 1, t2 - t1 - 1);
+  if (rv.key.empty()) return std::nullopt;
+  rv.payload = line.substr(t2 + 1);
+  return rv;
+}
+
+}  // namespace datanet::workload

@@ -1,0 +1,69 @@
+#pragma once
+// The log-record model. Every dataset in this repository is a chronological
+// stream of records `timestamp \t sub-dataset-key \t payload` — exactly the
+// "lists of records, each consisting of several fields such as source/user
+// id, log time, ..." shape the paper describes (Section II-A). A sub-dataset
+// S(e) is the set of records whose key equals e (Eq. 1).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/hash.hpp"
+
+namespace datanet::workload {
+
+// Numeric id of a sub-dataset: stable 64-bit hash of its key. ElasticMap,
+// Bloom filters and schedulers all operate on ids, never on raw keys.
+using SubDatasetId = std::uint64_t;
+
+[[nodiscard]] inline SubDatasetId subdataset_id(std::string_view key) noexcept {
+  return common::hash_bytes(key, /*seed=*/0x5d57ULL);
+}
+
+struct Record {
+  std::uint64_t timestamp = 0;  // seconds since dataset epoch
+  std::string key;              // sub-dataset key (movie name, event type, ...)
+  std::string payload;          // free text / fields
+};
+
+// Zero-copy view over one encoded line.
+struct RecordView {
+  std::uint64_t timestamp = 0;
+  std::string_view key;
+  std::string_view payload;
+
+  [[nodiscard]] SubDatasetId id() const noexcept { return subdataset_id(key); }
+  // On-disk footprint of this record including the trailing newline; this is
+  // the |b ∩ s| contribution used throughout DataNet.
+  [[nodiscard]] std::uint64_t encoded_size() const noexcept;
+};
+
+[[nodiscard]] std::string encode_record(const Record& r);
+[[nodiscard]] std::optional<RecordView> decode_record(std::string_view line);
+
+// Invoke fn(RecordView) for each well-formed line in a block's bytes;
+// malformed lines are counted and skipped. Returns number of skipped lines.
+template <typename Fn>
+std::uint64_t for_each_record(std::string_view block_bytes, Fn&& fn) {
+  std::uint64_t skipped = 0;
+  std::size_t start = 0;
+  while (start < block_bytes.size()) {
+    std::size_t end = block_bytes.find('\n', start);
+    if (end == std::string_view::npos) end = block_bytes.size();
+    const std::string_view line = block_bytes.substr(start, end - start);
+    if (!line.empty()) {
+      if (auto rv = decode_record(line)) {
+        fn(*rv);
+      } else {
+        ++skipped;
+      }
+    }
+    start = end + 1;
+  }
+  return skipped;
+}
+
+}  // namespace datanet::workload

@@ -1,0 +1,72 @@
+#include "workload/worldcup_gen.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+#include "stats/zipf.hpp"
+
+namespace datanet::workload {
+
+WorldCupLogGenerator::WorldCupLogGenerator(WorldCupGenOptions options)
+    : options_(options) {
+  if (options_.num_pages == 0 || options_.num_records == 0 ||
+      options_.num_days == 0) {
+    throw std::invalid_argument("WorldCupLogGenerator: zero-sized option");
+  }
+  if (options_.num_match_days > options_.num_days) {
+    throw std::invalid_argument("num_match_days > num_days");
+  }
+}
+
+std::vector<Record> WorldCupLogGenerator::generate() const {
+  common::Rng rng(options_.seed);
+  const stats::ZipfSampler base_pop(options_.num_pages, 0.9);
+
+  // Pick match days and, for each, 2 bursting pages.
+  std::vector<std::vector<std::uint64_t>> bursts(options_.num_days);
+  for (std::uint64_t i = 0; i < options_.num_match_days; ++i) {
+    const std::uint64_t day = rng.bounded(options_.num_days);
+    bursts[day].push_back(rng.bounded(options_.num_pages));
+    bursts[day].push_back(rng.bounded(options_.num_pages));
+  }
+
+  constexpr std::uint64_t kSecondsPerDay = 86400;
+  std::vector<Record> records;
+  records.reserve(options_.num_records);
+  const std::uint64_t per_day = options_.num_records / options_.num_days;
+
+  for (std::uint64_t day = 0; day < options_.num_days; ++day) {
+    // Burst days produce proportionally more traffic.
+    const bool match = !bursts[day].empty();
+    const std::uint64_t day_records = match ? per_day * 3 : per_day;
+    for (std::uint64_t i = 0; i < day_records; ++i) {
+      std::uint64_t page;
+      if (match && rng.bernoulli(options_.burst_factor /
+                                 (options_.burst_factor + 10.0))) {
+        page = bursts[day][rng.bounded(bursts[day].size())];
+      } else {
+        page = base_pop.sample(rng);
+      }
+      Record r;
+      r.timestamp = day * kSecondsPerDay + rng.bounded(kSecondsPerDay);
+      char key[32];
+      std::snprintf(key, sizeof(key), "page_%04llu",
+                    static_cast<unsigned long long>(page));
+      r.key = key;
+      r.payload = "method=GET status=" +
+                  std::to_string(rng.bernoulli(0.97) ? 200 : 404) +
+                  " bytes=" + std::to_string(200 + rng.bounded(40000)) +
+                  " client=c" + std::to_string(rng.bounded(100000));
+      records.push_back(std::move(r));
+    }
+  }
+
+  std::stable_sort(records.begin(), records.end(),
+                   [](const Record& a, const Record& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+  return records;
+}
+
+}  // namespace datanet::workload

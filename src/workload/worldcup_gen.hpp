@@ -1,0 +1,40 @@
+#pragma once
+// WorldCup-98-shaped HTTP access log (paper ref [3], used in the intro as a
+// motivating sub-dataset workload). Requests target pages; match days create
+// huge bursts for the pages of the teams playing — a second, independent
+// content-clustering regime (burst clustering rather than release decay).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "workload/record.hpp"
+
+namespace datanet::workload {
+
+struct WorldCupGenOptions {
+  std::uint64_t num_pages = 500;
+  std::uint64_t num_records = 150'000;
+  std::uint64_t num_days = 60;
+  // Number of "match days"; on each, a few pages spike by `burst_factor`.
+  std::uint64_t num_match_days = 20;
+  double burst_factor = 40.0;
+  std::uint64_t seed = 777;
+};
+
+class WorldCupLogGenerator {
+ public:
+  explicit WorldCupLogGenerator(WorldCupGenOptions options);
+
+  [[nodiscard]] std::vector<Record> generate() const;
+
+  [[nodiscard]] const WorldCupGenOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  WorldCupGenOptions options_;
+};
+
+}  // namespace datanet::workload

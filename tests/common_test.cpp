@@ -1,0 +1,391 @@
+// Unit tests for the common utilities: hashing, RNG, string helpers, byte
+// formatting, thread pool, text table.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <unordered_set>
+
+#include "common/hash.hpp"
+#include "common/rng.hpp"
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "common/units.hpp"
+
+namespace dc = datanet::common;
+
+// ---- hash ----
+
+TEST(Hash, Mix64IsDeterministic) {
+  EXPECT_EQ(dc::mix64(42), dc::mix64(42));
+  EXPECT_NE(dc::mix64(42), dc::mix64(43));
+}
+
+TEST(Hash, Mix64ZeroIsNotZero) { EXPECT_NE(dc::mix64(1), 0u); }
+
+TEST(Hash, BytesDiffersBySeed) {
+  EXPECT_NE(dc::hash_bytes("hello", 1), dc::hash_bytes("hello", 2));
+}
+
+TEST(Hash, BytesDiffersByContent) {
+  EXPECT_NE(dc::hash_bytes("hello"), dc::hash_bytes("hellp"));
+  EXPECT_NE(dc::hash_bytes("a"), dc::hash_bytes("aa"));
+}
+
+TEST(Hash, EmptyStringStable) {
+  EXPECT_EQ(dc::hash_bytes(""), dc::hash_bytes(""));
+}
+
+TEST(Hash, CombineNotCommutative) {
+  EXPECT_NE(dc::hash_combine(1, 2), dc::hash_combine(2, 1));
+}
+
+TEST(Hash, LowCollisionOnSequentialKeys) {
+  std::unordered_set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 100000; ++i) seen.insert(dc::mix64(i));
+  EXPECT_EQ(seen.size(), 100000u);
+}
+
+TEST(Hash, DoubleHashProbesDistinct) {
+  const std::uint64_t h1 = dc::mix64(99), h2 = dc::mix64(100) | 1;
+  std::set<std::uint64_t> probes;
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    probes.insert(dc::double_hash(h1, h2, i) % 4096);
+  }
+  EXPECT_GT(probes.size(), 12u);  // few wraparound collisions tolerated
+}
+
+// ---- rng ----
+
+TEST(Rng, Deterministic) {
+  dc::Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  dc::Rng a(7), b(8);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  dc::Rng r(5);
+  const auto first = r();
+  r.reseed(5);
+  EXPECT_EQ(r(), first);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  dc::Rng r(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  dc::Rng r(12);
+  double sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += r.uniform();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  dc::Rng r(19);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(2.0, 5.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, BoundedRespectsBound) {
+  dc::Rng r(13);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(r.bounded(17), 17u);
+}
+
+TEST(Rng, BoundedZeroAndOne) {
+  dc::Rng r(14);
+  EXPECT_EQ(r.bounded(0), 0u);
+  EXPECT_EQ(r.bounded(1), 0u);
+}
+
+TEST(Rng, BoundedCoversAllResidues) {
+  dc::Rng r(15);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.bounded(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, RangeInclusive) {
+  dc::Rng r(16);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  dc::Rng r(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, ForkIndependent) {
+  dc::Rng parent(21);
+  auto c1 = parent.fork(1);
+  auto c2 = parent.fork(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (c1() == c2());
+  EXPECT_LT(same, 3);
+}
+
+// ---- string_util ----
+
+TEST(StringUtil, SplitBasic) {
+  const auto parts = dc::split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringUtil, SplitPreservesEmptyFields) {
+  const auto parts = dc::split("a,,c,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtil, SplitSingleField) {
+  const auto parts = dc::split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringUtil, SplitEmptyString) {
+  const auto parts = dc::split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(StringUtil, ForEachSplitEarlyStop) {
+  int count = 0;
+  dc::for_each_split("a,b,c,d", ',', [&](std::string_view) -> bool {
+    ++count;
+    return count < 2;
+  });
+  EXPECT_EQ(count, 2);
+}
+
+TEST(StringUtil, Trim) {
+  EXPECT_EQ(dc::trim("  hi  "), "hi");
+  EXPECT_EQ(dc::trim("hi"), "hi");
+  EXPECT_EQ(dc::trim("   "), "");
+  EXPECT_EQ(dc::trim(""), "");
+  EXPECT_EQ(dc::trim("\t x \n"), "x");
+}
+
+TEST(StringUtil, ParseU64) {
+  EXPECT_EQ(dc::parse_u64("123"), 123u);
+  EXPECT_EQ(dc::parse_u64("0"), 0u);
+  EXPECT_FALSE(dc::parse_u64("12x"));
+  EXPECT_FALSE(dc::parse_u64(""));
+  EXPECT_FALSE(dc::parse_u64("-3"));
+}
+
+TEST(StringUtil, ParseI64) {
+  EXPECT_EQ(dc::parse_i64("-42"), -42);
+  EXPECT_EQ(dc::parse_i64("7"), 7);
+  EXPECT_FALSE(dc::parse_i64("7.5"));
+}
+
+TEST(StringUtil, ParseDouble) {
+  EXPECT_DOUBLE_EQ(*dc::parse_double("2.5"), 2.5);
+  EXPECT_DOUBLE_EQ(*dc::parse_double("-1e3"), -1000.0);
+  EXPECT_FALSE(dc::parse_double("abc"));
+}
+
+TEST(StringUtil, TokenizeWordsLowercases) {
+  std::vector<std::string> words;
+  dc::tokenize_words("Hello World", words);
+  ASSERT_EQ(words.size(), 2u);
+  EXPECT_EQ(words[0], "hello");
+  EXPECT_EQ(words[1], "world");
+}
+
+TEST(StringUtil, TokenizeWordsPunctuation) {
+  std::vector<std::string> words;
+  dc::tokenize_words("don't stop, now! 42x", words);
+  ASSERT_EQ(words.size(), 4u);
+  EXPECT_EQ(words[0], "don't");
+  EXPECT_EQ(words[3], "42x");
+}
+
+TEST(StringUtil, TokenizeWordsAppends) {
+  std::vector<std::string> words{"pre"};
+  dc::tokenize_words("a b", words);
+  EXPECT_EQ(words.size(), 3u);
+}
+
+TEST(StringUtil, TokenizeWordsEmpty) {
+  std::vector<std::string> words;
+  dc::tokenize_words("  ,,, ", words);
+  EXPECT_TRUE(words.empty());
+}
+
+// ---- units ----
+
+TEST(Units, Literals) {
+  using namespace dc::literals;
+  EXPECT_EQ(1_KiB, 1024u);
+  EXPECT_EQ(2_MiB, 2u * 1024 * 1024);
+  EXPECT_EQ(1_GiB, 1024u * 1024 * 1024);
+}
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(dc::format_bytes(512), "512 B");
+  EXPECT_EQ(dc::format_bytes(1024), "1.0 KiB");
+  EXPECT_EQ(dc::format_bytes(1536), "1.5 KiB");
+  EXPECT_EQ(dc::format_bytes(64ull << 20), "64.0 MiB");
+}
+
+// ---- thread pool ----
+
+TEST(ThreadPool, RunsAllTasks) {
+  dc::ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPool) {
+  dc::ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, ZeroThreadsClampedToOne) {
+  dc::ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  std::atomic<int> x{0};
+  pool.submit([&] { x = 5; });
+  pool.wait_idle();
+  EXPECT_EQ(x.load(), 5);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  dc::ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(64);
+  dc::parallel_for(pool, 64, [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAfterWait) {
+  dc::ThreadPool pool(2);
+  std::atomic<int> count{0};
+  dc::parallel_for(pool, 10, [&](std::size_t) { ++count; });
+  dc::parallel_for(pool, 10, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 20);
+}
+
+// ---- table ----
+
+TEST(Table, RendersHeadersAndRows) {
+  dc::TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "22"});
+  const auto s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+}
+
+TEST(Table, PadsShortRows) {
+  dc::TextTable t({"a", "b", "c"});
+  t.add_row({"only"});
+  EXPECT_NE(t.to_string().find("only"), std::string::npos);
+}
+
+TEST(Table, FmtHelpers) {
+  EXPECT_EQ(dc::fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(dc::fmt_percent(0.5), "50.0%");
+  EXPECT_EQ(dc::fmt_percent(0.123, 0), "12%");
+}
+
+// ---- json writer ----
+
+#include <cmath>
+#include <limits>
+
+#include "common/json.hpp"
+
+TEST(Json, EscapesSpecialCharacters) {
+  EXPECT_EQ(dc::json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(dc::json_escape(std::string_view("\x01", 1)), "\\u0001");
+  EXPECT_EQ(dc::json_escape("plain"), "plain");
+}
+
+TEST(Json, BuildsNestedDocument) {
+  dc::JsonWriter w;
+  w.begin_object();
+  w.field("name", "datanet");
+  w.field("count", std::uint64_t{3});
+  w.field("ratio", 0.5);
+  w.field("ok", true);
+  w.key("list").begin_array().value(std::uint64_t{1}).value(std::uint64_t{2}).end_array();
+  w.key("nested").begin_object().field("x", std::int64_t{-1}).end_object();
+  w.key("nothing").null();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            R"({"name":"datanet","count":3,"ratio":0.5,"ok":true,)"
+            R"("list":[1,2],"nested":{"x":-1},"nothing":null})");
+}
+
+TEST(Json, NonFiniteDoublesBecomeNull) {
+  dc::JsonWriter w;
+  w.begin_array().value(std::numeric_limits<double>::quiet_NaN()).value(1.5).end_array();
+  EXPECT_EQ(w.str(), "[null,1.5]");
+}
+
+TEST(Json, RejectsMalformedSequences) {
+  {
+    dc::JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.value("no key"), std::logic_error);
+  }
+  {
+    dc::JsonWriter w;
+    w.begin_object();
+    w.key("k");
+    EXPECT_THROW(w.end_object(), std::logic_error);  // dangling key
+  }
+  {
+    dc::JsonWriter w;
+    w.begin_array();
+    EXPECT_THROW(w.key("k"), std::logic_error);  // key in array
+    EXPECT_THROW(w.str(), std::logic_error);     // incomplete
+  }
+  {
+    dc::JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.end_array(), std::logic_error);
+  }
+}
+
+TEST(Json, TopLevelScalarCompletes) {
+  dc::JsonWriter w;
+  w.value("just a string");
+  EXPECT_EQ(w.str(), "\"just a string\"");
+}

@@ -1,0 +1,458 @@
+// Tests for the simulated DFS: topology, placement policies, block cutting,
+// replica maps, and the block/node inventories the schedulers rely on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.hpp"
+#include "dfs/mini_dfs.hpp"
+
+namespace dd = datanet::dfs;
+
+// ---- topology ----
+
+TEST(Topology, FlatSingleRack) {
+  const auto t = dd::ClusterTopology::flat(8);
+  EXPECT_EQ(t.num_nodes(), 8u);
+  EXPECT_EQ(t.num_racks(), 1u);
+  for (dd::NodeId n = 0; n < 8; ++n) EXPECT_EQ(t.rack_of(n), 0u);
+  EXPECT_EQ(t.nodes_in_rack(0).size(), 8u);
+}
+
+TEST(Topology, RackedEvenSplit) {
+  const auto t = dd::ClusterTopology::racked(12, 4);
+  EXPECT_EQ(t.num_racks(), 3u);
+  EXPECT_EQ(t.rack_of(0), 0u);
+  EXPECT_EQ(t.rack_of(4), 1u);
+  EXPECT_EQ(t.rack_of(11), 2u);
+}
+
+TEST(Topology, RackedUnevenLastRack) {
+  const auto t = dd::ClusterTopology::racked(10, 4);
+  EXPECT_EQ(t.num_racks(), 3u);
+  EXPECT_EQ(t.nodes_in_rack(2).size(), 2u);
+}
+
+TEST(Topology, RejectsBadArgs) {
+  EXPECT_THROW(dd::ClusterTopology::flat(0), std::invalid_argument);
+  EXPECT_THROW(dd::ClusterTopology::racked(4, 0), std::invalid_argument);
+  const auto t = dd::ClusterTopology::flat(2);
+  EXPECT_THROW((void)t.rack_of(5), std::out_of_range);
+  EXPECT_THROW((void)t.nodes_in_rack(3), std::out_of_range);
+}
+
+// ---- placement policies ----
+
+TEST(Placement, RandomGivesDistinctNodes) {
+  dd::RandomPlacement p;
+  datanet::common::Rng rng(3);
+  const auto t = dd::ClusterTopology::flat(10);
+  for (int i = 0; i < 100; ++i) {
+    const auto nodes = p.place(t, 3, rng);
+    ASSERT_EQ(nodes.size(), 3u);
+    std::set<dd::NodeId> s(nodes.begin(), nodes.end());
+    EXPECT_EQ(s.size(), 3u);
+  }
+}
+
+TEST(Placement, RandomCoversCluster) {
+  dd::RandomPlacement p;
+  datanet::common::Rng rng(5);
+  const auto t = dd::ClusterTopology::flat(6);
+  std::set<dd::NodeId> seen;
+  for (int i = 0; i < 200; ++i) {
+    for (const auto n : p.place(t, 2, rng)) seen.insert(n);
+  }
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(Placement, RandomThrowsWhenImpossible) {
+  dd::RandomPlacement p;
+  datanet::common::Rng rng(1);
+  const auto t = dd::ClusterTopology::flat(2);
+  EXPECT_THROW(p.place(t, 3, rng), std::invalid_argument);
+}
+
+TEST(Placement, RoundRobinCyclesPrimary) {
+  dd::RoundRobinPlacement p;
+  datanet::common::Rng rng(2);
+  const auto t = dd::ClusterTopology::flat(4);
+  for (int round = 0; round < 2; ++round) {
+    for (dd::NodeId expect = 0; expect < 4; ++expect) {
+      EXPECT_EQ(p.place(t, 1, rng)[0], expect);
+    }
+  }
+}
+
+TEST(Placement, RackAwareSecondReplicaOffRack) {
+  dd::RackAwarePlacement p;
+  datanet::common::Rng rng(9);
+  const auto t = dd::ClusterTopology::racked(12, 4);
+  for (int i = 0; i < 100; ++i) {
+    const auto nodes = p.place(t, 3, rng);
+    ASSERT_EQ(nodes.size(), 3u);
+    const auto writer_rack = t.rack_of(nodes[0]);
+    EXPECT_NE(t.rack_of(nodes[1]), writer_rack);
+    // Replicas 2 and 3 share a rack (HDFS default policy).
+    EXPECT_EQ(t.rack_of(nodes[1]), t.rack_of(nodes[2]));
+  }
+}
+
+TEST(Placement, RackAwareFallsBackOnSingleRack) {
+  dd::RackAwarePlacement p;
+  datanet::common::Rng rng(10);
+  const auto t = dd::ClusterTopology::flat(5);
+  const auto nodes = p.place(t, 3, rng);
+  std::set<dd::NodeId> s(nodes.begin(), nodes.end());
+  EXPECT_EQ(s.size(), 3u);
+}
+
+// ---- MiniDfs ----
+
+namespace {
+dd::MiniDfs make_dfs(std::uint32_t nodes = 8, std::uint64_t block = 1024,
+                     std::uint32_t repl = 3) {
+  dd::DfsOptions o;
+  o.block_size = block;
+  o.replication = repl;
+  o.seed = 42;
+  return dd::MiniDfs(dd::ClusterTopology::flat(nodes), o);
+}
+
+std::string record_of_size(std::size_t n, char fill = 'x') {
+  return std::string(n, fill);
+}
+}  // namespace
+
+TEST(MiniDfs, RejectsBadOptions) {
+  dd::DfsOptions o;
+  o.block_size = 0;
+  EXPECT_THROW(dd::MiniDfs(dd::ClusterTopology::flat(4), o), std::invalid_argument);
+  o.block_size = 1024;
+  o.replication = 0;
+  EXPECT_THROW(dd::MiniDfs(dd::ClusterTopology::flat(4), o), std::invalid_argument);
+  o.replication = 5;
+  EXPECT_THROW(dd::MiniDfs(dd::ClusterTopology::flat(4), o), std::invalid_argument);
+}
+
+TEST(MiniDfs, WriteCreatesBlocksAtBoundary) {
+  auto fs = make_dfs(8, 100);
+  auto w = fs.create("/f");
+  // Each record is 50 bytes incl. newline -> exactly 2 records per block.
+  for (int i = 0; i < 6; ++i) w.append(record_of_size(49));
+  w.close();
+  EXPECT_EQ(fs.blocks_of("/f").size(), 3u);
+  for (const auto b : fs.blocks_of("/f")) {
+    EXPECT_EQ(fs.block(b).size_bytes, 100u);
+    EXPECT_EQ(fs.block(b).num_records, 2u);
+  }
+}
+
+TEST(MiniDfs, PartialLastBlock) {
+  auto fs = make_dfs(8, 100);
+  auto w = fs.create("/f");
+  w.append(record_of_size(49));
+  w.append(record_of_size(49));
+  w.append(record_of_size(10));
+  w.close();
+  ASSERT_EQ(fs.blocks_of("/f").size(), 2u);
+  EXPECT_EQ(fs.block(fs.blocks_of("/f")[1]).size_bytes, 11u);
+}
+
+TEST(MiniDfs, OversizedRecordGetsOwnBlock) {
+  auto fs = make_dfs(8, 100);
+  auto w = fs.create("/f");
+  w.append(record_of_size(20));
+  w.append(record_of_size(250));  // exceeds block size on its own
+  w.append(record_of_size(20));
+  w.close();
+  ASSERT_EQ(fs.blocks_of("/f").size(), 3u);
+  EXPECT_EQ(fs.block(fs.blocks_of("/f")[1]).size_bytes, 251u);
+}
+
+TEST(MiniDfs, RecordsNeverStraddleBlocks) {
+  auto fs = make_dfs(8, 256);
+  auto w = fs.create("/f");
+  datanet::common::Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    w.append(record_of_size(10 + rng.bounded(60)));
+  }
+  w.close();
+  for (const auto b : fs.blocks_of("/f")) {
+    const auto data = fs.read_block(b);
+    EXPECT_FALSE(data.empty());
+    EXPECT_EQ(data.back(), '\n');  // block ends at a record boundary
+  }
+}
+
+TEST(MiniDfs, RejectsNewlineInRecord) {
+  auto fs = make_dfs();
+  auto w = fs.create("/f");
+  EXPECT_THROW(w.append("bad\nrecord"), std::invalid_argument);
+}
+
+TEST(MiniDfs, AppendAfterCloseThrows) {
+  auto fs = make_dfs();
+  auto w = fs.create("/f");
+  w.append("x");
+  w.close();
+  EXPECT_THROW(w.append("y"), std::logic_error);
+}
+
+TEST(MiniDfs, DestructorFlushesBuffer) {
+  auto fs = make_dfs();
+  {
+    auto w = fs.create("/f");
+    w.append("hello");
+  }
+  ASSERT_EQ(fs.blocks_of("/f").size(), 1u);
+  EXPECT_EQ(fs.read_block(fs.blocks_of("/f")[0]), "hello\n");
+}
+
+TEST(MiniDfs, DuplicateCreateThrows) {
+  auto fs = make_dfs();
+  auto w = fs.create("/f");
+  w.close();
+  EXPECT_THROW(fs.create("/f"), std::invalid_argument);
+}
+
+TEST(MiniDfs, ReplicationOnDistinctNodes) {
+  auto fs = make_dfs(8, 64, 3);
+  auto w = fs.create("/f");
+  for (int i = 0; i < 50; ++i) w.append(record_of_size(30));
+  w.close();
+  for (const auto b : fs.blocks_of("/f")) {
+    const auto& reps = fs.block(b).replicas;
+    ASSERT_EQ(reps.size(), 3u);
+    std::set<dd::NodeId> s(reps.begin(), reps.end());
+    EXPECT_EQ(s.size(), 3u);
+  }
+}
+
+TEST(MiniDfs, NodeInventoriesMatchReplicaMap) {
+  auto fs = make_dfs(6, 64, 2);
+  auto w = fs.create("/f");
+  for (int i = 0; i < 40; ++i) w.append(record_of_size(30));
+  w.close();
+  // Every replica appears in the hosting node's inventory, and vice versa.
+  std::uint64_t replica_count = 0;
+  for (const auto b : fs.blocks_of("/f")) {
+    for (const auto n : fs.block(b).replicas) {
+      const auto& inv = fs.blocks_on(n);
+      EXPECT_NE(std::find(inv.begin(), inv.end(), b), inv.end());
+      ++replica_count;
+    }
+  }
+  std::uint64_t inventory_count = 0;
+  for (dd::NodeId n = 0; n < 6; ++n) inventory_count += fs.blocks_on(n).size();
+  EXPECT_EQ(inventory_count, replica_count);
+  EXPECT_EQ(inventory_count, fs.num_blocks() * 2);
+}
+
+TEST(MiniDfs, IsLocalAgreesWithReplicas) {
+  auto fs = make_dfs(8, 64, 3);
+  auto w = fs.create("/f");
+  for (int i = 0; i < 10; ++i) w.append(record_of_size(30));
+  w.close();
+  for (const auto b : fs.blocks_of("/f")) {
+    const auto& reps = fs.block(b).replicas;
+    for (dd::NodeId n = 0; n < 8; ++n) {
+      const bool expect =
+          std::find(reps.begin(), reps.end(), n) != reps.end();
+      EXPECT_EQ(fs.is_local(b, n), expect);
+    }
+  }
+}
+
+TEST(MiniDfs, TotalBytesAndExists) {
+  auto fs = make_dfs(8, 1024);
+  EXPECT_FALSE(fs.exists("/f"));
+  auto w = fs.create("/f");
+  w.append(record_of_size(99));
+  w.close();
+  EXPECT_TRUE(fs.exists("/f"));
+  EXPECT_EQ(fs.total_bytes(), 100u);
+  EXPECT_EQ(fs.list_files().size(), 1u);
+}
+
+TEST(MiniDfs, DeterministicPlacementForSameSeed) {
+  auto build = [] {
+    auto fs = make_dfs(8, 64, 3);
+    auto w = fs.create("/f");
+    for (int i = 0; i < 30; ++i) w.append(record_of_size(30));
+    w.close();
+    std::vector<std::vector<dd::NodeId>> placements;
+    for (const auto b : fs.blocks_of("/f")) placements.push_back(fs.block(b).replicas);
+    return placements;
+  };
+  EXPECT_EQ(build(), build());
+}
+
+TEST(MiniDfs, UnknownLookupsThrow) {
+  auto fs = make_dfs();
+  EXPECT_THROW((void)fs.blocks_of("/nope"), std::out_of_range);
+  EXPECT_THROW((void)fs.block(99), std::out_of_range);
+  EXPECT_THROW((void)fs.read_block(99), std::out_of_range);
+  EXPECT_THROW((void)fs.blocks_on(99), std::out_of_range);
+}
+
+TEST(MiniDfs, MultipleFilesIndependent) {
+  auto fs = make_dfs(8, 128);
+  auto a = fs.create("/a");
+  a.append(record_of_size(50));
+  a.close();
+  auto b = fs.create("/b");
+  b.append(record_of_size(60));
+  b.close();
+  EXPECT_EQ(fs.blocks_of("/a").size(), 1u);
+  EXPECT_EQ(fs.blocks_of("/b").size(), 1u);
+  EXPECT_NE(fs.blocks_of("/a")[0], fs.blocks_of("/b")[0]);
+  EXPECT_EQ(fs.block(fs.blocks_of("/b")[0]).index_in_file, 0u);
+}
+
+// Property sweep: block accounting holds across block sizes and replication.
+class DfsGeometrySweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::uint32_t>> {};
+
+TEST_P(DfsGeometrySweep, ByteConservation) {
+  const auto [block_size, repl] = GetParam();
+  dd::DfsOptions o;
+  o.block_size = block_size;
+  o.replication = repl;
+  o.seed = 11;
+  dd::MiniDfs fs(dd::ClusterTopology::flat(8), o);
+  auto w = fs.create("/f");
+  std::uint64_t written = 0;
+  datanet::common::Rng rng(13);
+  for (int i = 0; i < 300; ++i) {
+    const auto n = 5 + rng.bounded(40);
+    w.append(record_of_size(n));
+    written += n + 1;
+  }
+  w.close();
+  std::uint64_t stored = 0, records = 0;
+  for (const auto b : fs.blocks_of("/f")) {
+    stored += fs.block(b).size_bytes;
+    records += fs.block(b).num_records;
+    EXPECT_EQ(fs.read_block(b).size(), fs.block(b).size_bytes);
+  }
+  EXPECT_EQ(stored, written);
+  EXPECT_EQ(records, 300u);
+  EXPECT_EQ(fs.total_bytes(), written);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, DfsGeometrySweep,
+    ::testing::Combine(::testing::Values<std::uint64_t>(128, 1024, 65536),
+                       ::testing::Values<std::uint32_t>(1, 2, 3)));
+
+// ---- fsck + balancer ----
+
+#include "dfs/fsck.hpp"
+
+TEST(Fsck, HealthyClusterReports) {
+  auto fs = make_dfs(8, 256, 3);
+  auto w = fs.create("/f");
+  for (int i = 0; i < 60; ++i) w.append(record_of_size(60));
+  w.close();
+  const auto report = dd::fsck(fs);
+  EXPECT_TRUE(report.healthy());
+  EXPECT_EQ(report.total_blocks, fs.num_blocks());
+  EXPECT_EQ(report.healthy_blocks, fs.num_blocks());
+  EXPECT_EQ(report.missing_blocks, 0u);
+  std::uint64_t hosted = 0;
+  for (const auto c : report.node_block_counts) hosted += c;
+  EXPECT_EQ(hosted, fs.num_blocks() * 3);
+}
+
+TEST(Fsck, DetectsUnderReplicationAfterHeavyFailures) {
+  // 4 nodes, replication 3: after 2 failures only 2 active nodes remain, so
+  // blocks sit at 2 replicas — capped by the cluster, still "healthy".
+  dd::DfsOptions o;
+  o.block_size = 512;
+  o.replication = 3;
+  o.seed = 9;
+  dd::MiniDfs fs(dd::ClusterTopology::flat(4), o);
+  auto w = fs.create("/f");
+  for (int i = 0; i < 40; ++i) w.append(record_of_size(60));
+  w.close();
+  (void)fs.decommission(0);
+  (void)fs.decommission(1);
+  const auto report = dd::fsck(fs);
+  EXPECT_EQ(report.missing_blocks, 0u);
+  EXPECT_EQ(report.under_replicated, 0u);  // capped at active nodes
+  EXPECT_TRUE(report.healthy());
+}
+
+TEST(Fsck, ReportsMissingAfterSingleReplicaLoss) {
+  auto fs = make_dfs(6, 512, 1);
+  auto w = fs.create("/f");
+  for (int i = 0; i < 30; ++i) w.append(record_of_size(60));
+  w.close();
+  const auto lost = fs.decommission(2);
+  const auto report = dd::fsck(fs);
+  EXPECT_EQ(report.missing_blocks, lost.size());
+  EXPECT_EQ(report.healthy(), lost.empty());
+}
+
+TEST(Balancer, EvensOutSkewedReplicaCounts) {
+  // Round-robin primary + random extras is already fair; skew it manually by
+  // piling replicas onto node 0 via moves, then balance back.
+  auto fs = make_dfs(6, 256, 2);
+  auto w = fs.create("/f");
+  for (int i = 0; i < 80; ++i) w.append(record_of_size(60));
+  w.close();
+  // Skew: move every movable replica to node 0.
+  for (dd::NodeId n = 1; n < 6; ++n) {
+    const auto hosted = fs.blocks_on(n);  // copy
+    for (const auto b : std::vector<dd::BlockId>(hosted)) {
+      const auto& reps = fs.block(b).replicas;
+      if (std::find(reps.begin(), reps.end(), 0u) == reps.end()) {
+        fs.move_replica(b, n, 0);
+      }
+    }
+  }
+  const auto before = dd::fsck(fs);
+  const auto result = dd::balance_replicas(fs, 1);
+  EXPECT_GT(result.moves, 0u);
+  EXPECT_LT(result.after.replica_balance_cv, before.replica_balance_cv);
+  const auto [mn, mx] = std::minmax_element(
+      result.after.node_block_counts.begin(),
+      result.after.node_block_counts.end());
+  EXPECT_LE(*mx - *mn, 2u);
+  // Replica invariants preserved.
+  for (const auto b : fs.blocks_of("/f")) {
+    const auto& reps = fs.block(b).replicas;
+    std::set<dd::NodeId> uniq(reps.begin(), reps.end());
+    EXPECT_EQ(uniq.size(), 2u);
+  }
+}
+
+TEST(Balancer, NoopOnBalancedCluster) {
+  auto fs = make_dfs(4, 256, 2);
+  auto w = fs.create("/f");
+  for (int i = 0; i < 64; ++i) w.append(record_of_size(60));
+  w.close();
+  dd::balance_replicas(fs, 1);  // idempotence: second run does nothing
+  const auto again = dd::balance_replicas(fs, 1);
+  EXPECT_EQ(again.moves, 0u);
+}
+
+TEST(MoveReplica, ValidatesArguments) {
+  auto fs = make_dfs(4, 256, 2);
+  auto w = fs.create("/f");
+  w.append(record_of_size(60));
+  w.close();
+  const auto b = fs.blocks_of("/f")[0];
+  const auto& reps = fs.block(b).replicas;
+  dd::NodeId holder = reps[0];
+  dd::NodeId other = 0;
+  while (std::find(reps.begin(), reps.end(), other) != reps.end()) ++other;
+  EXPECT_THROW(fs.move_replica(99, holder, other), std::out_of_range);
+  EXPECT_THROW(fs.move_replica(b, other, holder), std::invalid_argument);
+  fs.move_replica(b, holder, other);
+  EXPECT_TRUE(fs.is_local(b, other));
+  EXPECT_FALSE(fs.is_local(b, holder));
+}

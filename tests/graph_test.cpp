@@ -1,0 +1,231 @@
+// Tests for the bipartite scheduling graph and the max-flow machinery behind
+// the paper's Ford–Fulkerson optimal-assignment remark.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/assignment.hpp"
+#include "graph/bipartite.hpp"
+#include "graph/maxflow.hpp"
+
+namespace dg = datanet::graph;
+
+// ---- bipartite graph ----
+
+TEST(Bipartite, BasicAccessors) {
+  std::vector<dg::BlockVertex> blocks{
+      {.block_id = 10, .weight = 100, .hosts = {0, 1}},
+      {.block_id = 11, .weight = 50, .hosts = {1, 2}},
+  };
+  const dg::BipartiteGraph g(3, blocks);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_blocks(), 2u);
+  EXPECT_EQ(g.total_weight(), 150u);
+  EXPECT_EQ(g.block(0).block_id, 10u);
+  EXPECT_EQ(g.blocks_on(1).size(), 2u);
+  EXPECT_EQ(g.blocks_on(0).size(), 1u);
+}
+
+TEST(Bipartite, RejectsBadInputs) {
+  EXPECT_THROW(dg::BipartiteGraph(0, {}), std::invalid_argument);
+  std::vector<dg::BlockVertex> bad{{.block_id = 1, .weight = 1, .hosts = {5}}};
+  EXPECT_THROW(dg::BipartiteGraph(3, bad), std::invalid_argument);
+  const dg::BipartiteGraph g(2, {});
+  EXPECT_THROW((void)g.block(0), std::out_of_range);
+  EXPECT_THROW((void)g.blocks_on(2), std::out_of_range);
+}
+
+TEST(Bipartite, EmptyGraphIsValid) {
+  const dg::BipartiteGraph g(4, {});
+  EXPECT_EQ(g.num_blocks(), 0u);
+  EXPECT_EQ(g.total_weight(), 0u);
+}
+
+// ---- max flow ----
+
+TEST(MaxFlow, TrivialTwoVertex) {
+  dg::MaxFlow mf(2);
+  const auto e = mf.add_edge(0, 1, 7);
+  EXPECT_EQ(mf.solve(0, 1), 7u);
+  EXPECT_EQ(mf.flow_on(e), 7u);
+}
+
+TEST(MaxFlow, SeriesBottleneck) {
+  dg::MaxFlow mf(3);
+  mf.add_edge(0, 1, 10);
+  const auto e = mf.add_edge(1, 2, 4);
+  EXPECT_EQ(mf.solve(0, 2), 4u);
+  EXPECT_EQ(mf.flow_on(e), 4u);
+}
+
+TEST(MaxFlow, ParallelPathsSum) {
+  dg::MaxFlow mf(4);
+  mf.add_edge(0, 1, 3);
+  mf.add_edge(1, 3, 3);
+  mf.add_edge(0, 2, 5);
+  mf.add_edge(2, 3, 5);
+  EXPECT_EQ(mf.solve(0, 3), 8u);
+}
+
+TEST(MaxFlow, ClassicDiamond) {
+  // CLRS-style example with a cross edge.
+  dg::MaxFlow mf(4);
+  mf.add_edge(0, 1, 10);
+  mf.add_edge(0, 2, 10);
+  mf.add_edge(1, 2, 1);
+  mf.add_edge(1, 3, 8);
+  mf.add_edge(2, 3, 10);
+  EXPECT_EQ(mf.solve(0, 3), 18u);
+}
+
+TEST(MaxFlow, DisconnectedIsZero) {
+  dg::MaxFlow mf(4);
+  mf.add_edge(0, 1, 5);
+  mf.add_edge(2, 3, 5);
+  EXPECT_EQ(mf.solve(0, 3), 0u);
+}
+
+TEST(MaxFlow, RejectsBadArgs) {
+  EXPECT_THROW(dg::MaxFlow(1), std::invalid_argument);
+  dg::MaxFlow mf(3);
+  EXPECT_THROW(mf.add_edge(0, 9, 1), std::out_of_range);
+  EXPECT_THROW(mf.solve(1, 1), std::invalid_argument);
+  EXPECT_THROW((void)mf.flow_on(99), std::out_of_range);
+}
+
+TEST(MaxFlow, BipartiteMatchingViaUnitCapacities) {
+  // 3 blocks, 3 nodes, perfect matching exists.
+  // vertices: 0=s, 1..3 blocks, 4..6 nodes, 7=t
+  dg::MaxFlow mf(8);
+  for (std::uint32_t b = 1; b <= 3; ++b) mf.add_edge(0, b, 1);
+  mf.add_edge(1, 4, 1);
+  mf.add_edge(1, 5, 1);
+  mf.add_edge(2, 5, 1);
+  mf.add_edge(3, 6, 1);
+  for (std::uint32_t n = 4; n <= 6; ++n) mf.add_edge(n, 7, 1);
+  EXPECT_EQ(mf.solve(0, 7), 3u);
+}
+
+// ---- balanced assignment ----
+
+namespace {
+dg::BipartiteGraph uniform_graph(std::uint32_t nodes, std::size_t blocks,
+                                 std::uint64_t weight, std::uint32_t replication,
+                                 std::uint64_t seed) {
+  datanet::common::Rng rng(seed);
+  std::vector<dg::BlockVertex> bs;
+  for (std::size_t j = 0; j < blocks; ++j) {
+    dg::BlockVertex v;
+    v.block_id = j;
+    v.weight = weight;
+    while (v.hosts.size() < replication) {
+      const auto n = static_cast<datanet::dfs::NodeId>(rng.bounded(nodes));
+      if (std::find(v.hosts.begin(), v.hosts.end(), n) == v.hosts.end()) {
+        v.hosts.push_back(n);
+      }
+    }
+    bs.push_back(std::move(v));
+  }
+  return dg::BipartiteGraph(nodes, std::move(bs));
+}
+}  // namespace
+
+TEST(Assignment, RespectsReplicaLocality) {
+  const auto g = uniform_graph(8, 64, 10, 3, 5);
+  const auto res = dg::balanced_assignment(g);
+  ASSERT_EQ(res.assignment.size(), 64u);
+  for (std::size_t j = 0; j < 64; ++j) {
+    const auto& hosts = g.block(j).hosts;
+    EXPECT_NE(std::find(hosts.begin(), hosts.end(), res.assignment[j]),
+              hosts.end());
+  }
+}
+
+TEST(Assignment, LoadsAccountedExactly) {
+  const auto g = uniform_graph(6, 48, 7, 2, 9);
+  const auto res = dg::balanced_assignment(g);
+  std::vector<std::uint64_t> manual(6, 0);
+  for (std::size_t j = 0; j < 48; ++j) manual[res.assignment[j]] += 7;
+  EXPECT_EQ(manual, res.node_load);
+  EXPECT_EQ(std::accumulate(manual.begin(), manual.end(), 0ull),
+            g.total_weight());
+}
+
+TEST(Assignment, UniformBlocksNearPerfectBalance) {
+  const auto g = uniform_graph(8, 128, 10, 3, 17);
+  const auto res = dg::balanced_assignment(g);
+  const auto [mn, mx] =
+      std::minmax_element(res.node_load.begin(), res.node_load.end());
+  // 128 unit blocks over 8 nodes = 16 each; rounding slack <= 1 block.
+  EXPECT_LE(*mx - *mn, 20u);
+  EXPECT_LE(res.fractional_capacity, 170u);
+}
+
+TEST(Assignment, SkewedWeightsStillBounded) {
+  // One giant block plus many small ones: capacity >= giant weight.
+  datanet::common::Rng rng(23);
+  std::vector<dg::BlockVertex> bs;
+  bs.push_back({.block_id = 0, .weight = 1000, .hosts = {0, 1, 2}});
+  for (std::size_t j = 1; j < 40; ++j) {
+    bs.push_back({.block_id = j,
+                  .weight = 10,
+                  .hosts = {static_cast<datanet::dfs::NodeId>(rng.bounded(8)),
+                            static_cast<datanet::dfs::NodeId>(4 + rng.bounded(4))}});
+  }
+  const dg::BipartiteGraph g(8, bs);
+  const auto res = dg::balanced_assignment(g);
+  const auto mx = *std::max_element(res.node_load.begin(), res.node_load.end());
+  // Makespan is at least the giant block and at most giant + slack.
+  EXPECT_GE(mx, 1000u);
+  EXPECT_LE(mx, 1100u);
+}
+
+TEST(Assignment, SingleNodeTakesEverything) {
+  std::vector<dg::BlockVertex> bs{
+      {.block_id = 0, .weight = 5, .hosts = {0}},
+      {.block_id = 1, .weight = 6, .hosts = {0}},
+  };
+  const dg::BipartiteGraph g(1, bs);
+  const auto res = dg::balanced_assignment(g);
+  EXPECT_EQ(res.node_load[0], 11u);
+}
+
+TEST(Assignment, ZeroWeightBlocksAssignedSomewhere) {
+  std::vector<dg::BlockVertex> bs{
+      {.block_id = 0, .weight = 0, .hosts = {0, 1}},
+      {.block_id = 1, .weight = 0, .hosts = {1}},
+  };
+  const dg::BipartiteGraph g(2, bs);
+  const auto res = dg::balanced_assignment(g);
+  ASSERT_EQ(res.assignment.size(), 2u);
+  EXPECT_EQ(res.assignment[1], 1u);
+}
+
+TEST(Assignment, ThrowsOnHostlessBlock) {
+  std::vector<dg::BlockVertex> bs{{.block_id = 0, .weight = 5, .hosts = {}}};
+  const dg::BipartiteGraph g(2, bs);
+  EXPECT_THROW(dg::balanced_assignment(g), std::invalid_argument);
+}
+
+// Property sweep: flow assignment never worse than 2x the perfect split for
+// unit-ish weights across sizes.
+class AssignmentSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::size_t>> {};
+
+TEST_P(AssignmentSweep, BalanceWithinTwoXOfIdeal) {
+  const auto [nodes, blocks] = GetParam();
+  const auto g = uniform_graph(nodes, blocks, 10, std::min(3u, nodes), 31);
+  const auto res = dg::balanced_assignment(g);
+  const auto mx = *std::max_element(res.node_load.begin(), res.node_load.end());
+  const double ideal =
+      static_cast<double>(g.total_weight()) / static_cast<double>(nodes);
+  EXPECT_LE(static_cast<double>(mx), 2.0 * ideal + 10.0)
+      << nodes << " nodes, " << blocks << " blocks";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, AssignmentSweep,
+    ::testing::Combine(::testing::Values<std::uint32_t>(2, 8, 32),
+                       ::testing::Values<std::size_t>(16, 64, 256)));

@@ -1,0 +1,306 @@
+// End-to-end integration tests over the full DataNet pipeline: generate ->
+// ingest -> build ElasticMap -> schedule selection -> analyze. These encode
+// the paper's headline claims as assertions (small-scale versions of the
+// Section V experiments).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "apps/moving_average.hpp"
+#include "apps/topk_search.hpp"
+#include "apps/word_count.hpp"
+#include "datanet/datanet.hpp"
+#include "datanet/experiment.hpp"
+#include "scheduler/datanet_sched.hpp"
+#include "scheduler/flow_sched.hpp"
+#include "scheduler/locality.hpp"
+#include "stats/descriptive.hpp"
+
+namespace dc = datanet::core;
+namespace dsch = datanet::scheduler;
+namespace dw = datanet::workload;
+
+namespace {
+
+dc::ExperimentConfig small_config() {
+  dc::ExperimentConfig cfg;
+  cfg.num_nodes = 8;
+  cfg.block_size = 16 * 1024;
+  cfg.seed = 5;
+  return cfg;
+}
+
+std::vector<double> to_doubles(const std::vector<std::uint64_t>& v) {
+  return {v.begin(), v.end()};
+}
+
+}  // namespace
+
+TEST(Integration, MovieDatasetShapesAreSane) {
+  const auto cfg = small_config();
+  const auto ds = dc::make_movie_dataset(cfg, /*num_blocks=*/48, /*num_movies=*/300);
+  const auto blocks = ds.dfs->blocks_of(ds.path).size();
+  EXPECT_GE(blocks, 40u);
+  EXPECT_LE(blocks, 56u);  // sized from the average record estimate
+  EXPECT_FALSE(ds.hot_keys.empty());
+  EXPECT_GT(ds.truth->num_subdatasets(), 100u);
+}
+
+TEST(Integration, HotMovieIsContentClustered) {
+  // Fig. 1a / 5b: most of the hot movie's bytes sit in a small fraction of
+  // blocks.
+  const auto cfg = small_config();
+  const auto ds = dc::make_movie_dataset(cfg, 48, 300);
+  const auto id = dw::subdataset_id(ds.hot_keys[0]);
+  auto dist = ds.truth->distribution(id);
+  const std::uint64_t total = std::accumulate(dist.begin(), dist.end(), 0ull);
+  std::sort(dist.rbegin(), dist.rend());
+  const std::size_t top = dist.size() / 4;
+  const std::uint64_t top_sum = std::accumulate(dist.begin(), dist.begin() + top, 0ull);
+  EXPECT_GT(static_cast<double>(top_sum) / static_cast<double>(total), 0.5);
+}
+
+TEST(Integration, DataNetFacadeEstimatesMatchTruthShape) {
+  const auto cfg = small_config();
+  const auto ds = dc::make_movie_dataset(cfg, 48, 300);
+  const dc::DataNet net(*ds.dfs, ds.path, {.alpha = 0.3});
+  // Hot keys: nearly exact (dominant in most blocks). Colder keys may be
+  // over- or mildly under-estimated in their bloom-resident blocks — the
+  // regime Fig. 9 shows.
+  for (const auto& key : ds.hot_keys) {
+    const auto actual = ds.truth->total_size(dw::subdataset_id(key));
+    const auto est = net.estimate_total_size(key);
+    EXPECT_GE(static_cast<double>(est), 0.5 * static_cast<double>(actual));
+    EXPECT_LT(static_cast<double>(est), 5.0 * static_cast<double>(actual) + 8192);
+  }
+  for (std::size_t r = 0; r < 3; ++r) {
+    const auto actual = ds.truth->total_size(dw::subdataset_id(ds.hot_keys[r]));
+    const auto est = net.estimate_total_size(ds.hot_keys[r]);
+    EXPECT_LT(static_cast<double>(est), 1.5 * static_cast<double>(actual));
+  }
+}
+
+TEST(Integration, SelectionMaterializesExactSubdataset) {
+  // Both schedulers must filter exactly the target records — DataNet changes
+  // placement, never content.
+  const auto cfg = small_config();
+  const auto ds = dc::make_movie_dataset(cfg, 48, 300);
+  const auto& key = ds.hot_keys[0];
+  const auto actual_bytes = ds.truth->total_size(dw::subdataset_id(key));
+
+  dsch::LocalityScheduler base(3);
+  const auto sel_base =
+      dc::run_selection(*ds.dfs, ds.path, key, base, nullptr, cfg);
+  const dc::DataNet net(*ds.dfs, ds.path, {.alpha = 0.3});
+  dsch::DataNetScheduler dn;
+  const auto sel_dn = dc::run_selection(*ds.dfs, ds.path, key, dn, &net, cfg);
+
+  const auto sum = [](const std::vector<std::uint64_t>& v) {
+    return std::accumulate(v.begin(), v.end(), 0ull);
+  };
+  EXPECT_EQ(sum(sel_base.node_filtered_bytes), actual_bytes);
+  EXPECT_EQ(sum(sel_dn.node_filtered_bytes), actual_bytes);
+
+  // Every materialized line must belong to the target sub-dataset.
+  for (const auto& data : sel_dn.node_local_data) {
+    dw::for_each_record(data, [&](const dw::RecordView& rv) {
+      EXPECT_EQ(rv.key, key);
+    });
+  }
+}
+
+TEST(Integration, DataNetBalancesFilteredWorkload) {
+  // Fig. 5c: per-node filtered bytes are far more even with DataNet.
+  const auto cfg = small_config();
+  const auto ds = dc::make_movie_dataset(cfg, 48, 300);
+  const auto& key = ds.hot_keys[0];
+
+  dsch::LocalityScheduler base(3);
+  const auto sel_base =
+      dc::run_selection(*ds.dfs, ds.path, key, base, nullptr, cfg);
+  const dc::DataNet net(*ds.dfs, ds.path, {.alpha = 0.3});
+  dsch::DataNetScheduler dn;
+  const auto sel_dn = dc::run_selection(*ds.dfs, ds.path, key, dn, &net, cfg);
+
+  const auto sb = datanet::stats::summarize(to_doubles(sel_base.node_filtered_bytes));
+  const auto sd = datanet::stats::summarize(to_doubles(sel_dn.node_filtered_bytes));
+  EXPECT_LT(sd.coeff_variation(), sb.coeff_variation());
+  EXPECT_LT(sd.max_over_mean(), sb.max_over_mean());
+}
+
+TEST(Integration, DataNetScansFewerBlocks) {
+  // I/O skipping: ElasticMap prunes blocks with no target data.
+  const auto cfg = small_config();
+  const auto ds = dc::make_movie_dataset(cfg, 48, 2000);
+  // A mid-rank movie appears in few blocks.
+  const auto& key = ds.hot_keys[10];
+  dsch::LocalityScheduler base(3);
+  const auto sel_base =
+      dc::run_selection(*ds.dfs, ds.path, key, base, nullptr, cfg);
+  const dc::DataNet net(*ds.dfs, ds.path, {.alpha = 0.3});
+  dsch::DataNetScheduler dn;
+  const auto sel_dn = dc::run_selection(*ds.dfs, ds.path, key, dn, &net, cfg);
+  EXPECT_LT(sel_dn.blocks_scanned, sel_base.blocks_scanned);
+}
+
+TEST(Integration, AnalysisOutputIndependentOfScheduler) {
+  // WordCount over the filtered sub-dataset must produce identical counts
+  // whichever scheduler placed the data.
+  const auto cfg = small_config();
+  const auto ds = dc::make_movie_dataset(cfg, 32, 200);
+  const auto& key = ds.hot_keys[0];
+
+  dsch::LocalityScheduler base(3);
+  const auto sel_base =
+      dc::run_selection(*ds.dfs, ds.path, key, base, nullptr, cfg);
+  const dc::DataNet net(*ds.dfs, ds.path, {.alpha = 0.3});
+  dsch::DataNetScheduler dn;
+  const auto sel_dn = dc::run_selection(*ds.dfs, ds.path, key, dn, &net, cfg);
+
+  const auto job = datanet::apps::make_word_count_job();
+  const auto rb = dc::run_analysis(job, sel_base, cfg);
+  const auto rd = dc::run_analysis(job, sel_dn, cfg);
+  EXPECT_EQ(rb.output, rd.output);
+  EXPECT_FALSE(rb.output.empty());
+}
+
+TEST(Integration, DataNetImprovesEndToEndTime) {
+  // Fig. 5a: with DataNet the end-to-end simulated time drops.
+  const auto cfg = small_config();
+  const auto ds = dc::make_movie_dataset(cfg, 48, 300);
+  const auto& key = ds.hot_keys[0];
+  const dc::DataNet net(*ds.dfs, ds.path, {.alpha = 0.3});
+
+  const auto job = datanet::apps::make_word_count_job();
+  dsch::LocalityScheduler base(3);
+  const auto without =
+      dc::run_end_to_end(*ds.dfs, ds.path, key, base, nullptr, job, cfg);
+  dsch::DataNetScheduler dn;
+  const auto with = dc::run_end_to_end(*ds.dfs, ds.path, key, dn, &net, job, cfg);
+
+  EXPECT_LT(with.total_seconds(), without.total_seconds());
+  // The analysis map phase is where the gain concentrates.
+  EXPECT_LT(with.analysis.map_phase_seconds, without.analysis.map_phase_seconds);
+}
+
+TEST(Integration, ComputeHeavyJobGainsMore) {
+  // Fig. 5a ordering: TopK (CPU heavy) gains more than MovingAverage.
+  const auto cfg = small_config();
+  const auto ds = dc::make_movie_dataset(cfg, 48, 300);
+  const auto& key = ds.hot_keys[0];
+  const dc::DataNet net(*ds.dfs, ds.path, {.alpha = 0.3});
+
+  // Fig. 6's mechanism: relative map-phase gain grows with per-byte CPU
+  // cost, because fixed task startup dilutes the gain for light jobs.
+  const auto gain = [&](const datanet::mapred::Job& job) {
+    dsch::LocalityScheduler base(3);
+    const auto without =
+        dc::run_end_to_end(*ds.dfs, ds.path, key, base, nullptr, job, cfg);
+    dsch::DataNetScheduler dn;
+    const auto with =
+        dc::run_end_to_end(*ds.dfs, ds.path, key, dn, &net, job, cfg);
+    return 1.0 -
+           with.analysis.map_phase_seconds / without.analysis.map_phase_seconds;
+  };
+  const double topk_gain = gain(datanet::apps::make_topk_search_job("query", 5));
+  const double ma_gain = gain(datanet::apps::make_moving_average_job(86400));
+  EXPECT_GT(topk_gain, ma_gain);
+}
+
+TEST(Integration, ShuffleWaitsShrinkWithDataNet) {
+  // Fig. 7: shuffle-phase span shrinks when map finishes evenly.
+  const auto cfg = small_config();
+  const auto ds = dc::make_movie_dataset(cfg, 48, 300);
+  const auto& key = ds.hot_keys[0];
+  const dc::DataNet net(*ds.dfs, ds.path, {.alpha = 0.3});
+  const auto job = datanet::apps::make_word_count_job();
+
+  dsch::LocalityScheduler base(3);
+  const auto without =
+      dc::run_end_to_end(*ds.dfs, ds.path, key, base, nullptr, job, cfg);
+  dsch::DataNetScheduler dn;
+  const auto with = dc::run_end_to_end(*ds.dfs, ds.path, key, dn, &net, job, cfg);
+  EXPECT_LT(with.analysis.shuffle_phase_seconds,
+            without.analysis.shuffle_phase_seconds);
+}
+
+TEST(Integration, FlowSchedulerAlsoBalances) {
+  const auto cfg = small_config();
+  const auto ds = dc::make_movie_dataset(cfg, 48, 300);
+  const auto& key = ds.hot_keys[0];
+  const dc::DataNet net(*ds.dfs, ds.path, {.alpha = 0.3});
+  dsch::FlowScheduler flow;
+  const auto sel = dc::run_selection(*ds.dfs, ds.path, key, flow, &net, cfg);
+  const auto s = datanet::stats::summarize(to_doubles(sel.node_filtered_bytes));
+  EXPECT_LT(s.coeff_variation(), 0.5);
+}
+
+TEST(Integration, GithubIssueEventNotClusteredButImbalanced) {
+  // Fig. 8 regime: IssueEvent exists in nearly all blocks (no clustering),
+  // yet block densities vary.
+  const auto cfg = small_config();
+  const auto ds = dc::make_github_dataset(cfg, 32);
+  const auto id = dw::subdataset_id("IssueEvent");
+  const auto dist = ds.truth->distribution(id);
+  std::size_t nonzero = 0;
+  std::uint64_t mx = 0, mn = UINT64_MAX;
+  for (const auto v : dist) {
+    if (v > 0) {
+      ++nonzero;
+      mx = std::max(mx, v);
+      mn = std::min(mn, v);
+    }
+  }
+  EXPECT_GT(nonzero, dist.size() * 9 / 10);
+  EXPECT_GT(mx, 2 * mn);
+}
+
+TEST(Integration, GithubStillBenefitsFromDataNet) {
+  const auto cfg = small_config();
+  const auto ds = dc::make_github_dataset(cfg, 32);
+  const std::string key = "IssueEvent";
+  // With only ~22 event types per block the hash map is cheap, so a high
+  // alpha is the realistic configuration (the paper's Section V-B notes the
+  // ratio of raw data to meta-data is very large for GitHub-like datasets).
+  const dc::DataNet net(*ds.dfs, ds.path, {.alpha = 0.6});
+  const auto job = datanet::apps::make_topk_search_job("issue body text", 5);
+
+  dsch::LocalityScheduler base(3);
+  const auto without =
+      dc::run_end_to_end(*ds.dfs, ds.path, key, base, nullptr, job, cfg);
+  dsch::DataNetScheduler dn;
+  const auto with = dc::run_end_to_end(*ds.dfs, ds.path, key, dn, &net, job, cfg);
+  // The paper's GitHub gain is modest (125 s -> 107 s max map time); require
+  // improvement, scaled to this smaller setup.
+  EXPECT_LT(with.analysis.map_phase_seconds,
+            without.analysis.map_phase_seconds);
+}
+
+TEST(Integration, RunSelectionValidatesConfig) {
+  const auto cfg = small_config();
+  const auto ds = dc::make_movie_dataset(cfg, 16, 100);
+  auto bad = cfg;
+  bad.num_nodes = 4;  // dataset was built for 8 nodes
+  dsch::LocalityScheduler sched(1);
+  EXPECT_THROW(
+      dc::run_selection(*ds.dfs, ds.path, ds.hot_keys[0], sched, nullptr, bad),
+      std::invalid_argument);
+}
+
+TEST(Integration, DeterministicEndToEnd) {
+  const auto cfg = small_config();
+  const auto run = [&] {
+    const auto ds = dc::make_movie_dataset(cfg, 32, 200);
+    const auto& key = ds.hot_keys[0];
+    const dc::DataNet net(*ds.dfs, ds.path, {.alpha = 0.3});
+    dsch::DataNetScheduler dn;
+    return dc::run_end_to_end(*ds.dfs, ds.path, key, dn, &net,
+                              datanet::apps::make_word_count_job(), cfg);
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.analysis.output, b.analysis.output);
+  EXPECT_DOUBLE_EQ(a.total_seconds(), b.total_seconds());
+}

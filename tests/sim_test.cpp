@@ -1,0 +1,355 @@
+// Tests for the discrete-event cluster simulator: event-queue ordering,
+// slot/disk/NIC semantics, pull scheduling, and agreement with hand-computed
+// timelines; plus the selection-phase bridge over real schedulers.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "datanet/experiment.hpp"
+#include "scheduler/datanet_sched.hpp"
+#include "scheduler/locality.hpp"
+#include "sim/cluster_sim.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/selection_sim.hpp"
+#include "stats/descriptive.hpp"
+
+namespace dsim = datanet::sim;
+
+// ---- event queue ----
+
+TEST(EventQueue, RunsInTimeOrder) {
+  dsim::EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  dsim::EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  dsim::EventQueue q;
+  int fired = 0;
+  q.schedule(1.0, [&] {
+    ++fired;
+    q.schedule(2.0, [&] { ++fired; });
+  });
+  q.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(q.now(), 2.0);
+}
+
+TEST(EventQueue, RejectsPastScheduling) {
+  dsim::EventQueue q;
+  q.schedule(5.0, [] {});
+  q.step();
+  EXPECT_THROW(q.schedule(1.0, [] {}), std::invalid_argument);
+}
+
+// ---- cluster sim ----
+
+namespace {
+// Serve tasks in fixed order to a given node mapping.
+dsim::PullFn fixed_assignment(const std::vector<std::uint32_t>& task_node) {
+  auto next = std::make_shared<std::vector<std::size_t>>();
+  auto served = std::make_shared<std::vector<bool>>(task_node.size(), false);
+  return [task_node, served](std::uint32_t node) -> std::optional<std::size_t> {
+    for (std::size_t t = 0; t < task_node.size(); ++t) {
+      if (!(*served)[t] && task_node[t] == node) {
+        (*served)[t] = true;
+        return t;
+      }
+    }
+    return std::nullopt;
+  };
+}
+}  // namespace
+
+TEST(ClusterSim, SingleTaskTimeline) {
+  // 1 MiB at 1 MiB/s disk + 2 s cpu at speed 1 => finish at 3 s.
+  dsim::SimConfig cfg;
+  cfg.num_nodes = 1;
+  cfg.node.slots = 1;
+  cfg.node.disk_mbps = 1.0;
+  dsim::ClusterSim sim(cfg);
+  const std::vector<dsim::SimTask> tasks{{.input_bytes = 1 << 20,
+                                          .cpu_seconds = 2.0,
+                                          .remote = false}};
+  const auto res = sim.run(tasks, fixed_assignment({0}));
+  EXPECT_DOUBLE_EQ(res.task_finish[0], 3.0);
+  EXPECT_DOUBLE_EQ(res.makespan, 3.0);
+  EXPECT_EQ(res.remote_reads, 0u);
+}
+
+TEST(ClusterSim, DiskIsFifoAcrossSlots) {
+  // Two slots, two tasks: reads serialize on the disk, compute overlaps.
+  // Task reads take 1 s each; cpu 10 s. Slot A: read [0,1], cpu [1,11].
+  // Slot B: read [1,2], cpu [2,12]. Makespan 12 (not 11: the disk is FIFO).
+  dsim::SimConfig cfg;
+  cfg.num_nodes = 1;
+  cfg.node.slots = 2;
+  cfg.node.disk_mbps = 1.0;
+  dsim::ClusterSim sim(cfg);
+  const std::vector<dsim::SimTask> tasks{
+      {.input_bytes = 1 << 20, .cpu_seconds = 10.0, .remote = false},
+      {.input_bytes = 1 << 20, .cpu_seconds = 10.0, .remote = false}};
+  const auto res = sim.run(tasks, fixed_assignment({0, 0}));
+  EXPECT_DOUBLE_EQ(res.task_finish[0], 11.0);
+  EXPECT_DOUBLE_EQ(res.task_finish[1], 12.0);
+}
+
+TEST(ClusterSim, RemoteReadBoundByNic) {
+  dsim::SimConfig cfg;
+  cfg.num_nodes = 1;
+  cfg.node.slots = 1;
+  cfg.node.disk_mbps = 100.0;
+  cfg.node.nic_mbps = 10.0;
+  dsim::ClusterSim sim(cfg);
+  const std::vector<dsim::SimTask> tasks{
+      {.input_bytes = 10 << 20, .cpu_seconds = 0.0, .remote = true}};
+  const auto res = sim.run(tasks, fixed_assignment({0}));
+  EXPECT_DOUBLE_EQ(res.task_finish[0], 1.0);  // 10 MiB at 10 MiB/s
+  EXPECT_EQ(res.remote_reads, 1u);
+}
+
+TEST(ClusterSim, CpuSpeedScalesCompute) {
+  dsim::SimConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.node.slots = 1;
+  cfg.node.disk_mbps = 1e9;  // negligible read time
+  cfg.per_node = {cfg.node, cfg.node};
+  cfg.per_node[1].cpu_speed = 4.0;
+  dsim::ClusterSim sim(cfg);
+  const std::vector<dsim::SimTask> tasks{
+      {.input_bytes = 0, .cpu_seconds = 8.0, .remote = false},
+      {.input_bytes = 0, .cpu_seconds = 8.0, .remote = false}};
+  const auto res = sim.run(tasks, fixed_assignment({0, 1}));
+  EXPECT_DOUBLE_EQ(res.task_finish[0], 8.0);
+  EXPECT_DOUBLE_EQ(res.task_finish[1], 2.0);
+}
+
+TEST(ClusterSim, PullOrderFollowsSlotAvailability) {
+  // One fast and one slow node; a global FIFO queue of 4 equal tasks. The
+  // fast node should execute more of them.
+  dsim::SimConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.node.slots = 1;
+  cfg.node.disk_mbps = 1e9;
+  cfg.per_node = {cfg.node, cfg.node};
+  cfg.per_node[0].cpu_speed = 3.0;
+  dsim::ClusterSim sim(cfg);
+  const std::vector<dsim::SimTask> tasks(
+      6, {.input_bytes = 0, .cpu_seconds = 3.0, .remote = false});
+  std::size_t cursor = 0;
+  const auto res = sim.run(tasks, [&](std::uint32_t) -> std::optional<std::size_t> {
+    if (cursor >= tasks.size()) return std::nullopt;
+    return cursor++;
+  });
+  int fast = 0;
+  for (const auto n : res.task_node) fast += (n == 0);
+  EXPECT_GE(fast, 4);
+}
+
+TEST(ClusterSim, UnservedTasksStayUnrun) {
+  dsim::SimConfig cfg;
+  cfg.num_nodes = 1;
+  dsim::ClusterSim sim(cfg);
+  const std::vector<dsim::SimTask> tasks(
+      3, {.input_bytes = 0, .cpu_seconds = 1.0, .remote = false});
+  // Scheduler only hands out task 0.
+  bool given = false;
+  const auto res = sim.run(tasks, [&](std::uint32_t) -> std::optional<std::size_t> {
+    if (given) return std::nullopt;
+    given = true;
+    return 0;
+  });
+  EXPECT_GT(res.task_finish[0], 0.0);
+  EXPECT_DOUBLE_EQ(res.task_finish[1], 0.0);
+  EXPECT_EQ(res.task_node[1], cfg.num_nodes);  // invalid marker
+}
+
+TEST(ClusterSim, RejectsBadConfigs) {
+  dsim::SimConfig bad;
+  bad.num_nodes = 0;
+  EXPECT_THROW(dsim::ClusterSim{bad}, std::invalid_argument);
+  bad.num_nodes = 2;
+  bad.per_node.resize(1);
+  EXPECT_THROW(dsim::ClusterSim{bad}, std::invalid_argument);
+  bad.per_node.clear();
+  bad.node.slots = 0;
+  EXPECT_THROW(dsim::ClusterSim{bad}, std::invalid_argument);
+}
+
+// ---- selection bridge over real schedulers ----
+
+namespace {
+struct SimFixture {
+  datanet::core::StoredDataset ds;
+  SimFixture()
+      : ds([] {
+          datanet::core::ExperimentConfig cfg;
+          cfg.num_nodes = 8;
+          cfg.block_size = 16 * 1024;
+          cfg.seed = 41;
+          return datanet::core::make_movie_dataset(cfg, 64, 300);
+        }()) {}
+};
+}  // namespace
+
+TEST(SelectionSim, AllBlocksExecuted) {
+  SimFixture f;
+  const datanet::core::DataNet net(*f.ds.dfs, f.ds.path, {.alpha = 0.3});
+  const auto graph = net.scheduling_graph(f.ds.hot_keys[0]);
+  datanet::scheduler::DataNetScheduler sched;
+  dsim::SelectionSimOptions opt;
+  opt.cluster.num_nodes = 8;
+  const auto report = dsim::simulate_selection(*f.ds.dfs, graph, sched, opt);
+  for (std::size_t j = 0; j < graph.num_blocks(); ++j) {
+    EXPECT_GT(report.sim.task_finish[j], 0.0);
+    EXPECT_LT(report.sim.task_node[j], 8u);
+  }
+  const auto total = std::accumulate(report.node_filtered_bytes.begin(),
+                                     report.node_filtered_bytes.end(), 0ull);
+  EXPECT_EQ(total, graph.total_weight());
+  EXPECT_GT(report.sim.makespan, 0.0);
+}
+
+TEST(SelectionSim, DataNetBalancesUnderEventTiming) {
+  // The headline conclusion must hold under the event-driven backend too.
+  SimFixture f;
+  const datanet::core::DataNet net(*f.ds.dfs, f.ds.path, {.alpha = 0.3});
+  dsim::SelectionSimOptions opt;
+  opt.cluster.num_nodes = 8;
+
+  datanet::scheduler::LocalityScheduler base(7);
+  const auto rb = dsim::simulate_selection(
+      *f.ds.dfs, net.baseline_graph(), base, opt);
+  // For byte-load comparison the baseline needs the true weights: reuse the
+  // DataNet candidate graph for both schedulers.
+  const auto graph = net.scheduling_graph(f.ds.hot_keys[0]);
+  datanet::scheduler::LocalityScheduler base2(7);
+  const auto r_loc = dsim::simulate_selection(*f.ds.dfs, graph, base2, opt);
+  datanet::scheduler::DataNetScheduler dn;
+  const auto r_dn = dsim::simulate_selection(*f.ds.dfs, graph, dn, opt);
+
+  const auto cv = [](const std::vector<std::uint64_t>& v) {
+    std::vector<double> d(v.begin(), v.end());
+    return datanet::stats::summarize(d).coeff_variation();
+  };
+  EXPECT_LT(cv(r_dn.node_filtered_bytes), cv(r_loc.node_filtered_bytes));
+  (void)rb;
+}
+
+TEST(SelectionSim, MostReadsLocalWithLocalityScheduler) {
+  SimFixture f;
+  const datanet::core::DataNet net(*f.ds.dfs, f.ds.path, {.alpha = 0.3});
+  const auto graph = net.baseline_graph();
+  datanet::scheduler::LocalityScheduler sched(7);
+  dsim::SelectionSimOptions opt;
+  opt.cluster.num_nodes = 8;
+  const auto report = dsim::simulate_selection(*f.ds.dfs, graph, sched, opt);
+  EXPECT_LT(report.sim.remote_reads, graph.num_blocks() / 3);
+}
+
+TEST(SelectionSim, RejectsNodeMismatch) {
+  SimFixture f;
+  const datanet::core::DataNet net(*f.ds.dfs, f.ds.path, {.alpha = 0.3});
+  const auto graph = net.baseline_graph();
+  datanet::scheduler::LocalityScheduler sched(7);
+  dsim::SelectionSimOptions opt;
+  opt.cluster.num_nodes = 4;  // dataset cluster is 8 nodes
+  EXPECT_THROW(dsim::simulate_selection(*f.ds.dfs, graph, sched, opt),
+               std::invalid_argument);
+}
+
+// ---- full job simulation (map + shuffle + reduce) ----
+
+#include "sim/job_sim.hpp"
+
+namespace {
+dsim::JobSimOptions job_opts(std::uint32_t nodes) {
+  dsim::JobSimOptions o;
+  o.cluster.num_nodes = nodes;
+  o.cluster.node.slots = 2;
+  o.cluster.node.disk_mbps = 100.0;
+  o.cluster.node.nic_mbps = 100.0;
+  o.map_cpu_seconds_per_mib = 1.0;
+  o.output_ratio = 0.1;
+  o.num_reducers = 4;
+  return o;
+}
+}  // namespace
+
+TEST(JobSim, BalancedInputBalancedFinish) {
+  const std::vector<std::uint64_t> bytes(8, 8 << 20);
+  const auto r = dsim::simulate_analysis_job(bytes, job_opts(8));
+  // All nodes identical -> identical map finishes, tight shuffle span.
+  double mn = 1e18, mx = 0;
+  for (const auto t : r.map.node_finish) {
+    mn = std::min(mn, t);
+    mx = std::max(mx, t);
+  }
+  EXPECT_NEAR(mn, mx, 1e-9);
+  EXPECT_GT(r.makespan, r.map_phase);
+  for (const auto t : r.reduce_finish) EXPECT_GE(t + 1e-12, r.shuffle_finish[0]);
+}
+
+TEST(JobSim, SkewedInputStretchesShuffle) {
+  std::vector<std::uint64_t> balanced(8, 8 << 20);
+  std::vector<std::uint64_t> skewed(8, 2 << 20);
+  skewed[0] = balanced[0] * 8 - 7ull * (2 << 20);  // same total, one hot node
+  std::uint64_t tb = 0, ts = 0;
+  for (auto b : balanced) tb += b;
+  for (auto s : skewed) ts += s;
+  ASSERT_EQ(tb, ts);
+  const auto rb = dsim::simulate_analysis_job(balanced, job_opts(8));
+  const auto rs = dsim::simulate_analysis_job(skewed, job_opts(8));
+  EXPECT_GT(rs.map_phase, 1.5 * rb.map_phase);
+  EXPECT_GT(rs.shuffle_span(), 1.5 * rb.shuffle_span());
+  EXPECT_GT(rs.makespan, rb.makespan);
+}
+
+TEST(JobSim, ReducerPlacementReducesTransfers) {
+  // All data on node 0: hosting every reducer there eliminates transfers.
+  std::vector<std::uint64_t> bytes(4, 0);
+  bytes[0] = 16 << 20;
+  auto opts = job_opts(4);
+  const auto spread = dsim::simulate_analysis_job(bytes, opts);
+  const auto colocated = dsim::simulate_analysis_job(
+      bytes, opts, std::vector<std::uint32_t>(opts.num_reducers, 0));
+  // Colocated shuffle completes with the map (no inbound transfers).
+  double worst_colo = 0, worst_spread = 0;
+  for (const auto t : colocated.shuffle_finish) worst_colo = std::max(worst_colo, t);
+  for (const auto t : spread.shuffle_finish) worst_spread = std::max(worst_spread, t);
+  EXPECT_LT(worst_colo, worst_spread);
+  EXPECT_NEAR(worst_colo, colocated.map_phase, 1e-9);
+}
+
+TEST(JobSim, RejectsBadArgs) {
+  auto opts = job_opts(4);
+  EXPECT_THROW(
+      dsim::simulate_analysis_job(std::vector<std::uint64_t>(3, 1), opts),
+      std::invalid_argument);
+  opts.num_reducers = 0;
+  EXPECT_THROW(
+      dsim::simulate_analysis_job(std::vector<std::uint64_t>(4, 1), opts),
+      std::invalid_argument);
+  opts.num_reducers = 2;
+  EXPECT_THROW(dsim::simulate_analysis_job(std::vector<std::uint64_t>(4, 1),
+                                           opts, {9, 9}),
+               std::invalid_argument);
+}

@@ -1,0 +1,15 @@
+// The datanet command-line tool: generate synthetic log datasets, inspect a
+// log file's sub-dataset distribution (with a Gamma model fit), and run
+// DataNet-vs-baseline analyses on the simulated cluster. All logic lives in
+// src/cli (tested); this is just the process entry point.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/commands.hpp"
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  return datanet::cli::run_cli(args, std::cout);
+}
