@@ -297,7 +297,10 @@ tests/CMakeFiles/test_common.dir/common_test.cpp.o: \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/common/hash.hpp \
  /root/repo/src/common/rng.hpp /root/repo/src/common/string_util.hpp \
  /usr/include/c++/12/charconv /root/repo/src/common/table.hpp \
- /root/repo/src/common/thread_pool.hpp \
+ /root/repo/src/common/thread_pool.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
  /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \

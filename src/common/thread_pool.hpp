@@ -4,6 +4,7 @@
 // assignment and cost accounting are computed before execution (see
 // mapred::Engine).
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -44,10 +45,23 @@ class ThreadPool {
 };
 
 // Run fn(i) for i in [0, n) across the pool and wait for completion.
+// Indices are submitted in contiguous chunks of `grain` (one closure per
+// chunk, not per index), so fine-grained loops don't pay one queue round
+// trip per element. grain == 0 picks a chunk size that yields a few chunks
+// per worker for load balancing; grain == 1 recovers per-index submission.
 template <typename Fn>
-void parallel_for(ThreadPool& pool, std::size_t n, Fn&& fn) {
-  for (std::size_t i = 0; i < n; ++i) {
-    pool.submit([&fn, i] { fn(i); });
+void parallel_for(ThreadPool& pool, std::size_t n, Fn&& fn,
+                  std::size_t grain = 0) {
+  if (n == 0) return;
+  if (grain == 0) {
+    const std::size_t target_chunks = 4 * pool.size();
+    grain = std::max<std::size_t>(1, (n + target_chunks - 1) / target_chunks);
+  }
+  for (std::size_t begin = 0; begin < n; begin += grain) {
+    const std::size_t end = std::min(n, begin + grain);
+    pool.submit([&fn, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    });
   }
   pool.wait_idle();
 }

@@ -160,6 +160,7 @@ dfs::BlockId ElasticMapArray::block_id(std::uint64_t block_index) const {
 std::vector<BlockShare> ElasticMapArray::distribution(
     workload::SubDatasetId id) const {
   std::vector<BlockShare> out;
+  out.reserve(metas_.size());
   for (std::uint64_t i = 0; i < metas_.size(); ++i) {
     bool exact = false;
     const std::uint64_t est = metas_[i].estimate_size(id, &exact);
@@ -174,8 +175,11 @@ std::vector<BlockShare> ElasticMapArray::distribution(
 
 std::uint64_t ElasticMapArray::estimate_total_size(
     workload::SubDatasetId id) const {
+  // Sum of the per-block shares: each block is probed exactly once (hash map
+  // lookup or Bloom probe) and the total is consistent with distribution()
+  // by construction — blocks the distribution omits contribute zero.
   std::uint64_t total = 0;
-  for (const auto& meta : metas_) total += meta.estimate_size(id);
+  for (const BlockShare& share : distribution(id)) total += share.estimated_bytes;
   return total;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <queue>
 #include <stdexcept>
 #include <unordered_map>
@@ -12,6 +13,10 @@
 namespace datanet::mapred {
 
 namespace {
+
+// Seed of the shuffle partitioner; also seeds the cached sort hash so one
+// hash per pair serves both partitioning and grouping.
+constexpr std::uint64_t kPartitionSeed = 0x9e3779b9;
 
 // Collects emitted pairs in order; partitions lazily afterwards. Named
 // counters accumulate into a per-task map merged by the engine.
@@ -33,31 +38,52 @@ class VectorEmitter final : public Emitter {
   std::map<std::string, std::uint64_t> counters_;
 };
 
-// Deterministic reducer partition for a key.
-std::uint32_t partition_of(const Key& key, std::uint32_t num_reducers) {
-  return static_cast<std::uint32_t>(common::hash_bytes(key, 0x9e3779b9) %
-                                    num_reducers);
+// A map-output pair with its partition hash computed once and carried along
+// so grouping and partitioning never rehash (or re-compare) the full key.
+struct HashedPair {
+  std::uint64_t hash = 0;
+  Key key;
+  Value value;
+};
+
+std::vector<HashedPair> hash_pairs(std::vector<std::pair<Key, Value>> pairs) {
+  std::vector<HashedPair> out;
+  out.reserve(pairs.size());
+  for (auto& [key, value] : pairs) {
+    const std::uint64_t h = common::hash_bytes(key, kPartitionSeed);
+    out.push_back(HashedPair{h, std::move(key), std::move(value)});
+  }
+  return out;
 }
 
-// Group pairs by key preserving first-seen key order, then apply a reducer.
-// Counter emissions are merged into `counters` when provided.
+// Group pairs by key, then apply a reducer. The sort key is (hash, key):
+// equal keys share a hash, so grouping is exact, while distinct keys almost
+// always order by the cached hash without touching the strings — string
+// comparisons no longer dominate grouping of long common-prefix keys. The
+// stable sort keeps values in emission order within a key; which key the
+// reducer sees first is hash order, but every consumer of reducer output
+// (JobReport.output, counters) is order-insensitive. Counter emissions are
+// merged into `counters` when provided.
 std::vector<std::pair<Key, Value>> reduce_pairs(
-    Reducer& reducer, std::vector<std::pair<Key, Value>> pairs,
+    Reducer& reducer, std::vector<HashedPair> pairs,
     std::map<std::string, std::uint64_t>* counters = nullptr) {
-  // Stable sort by key keeps values in emission order within a key.
   std::stable_sort(pairs.begin(), pairs.end(),
-                   [](const auto& a, const auto& b) { return a.first < b.first; });
+                   [](const HashedPair& a, const HashedPair& b) {
+                     if (a.hash != b.hash) return a.hash < b.hash;
+                     return a.key < b.key;
+                   });
   VectorEmitter out;
   std::size_t i = 0;
   std::vector<Value> values;
   while (i < pairs.size()) {
     std::size_t j = i;
     values.clear();
-    while (j < pairs.size() && pairs[j].first == pairs[i].first) {
-      values.push_back(std::move(pairs[j].second));
+    while (j < pairs.size() && pairs[j].hash == pairs[i].hash &&
+           pairs[j].key == pairs[i].key) {
+      values.push_back(std::move(pairs[j].value));
       ++j;
     }
-    reducer.reduce(pairs[i].first, values, out);
+    reducer.reduce(pairs[i].key, values, out);
     i = j;
   }
   if (counters) {
@@ -67,7 +93,11 @@ std::vector<std::pair<Key, Value>> reduce_pairs(
 }
 
 struct TaskResult {
-  std::vector<std::pair<Key, Value>> pairs;  // post-combiner map output
+  // Post-combiner map output, already split into one vector per reducer
+  // (index = hash % R) — the serial global partition loop is gone.
+  std::vector<std::vector<HashedPair>> partitions;
+  std::vector<std::uint64_t> partition_bytes;  // per reducer, this task only
+  std::uint64_t pair_count = 0;
   std::map<std::string, std::uint64_t> counters;
   std::uint64_t records = 0;
   std::uint64_t skipped = 0;
@@ -104,37 +134,61 @@ JobReport Engine::run(const Job& job, const std::vector<InputSplit>& splits) con
   }
 
   JobReport report;
+  const std::uint32_t R = job.config.num_reducers;
+
+  // One pool serves the whole run: map tasks, partition gathering, and the
+  // per-partition reduce stage all share it.
+  const std::uint32_t threads =
+      options_.execution_threads
+          ? options_.execution_threads
+          : std::max(1u, std::thread::hardware_concurrency());
+  common::ThreadPool pool(threads);
+  const auto wall_now = [] { return std::chrono::steady_clock::now(); };
+  const auto wall_since = [](std::chrono::steady_clock::time_point t0,
+                             std::chrono::steady_clock::time_point t1) {
+    return std::chrono::duration<double>(t1 - t0).count();
+  };
 
   // ---- Real map execution (parallel, order-independent results). ----
+  // Each task emits R pre-partitioned vectors with the key hash computed
+  // once and cached alongside the pair; nothing after the map barrier ever
+  // rehashes a key.
+  const auto wall_map_start = wall_now();
   std::vector<TaskResult> results(splits.size());
-  {
-    const std::uint32_t threads = options_.execution_threads
-                                      ? options_.execution_threads
-                                      : std::max(1u, std::thread::hardware_concurrency());
-    common::ThreadPool pool(threads);
-    common::parallel_for(pool, splits.size(), [&](std::size_t t) {
-      const InputSplit& split = splits[t];
-      auto mapper = job.mapper_factory();
-      VectorEmitter emitter;
-      std::uint64_t records = 0;
-      const std::uint64_t skipped =
-          workload::for_each_record(split.data, [&](const workload::RecordView& rv) {
-            mapper->map(rv, emitter);
-            ++records;
-          });
-      mapper->finish(emitter);
-      TaskResult& r = results[t];
-      r.records = records;
-      r.skipped = skipped;
-      r.counters = std::move(emitter.counters());
-      if (job.combiner_factory) {
-        auto combiner = job.combiner_factory();
-        r.pairs = reduce_pairs(*combiner, std::move(emitter.pairs()));
-      } else {
-        r.pairs = std::move(emitter.pairs());
-      }
-    });
-  }
+  common::parallel_for(
+      pool, splits.size(),
+      [&](std::size_t t) {
+        const InputSplit& split = splits[t];
+        auto mapper = job.mapper_factory();
+        VectorEmitter emitter;
+        std::uint64_t records = 0;
+        const std::uint64_t skipped = workload::for_each_record(
+            split.data, [&](const workload::RecordView& rv) {
+              mapper->map(rv, emitter);
+              ++records;
+            });
+        mapper->finish(emitter);
+        TaskResult& r = results[t];
+        r.records = records;
+        r.skipped = skipped;
+        r.counters = std::move(emitter.counters());
+        auto hashed = hash_pairs(std::move(emitter.pairs()));
+        if (job.combiner_factory) {
+          auto combiner = job.combiner_factory();
+          hashed = hash_pairs(reduce_pairs(*combiner, std::move(hashed)));
+        }
+        r.pair_count = hashed.size();
+        r.partitions.resize(R);
+        r.partition_bytes.assign(R, 0);
+        for (auto& hp : hashed) {
+          const auto p = static_cast<std::uint32_t>(hp.hash % R);
+          r.partition_bytes[p] += hp.key.size() + hp.value.size() + 2;
+          r.partitions[p].push_back(std::move(hp));
+        }
+      },
+      /*grain=*/1);  // map tasks are coarse; chunking would serialize them
+  const auto wall_map_end = wall_now();
+  report.wall_map_seconds = wall_since(wall_map_start, wall_map_end);
 
   // ---- Deterministic simulated map timing. ----
   report.map_tasks.resize(splits.size());
@@ -232,24 +286,31 @@ JobReport Engine::run(const Job& job, const std::vector<InputSplit>& splits) con
         std::min(report.first_map_finish_seconds, tt.finish);
   }
 
-  // ---- Shuffle: partition post-combiner pairs, sized per reducer. ----
-  const std::uint32_t R = job.config.num_reducers;
-  std::vector<std::vector<std::pair<Key, Value>>> partitions(R);
-  std::vector<std::uint64_t> partition_bytes(R, 0);
+  // ---- Shuffle: gather per-task partitions, sized per reducer. ----
+  const auto wall_shuffle_start = wall_now();
   for (std::size_t t = 0; t < splits.size(); ++t) {
     report.input_records += results[t].records;
     report.skipped_lines += results[t].skipped;
     report.input_bytes += splits[t].data.size();
-    report.map_output_pairs += results[t].pairs.size();
+    report.map_output_pairs += results[t].pair_count;
     for (const auto& [name, v] : results[t].counters) {
       report.counters[name] += v;
     }
-    for (auto& kv : results[t].pairs) {
-      const std::uint32_t p = partition_of(kv.first, R);
-      partition_bytes[p] += kv.first.size() + kv.second.size() + 2;
-      partitions[p].push_back(std::move(kv));
-    }
   }
+  // Each reducer's partition is the concatenation of every task's slice in
+  // task order — the same order the old serial partition loop produced.
+  // Partitions are independent, so the gather runs on the pool.
+  std::vector<std::vector<HashedPair>> partitions(R);
+  std::vector<std::uint64_t> partition_bytes(R, 0);
+  common::parallel_for(pool, R, [&](std::size_t p) {
+    std::size_t total = 0;
+    for (const auto& r : results) total += r.partitions[p].size();
+    partitions[p].reserve(total);
+    for (auto& r : results) {
+      for (auto& hp : r.partitions[p]) partitions[p].push_back(std::move(hp));
+      partition_bytes[p] += r.partition_bytes[p];
+    }
+  });
   for (std::uint32_t p = 0; p < R; ++p) report.shuffle_bytes += partition_bytes[p];
 
   report.shuffle_task_seconds.resize(R);
@@ -267,16 +328,26 @@ JobReport Engine::run(const Job& job, const std::vector<InputSplit>& splits) con
                             report.shuffle_task_seconds.end())
         : 0.0;
 
-  // ---- Real reduce + simulated reduce timing. ----
+  // ---- Real reduce (parallel over partitions) + simulated timing. ----
+  // Each partition groups and reduces independently on the pool into
+  // per-partition buffers; the merge below runs serially in partition order,
+  // so output and counters are identical to the serial path.
+  std::vector<std::vector<std::pair<Key, Value>>> reduced(R);
+  std::vector<std::map<std::string, std::uint64_t>> reduce_counters(R);
+  common::parallel_for(pool, R, [&](std::size_t p) {
+    auto reducer = job.reducer_factory();
+    reduced[p] =
+        reduce_pairs(*reducer, std::move(partitions[p]), &reduce_counters[p]);
+  });
   report.reduce_task_seconds.resize(R);
   for (std::uint32_t p = 0; p < R; ++p) {
-    auto reducer = job.reducer_factory();
-    auto reduced =
-        reduce_pairs(*reducer, std::move(partitions[p]), &report.counters);
-    for (auto& kv : reduced) report.output.insert(std::move(kv));
+    for (auto& kv : reduced[p]) report.output.insert(std::move(kv));
+    for (const auto& [name, v] : reduce_counters[p]) report.counters[name] += v;
     report.reduce_task_seconds[p] =
         job.config.cost.reduce_seconds(partition_bytes[p]);
   }
+  report.wall_shuffle_reduce_seconds =
+      wall_since(wall_shuffle_start, wall_now());
   report.reduce_phase_seconds =
       R ? *std::max_element(report.reduce_task_seconds.begin(),
                             report.reduce_task_seconds.end())

@@ -13,6 +13,11 @@
 //     partition transfer — so an imbalanced map phase directly stretches
 //     every shuffle task.
 //   * reduce: per-reducer cost on its partition; reduce phase = max.
+//
+// Real execution is parallel end to end: map tasks emit pre-partitioned
+// output (key hash computed once per pair and cached), and the per-partition
+// group+reduce stage runs on the same thread pool as the map stage. All
+// results and simulated timings are bit-identical at any thread count.
 
 #include <cstdint>
 #include <map>
@@ -59,6 +64,14 @@ struct JobReport {
   double shuffle_phase_seconds = 0.0;  // max shuffle task
   double reduce_phase_seconds = 0.0;   // max reduce task
   double total_seconds = 0.0;
+
+  // Measured wall-clock time of the real execution (not the simulated
+  // clock): the map stage, and the shuffle+reduce stage that follows the
+  // map barrier. These depend on the host machine and execution_threads;
+  // they exist for perf benches and are excluded from report_to_json so
+  // serialized reports stay bit-for-bit reproducible.
+  double wall_map_seconds = 0.0;
+  double wall_shuffle_reduce_seconds = 0.0;
 
   // Counters.
   std::uint64_t input_records = 0;

@@ -292,6 +292,39 @@ TEST(ThreadPool, ParallelForCoversAllIndices) {
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
+TEST(ThreadPool, ParallelForZeroIterations) {
+  dc::ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  dc::parallel_for(pool, 0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, ParallelForFewerIterationsThanThreads) {
+  dc::ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  dc::parallel_for(pool, 3, [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForManyMoreIterationsThanThreads) {
+  // Auto grain chunks the range; every index must still run exactly once.
+  dc::ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(10000);
+  dc::parallel_for(pool, hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForGrainOverride) {
+  dc::ThreadPool pool(4);
+  for (const std::size_t grain : {std::size_t{1}, std::size_t{7},
+                                  std::size_t{64}, std::size_t{1000}}) {
+    std::vector<std::atomic<int>> hits(100);
+    dc::parallel_for(pool, hits.size(), [&](std::size_t i) { ++hits[i]; },
+                     grain);
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
 TEST(ThreadPool, ReusableAfterWait) {
   dc::ThreadPool pool(2);
   std::atomic<int> count{0};

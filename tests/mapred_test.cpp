@@ -302,6 +302,43 @@ class CountingReducer final : public dm::Reducer {
 };
 }  // namespace
 
+TEST(Engine, DeterministicShuffleAndReduceAcrossThreadCounts) {
+  // Shuffle-heavy job: many distinct keys across many splits, >= 8 reducers,
+  // so the parallel partition-gather and reduce stages actually fan out.
+  // Everything observable must be bit-identical at 1 and 8 threads.
+  std::vector<std::string> blocks;
+  for (int s = 0; s < 6; ++s) {
+    std::string data;
+    for (int i = 0; i < 400; ++i) {
+      data += std::to_string(i) + "\tkey_" +
+              std::to_string((s * 131 + i * 7) % 97) + "\tpayload\n";
+    }
+    blocks.push_back(std::move(data));
+  }
+  std::vector<dm::InputSplit> splits;
+  for (int s = 0; s < 6; ++s) {
+    splits.push_back({.node = static_cast<std::uint32_t>(s % 3),
+                      .data = blocks[s],
+                      .charged_bytes = 0});
+  }
+  dm::Job job;
+  job.config.num_reducers = 11;
+  job.mapper_factory = [] { return std::make_unique<CountingMapper>(); };
+  job.reducer_factory = [] { return std::make_unique<CountingReducer>(); };
+  dm::Engine e1({.num_nodes = 3, .slots_per_node = 2, .execution_threads = 1});
+  dm::Engine e8({.num_nodes = 3, .slots_per_node = 2, .execution_threads = 8});
+  const auto r1 = e1.run(job, splits);
+  const auto r8 = e8.run(job, splits);
+  EXPECT_EQ(r1.output, r8.output);
+  EXPECT_EQ(r1.counters, r8.counters);
+  EXPECT_EQ(r1.map_output_pairs, r8.map_output_pairs);
+  EXPECT_EQ(r1.shuffle_bytes, r8.shuffle_bytes);
+  EXPECT_EQ(r1.input_records, r8.input_records);
+  EXPECT_DOUBLE_EQ(r1.total_seconds, r8.total_seconds);
+  EXPECT_EQ(r1.shuffle_task_seconds, r8.shuffle_task_seconds);
+  EXPECT_EQ(r1.reduce_task_seconds, r8.reduce_task_seconds);
+}
+
 TEST(Counters, MergedAcrossTasksAndPhases) {
   const auto b1 = make_block({{"a", 3}, {"b", 2}});
   const auto b2 = make_block({{"a", 1}, {"c", 4}});
