@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_amortization.dir/bench_amortization.cpp.o"
+  "CMakeFiles/bench_amortization.dir/bench_amortization.cpp.o.d"
+  "bench_amortization"
+  "bench_amortization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_amortization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

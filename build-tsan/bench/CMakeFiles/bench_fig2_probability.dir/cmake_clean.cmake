@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_probability.dir/bench_fig2_probability.cpp.o"
+  "CMakeFiles/bench_fig2_probability.dir/bench_fig2_probability.cpp.o.d"
+  "bench_fig2_probability"
+  "bench_fig2_probability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_probability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_maptime.dir/bench_fig6_maptime.cpp.o"
+  "CMakeFiles/bench_fig6_maptime.dir/bench_fig6_maptime.cpp.o.d"
+  "bench_fig6_maptime"
+  "bench_fig6_maptime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_maptime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_shuffle.dir/bench_fig7_shuffle.cpp.o"
+  "CMakeFiles/bench_fig7_shuffle.dir/bench_fig7_shuffle.cpp.o.d"
+  "bench_fig7_shuffle"
+  "bench_fig7_shuffle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_shuffle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_github.dir/bench_fig8_github.cpp.o"
+  "CMakeFiles/bench_fig8_github.dir/bench_fig8_github.cpp.o.d"
+  "bench_fig8_github"
+  "bench_fig8_github.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_github.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

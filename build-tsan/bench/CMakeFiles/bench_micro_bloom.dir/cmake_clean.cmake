@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_bloom.dir/bench_micro_bloom.cpp.o"
+  "CMakeFiles/bench_micro_bloom.dir/bench_micro_bloom.cpp.o.d"
+  "bench_micro_bloom"
+  "bench_micro_bloom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_bloom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

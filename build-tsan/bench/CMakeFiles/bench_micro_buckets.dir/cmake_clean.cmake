@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_buckets.dir/bench_micro_buckets.cpp.o"
+  "CMakeFiles/bench_micro_buckets.dir/bench_micro_buckets.cpp.o.d"
+  "bench_micro_buckets"
+  "bench_micro_buckets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_buckets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

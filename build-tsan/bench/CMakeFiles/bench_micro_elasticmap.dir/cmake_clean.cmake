@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_elasticmap.dir/bench_micro_elasticmap.cpp.o"
+  "CMakeFiles/bench_micro_elasticmap.dir/bench_micro_elasticmap.cpp.o.d"
+  "bench_micro_elasticmap"
+  "bench_micro_elasticmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_elasticmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_hll.dir/bench_micro_hll.cpp.o"
+  "CMakeFiles/bench_micro_hll.dir/bench_micro_hll.cpp.o.d"
+  "bench_micro_hll"
+  "bench_micro_hll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_hll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

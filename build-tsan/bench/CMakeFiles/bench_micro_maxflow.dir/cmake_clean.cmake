@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_maxflow.dir/bench_micro_maxflow.cpp.o"
+  "CMakeFiles/bench_micro_maxflow.dir/bench_micro_maxflow.cpp.o.d"
+  "bench_micro_maxflow"
+  "bench_micro_maxflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_maxflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

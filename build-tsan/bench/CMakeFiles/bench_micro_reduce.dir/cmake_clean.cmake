@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_reduce.dir/bench_micro_reduce.cpp.o"
+  "CMakeFiles/bench_micro_reduce.dir/bench_micro_reduce.cpp.o.d"
+  "bench_micro_reduce"
+  "bench_micro_reduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_reduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sim_vs_analytic.dir/bench_sim_vs_analytic.cpp.o"
+  "CMakeFiles/bench_sim_vs_analytic.dir/bench_sim_vs_analytic.cpp.o.d"
+  "bench_sim_vs_analytic"
+  "bench_sim_vs_analytic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sim_vs_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_speculation.dir/bench_speculation.cpp.o"
+  "CMakeFiles/bench_speculation.dir/bench_speculation.cpp.o.d"
+  "bench_speculation"
+  "bench_speculation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_speculation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_blockmap.dir/bench_table1_blockmap.cpp.o"
+  "CMakeFiles/bench_table1_blockmap.dir/bench_table1_blockmap.cpp.o.d"
+  "bench_table1_blockmap"
+  "bench_table1_blockmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_blockmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_elasticmap.dir/bench_table2_elasticmap.cpp.o"
+  "CMakeFiles/bench_table2_elasticmap.dir/bench_table2_elasticmap.cpp.o.d"
+  "bench_table2_elasticmap"
+  "bench_table2_elasticmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_elasticmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

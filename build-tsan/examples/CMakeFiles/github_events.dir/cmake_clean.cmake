@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/github_events.dir/github_events.cpp.o"
+  "CMakeFiles/github_events.dir/github_events.cpp.o.d"
+  "github_events"
+  "github_events.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/github_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meta_persistence.dir/meta_persistence.cpp.o"
+  "CMakeFiles/meta_persistence.dir/meta_persistence.cpp.o.d"
+  "meta_persistence"
+  "meta_persistence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meta_persistence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

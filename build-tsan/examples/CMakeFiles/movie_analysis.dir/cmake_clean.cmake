@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/movie_analysis.dir/movie_analysis.cpp.o"
+  "CMakeFiles/movie_analysis.dir/movie_analysis.cpp.o.d"
+  "movie_analysis"
+  "movie_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/movie_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

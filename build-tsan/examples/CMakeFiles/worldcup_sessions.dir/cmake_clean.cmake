@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/worldcup_sessions.dir/worldcup_sessions.cpp.o"
+  "CMakeFiles/worldcup_sessions.dir/worldcup_sessions.cpp.o.d"
+  "worldcup_sessions"
+  "worldcup_sessions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worldcup_sessions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-tsan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("stats")
+subdirs("bloom")
+subdirs("dfs")
+subdirs("workload")
+subdirs("elasticmap")
+subdirs("graph")
+subdirs("scheduler")
+subdirs("mapred")
+subdirs("apps")
+subdirs("datanet")
+subdirs("cli")
+subdirs("sim")

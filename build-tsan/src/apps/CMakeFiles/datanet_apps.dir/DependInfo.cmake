@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/distinct_users.cpp" "src/apps/CMakeFiles/datanet_apps.dir/distinct_users.cpp.o" "gcc" "src/apps/CMakeFiles/datanet_apps.dir/distinct_users.cpp.o.d"
+  "/root/repo/src/apps/filter.cpp" "src/apps/CMakeFiles/datanet_apps.dir/filter.cpp.o" "gcc" "src/apps/CMakeFiles/datanet_apps.dir/filter.cpp.o.d"
+  "/root/repo/src/apps/histogram.cpp" "src/apps/CMakeFiles/datanet_apps.dir/histogram.cpp.o" "gcc" "src/apps/CMakeFiles/datanet_apps.dir/histogram.cpp.o.d"
+  "/root/repo/src/apps/moving_average.cpp" "src/apps/CMakeFiles/datanet_apps.dir/moving_average.cpp.o" "gcc" "src/apps/CMakeFiles/datanet_apps.dir/moving_average.cpp.o.d"
+  "/root/repo/src/apps/sessionize.cpp" "src/apps/CMakeFiles/datanet_apps.dir/sessionize.cpp.o" "gcc" "src/apps/CMakeFiles/datanet_apps.dir/sessionize.cpp.o.d"
+  "/root/repo/src/apps/topk_search.cpp" "src/apps/CMakeFiles/datanet_apps.dir/topk_search.cpp.o" "gcc" "src/apps/CMakeFiles/datanet_apps.dir/topk_search.cpp.o.d"
+  "/root/repo/src/apps/word_count.cpp" "src/apps/CMakeFiles/datanet_apps.dir/word_count.cpp.o" "gcc" "src/apps/CMakeFiles/datanet_apps.dir/word_count.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/datanet_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/bloom/CMakeFiles/datanet_bloom.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/mapred/CMakeFiles/datanet_mapred.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/workload/CMakeFiles/datanet_workload.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/stats/CMakeFiles/datanet_stats.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/dfs/CMakeFiles/datanet_dfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datanet_apps.dir/distinct_users.cpp.o"
+  "CMakeFiles/datanet_apps.dir/distinct_users.cpp.o.d"
+  "CMakeFiles/datanet_apps.dir/filter.cpp.o"
+  "CMakeFiles/datanet_apps.dir/filter.cpp.o.d"
+  "CMakeFiles/datanet_apps.dir/histogram.cpp.o"
+  "CMakeFiles/datanet_apps.dir/histogram.cpp.o.d"
+  "CMakeFiles/datanet_apps.dir/moving_average.cpp.o"
+  "CMakeFiles/datanet_apps.dir/moving_average.cpp.o.d"
+  "CMakeFiles/datanet_apps.dir/sessionize.cpp.o"
+  "CMakeFiles/datanet_apps.dir/sessionize.cpp.o.d"
+  "CMakeFiles/datanet_apps.dir/topk_search.cpp.o"
+  "CMakeFiles/datanet_apps.dir/topk_search.cpp.o.d"
+  "CMakeFiles/datanet_apps.dir/word_count.cpp.o"
+  "CMakeFiles/datanet_apps.dir/word_count.cpp.o.d"
+  "libdatanet_apps.a"
+  "libdatanet_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datanet_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

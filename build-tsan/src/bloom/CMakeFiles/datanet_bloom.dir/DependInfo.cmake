@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bloom/bloom_filter.cpp" "src/bloom/CMakeFiles/datanet_bloom.dir/bloom_filter.cpp.o" "gcc" "src/bloom/CMakeFiles/datanet_bloom.dir/bloom_filter.cpp.o.d"
+  "/root/repo/src/bloom/hyperloglog.cpp" "src/bloom/CMakeFiles/datanet_bloom.dir/hyperloglog.cpp.o" "gcc" "src/bloom/CMakeFiles/datanet_bloom.dir/hyperloglog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/datanet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

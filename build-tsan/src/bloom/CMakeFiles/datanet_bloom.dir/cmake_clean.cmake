@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datanet_bloom.dir/bloom_filter.cpp.o"
+  "CMakeFiles/datanet_bloom.dir/bloom_filter.cpp.o.d"
+  "CMakeFiles/datanet_bloom.dir/hyperloglog.cpp.o"
+  "CMakeFiles/datanet_bloom.dir/hyperloglog.cpp.o.d"
+  "libdatanet_bloom.a"
+  "libdatanet_bloom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datanet_bloom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

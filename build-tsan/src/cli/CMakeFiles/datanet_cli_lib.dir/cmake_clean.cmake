@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datanet_cli_lib.dir/args.cpp.o"
+  "CMakeFiles/datanet_cli_lib.dir/args.cpp.o.d"
+  "CMakeFiles/datanet_cli_lib.dir/commands.cpp.o"
+  "CMakeFiles/datanet_cli_lib.dir/commands.cpp.o.d"
+  "libdatanet_cli_lib.a"
+  "libdatanet_cli_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datanet_cli_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdatanet_cli_lib.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/json.cpp" "src/common/CMakeFiles/datanet_common.dir/json.cpp.o" "gcc" "src/common/CMakeFiles/datanet_common.dir/json.cpp.o.d"
+  "/root/repo/src/common/string_util.cpp" "src/common/CMakeFiles/datanet_common.dir/string_util.cpp.o" "gcc" "src/common/CMakeFiles/datanet_common.dir/string_util.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/common/CMakeFiles/datanet_common.dir/table.cpp.o" "gcc" "src/common/CMakeFiles/datanet_common.dir/table.cpp.o.d"
+  "/root/repo/src/common/thread_pool.cpp" "src/common/CMakeFiles/datanet_common.dir/thread_pool.cpp.o" "gcc" "src/common/CMakeFiles/datanet_common.dir/thread_pool.cpp.o.d"
+  "/root/repo/src/common/units.cpp" "src/common/CMakeFiles/datanet_common.dir/units.cpp.o" "gcc" "src/common/CMakeFiles/datanet_common.dir/units.cpp.o.d"
+  "/root/repo/src/common/varint.cpp" "src/common/CMakeFiles/datanet_common.dir/varint.cpp.o" "gcc" "src/common/CMakeFiles/datanet_common.dir/varint.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

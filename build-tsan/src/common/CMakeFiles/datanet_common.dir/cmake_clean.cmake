@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datanet_common.dir/json.cpp.o"
+  "CMakeFiles/datanet_common.dir/json.cpp.o.d"
+  "CMakeFiles/datanet_common.dir/string_util.cpp.o"
+  "CMakeFiles/datanet_common.dir/string_util.cpp.o.d"
+  "CMakeFiles/datanet_common.dir/table.cpp.o"
+  "CMakeFiles/datanet_common.dir/table.cpp.o.d"
+  "CMakeFiles/datanet_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/datanet_common.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/datanet_common.dir/units.cpp.o"
+  "CMakeFiles/datanet_common.dir/units.cpp.o.d"
+  "CMakeFiles/datanet_common.dir/varint.cpp.o"
+  "CMakeFiles/datanet_common.dir/varint.cpp.o.d"
+  "libdatanet_common.a"
+  "libdatanet_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datanet_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datanet_core.dir/aggregation.cpp.o"
+  "CMakeFiles/datanet_core.dir/aggregation.cpp.o.d"
+  "CMakeFiles/datanet_core.dir/datanet.cpp.o"
+  "CMakeFiles/datanet_core.dir/datanet.cpp.o.d"
+  "CMakeFiles/datanet_core.dir/experiment.cpp.o"
+  "CMakeFiles/datanet_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/datanet_core.dir/rebalance.cpp.o"
+  "CMakeFiles/datanet_core.dir/rebalance.cpp.o.d"
+  "libdatanet_core.a"
+  "libdatanet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datanet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dfs/fsck.cpp" "src/dfs/CMakeFiles/datanet_dfs.dir/fsck.cpp.o" "gcc" "src/dfs/CMakeFiles/datanet_dfs.dir/fsck.cpp.o.d"
+  "/root/repo/src/dfs/mini_dfs.cpp" "src/dfs/CMakeFiles/datanet_dfs.dir/mini_dfs.cpp.o" "gcc" "src/dfs/CMakeFiles/datanet_dfs.dir/mini_dfs.cpp.o.d"
+  "/root/repo/src/dfs/placement.cpp" "src/dfs/CMakeFiles/datanet_dfs.dir/placement.cpp.o" "gcc" "src/dfs/CMakeFiles/datanet_dfs.dir/placement.cpp.o.d"
+  "/root/repo/src/dfs/topology.cpp" "src/dfs/CMakeFiles/datanet_dfs.dir/topology.cpp.o" "gcc" "src/dfs/CMakeFiles/datanet_dfs.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/datanet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

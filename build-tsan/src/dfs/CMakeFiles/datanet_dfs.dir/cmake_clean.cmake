@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datanet_dfs.dir/fsck.cpp.o"
+  "CMakeFiles/datanet_dfs.dir/fsck.cpp.o.d"
+  "CMakeFiles/datanet_dfs.dir/mini_dfs.cpp.o"
+  "CMakeFiles/datanet_dfs.dir/mini_dfs.cpp.o.d"
+  "CMakeFiles/datanet_dfs.dir/placement.cpp.o"
+  "CMakeFiles/datanet_dfs.dir/placement.cpp.o.d"
+  "CMakeFiles/datanet_dfs.dir/topology.cpp.o"
+  "CMakeFiles/datanet_dfs.dir/topology.cpp.o.d"
+  "libdatanet_dfs.a"
+  "libdatanet_dfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datanet_dfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/elasticmap/block_meta.cpp" "src/elasticmap/CMakeFiles/datanet_elasticmap.dir/block_meta.cpp.o" "gcc" "src/elasticmap/CMakeFiles/datanet_elasticmap.dir/block_meta.cpp.o.d"
+  "/root/repo/src/elasticmap/cost_model.cpp" "src/elasticmap/CMakeFiles/datanet_elasticmap.dir/cost_model.cpp.o" "gcc" "src/elasticmap/CMakeFiles/datanet_elasticmap.dir/cost_model.cpp.o.d"
+  "/root/repo/src/elasticmap/elastic_map.cpp" "src/elasticmap/CMakeFiles/datanet_elasticmap.dir/elastic_map.cpp.o" "gcc" "src/elasticmap/CMakeFiles/datanet_elasticmap.dir/elastic_map.cpp.o.d"
+  "/root/repo/src/elasticmap/index.cpp" "src/elasticmap/CMakeFiles/datanet_elasticmap.dir/index.cpp.o" "gcc" "src/elasticmap/CMakeFiles/datanet_elasticmap.dir/index.cpp.o.d"
+  "/root/repo/src/elasticmap/meta_store.cpp" "src/elasticmap/CMakeFiles/datanet_elasticmap.dir/meta_store.cpp.o" "gcc" "src/elasticmap/CMakeFiles/datanet_elasticmap.dir/meta_store.cpp.o.d"
+  "/root/repo/src/elasticmap/separator.cpp" "src/elasticmap/CMakeFiles/datanet_elasticmap.dir/separator.cpp.o" "gcc" "src/elasticmap/CMakeFiles/datanet_elasticmap.dir/separator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/datanet_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/stats/CMakeFiles/datanet_stats.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/bloom/CMakeFiles/datanet_bloom.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/dfs/CMakeFiles/datanet_dfs.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/workload/CMakeFiles/datanet_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datanet_elasticmap.dir/block_meta.cpp.o"
+  "CMakeFiles/datanet_elasticmap.dir/block_meta.cpp.o.d"
+  "CMakeFiles/datanet_elasticmap.dir/cost_model.cpp.o"
+  "CMakeFiles/datanet_elasticmap.dir/cost_model.cpp.o.d"
+  "CMakeFiles/datanet_elasticmap.dir/elastic_map.cpp.o"
+  "CMakeFiles/datanet_elasticmap.dir/elastic_map.cpp.o.d"
+  "CMakeFiles/datanet_elasticmap.dir/index.cpp.o"
+  "CMakeFiles/datanet_elasticmap.dir/index.cpp.o.d"
+  "CMakeFiles/datanet_elasticmap.dir/meta_store.cpp.o"
+  "CMakeFiles/datanet_elasticmap.dir/meta_store.cpp.o.d"
+  "CMakeFiles/datanet_elasticmap.dir/separator.cpp.o"
+  "CMakeFiles/datanet_elasticmap.dir/separator.cpp.o.d"
+  "libdatanet_elasticmap.a"
+  "libdatanet_elasticmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datanet_elasticmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for datanet_elasticmap.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/assignment.cpp" "src/graph/CMakeFiles/datanet_graph.dir/assignment.cpp.o" "gcc" "src/graph/CMakeFiles/datanet_graph.dir/assignment.cpp.o.d"
+  "/root/repo/src/graph/bipartite.cpp" "src/graph/CMakeFiles/datanet_graph.dir/bipartite.cpp.o" "gcc" "src/graph/CMakeFiles/datanet_graph.dir/bipartite.cpp.o.d"
+  "/root/repo/src/graph/maxflow.cpp" "src/graph/CMakeFiles/datanet_graph.dir/maxflow.cpp.o" "gcc" "src/graph/CMakeFiles/datanet_graph.dir/maxflow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/datanet_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/dfs/CMakeFiles/datanet_dfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datanet_graph.dir/assignment.cpp.o"
+  "CMakeFiles/datanet_graph.dir/assignment.cpp.o.d"
+  "CMakeFiles/datanet_graph.dir/bipartite.cpp.o"
+  "CMakeFiles/datanet_graph.dir/bipartite.cpp.o.d"
+  "CMakeFiles/datanet_graph.dir/maxflow.cpp.o"
+  "CMakeFiles/datanet_graph.dir/maxflow.cpp.o.d"
+  "libdatanet_graph.a"
+  "libdatanet_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datanet_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

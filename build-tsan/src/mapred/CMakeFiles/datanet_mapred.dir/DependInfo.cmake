@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapred/engine.cpp" "src/mapred/CMakeFiles/datanet_mapred.dir/engine.cpp.o" "gcc" "src/mapred/CMakeFiles/datanet_mapred.dir/engine.cpp.o.d"
+  "/root/repo/src/mapred/job.cpp" "src/mapred/CMakeFiles/datanet_mapred.dir/job.cpp.o" "gcc" "src/mapred/CMakeFiles/datanet_mapred.dir/job.cpp.o.d"
+  "/root/repo/src/mapred/report_json.cpp" "src/mapred/CMakeFiles/datanet_mapred.dir/report_json.cpp.o" "gcc" "src/mapred/CMakeFiles/datanet_mapred.dir/report_json.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/datanet_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/workload/CMakeFiles/datanet_workload.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/stats/CMakeFiles/datanet_stats.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/dfs/CMakeFiles/datanet_dfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datanet_mapred.dir/engine.cpp.o"
+  "CMakeFiles/datanet_mapred.dir/engine.cpp.o.d"
+  "CMakeFiles/datanet_mapred.dir/job.cpp.o"
+  "CMakeFiles/datanet_mapred.dir/job.cpp.o.d"
+  "CMakeFiles/datanet_mapred.dir/report_json.cpp.o"
+  "CMakeFiles/datanet_mapred.dir/report_json.cpp.o.d"
+  "libdatanet_mapred.a"
+  "libdatanet_mapred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datanet_mapred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

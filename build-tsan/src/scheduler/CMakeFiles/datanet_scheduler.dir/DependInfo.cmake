@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scheduler/datanet_sched.cpp" "src/scheduler/CMakeFiles/datanet_scheduler.dir/datanet_sched.cpp.o" "gcc" "src/scheduler/CMakeFiles/datanet_scheduler.dir/datanet_sched.cpp.o.d"
+  "/root/repo/src/scheduler/flow_sched.cpp" "src/scheduler/CMakeFiles/datanet_scheduler.dir/flow_sched.cpp.o" "gcc" "src/scheduler/CMakeFiles/datanet_scheduler.dir/flow_sched.cpp.o.d"
+  "/root/repo/src/scheduler/locality.cpp" "src/scheduler/CMakeFiles/datanet_scheduler.dir/locality.cpp.o" "gcc" "src/scheduler/CMakeFiles/datanet_scheduler.dir/locality.cpp.o.d"
+  "/root/repo/src/scheduler/lpt.cpp" "src/scheduler/CMakeFiles/datanet_scheduler.dir/lpt.cpp.o" "gcc" "src/scheduler/CMakeFiles/datanet_scheduler.dir/lpt.cpp.o.d"
+  "/root/repo/src/scheduler/scheduler.cpp" "src/scheduler/CMakeFiles/datanet_scheduler.dir/scheduler.cpp.o" "gcc" "src/scheduler/CMakeFiles/datanet_scheduler.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/datanet_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/dfs/CMakeFiles/datanet_dfs.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/graph/CMakeFiles/datanet_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datanet_scheduler.dir/datanet_sched.cpp.o"
+  "CMakeFiles/datanet_scheduler.dir/datanet_sched.cpp.o.d"
+  "CMakeFiles/datanet_scheduler.dir/flow_sched.cpp.o"
+  "CMakeFiles/datanet_scheduler.dir/flow_sched.cpp.o.d"
+  "CMakeFiles/datanet_scheduler.dir/locality.cpp.o"
+  "CMakeFiles/datanet_scheduler.dir/locality.cpp.o.d"
+  "CMakeFiles/datanet_scheduler.dir/lpt.cpp.o"
+  "CMakeFiles/datanet_scheduler.dir/lpt.cpp.o.d"
+  "CMakeFiles/datanet_scheduler.dir/scheduler.cpp.o"
+  "CMakeFiles/datanet_scheduler.dir/scheduler.cpp.o.d"
+  "libdatanet_scheduler.a"
+  "libdatanet_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datanet_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

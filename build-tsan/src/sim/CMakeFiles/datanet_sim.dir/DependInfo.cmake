@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cluster_sim.cpp" "src/sim/CMakeFiles/datanet_sim.dir/cluster_sim.cpp.o" "gcc" "src/sim/CMakeFiles/datanet_sim.dir/cluster_sim.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/sim/CMakeFiles/datanet_sim.dir/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/datanet_sim.dir/event_queue.cpp.o.d"
+  "/root/repo/src/sim/job_sim.cpp" "src/sim/CMakeFiles/datanet_sim.dir/job_sim.cpp.o" "gcc" "src/sim/CMakeFiles/datanet_sim.dir/job_sim.cpp.o.d"
+  "/root/repo/src/sim/selection_sim.cpp" "src/sim/CMakeFiles/datanet_sim.dir/selection_sim.cpp.o" "gcc" "src/sim/CMakeFiles/datanet_sim.dir/selection_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/datanet_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/dfs/CMakeFiles/datanet_dfs.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/graph/CMakeFiles/datanet_graph.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/scheduler/CMakeFiles/datanet_scheduler.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datanet_sim.dir/cluster_sim.cpp.o"
+  "CMakeFiles/datanet_sim.dir/cluster_sim.cpp.o.d"
+  "CMakeFiles/datanet_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/datanet_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/datanet_sim.dir/job_sim.cpp.o"
+  "CMakeFiles/datanet_sim.dir/job_sim.cpp.o.d"
+  "CMakeFiles/datanet_sim.dir/selection_sim.cpp.o"
+  "CMakeFiles/datanet_sim.dir/selection_sim.cpp.o.d"
+  "libdatanet_sim.a"
+  "libdatanet_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datanet_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

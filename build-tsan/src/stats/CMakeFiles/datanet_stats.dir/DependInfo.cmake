@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/concentration.cpp" "src/stats/CMakeFiles/datanet_stats.dir/concentration.cpp.o" "gcc" "src/stats/CMakeFiles/datanet_stats.dir/concentration.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/datanet_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/datanet_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/fit.cpp" "src/stats/CMakeFiles/datanet_stats.dir/fit.cpp.o" "gcc" "src/stats/CMakeFiles/datanet_stats.dir/fit.cpp.o.d"
+  "/root/repo/src/stats/gamma.cpp" "src/stats/CMakeFiles/datanet_stats.dir/gamma.cpp.o" "gcc" "src/stats/CMakeFiles/datanet_stats.dir/gamma.cpp.o.d"
+  "/root/repo/src/stats/goodness_of_fit.cpp" "src/stats/CMakeFiles/datanet_stats.dir/goodness_of_fit.cpp.o" "gcc" "src/stats/CMakeFiles/datanet_stats.dir/goodness_of_fit.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/datanet_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/datanet_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/zipf.cpp" "src/stats/CMakeFiles/datanet_stats.dir/zipf.cpp.o" "gcc" "src/stats/CMakeFiles/datanet_stats.dir/zipf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/datanet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datanet_stats.dir/concentration.cpp.o"
+  "CMakeFiles/datanet_stats.dir/concentration.cpp.o.d"
+  "CMakeFiles/datanet_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/datanet_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/datanet_stats.dir/fit.cpp.o"
+  "CMakeFiles/datanet_stats.dir/fit.cpp.o.d"
+  "CMakeFiles/datanet_stats.dir/gamma.cpp.o"
+  "CMakeFiles/datanet_stats.dir/gamma.cpp.o.d"
+  "CMakeFiles/datanet_stats.dir/goodness_of_fit.cpp.o"
+  "CMakeFiles/datanet_stats.dir/goodness_of_fit.cpp.o.d"
+  "CMakeFiles/datanet_stats.dir/histogram.cpp.o"
+  "CMakeFiles/datanet_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/datanet_stats.dir/zipf.cpp.o"
+  "CMakeFiles/datanet_stats.dir/zipf.cpp.o.d"
+  "libdatanet_stats.a"
+  "libdatanet_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datanet_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/dataset.cpp" "src/workload/CMakeFiles/datanet_workload.dir/dataset.cpp.o" "gcc" "src/workload/CMakeFiles/datanet_workload.dir/dataset.cpp.o.d"
+  "/root/repo/src/workload/github_gen.cpp" "src/workload/CMakeFiles/datanet_workload.dir/github_gen.cpp.o" "gcc" "src/workload/CMakeFiles/datanet_workload.dir/github_gen.cpp.o.d"
+  "/root/repo/src/workload/io.cpp" "src/workload/CMakeFiles/datanet_workload.dir/io.cpp.o" "gcc" "src/workload/CMakeFiles/datanet_workload.dir/io.cpp.o.d"
+  "/root/repo/src/workload/movie_gen.cpp" "src/workload/CMakeFiles/datanet_workload.dir/movie_gen.cpp.o" "gcc" "src/workload/CMakeFiles/datanet_workload.dir/movie_gen.cpp.o.d"
+  "/root/repo/src/workload/record.cpp" "src/workload/CMakeFiles/datanet_workload.dir/record.cpp.o" "gcc" "src/workload/CMakeFiles/datanet_workload.dir/record.cpp.o.d"
+  "/root/repo/src/workload/text_gen.cpp" "src/workload/CMakeFiles/datanet_workload.dir/text_gen.cpp.o" "gcc" "src/workload/CMakeFiles/datanet_workload.dir/text_gen.cpp.o.d"
+  "/root/repo/src/workload/worldcup_gen.cpp" "src/workload/CMakeFiles/datanet_workload.dir/worldcup_gen.cpp.o" "gcc" "src/workload/CMakeFiles/datanet_workload.dir/worldcup_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/datanet_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/stats/CMakeFiles/datanet_stats.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/dfs/CMakeFiles/datanet_dfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

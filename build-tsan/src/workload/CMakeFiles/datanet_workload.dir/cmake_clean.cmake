@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datanet_workload.dir/dataset.cpp.o"
+  "CMakeFiles/datanet_workload.dir/dataset.cpp.o.d"
+  "CMakeFiles/datanet_workload.dir/github_gen.cpp.o"
+  "CMakeFiles/datanet_workload.dir/github_gen.cpp.o.d"
+  "CMakeFiles/datanet_workload.dir/io.cpp.o"
+  "CMakeFiles/datanet_workload.dir/io.cpp.o.d"
+  "CMakeFiles/datanet_workload.dir/movie_gen.cpp.o"
+  "CMakeFiles/datanet_workload.dir/movie_gen.cpp.o.d"
+  "CMakeFiles/datanet_workload.dir/record.cpp.o"
+  "CMakeFiles/datanet_workload.dir/record.cpp.o.d"
+  "CMakeFiles/datanet_workload.dir/text_gen.cpp.o"
+  "CMakeFiles/datanet_workload.dir/text_gen.cpp.o.d"
+  "CMakeFiles/datanet_workload.dir/worldcup_gen.cpp.o"
+  "CMakeFiles/datanet_workload.dir/worldcup_gen.cpp.o.d"
+  "libdatanet_workload.a"
+  "libdatanet_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datanet_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dfs.dir/dfs_test.cpp.o"
+  "CMakeFiles/test_dfs.dir/dfs_test.cpp.o.d"
+  "test_dfs"
+  "test_dfs.pdb"
+  "test_dfs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

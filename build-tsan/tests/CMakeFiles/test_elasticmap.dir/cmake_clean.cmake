@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_elasticmap.dir/elasticmap_test.cpp.o"
+  "CMakeFiles/test_elasticmap.dir/elasticmap_test.cpp.o.d"
+  "test_elasticmap"
+  "test_elasticmap.pdb"
+  "test_elasticmap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_elasticmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

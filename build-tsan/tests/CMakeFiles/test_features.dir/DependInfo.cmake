@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/features_test.cpp" "tests/CMakeFiles/test_features.dir/features_test.cpp.o" "gcc" "tests/CMakeFiles/test_features.dir/features_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/cli/CMakeFiles/datanet_cli_lib.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/datanet/CMakeFiles/datanet_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/elasticmap/CMakeFiles/datanet_elasticmap.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/apps/CMakeFiles/datanet_apps.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/bloom/CMakeFiles/datanet_bloom.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/mapred/CMakeFiles/datanet_mapred.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/workload/CMakeFiles/datanet_workload.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/stats/CMakeFiles/datanet_stats.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/datanet_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/scheduler/CMakeFiles/datanet_scheduler.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/graph/CMakeFiles/datanet_graph.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/dfs/CMakeFiles/datanet_dfs.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/datanet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

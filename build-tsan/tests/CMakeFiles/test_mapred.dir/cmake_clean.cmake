@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mapred.dir/mapred_test.cpp.o"
+  "CMakeFiles/test_mapred.dir/mapred_test.cpp.o.d"
+  "test_mapred"
+  "test_mapred.pdb"
+  "test_mapred[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mapred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

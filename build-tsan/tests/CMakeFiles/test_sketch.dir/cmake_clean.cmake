@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sketch.dir/sketch_test.cpp.o"
+  "CMakeFiles/test_sketch.dir/sketch_test.cpp.o.d"
+  "test_sketch"
+  "test_sketch.pdb"
+  "test_sketch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

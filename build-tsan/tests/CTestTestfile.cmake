@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/test_common[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_stats[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_bloom[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_dfs[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_workload[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_elasticmap[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_graph[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_scheduler[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_mapred[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_apps[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_integration[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_features[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_cli[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_properties[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_sim[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_sketch[1]_include.cmake")

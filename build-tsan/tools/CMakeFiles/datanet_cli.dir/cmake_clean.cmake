@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datanet_cli.dir/datanet_cli.cpp.o"
+  "CMakeFiles/datanet_cli.dir/datanet_cli.cpp.o.d"
+  "datanet_cli"
+  "datanet_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datanet_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
