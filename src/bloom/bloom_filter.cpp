@@ -14,6 +14,9 @@ namespace {
 constexpr double kLn2 = 0.6931471805599453;
 constexpr std::uint32_t kSerialMagic = 0x424c4f4du;  // "BLOM"
 constexpr std::uint32_t kSerialVersion = 1;
+// Far above any useful hash count (the ctor clamps to 30); rejecting larger
+// values bounds the per-query work a corrupt header can demand.
+constexpr std::uint32_t kMaxHashes = 1024;
 
 std::uint64_t round_up_words(std::uint64_t bits) { return (bits + 63) / 64; }
 }  // namespace
@@ -36,8 +39,8 @@ BloomFilter::BloomFilter(std::uint64_t expected_keys, double target_fpp) {
 
 BloomFilter BloomFilter::with_geometry(std::uint64_t num_bits,
                                        std::uint32_t num_hashes) {
-  if (num_bits == 0 || num_hashes == 0) {
-    throw std::invalid_argument("BloomFilter geometry must be nonzero");
+  if (num_bits == 0 || num_hashes == 0 || num_hashes > kMaxHashes) {
+    throw std::invalid_argument("BloomFilter geometry out of range");
   }
   BloomFilter f;
   f.words_.assign(round_up_words(num_bits), 0);
@@ -133,13 +136,16 @@ BloomFilter BloomFilter::deserialize(std::string_view bytes) {
   BloomFilter f;
   f.num_hashes_ = get_u32(8);
   f.inserts_ = get_u64(16);
+  // Compare against the buffer instead of computing 32 + nwords * 8, which
+  // overflows for hostile nwords and could pass the check before a huge
+  // resize.
   const std::uint64_t nwords = get_u64(24);
-  if (bytes.size() != 32 + nwords * 8) {
+  if ((bytes.size() - 32) % 8 != 0 || nwords != (bytes.size() - 32) / 8) {
     throw std::invalid_argument("BloomFilter: size mismatch");
   }
   f.words_.resize(nwords);
   for (std::uint64_t i = 0; i < nwords; ++i) f.words_[i] = get_u64(32 + i * 8);
-  if (f.num_hashes_ == 0 || f.words_.empty()) {
+  if (f.num_hashes_ == 0 || f.num_hashes_ > kMaxHashes || f.words_.empty()) {
     throw std::invalid_argument("BloomFilter: bad geometry");
   }
   return f;

@@ -43,4 +43,36 @@ namespace datanet::common {
   return h1 + i * h2 + (i * i * i - i) / 6;  // enhanced double hashing
 }
 
+namespace detail {
+struct Crc32Table {
+  std::uint32_t entries[256];
+};
+
+constexpr Crc32Table make_crc32_table() noexcept {
+  Crc32Table table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c >> 1) ^ (0xedb88320u & (0u - (c & 1u)));
+    }
+    table.entries[i] = c;
+  }
+  return table;
+}
+
+inline constexpr Crc32Table kCrc32Table = make_crc32_table();
+}  // namespace detail
+
+// CRC-32 (IEEE 802.3, reflected 0xEDB88320), table-driven. Used for block
+// checksums in MiniDfs; matches zlib's crc32 so stored sums stay comparable
+// to external tooling. Chainable: pass the previous crc to continue.
+[[nodiscard]] constexpr std::uint32_t crc32(std::string_view bytes,
+                                            std::uint32_t crc = 0) noexcept {
+  crc = ~crc;
+  for (unsigned char c : bytes) {
+    crc = (crc >> 8) ^ detail::kCrc32Table.entries[(crc ^ c) & 0xffu];
+  }
+  return ~crc;
+}
+
 }  // namespace datanet::common

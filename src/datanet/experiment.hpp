@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "datanet/datanet.hpp"
+#include "dfs/fault_injector.hpp"
 #include "mapred/engine.hpp"
 #include "scheduler/scheduler.hpp"
 #include "workload/dataset.hpp"
@@ -30,6 +31,9 @@ struct ExperimentConfig {
   double time_scale = 0.0;
   // Extra simulated read cost multiplier for non-local map tasks.
   double remote_read_penalty = 0.5;
+  // Worker threads for the engine's real execution (0 = hardware
+  // concurrency). Reports are bit-identical for any value.
+  std::uint32_t execution_threads = 0;
 
   [[nodiscard]] double effective_time_scale() const {
     return time_scale > 0.0
@@ -64,6 +68,9 @@ struct SelectionResult {
   std::vector<std::uint64_t> node_filtered_bytes;  // actual |s| per node
   mapred::JobReport report;                 // simulated selection-phase timing
   std::uint64_t blocks_scanned = 0;         // candidate blocks actually read
+  // Candidate blocks that could not be read from any replica (faulted runs
+  // only; report.lost_blocks holds the count, report.retries the attempts).
+  std::vector<dfs::BlockId> lost_block_ids;
 };
 
 // Filter sub-dataset `key` from `path`, scheduling block tasks with `sched`.
@@ -76,6 +83,26 @@ struct SelectionResult {
                                             scheduler::TaskScheduler& sched,
                                             const DataNet* net,
                                             const ExperimentConfig& cfg);
+
+// Fault-tolerant selection: same contract as run_selection, but the run is
+// driven task-by-task so `faults` can kill nodes, corrupt replicas/blocks
+// and slow nodes mid-job (FaultInjector events fire on completed-task
+// counts). Reactions mirror Hadoop's:
+//  * a killed node strands its pending AND completed tasks — the scheduler
+//    re-enqueues them onto surviving nodes (scheduler::reassign_stranded)
+//    and re-executed work counts into report.retries;
+//  * a checksum failure on one replica retries the read on the next healthy
+//    replica (remote attempts charge cfg.remote_read_penalty to the
+//    simulated clock) and the bad copy is dropped + re-replicated;
+//  * a block with no healthy replica left is recorded in lost_block_ids,
+//    counted in report.lost_blocks, and sets report.degraded — degradation
+//    is observable, never silent.
+// Orchestration is serial and seeded, so the JobReport is bit-identical for
+// any engine thread count (the PR-1 invariance property holds under faults).
+[[nodiscard]] SelectionResult run_selection_faulted(
+    dfs::MiniDfs& dfs, const std::string& path, const std::string& key,
+    scheduler::TaskScheduler& sched, const DataNet* net,
+    const ExperimentConfig& cfg, dfs::FaultInjector& faults);
 
 // ---- Phase 2: analysis over the filtered, node-local sub-dataset ----
 

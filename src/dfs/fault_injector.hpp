@@ -1,0 +1,93 @@
+#pragma once
+// Deterministic fault injection for MiniDfs-backed runs. A FaultInjector
+// holds a plan of events, each pinned to a logical point in a run (the
+// number of completed tasks); the driving harness calls advance(completed)
+// after every task and the injector applies all due events to the DFS —
+// killing nodes (decommission), corrupting single replicas or whole blocks,
+// and slowing nodes (a simulated-clock speed multiplier). Plans are either
+// explicit or generated from a seed, so every faulted run is reproducible
+// bit-for-bit given (DFS seed, plan seed).
+
+#include <cstdint>
+#include <vector>
+
+#include "dfs/mini_dfs.hpp"
+
+namespace datanet::dfs {
+
+enum class FaultKind : std::uint8_t {
+  kKillNode,        // decommission `node`
+  kCorruptReplica,  // mark one copy of `block` bad (see event resolution)
+  kCorruptBlock,    // flip a byte of `block`'s data: every copy goes bad
+  kSlowNode,        // multiply `node`'s speed by `speed_factor`
+};
+
+struct FaultEvent {
+  std::uint64_t at_task = 0;  // fires once `at_task` tasks have completed
+  FaultKind kind = FaultKind::kKillNode;
+  NodeId node = 0;            // kKillNode / kSlowNode; replica pick (below)
+  BlockId block = 0;          // kCorruptReplica / kCorruptBlock
+  double speed_factor = 1.0;  // kSlowNode only; < 1 means slower
+
+  // kCorruptReplica resolution: if `node` hosts `block` at fire time that
+  // copy is corrupted; otherwise (re-replication may have moved copies since
+  // the plan was written) the replica with ordinal `node % replicas` is —
+  // the event always lands on exactly one current copy, deterministically.
+};
+
+struct FaultStats {
+  std::uint64_t nodes_killed = 0;
+  std::uint64_t replicas_corrupted = 0;
+  std::uint64_t blocks_corrupted = 0;  // whole-block (media) corruptions
+  std::uint64_t nodes_slowed = 0;
+  // Blocks whose last replica died with a killed node (replication-1 loss).
+  std::vector<BlockId> lost_blocks;
+};
+
+class FaultInjector {
+ public:
+  // `dfs` must outlive the injector. The plan is sorted by at_task (stable,
+  // so same-point events fire in the order given).
+  FaultInjector(MiniDfs& dfs, std::vector<FaultEvent> plan);
+
+  // Seeded random plan over a run of `horizon_tasks` tasks: kill
+  // `kill_nodes` distinct nodes, corrupt `corrupt_replicas` random block
+  // copies, and slow `slow_nodes` distinct nodes by a factor in [0.25, 1),
+  // each at a point uniform in [1, horizon_tasks]. Never kills more nodes
+  // than would leave the cluster empty.
+  static FaultInjector random_plan(MiniDfs& dfs, std::uint64_t seed,
+                                   std::uint64_t horizon_tasks,
+                                   std::uint32_t kill_nodes,
+                                   std::uint32_t corrupt_replicas,
+                                   std::uint32_t slow_nodes = 0);
+
+  // Fire every event due at or before `completed_tasks`; returns the events
+  // fired by THIS call (already applied to the DFS). Monotonic: passing a
+  // smaller count than before fires nothing.
+  std::vector<FaultEvent> advance(std::uint64_t completed_tasks);
+
+  [[nodiscard]] bool exhausted() const noexcept { return next_ == plan_.size(); }
+  [[nodiscard]] const std::vector<FaultEvent>& plan() const noexcept {
+    return plan_;
+  }
+  [[nodiscard]] const FaultStats& stats() const noexcept { return stats_; }
+
+  // Current speed multiplier per node (1.0 = nominal; kSlowNode events
+  // multiply in). Aligned with the topology's node ids.
+  [[nodiscard]] const std::vector<double>& node_speeds() const noexcept {
+    return speed_;
+  }
+  [[nodiscard]] bool any_slowdown() const noexcept { return any_slowdown_; }
+
+ private:
+  void apply(const FaultEvent& event);
+
+  MiniDfs* dfs_;
+  std::vector<FaultEvent> plan_;
+  std::size_t next_ = 0;
+  FaultStats stats_;
+  std::vector<double> speed_;
+  bool any_slowdown_ = false;
+};
+
+}  // namespace datanet::dfs

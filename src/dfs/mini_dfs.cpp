@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/hash.hpp"
+
 namespace datanet::dfs {
 
 FileWriter::FileWriter(MiniDfs* dfs, std::string path)
@@ -70,6 +72,14 @@ FileWriter MiniDfs::create(std::string path) {
 
 BlockId MiniDfs::commit_block(const std::string& path, std::string data,
                               std::uint64_t num_records) {
+  if (active_nodes_ == 0) {
+    throw std::runtime_error("MiniDfs: no active nodes to place a block on");
+  }
+  // After failures the cluster may no longer support the configured
+  // replication; like HDFS, write with as many replicas as fit rather than
+  // failing the write.
+  const std::uint32_t replication =
+      std::min(options_.replication, active_nodes_);
   const BlockId id = blocks_.size();
   BlockInfo info;
   info.id = id;
@@ -77,12 +87,15 @@ BlockId MiniDfs::commit_block(const std::string& path, std::string data,
   info.index_in_file = static_cast<std::uint32_t>(files_.at(path).size());
   info.size_bytes = data.size();
   info.num_records = num_records;
-  info.replicas = placement_->place(topology_, options_.replication, placement_rng_);
+  info.checksum = common::crc32(data);
+  info.replicas =
+      placement_->place(topology_, node_active_, replication, placement_rng_);
   for (NodeId n : info.replicas) node_blocks_[n].push_back(id);
   total_bytes_ += info.size_bytes;
   files_.at(path).push_back(id);
   blocks_.push_back(std::move(info));
   block_data_.push_back(std::move(data));
+  block_verified_.push_back(kOk);  // checksum just computed from these bytes
   return id;
 }
 
@@ -103,6 +116,10 @@ const BlockInfo& MiniDfs::block(BlockId id) const {
 
 std::string_view MiniDfs::read_block(BlockId id) const {
   if (id >= block_data_.size()) throw std::out_of_range("bad block id");
+  if (!verify_block(id)) {
+    throw BlockCorruptError(id, "read_block: checksum mismatch on block " +
+                                    std::to_string(id));
+  }
   return block_data_[id];
 }
 
@@ -149,6 +166,11 @@ void MiniDfs::move_replica(BlockId id, NodeId from, NodeId to) {
   from_inv.erase(std::remove(from_inv.begin(), from_inv.end(), id),
                  from_inv.end());
   node_blocks_[to].push_back(id);
+  // The new copy is made from the source copy, so a bad source stays bad.
+  if (replica_marked_corrupt(id, from)) {
+    auto& marks = corrupt_replicas_[id];
+    std::replace(marks.begin(), marks.end(), from, to);
+  }
 }
 
 std::vector<dfs::BlockId> MiniDfs::decommission(NodeId node) {
@@ -166,6 +188,12 @@ std::vector<dfs::BlockId> MiniDfs::decommission(NodeId node) {
   for (const BlockId id : hosted) {
     auto& reps = blocks_[id].replicas;
     reps.erase(std::remove(reps.begin(), reps.end(), node), reps.end());
+    // The node's copy is gone; so is any corruption mark on it.
+    if (auto it = corrupt_replicas_.find(id); it != corrupt_replicas_.end()) {
+      auto& marks = it->second;
+      marks.erase(std::remove(marks.begin(), marks.end(), node), marks.end());
+      if (marks.empty()) corrupt_replicas_.erase(it);
+    }
     if (reps.empty()) {
       lost.push_back(id);
       continue;  // no surviving copy to re-replicate from
@@ -184,6 +212,107 @@ std::vector<dfs::BlockId> MiniDfs::decommission(NodeId node) {
     node_blocks_[target].push_back(id);
   }
   return lost;
+}
+
+// ---- checksums & corruption ----
+
+void MiniDfs::corrupt_block(BlockId id) {
+  if (id >= block_data_.size()) throw std::out_of_range("corrupt_block: bad block");
+  auto& data = block_data_[id];
+  if (data.empty()) return;  // nothing to corrupt
+  data[data.size() / 2] = static_cast<char>(data[data.size() / 2] ^ 0x40);
+  block_verified_[id] = kUnknown;  // next read recomputes and fails
+}
+
+void MiniDfs::corrupt_replica(BlockId id, NodeId node) {
+  if (id >= blocks_.size()) throw std::out_of_range("corrupt_replica: bad block");
+  if (!is_local(id, node)) {
+    throw std::invalid_argument("corrupt_replica: node does not host block");
+  }
+  auto& marks = corrupt_replicas_[id];
+  if (std::find(marks.begin(), marks.end(), node) == marks.end()) {
+    marks.push_back(node);
+  }
+}
+
+bool MiniDfs::verify_block(BlockId id) const {
+  if (id >= block_data_.size()) throw std::out_of_range("verify_block: bad block");
+  if (block_verified_[id] == kUnknown) {
+    block_verified_[id] =
+        common::crc32(block_data_[id]) == blocks_[id].checksum ? kOk : kBad;
+  }
+  return block_verified_[id] == kOk;
+}
+
+bool MiniDfs::replica_marked_corrupt(BlockId id, NodeId node) const {
+  const auto it = corrupt_replicas_.find(id);
+  if (it == corrupt_replicas_.end()) return false;
+  return std::find(it->second.begin(), it->second.end(), node) != it->second.end();
+}
+
+bool MiniDfs::replica_healthy(BlockId id, NodeId node) const {
+  if (id >= blocks_.size()) throw std::out_of_range("replica_healthy: bad block");
+  if (node >= node_active_.size()) {
+    throw std::out_of_range("replica_healthy: bad node");
+  }
+  return node_active_[node] && is_local(id, node) &&
+         !replica_marked_corrupt(id, node) && verify_block(id);
+}
+
+std::string_view MiniDfs::read_replica(BlockId id, NodeId node) const {
+  if (id >= block_data_.size()) throw std::out_of_range("read_replica: bad block");
+  if (!is_local(id, node)) {
+    throw std::invalid_argument("read_replica: node does not host block");
+  }
+  if (replica_marked_corrupt(id, node)) {
+    throw BlockCorruptError(id, "read_replica: corrupt copy of block " +
+                                    std::to_string(id) + " on node " +
+                                    std::to_string(node));
+  }
+  return read_block(id);  // verifies the logical bytes
+}
+
+bool MiniDfs::report_corrupt_replica(BlockId id, NodeId node) {
+  if (id >= blocks_.size()) {
+    throw std::out_of_range("report_corrupt_replica: bad block");
+  }
+  auto& reps = blocks_[id].replicas;
+  const auto it = std::find(reps.begin(), reps.end(), node);
+  if (it == reps.end()) {
+    throw std::invalid_argument("report_corrupt_replica: node does not host block");
+  }
+  // Drop the bad copy.
+  reps.erase(it);
+  auto& inv = node_blocks_[node];
+  inv.erase(std::remove(inv.begin(), inv.end(), id), inv.end());
+  if (auto mit = corrupt_replicas_.find(id); mit != corrupt_replicas_.end()) {
+    auto& marks = mit->second;
+    marks.erase(std::remove(marks.begin(), marks.end(), node), marks.end());
+    if (marks.empty()) corrupt_replicas_.erase(mit);
+  }
+
+  // Media corruption of the logical bytes: no healthy source exists.
+  if (!verify_block(id)) return false;
+
+  // A healthy, active source replica must remain to copy from.
+  const bool have_source = std::any_of(
+      reps.begin(), reps.end(), [&](NodeId n) { return replica_healthy(id, n); });
+  if (!have_source) return false;
+
+  // Re-replicate onto an active node that does not already hold the block
+  // (same choice rule as decommission).
+  std::vector<NodeId> candidates;
+  for (NodeId n = 0; n < topology_.num_nodes(); ++n) {
+    if (node_active_[n] && std::find(reps.begin(), reps.end(), n) == reps.end()) {
+      candidates.push_back(n);
+    }
+  }
+  if (!candidates.empty()) {
+    const NodeId target = candidates[placement_rng_.bounded(candidates.size())];
+    reps.push_back(target);
+    node_blocks_[target].push_back(id);
+  }
+  return true;
 }
 
 }  // namespace datanet::dfs

@@ -4,10 +4,18 @@
 // block->replica map, and per-node block inventories. Record lines never
 // straddle a block boundary (Hadoop's line record reader presents the same
 // record-complete view to map tasks).
+//
+// Failure model: every block carries a CRC32 checksum computed at commit
+// time, and each replica can be independently marked corrupt (a datanode
+// copy going bad). Reads verify: read_block / read_replica throw
+// BlockCorruptError on checksum failure, and report_corrupt_replica models
+// the NameNode dropping a bad copy and re-replicating from a healthy one.
+// corrupt_block / corrupt_replica are the test/fault-injection hooks.
 
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -21,12 +29,22 @@ namespace datanet::dfs {
 
 using BlockId = std::uint64_t;
 
+// Thrown when a read touches data whose CRC32 no longer matches the checksum
+// recorded at commit time (or a replica marked bad by fault injection).
+class BlockCorruptError : public std::runtime_error {
+ public:
+  BlockCorruptError(BlockId id, std::string what)
+      : std::runtime_error(std::move(what)), block_id(id) {}
+  BlockId block_id;
+};
+
 struct BlockInfo {
   BlockId id = 0;
   std::string file;
   std::uint32_t index_in_file = 0;  // 0-based block ordinal within the file
   std::uint64_t size_bytes = 0;
   std::uint64_t num_records = 0;
+  std::uint32_t checksum = 0;    // CRC32 of the block bytes at commit
   std::vector<NodeId> replicas;  // distinct nodes hosting a copy
 };
 
@@ -77,6 +95,9 @@ class MiniDfs {
   [[nodiscard]] bool exists(std::string_view path) const;
   [[nodiscard]] const std::vector<BlockId>& blocks_of(std::string_view path) const;
   [[nodiscard]] const BlockInfo& block(BlockId id) const;
+  // Read the logical block bytes; throws BlockCorruptError when the data no
+  // longer matches its commit-time checksum (verification is memoized, so
+  // the CRC is recomputed only after corruption hooks touch the block).
   [[nodiscard]] std::string_view read_block(BlockId id) const;
   [[nodiscard]] const std::vector<BlockId>& blocks_on(NodeId node) const;
 
@@ -105,13 +126,44 @@ class MiniDfs {
 
   // Relocate one replica of `id` from `from` to `to` (balancer primitive).
   // Throws unless `from` hosts the block, `to` is an active node that does
-  // not already host it.
+  // not already host it. A corrupt source copy stays corrupt after the move.
   void move_replica(BlockId id, NodeId from, NodeId to);
+
+  // ---- checksums & corruption ----
+
+  // Fault hook: flip one byte of the stored block data, so every replica
+  // fails verification (media corruption of the logical block).
+  void corrupt_block(BlockId id);
+
+  // Fault hook: mark the copy of `id` hosted on `node` as corrupt (a single
+  // datanode's disk going bad). Throws unless `node` hosts the block.
+  void corrupt_replica(BlockId id, NodeId node);
+
+  // Recompute-and-compare the block's CRC32 (memoized until the next
+  // corruption hook touches the block).
+  [[nodiscard]] bool verify_block(BlockId id) const;
+
+  // True iff `node` hosts `id`, is active, the copy is not marked corrupt,
+  // and the block data passes verification.
+  [[nodiscard]] bool replica_healthy(BlockId id, NodeId node) const;
+
+  // Read through a specific replica, as a map task on `node` (or fetching
+  // from it) would. Throws std::invalid_argument unless `node` hosts the
+  // block; throws BlockCorruptError when that copy fails its checksum.
+  [[nodiscard]] std::string_view read_replica(BlockId id, NodeId node) const;
+
+  // NameNode reaction to a client-reported checksum failure: drop the bad
+  // copy on `node` and re-replicate from a healthy replica onto an active
+  // node that does not already host the block. Returns true when a healthy
+  // replica remains afterwards; false means the block is unreadable (every
+  // copy bad — with replication 1 or corrupt_block).
+  bool report_corrupt_replica(BlockId id, NodeId node);
 
  private:
   friend class FileWriter;
   BlockId commit_block(const std::string& path, std::string data,
                        std::uint64_t num_records);
+  [[nodiscard]] bool replica_marked_corrupt(BlockId id, NodeId node) const;
 
   ClusterTopology topology_;
   DfsOptions options_;
@@ -125,6 +177,13 @@ class MiniDfs {
   std::vector<bool> node_active_;
   std::uint32_t active_nodes_ = 0;
   std::uint64_t total_bytes_ = 0;
+
+  // Verification memo per block: 0 = unknown, 1 = ok, 2 = bad. Reset to
+  // unknown by corrupt_block so the next read recomputes honestly.
+  enum : std::uint8_t { kUnknown = 0, kOk = 1, kBad = 2 };
+  mutable std::vector<std::uint8_t> block_verified_;
+  // (block -> nodes whose copy is marked bad); sparse, fault-injection only.
+  std::unordered_map<BlockId, std::vector<NodeId>> corrupt_replicas_;
 };
 
 }  // namespace datanet::dfs

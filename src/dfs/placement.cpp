@@ -7,6 +7,10 @@ namespace datanet::dfs {
 
 namespace {
 
+bool node_active(const std::vector<bool>& active, NodeId n) {
+  return active.empty() || active[n];
+}
+
 // Choose `count` distinct nodes uniformly from `pool`, excluding any already
 // in `out`. Appends to `out`.
 void pick_distinct(const std::vector<NodeId>& pool, std::uint32_t count,
@@ -17,7 +21,7 @@ void pick_distinct(const std::vector<NodeId>& pool, std::uint32_t count,
     if (std::find(out.begin(), out.end(), n) == out.end()) candidates.push_back(n);
   }
   if (candidates.size() < count) {
-    throw std::invalid_argument("placement: not enough nodes for replication");
+    throw std::invalid_argument("placement: not enough active nodes for replication");
   }
   for (std::uint32_t i = 0; i < count; ++i) {
     const std::uint64_t j =
@@ -27,61 +31,89 @@ void pick_distinct(const std::vector<NodeId>& pool, std::uint32_t count,
   }
 }
 
-std::vector<NodeId> all_nodes(const ClusterTopology& topo) {
-  std::vector<NodeId> v(topo.num_nodes());
-  for (NodeId n = 0; n < topo.num_nodes(); ++n) v[n] = n;
+std::vector<NodeId> live_nodes(const ClusterTopology& topo,
+                               const std::vector<bool>& active) {
+  std::vector<NodeId> v;
+  v.reserve(topo.num_nodes());
+  for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+    if (node_active(active, n)) v.push_back(n);
+  }
+  return v;
+}
+
+std::vector<NodeId> live_nodes_in_rack(const ClusterTopology& topo, RackId rack,
+                                       const std::vector<bool>& active) {
+  std::vector<NodeId> v;
+  for (NodeId n : topo.nodes_in_rack(rack)) {
+    if (node_active(active, n)) v.push_back(n);
+  }
   return v;
 }
 
 }  // namespace
 
 std::vector<NodeId> RandomPlacement::place(const ClusterTopology& topo,
+                                           const std::vector<bool>& active,
                                            std::uint32_t replication,
                                            common::Rng& rng) {
   std::vector<NodeId> out;
   out.reserve(replication);
-  pick_distinct(all_nodes(topo), replication, rng, out);
+  pick_distinct(live_nodes(topo, active), replication, rng, out);
   return out;
 }
 
 std::vector<NodeId> RoundRobinPlacement::place(const ClusterTopology& topo,
+                                               const std::vector<bool>& active,
                                                std::uint32_t replication,
                                                common::Rng& rng) {
+  const auto pool = live_nodes(topo, active);
+  if (pool.empty() || pool.size() < replication) {
+    throw std::invalid_argument("placement: not enough active nodes for replication");
+  }
+  // Advance the cursor past dead nodes so the primary keeps cycling over the
+  // surviving cluster.
+  while (!node_active(active, next_)) next_ = (next_ + 1) % topo.num_nodes();
   std::vector<NodeId> out;
   out.reserve(replication);
   out.push_back(next_);
   next_ = (next_ + 1) % topo.num_nodes();
-  if (replication > 1) pick_distinct(all_nodes(topo), replication - 1, rng, out);
+  if (replication > 1) pick_distinct(pool, replication - 1, rng, out);
   return out;
 }
 
 std::vector<NodeId> RackAwarePlacement::place(const ClusterTopology& topo,
+                                              const std::vector<bool>& active,
                                               std::uint32_t replication,
                                               common::Rng& rng) {
+  const auto pool = live_nodes(topo, active);
+  if (pool.size() < replication) {
+    throw std::invalid_argument("placement: not enough active nodes for replication");
+  }
   std::vector<NodeId> out;
   out.reserve(replication);
-  const NodeId writer = static_cast<NodeId>(rng.bounded(topo.num_nodes()));
+  const NodeId writer = pool[rng.bounded(pool.size())];
   out.push_back(writer);
   if (replication == 1) return out;
 
   if (topo.num_racks() <= 1) {
-    pick_distinct(all_nodes(topo), replication - 1, rng, out);
+    pick_distinct(pool, replication - 1, rng, out);
     return out;
   }
-  // Pick a remote rack with enough free nodes; fall back to the whole cluster
-  // if none can host all remaining replicas.
+  // Pick a remote rack with enough free active nodes; fall back to the whole
+  // cluster if none can host all remaining replicas.
   const RackId local = topo.rack_of(writer);
   std::vector<RackId> remote;
   for (RackId r = 0; r < topo.num_racks(); ++r) {
-    if (r != local && topo.nodes_in_rack(r).size() >= replication - 1) {
+    if (r != local &&
+        live_nodes_in_rack(topo, r, active).size() >= replication - 1) {
       remote.push_back(r);
     }
   }
   if (remote.empty()) {
-    pick_distinct(all_nodes(topo), replication - 1, rng, out);
+    pick_distinct(pool, replication - 1, rng, out);
   } else {
     const RackId r = remote[rng.bounded(remote.size())];
-    pick_distinct(topo.nodes_in_rack(r), replication - 1, rng, out);
+    pick_distinct(live_nodes_in_rack(topo, r, active), replication - 1, rng, out);
   }
   return out;
 }

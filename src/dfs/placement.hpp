@@ -4,6 +4,11 @@
 // single ingestion point (e.g. Flume) that degenerates to effectively random
 // spreading, which is what the paper's analysis assumes. All three policies
 // are provided and unit-tested.
+//
+// Placement sees the NameNode's liveness view: `active[n]` marks node n in
+// service, and dead nodes never receive new replicas (an empty vector means
+// every node is active). MiniDfs threads its own view through on every
+// commit, so writes issued after a decommission land only on live nodes.
 
 #include <memory>
 #include <vector>
@@ -17,26 +22,42 @@ class PlacementPolicy {
  public:
   virtual ~PlacementPolicy() = default;
 
-  // Return `replication` distinct nodes for the next block. `rng` is owned by
-  // the caller (the NameNode) so placement is deterministic per DFS seed.
+  // Return `replication` distinct ACTIVE nodes for the next block. `rng` is
+  // owned by the caller (the NameNode) so placement is deterministic per DFS
+  // seed. `active` is the caller's liveness view (empty = all nodes active);
+  // throws std::invalid_argument when fewer than `replication` active nodes
+  // exist.
   [[nodiscard]] virtual std::vector<NodeId> place(const ClusterTopology& topo,
+                                                  const std::vector<bool>& active,
                                                   std::uint32_t replication,
                                                   common::Rng& rng) = 0;
+
+  // Convenience for fully-healthy clusters.
+  [[nodiscard]] std::vector<NodeId> place(const ClusterTopology& topo,
+                                          std::uint32_t replication,
+                                          common::Rng& rng) {
+    return place(topo, {}, replication, rng);
+  }
 };
 
 // r distinct nodes chosen uniformly at random (partial Fisher–Yates).
 class RandomPlacement final : public PlacementPolicy {
  public:
+  using PlacementPolicy::place;
   [[nodiscard]] std::vector<NodeId> place(const ClusterTopology& topo,
+                                          const std::vector<bool>& active,
                                           std::uint32_t replication,
                                           common::Rng& rng) override;
 };
 
-// Primary replica cycles round-robin; remaining replicas random. Gives the
-// most uniform block count per node — useful as a best-case baseline.
+// Primary replica cycles round-robin over active nodes; remaining replicas
+// random. Gives the most uniform block count per node — useful as a
+// best-case baseline.
 class RoundRobinPlacement final : public PlacementPolicy {
  public:
+  using PlacementPolicy::place;
   [[nodiscard]] std::vector<NodeId> place(const ClusterTopology& topo,
+                                          const std::vector<bool>& active,
                                           std::uint32_t replication,
                                           common::Rng& rng) override;
 
@@ -46,10 +67,12 @@ class RoundRobinPlacement final : public PlacementPolicy {
 
 // HDFS default policy: replica 1 on a random "writer" node, replicas 2..r on
 // distinct nodes of one different rack (falls back to any node when the
-// topology has a single rack).
+// topology has a single rack or no remote rack has enough active nodes).
 class RackAwarePlacement final : public PlacementPolicy {
  public:
+  using PlacementPolicy::place;
   [[nodiscard]] std::vector<NodeId> place(const ClusterTopology& topo,
+                                          const std::vector<bool>& active,
                                           std::uint32_t replication,
                                           common::Rng& rng) override;
 };

@@ -98,6 +98,12 @@ BlockMeta BlockMeta::deserialize(std::string_view bytes) {
   const auto delta = common::get_varint(bytes, off);
   const auto count = common::get_varint(bytes, off);
   if (!delta || !count) throw std::invalid_argument("BlockMeta: bad header");
+  // Each dominant record occupies >= 9 bytes (8-byte id + >= 1 varint byte);
+  // bound the count before reserving so a corrupt value cannot drive a huge
+  // allocation.
+  if (*count > (bytes.size() - off) / 9) {
+    throw std::invalid_argument("BlockMeta: corrupt record count");
+  }
   std::unordered_map<workload::SubDatasetId, std::uint64_t> dominant;
   dominant.reserve(*count);
   for (std::uint64_t i = 0; i < *count; ++i) {

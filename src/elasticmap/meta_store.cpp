@@ -41,6 +41,22 @@ double get_f64(std::istream& f) {
   return v;
 }
 
+// Bytes between the stream's current position and end-of-file. Counts and
+// lengths read from the file are untrusted: every one is checked against
+// this before it sizes an allocation, so a corrupt or truncated store fails
+// with a typed error instead of a multi-gigabyte resize / bad_alloc.
+std::uint64_t bytes_remaining(std::istream& f) {
+  const auto pos = f.tellg();
+  f.seekg(0, std::ios::end);
+  const auto end = f.tellg();
+  f.seekg(pos);
+  if (pos < 0 || end < pos) throw std::runtime_error("MetaStore: truncated file");
+  return static_cast<std::uint64_t>(end - pos);
+}
+
+// Per-entry index footprint: global_index + block_id + offset + length.
+constexpr std::uint64_t kIndexEntryBytes = 32;
+
 struct StoredEntry {
   std::uint64_t global_index;
   dfs::BlockId block_id;
@@ -95,9 +111,16 @@ StoreContents read_store(const std::string& file_path) {
   out.options.alpha = get_f64(f);
   out.options.bloom_fpp = get_f64(f);
   const std::uint64_t path_len = get_u64(f);
+  if (path_len > bytes_remaining(f)) {
+    throw std::runtime_error("MetaStore: corrupt path length");
+  }
   out.dataset_path.resize(path_len);
   f.read(out.dataset_path.data(), static_cast<std::streamsize>(path_len));
+  if (!f) throw std::runtime_error("MetaStore: truncated file");
   const std::uint64_t n = get_u64(f);
+  if (n > bytes_remaining(f) / kIndexEntryBytes) {
+    throw std::runtime_error("MetaStore: corrupt entry count");
+  }
   struct RawIdx {
     std::uint64_t global, bid, off, len;
   };
@@ -109,8 +132,12 @@ StoreContents read_store(const std::string& file_path) {
     e.len = get_u64(f);
   }
   const auto blobs_begin = f.tellg();
+  const std::uint64_t blob_region = bytes_remaining(f);
   out.entries.resize(n);
   for (std::uint64_t i = 0; i < n; ++i) {
+    if (idx[i].len > blob_region || idx[i].off > blob_region - idx[i].len) {
+      throw std::runtime_error("MetaStore: corrupt blob range");
+    }
     out.entries[i].global_index = idx[i].global;
     out.entries[i].block_id = idx[i].bid;
     out.entries[i].blob.resize(idx[i].len);
@@ -172,9 +199,16 @@ MetaStore::Reader::Reader(const std::string& file_path)
   (void)get_f64(file_);  // alpha
   (void)get_f64(file_);  // fpp
   const std::uint64_t path_len = get_u64(file_);
+  if (path_len > bytes_remaining(file_)) {
+    throw std::runtime_error("Reader: corrupt path length");
+  }
   dataset_path_.resize(path_len);
   file_.read(dataset_path_.data(), static_cast<std::streamsize>(path_len));
+  if (!file_) throw std::runtime_error("Reader: truncated file");
   const std::uint64_t n = get_u64(file_);
+  if (n > bytes_remaining(file_) / kIndexEntryBytes) {
+    throw std::runtime_error("Reader: corrupt entry count");
+  }
   index_.resize(n);
   for (std::uint64_t i = 0; i < n; ++i) {
     auto& e = index_[i];
@@ -187,6 +221,12 @@ MetaStore::Reader::Reader(const std::string& file_path)
     if (global != i) throw std::runtime_error("Reader: store is sharded/unordered");
   }
   blobs_begin_ = file_.tellg();
+  const std::uint64_t blob_region = bytes_remaining(file_);
+  for (const auto& e : index_) {
+    if (e.length > blob_region || e.offset > blob_region - e.length) {
+      throw std::runtime_error("Reader: corrupt blob range");
+    }
+  }
 }
 
 BlockMeta MetaStore::Reader::load_block(std::uint64_t block_index) {
@@ -235,7 +275,12 @@ ElasticMapArray ShardedMetaStore::load(const std::string& prefix,
       merged.raw_bytes = part.raw_bytes;
       merged.options = part.options;
       first = false;
-    } else if (part.dataset_path != merged.dataset_path) {
+    } else if (part.dataset_path != merged.dataset_path ||
+               part.raw_bytes != merged.raw_bytes ||
+               part.options.alpha != merged.options.alpha ||
+               part.options.bloom_fpp != merged.options.bloom_fpp) {
+      // Every shard carries the same header; any disagreement means the
+      // files were mixed from different builds.
       throw std::runtime_error("ShardedMetaStore: shards disagree on dataset");
     }
     for (auto& e : part.entries) merged.entries.push_back(std::move(e));

@@ -73,6 +73,14 @@ struct JobReport {
   double wall_map_seconds = 0.0;
   double wall_shuffle_reduce_seconds = 0.0;
 
+  // Fault accounting, filled by the fault-aware harness (zero on clean
+  // runs): task re-executions plus failed checksum read attempts, blocks
+  // with no healthy replica left, and whether the output may therefore be
+  // incomplete. Degradation is observable, never silent.
+  std::uint64_t retries = 0;
+  std::uint64_t lost_blocks = 0;
+  bool degraded = false;
+
   // Counters.
   std::uint64_t input_records = 0;
   std::uint64_t input_bytes = 0;

@@ -31,6 +31,12 @@ std::string report_to_json(const JobReport& report, bool include_output) {
   w.field("output_keys", static_cast<std::uint64_t>(report.output.size()));
   w.end_object();
 
+  w.key("faults").begin_object();
+  w.field("retries", report.retries);
+  w.field("lost_blocks", report.lost_blocks);
+  w.field("degraded", report.degraded);
+  w.end_object();
+
   w.key("counters").begin_object();
   for (const auto& [name, v] : report.counters) w.field(name, v);
   w.end_object();

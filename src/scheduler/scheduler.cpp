@@ -70,6 +70,66 @@ AssignmentRecord drain_timed(TaskScheduler& sched,
   return rec;
 }
 
+std::uint64_t reassign_stranded(AssignmentRecord& rec,
+                                const graph::BipartiteGraph& graph,
+                                const std::vector<std::uint64_t>& block_bytes,
+                                const std::vector<bool>& alive) {
+  if (rec.block_to_node.size() != graph.num_blocks() ||
+      block_bytes.size() != graph.num_blocks()) {
+    throw std::invalid_argument("reassign_stranded: record/graph size mismatch");
+  }
+  if (alive.size() != graph.num_nodes()) {
+    throw std::invalid_argument("reassign_stranded: alive size mismatch");
+  }
+  if (std::find(alive.begin(), alive.end(), true) == alive.end()) {
+    throw std::runtime_error("reassign_stranded: no surviving node");
+  }
+
+  std::uint64_t moved = 0;
+  for (std::size_t j = 0; j < graph.num_blocks(); ++j) {
+    const dfs::NodeId old_node = rec.block_to_node[j];
+    if (alive[old_node]) continue;
+
+    const auto& hosts = graph.block(j).hosts;
+    const auto was_local =
+        std::find(hosts.begin(), hosts.end(), old_node) != hosts.end();
+
+    // Least-loaded alive replica holder first; any least-loaded alive node
+    // as the remote fallback.
+    const auto pick_min = [&](auto&& eligible) {
+      dfs::NodeId best = graph.num_nodes();
+      for (dfs::NodeId n = 0; n < graph.num_nodes(); ++n) {
+        if (!alive[n] || !eligible(n)) continue;
+        if (best == graph.num_nodes() ||
+            rec.node_input_bytes[n] < rec.node_input_bytes[best]) {
+          best = n;
+        }
+      }
+      return best;
+    };
+    dfs::NodeId target = pick_min([&](dfs::NodeId n) {
+      return std::find(hosts.begin(), hosts.end(), n) != hosts.end();
+    });
+    const bool now_local = target != graph.num_nodes();
+    if (!now_local) target = pick_min([](dfs::NodeId) { return true; });
+
+    rec.block_to_node[j] = target;
+    rec.node_load[old_node] -= graph.block(j).weight;
+    rec.node_load[target] += graph.block(j).weight;
+    rec.node_input_bytes[old_node] -= block_bytes[j];
+    rec.node_input_bytes[target] += block_bytes[j];
+    if (was_local && !now_local) {
+      --rec.local_tasks;
+      ++rec.remote_tasks;
+    } else if (!was_local && now_local) {
+      ++rec.local_tasks;
+      --rec.remote_tasks;
+    }
+    ++moved;
+  }
+  return moved;
+}
+
 AssignmentRecord drain(TaskScheduler& sched, const graph::BipartiteGraph& graph,
                        const std::vector<std::uint64_t>& block_bytes) {
   if (block_bytes.size() != graph.num_blocks()) {

@@ -45,6 +45,18 @@ struct AssignmentRecord {
 AssignmentRecord drain(TaskScheduler& sched, const graph::BipartiteGraph& graph,
                        const std::vector<std::uint64_t>& block_bytes);
 
+// Failure reaction (the JobTracker's lost-TaskTracker path): every block in
+// `rec` assigned to a node with alive[n] == false is re-enqueued onto a
+// surviving node — preferably an alive replica holder with the least
+// assigned input bytes (ties to the lowest node id), else the least-loaded
+// alive node. Loads and locality counters in `rec` are updated in place.
+// Deterministic; returns the number of reassigned tasks. Throws
+// std::runtime_error when no node is alive.
+std::uint64_t reassign_stranded(AssignmentRecord& rec,
+                                const graph::BipartiteGraph& graph,
+                                const std::vector<std::uint64_t>& block_bytes,
+                                const std::vector<bool>& alive);
+
 // Speed-aware pull model: each node carries a virtual clock advanced by
 // block_bytes / node_speed per assigned task, and the node with the earliest
 // clock requests next — a slow node naturally asks for fewer blocks, like a

@@ -193,3 +193,35 @@ INSTANTIATE_TEST_SUITE_P(
     Geometries, BloomNoFalseNegatives,
     ::testing::Combine(::testing::Values<std::uint64_t>(64, 1024, 65536),
                        ::testing::Values<std::uint32_t>(1, 4, 13)));
+
+TEST(Bloom, DeserializeRejectsHostileWordCountWithoutAllocating) {
+  // A 40-byte buffer claiming 2^61+1 words: the old `32 + nwords * 8` size
+  // check overflowed to a small value and the resize went for exabytes.
+  std::string bytes = db::BloomFilter(10, 0.01).serialize();
+  bytes.resize(40);
+  const std::uint64_t nwords = (1ULL << 61) + 1;
+  for (int i = 0; i < 8; ++i) {
+    bytes[24 + i] = static_cast<char>((nwords >> (8 * i)) & 0xff);
+  }
+  EXPECT_THROW(db::BloomFilter::deserialize(bytes), std::invalid_argument);
+}
+
+TEST(Bloom, DeserializeByteFlipFuzzNeverCrashes) {
+  db::BloomFilter f(64, 0.02);
+  for (std::uint64_t k = 0; k < 64; ++k) f.insert(k * 0x9e3779b97f4a7c15ULL);
+  const std::string good = f.serialize();
+  for (std::size_t pos = 0; pos < good.size(); ++pos) {
+    for (const unsigned char mask : {0x01, 0x80}) {
+      std::string bad = good;
+      bad[pos] = static_cast<char>(bad[pos] ^ mask);
+      try {
+        const auto g = db::BloomFilter::deserialize(bad);
+        (void)g.maybe_contains(1);  // flips in the bitmap parse fine
+      } catch (const std::bad_alloc&) {
+        FAIL() << "bad_alloc from flipped byte at " << pos;
+      } catch (const std::invalid_argument&) {
+        // typed rejection is the expected failure mode
+      }
+    }
+  }
+}

@@ -456,3 +456,145 @@ TEST(MoveReplica, ValidatesArguments) {
   EXPECT_TRUE(fs.is_local(b, other));
   EXPECT_FALSE(fs.is_local(b, holder));
 }
+
+// ---- checksums & corruption ----
+
+TEST(Checksum, CleanBlockReadsBackVerified) {
+  auto fs = make_dfs(6, 256, 2);
+  auto w = fs.create("/f");
+  w.append(record_of_size(100));
+  w.close();
+  const auto b = fs.blocks_of("/f")[0];
+  EXPECT_TRUE(fs.verify_block(b));
+  EXPECT_NE(fs.block(b).checksum, 0u);
+  EXPECT_EQ(fs.read_block(b).size(), 101u);
+}
+
+TEST(Checksum, CorruptBlockFailsEveryRead) {
+  auto fs = make_dfs(6, 256, 3);
+  auto w = fs.create("/f");
+  w.append(record_of_size(100));
+  w.close();
+  const auto b = fs.blocks_of("/f")[0];
+  fs.corrupt_block(b);
+  EXPECT_FALSE(fs.verify_block(b));
+  try {
+    (void)fs.read_block(b);
+    FAIL() << "read of corrupt block must throw";
+  } catch (const dd::BlockCorruptError& e) {
+    EXPECT_EQ(e.block_id, b);
+  }
+  // Media corruption hits the single logical copy: every replica is bad.
+  for (const auto n : fs.block(b).replicas) {
+    EXPECT_FALSE(fs.replica_healthy(b, n));
+  }
+}
+
+TEST(Checksum, CorruptReplicaOnlyPoisonsOneCopy) {
+  auto fs = make_dfs(6, 256, 3);
+  auto w = fs.create("/f");
+  w.append(record_of_size(100));
+  w.close();
+  const auto b = fs.blocks_of("/f")[0];
+  const auto bad = fs.block(b).replicas[0];
+  fs.corrupt_replica(b, bad);
+  EXPECT_FALSE(fs.replica_healthy(b, bad));
+  EXPECT_THROW((void)fs.read_replica(b, bad), dd::BlockCorruptError);
+  for (const auto n : fs.block(b).replicas) {
+    if (n == bad) continue;
+    EXPECT_TRUE(fs.replica_healthy(b, n));
+    EXPECT_EQ(fs.read_replica(b, n).size(), 101u);
+  }
+}
+
+TEST(Checksum, ReportCorruptReplicaDropsAndReReplicates) {
+  auto fs = make_dfs(6, 256, 3);
+  auto w = fs.create("/f");
+  w.append(record_of_size(100));
+  w.close();
+  const auto b = fs.blocks_of("/f")[0];
+  const auto bad = fs.block(b).replicas[0];
+  fs.corrupt_replica(b, bad);
+  EXPECT_TRUE(fs.report_corrupt_replica(b, bad));
+  const auto& reps = fs.block(b).replicas;
+  EXPECT_EQ(reps.size(), 3u);  // dropped one, re-replicated one
+  EXPECT_EQ(std::find(reps.begin(), reps.end(), bad), reps.end());
+  for (const auto n : reps) EXPECT_TRUE(fs.replica_healthy(b, n));
+}
+
+TEST(Checksum, ReportOnMediaCorruptionAdmitsDefeat) {
+  auto fs = make_dfs(6, 256, 2);
+  auto w = fs.create("/f");
+  w.append(record_of_size(100));
+  w.close();
+  const auto b = fs.blocks_of("/f")[0];
+  fs.corrupt_block(b);
+  // No healthy source exists anywhere: the report cannot re-replicate.
+  EXPECT_FALSE(fs.report_corrupt_replica(b, fs.block(b).replicas[0]));
+}
+
+// ---- liveness-aware placement ----
+
+TEST(Placement, ActiveMaskExcludesDeadNodes) {
+  dd::RandomPlacement p;
+  datanet::common::Rng rng(3);
+  const auto t = dd::ClusterTopology::flat(6);
+  const std::vector<bool> active{true, false, true, false, true, true};
+  for (int i = 0; i < 100; ++i) {
+    for (const auto n : p.place(t, active, 3, rng)) {
+      EXPECT_TRUE(active[n]) << "placed on dead node " << n;
+    }
+  }
+  EXPECT_THROW(p.place(t, {true, false, false, false, false, false}, 2, rng),
+               std::invalid_argument);
+}
+
+TEST(Placement, RoundRobinSkipsDeadNodes) {
+  dd::RoundRobinPlacement p;
+  datanet::common::Rng rng(3);
+  const auto t = dd::ClusterTopology::flat(5);
+  const std::vector<bool> active{true, false, true, true, false};
+  for (int i = 0; i < 20; ++i) {
+    for (const auto n : p.place(t, active, 2, rng)) EXPECT_TRUE(active[n]);
+  }
+  EXPECT_THROW(p.place(t, {false, false, false, false, false}, 1, rng),
+               std::invalid_argument);
+}
+
+TEST(Decommission, LaterWritesAvoidDeadNodes) {
+  auto fs = make_dfs(6, 256, 3);
+  auto w0 = fs.create("/before");
+  for (int i = 0; i < 8; ++i) w0.append(record_of_size(100));
+  w0.close();
+
+  (void)fs.decommission(1);
+  (void)fs.decommission(4);
+
+  auto w1 = fs.create("/after");
+  for (int i = 0; i < 8; ++i) w1.append(record_of_size(100));
+  w1.close();
+  for (const auto b : fs.blocks_of("/after")) {
+    for (const auto n : fs.block(b).replicas) {
+      EXPECT_NE(n, 1u);
+      EXPECT_NE(n, 4u);
+      EXPECT_TRUE(fs.is_active(n));
+    }
+  }
+}
+
+TEST(Decommission, WritesProceedUnderReplicatedWhenClusterShrinks) {
+  auto fs = make_dfs(4, 256, 3);
+  (void)fs.decommission(0);
+  (void)fs.decommission(1);  // 2 active nodes < replication 3
+  auto w = fs.create("/f");
+  w.append(record_of_size(100));
+  w.close();
+  const auto b = fs.blocks_of("/f")[0];
+  EXPECT_EQ(fs.block(b).replicas.size(), 2u);  // capped at active nodes
+  (void)fs.decommission(2);
+  EXPECT_EQ(fs.num_active_nodes(), 1u);
+  auto w2 = fs.create("/g");
+  w2.append(record_of_size(50));
+  w2.close();
+  EXPECT_EQ(fs.block(fs.blocks_of("/g")[0]).replicas.size(), 1u);
+}

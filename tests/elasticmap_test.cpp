@@ -479,3 +479,42 @@ TEST(CostModel, PredictsMeasuredMemoryWithinFactorTwo) {
         << "alpha " << alpha;
   }
 }
+
+TEST(BlockMeta, DeserializeRejectsHostileRecordCount) {
+  // Header claiming ~2^60 dominant records in a tiny buffer: must be a typed
+  // error, not a giant reserve.
+  std::string bytes;
+  const auto put_u64 = [&](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) bytes.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  };
+  put_u64(0x454d4254u);  // magic
+  put_u64(2);            // version
+  bytes.push_back(0x00); // varint delta = 0
+  // varint count = 2^60 (9 bytes of 0x80 continuation + terminator)
+  for (int i = 0; i < 8; ++i) bytes.push_back(static_cast<char>(0x80));
+  bytes.push_back(0x10);
+  EXPECT_THROW(de::BlockMeta::deserialize(bytes), std::invalid_argument);
+}
+
+TEST(BlockMeta, DeserializeByteFlipFuzzNeverCrashes) {
+  std::unordered_map<dw::SubDatasetId, std::uint64_t> dom;
+  for (std::uint64_t i = 0; i < 12; ++i) dom[i * 0x9e3779b97f4a7c15ULL] = i * 100;
+  const de::BlockMeta m(dom, {1, 2, 3, 4, 5}, 0.01, 7);
+  const std::string good = m.serialize();
+  for (std::size_t pos = 0; pos < good.size(); ++pos) {
+    std::string bad = good;
+    bad[pos] = static_cast<char>(bad[pos] ^ 0x40);
+    try {
+      const auto g = de::BlockMeta::deserialize(bad);
+      (void)g.estimate_size(42, nullptr);  // value flips parse fine
+    } catch (const std::bad_alloc&) {
+      FAIL() << "bad_alloc from flipped byte at " << pos;
+    } catch (const std::invalid_argument&) {
+    }
+  }
+  // Every strict prefix must be rejected cleanly too.
+  for (std::size_t len = 0; len < good.size(); ++len) {
+    EXPECT_THROW(de::BlockMeta::deserialize(std::string_view(good).substr(0, len)),
+                 std::invalid_argument);
+  }
+}

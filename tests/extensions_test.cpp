@@ -621,3 +621,101 @@ TEST(Faults, RejectsBadNode) {
   EXPECT_THROW(dfs.decommission(99), std::out_of_range);
   EXPECT_THROW((void)dfs.is_active(99), std::out_of_range);
 }
+
+// ---- MetaStore robustness: corrupt and truncated stores ----
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(f),
+                     std::istreambuf_iterator<char>());
+}
+
+void spit(const std::string& path, const std::string& bytes) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+}  // namespace
+
+TEST(MetaStoreRobustness, ByteFlipFuzzRaisesTypedErrorsOnly) {
+  TempDir tmp;
+  const auto ds = meta_dataset();
+  const auto em = de::ElasticMapArray::build(*ds.dfs, ds.path, {.alpha = 0.3});
+  de::MetaStore::save(em, tmp.file("meta.bin"));
+  const std::string good = slurp(tmp.file("meta.bin"));
+  ASSERT_GT(good.size(), 48u);
+
+  // Exhaustive over the header + index region, sampled over the blobs.
+  std::vector<std::size_t> positions;
+  for (std::size_t p = 0; p < std::min<std::size_t>(good.size(), 512); ++p) {
+    positions.push_back(p);
+  }
+  for (std::size_t p = 512; p < good.size(); p += 37) positions.push_back(p);
+
+  for (const std::size_t pos : positions) {
+    std::string bad = good;
+    bad[pos] = static_cast<char>(bad[pos] ^ 0x20);
+    spit(tmp.file("fuzz.bin"), bad);
+    try {
+      const auto loaded = de::MetaStore::load(tmp.file("fuzz.bin"));
+      (void)loaded.num_blocks();  // a value flip that parses is acceptable
+    } catch (const std::bad_alloc&) {
+      FAIL() << "bad_alloc from flipped byte at " << pos;
+    } catch (const std::exception&) {
+      // typed rejection (runtime_error / invalid_argument / out_of_range)
+    }
+  }
+}
+
+TEST(MetaStoreRobustness, EveryTruncationIsRejected) {
+  TempDir tmp;
+  const auto ds = meta_dataset();
+  const auto em = de::ElasticMapArray::build(*ds.dfs, ds.path, {.alpha = 0.3});
+  de::MetaStore::save(em, tmp.file("meta.bin"));
+  const std::string good = slurp(tmp.file("meta.bin"));
+
+  std::vector<std::size_t> lengths{0, 7, 8, 16, 40, 47, 48};
+  for (std::size_t len = 49; len < good.size(); len += 101) lengths.push_back(len);
+  lengths.push_back(good.size() - 1);
+
+  for (const std::size_t len : lengths) {
+    if (len >= good.size()) continue;
+    spit(tmp.file("trunc.bin"), good.substr(0, len));
+    try {
+      (void)de::MetaStore::load(tmp.file("trunc.bin"));
+      FAIL() << "truncation to " << len << " bytes loaded successfully";
+    } catch (const std::bad_alloc&) {
+      FAIL() << "bad_alloc at truncation length " << len;
+    } catch (const std::exception&) {
+    }
+    try {
+      de::MetaStore::Reader r(tmp.file("trunc.bin"));
+      // The lazy reader defers blob reads; force them all.
+      for (std::uint64_t b = 0; b < em.num_blocks(); ++b) (void)r.load_block(b);
+      FAIL() << "Reader accepted truncation to " << len << " bytes";
+    } catch (const std::bad_alloc&) {
+      FAIL() << "Reader bad_alloc at truncation length " << len;
+    } catch (const std::exception&) {
+    }
+  }
+}
+
+TEST(MetaStoreRobustness, ShardedLoadRejectsMixedHeaders) {
+  TempDir tmp;
+  const auto ds = meta_dataset();
+  const auto em = de::ElasticMapArray::build(*ds.dfs, ds.path, {.alpha = 0.3});
+  de::ShardedMetaStore::save(em, tmp.file("meta"), 2);
+  ASSERT_EQ(de::ShardedMetaStore::load(tmp.file("meta"), 2).num_blocks(),
+            em.num_blocks());
+
+  // Rewrite shard 1's raw_bytes header field (offset 16): the shards now
+  // describe different datasets and must not merge silently.
+  const auto shard1 = de::ShardedMetaStore::shard_file(tmp.file("meta"), 1);
+  std::string bytes = slurp(shard1);
+  bytes[16] = static_cast<char>(bytes[16] ^ 0x01);
+  spit(shard1, bytes);
+  EXPECT_THROW((void)de::ShardedMetaStore::load(tmp.file("meta"), 2),
+               std::runtime_error);
+}

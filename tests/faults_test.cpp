@@ -1,0 +1,320 @@
+// Tests for the failure-handling layer: the FaultInjector's deterministic
+// plans, the scheduler's lost-node reassignment, and the fault-aware
+// selection harness (kill / corrupt / slow events mid-job) — including the
+// acceptance property that a faulted run's JobReport is bit-identical for
+// any engine thread count.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "datanet/experiment.hpp"
+#include "dfs/fault_injector.hpp"
+#include "dfs/mini_dfs.hpp"
+#include "graph/bipartite.hpp"
+#include "mapred/report_json.hpp"
+#include "scheduler/locality.hpp"
+#include "scheduler/scheduler.hpp"
+
+namespace dc = datanet::core;
+namespace dd = datanet::dfs;
+namespace dg = datanet::graph;
+namespace dm = datanet::mapred;
+namespace dsch = datanet::scheduler;
+
+namespace {
+
+dc::ExperimentConfig small_cfg() {
+  dc::ExperimentConfig cfg;
+  cfg.num_nodes = 8;
+  cfg.block_size = 16 * 1024;
+  cfg.replication = 3;
+  cfg.seed = 17;
+  return cfg;
+}
+
+// The baseline (content-blind) selection graph, mirroring what the harness
+// builds for net == nullptr. Used to precompute assignments for targeted
+// fault plans.
+dg::BipartiteGraph baseline_graph(const dd::MiniDfs& dfs, const std::string& path) {
+  return dg::BipartiteGraph::from_dfs(
+      dfs, path, [](std::size_t, dd::BlockId) { return 0; },
+      /*keep_zero_weight=*/true);
+}
+
+}  // namespace
+
+// ---- FaultInjector ----
+
+TEST(FaultInjector, RandomPlanIsDeterministic) {
+  const auto cfg = small_cfg();
+  auto a = dc::make_movie_dataset(cfg, 16, 100);
+  auto b = dc::make_movie_dataset(cfg, 16, 100);
+  const auto fa = dd::FaultInjector::random_plan(*a.dfs, 99, 16, 2, 3, 1);
+  const auto fb = dd::FaultInjector::random_plan(*b.dfs, 99, 16, 2, 3, 1);
+  ASSERT_EQ(fa.plan().size(), fb.plan().size());
+  for (std::size_t i = 0; i < fa.plan().size(); ++i) {
+    EXPECT_EQ(fa.plan()[i].at_task, fb.plan()[i].at_task);
+    EXPECT_EQ(fa.plan()[i].kind, fb.plan()[i].kind);
+    EXPECT_EQ(fa.plan()[i].node, fb.plan()[i].node);
+    EXPECT_EQ(fa.plan()[i].block, fb.plan()[i].block);
+  }
+}
+
+TEST(FaultInjector, AdvanceFiresDueEventsOnceAndMonotonically) {
+  const auto cfg = small_cfg();
+  auto ds = dc::make_movie_dataset(cfg, 8, 80);
+  dd::FaultInjector inj(*ds.dfs,
+                        {{.at_task = 2, .kind = dd::FaultKind::kKillNode, .node = 1},
+                         {.at_task = 5, .kind = dd::FaultKind::kKillNode, .node = 2}});
+  EXPECT_TRUE(inj.advance(1).empty());
+  const auto first = inj.advance(3);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0].node, 1u);
+  EXPECT_FALSE(ds.dfs->is_active(1));
+  EXPECT_FALSE(inj.exhausted());
+  EXPECT_TRUE(inj.advance(2).empty());  // going backwards fires nothing
+  const auto second = inj.advance(100);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0].node, 2u);
+  EXPECT_TRUE(inj.exhausted());
+  EXPECT_EQ(inj.stats().nodes_killed, 2u);
+}
+
+TEST(FaultInjector, NeverEmptiesTheCluster) {
+  dc::ExperimentConfig cfg = small_cfg();
+  cfg.num_nodes = 3;
+  cfg.replication = 2;
+  auto ds = dc::make_movie_dataset(cfg, 6, 60);
+  auto inj = dd::FaultInjector::random_plan(*ds.dfs, 5, 10, /*kill_nodes=*/8, 0);
+  (void)inj.advance(1000);
+  EXPECT_TRUE(inj.exhausted());
+  EXPECT_GE(ds.dfs->num_active_nodes(), 1u);
+  EXPECT_LE(inj.stats().nodes_killed, 2u);
+}
+
+TEST(FaultInjector, RejectsBadEvents) {
+  const auto cfg = small_cfg();
+  auto ds = dc::make_movie_dataset(cfg, 4, 40);
+  EXPECT_THROW(dd::FaultInjector(*ds.dfs, {{.at_task = 0,
+                                            .kind = dd::FaultKind::kKillNode,
+                                            .node = 99}}),
+               std::invalid_argument);
+  EXPECT_THROW(dd::FaultInjector(*ds.dfs, {{.at_task = 0,
+                                            .kind = dd::FaultKind::kSlowNode,
+                                            .node = 0,
+                                            .speed_factor = 0.0}}),
+               std::invalid_argument);
+}
+
+// ---- scheduler reaction ----
+
+TEST(ReassignStranded, MovesDeadNodeTasksToAliveReplicaHolders) {
+  const dg::BipartiteGraph graph(
+      3, {dg::BlockVertex{.block_id = 0, .weight = 5, .hosts = {0, 1}},
+          dg::BlockVertex{.block_id = 1, .weight = 7, .hosts = {1, 2}},
+          dg::BlockVertex{.block_id = 2, .weight = 9, .hosts = {0, 2}}});
+  const std::vector<std::uint64_t> bytes{10, 20, 30};
+  dsch::AssignmentRecord rec;
+  rec.block_to_node = {0, 0, 0};
+  rec.node_load = {21, 0, 0};
+  rec.node_input_bytes = {60, 0, 0};
+  rec.local_tasks = 2;   // blocks 0 and 2 host node 0
+  rec.remote_tasks = 1;  // block 1 does not
+
+  const auto moved =
+      dsch::reassign_stranded(rec, graph, bytes, {false, true, true});
+  EXPECT_EQ(moved, 3u);
+  // Every reassigned block lands on an alive replica holder: all local now.
+  EXPECT_EQ(rec.local_tasks, 3u);
+  EXPECT_EQ(rec.remote_tasks, 0u);
+  EXPECT_EQ(rec.node_input_bytes[0], 0u);
+  EXPECT_EQ(rec.node_input_bytes[1] + rec.node_input_bytes[2], 60u);
+  EXPECT_EQ(rec.node_load[0], 0u);
+  for (const auto n : rec.block_to_node) EXPECT_NE(n, 0u);
+
+  EXPECT_THROW(
+      dsch::reassign_stranded(rec, graph, bytes, {false, false, false}),
+      std::runtime_error);
+}
+
+// ---- fault-aware selection harness ----
+
+TEST(FaultedRun, NoFaultsMatchesCleanRun) {
+  const auto cfg = small_cfg();
+  auto ds = dc::make_movie_dataset(cfg, 24, 150);
+  const auto& key = ds.hot_keys[0];
+
+  dsch::LocalityScheduler clean_sched(7);
+  const auto clean =
+      dc::run_selection(*ds.dfs, ds.path, key, clean_sched, nullptr, cfg);
+
+  dd::FaultInjector no_faults(*ds.dfs, {});
+  dsch::LocalityScheduler faulted_sched(7);
+  const auto faulted = dc::run_selection_faulted(*ds.dfs, ds.path, key,
+                                                 faulted_sched, nullptr, cfg,
+                                                 no_faults);
+  EXPECT_EQ(faulted.report.retries, 0u);
+  EXPECT_EQ(faulted.report.lost_blocks, 0u);
+  EXPECT_FALSE(faulted.report.degraded);
+  EXPECT_EQ(faulted.report.output, clean.report.output);
+  EXPECT_EQ(faulted.node_local_data, clean.node_local_data);
+  EXPECT_EQ(dm::report_to_json(faulted.report, true),
+            dm::report_to_json(faulted.report, true));
+}
+
+TEST(FaultedRun, KillNodeMidJobRetriesAndLosesNothing) {
+  const auto cfg = small_cfg();
+  auto ds = dc::make_movie_dataset(cfg, 24, 150);
+  const auto& key = ds.hot_keys[0];
+
+  dsch::LocalityScheduler clean_sched(7);
+  const auto clean =
+      dc::run_selection(*ds.dfs, ds.path, key, clean_sched, nullptr, cfg);
+
+  // Kill the node that runs block 0 — the first task to complete — after a
+  // third of the run: its pending tasks are reassigned and its completed
+  // map outputs (at least block 0) are re-executed on survivors.
+  const dd::NodeId victim = clean.assignment.block_to_node[0];
+  dd::FaultInjector faults(
+      *ds.dfs,
+      {{.at_task = 8, .kind = dd::FaultKind::kKillNode, .node = victim}});
+  dsch::LocalityScheduler faulted_sched(7);
+  const auto faulted = dc::run_selection_faulted(*ds.dfs, ds.path, key,
+                                                 faulted_sched, nullptr, cfg,
+                                                 faults);
+  EXPECT_GT(faulted.report.retries, 0u);
+  EXPECT_EQ(faulted.report.lost_blocks, 0u);
+  EXPECT_FALSE(faulted.report.degraded);
+  EXPECT_TRUE(faulted.lost_block_ids.empty());
+  // With replication 3 and one dead node no data is lost: the job's reduced
+  // output is exactly the fault-free output.
+  EXPECT_EQ(faulted.report.output, clean.report.output);
+  // Nothing remains assigned to the dead node, and it holds no data.
+  for (const auto n : faulted.assignment.block_to_node) EXPECT_NE(n, victim);
+  EXPECT_TRUE(faulted.node_local_data[victim].empty());
+}
+
+TEST(FaultedRun, ReportIsBitIdenticalAcrossThreadCounts) {
+  // The dataset build and the drain are independent of execution_threads, so
+  // probe once for the node that completes block 0 and kill it in every run.
+  dd::NodeId victim;
+  {
+    const auto cfg = small_cfg();
+    auto probe = dc::make_movie_dataset(cfg, 24, 150);
+    const auto graph = baseline_graph(*probe.dfs, probe.path);
+    std::vector<std::uint64_t> bytes(graph.num_blocks());
+    for (std::size_t j = 0; j < graph.num_blocks(); ++j) {
+      bytes[j] = probe.dfs->block(graph.block(j).block_id).size_bytes;
+    }
+    dsch::LocalityScheduler sched(7);
+    victim = dsch::drain(sched, graph, bytes).block_to_node[0];
+  }
+
+  std::vector<std::string> jsons;
+  for (const std::uint32_t threads : {1u, 4u}) {
+    auto cfg = small_cfg();
+    cfg.execution_threads = threads;
+    auto ds = dc::make_movie_dataset(cfg, 24, 150);
+    dd::FaultInjector faults(
+        *ds.dfs,
+        {{.at_task = 5, .kind = dd::FaultKind::kKillNode, .node = victim},
+         {.at_task = 12, .kind = dd::FaultKind::kSlowNode,
+          .node = static_cast<dd::NodeId>((victim + 1) % cfg.num_nodes),
+          .speed_factor = 0.5}});
+    dsch::LocalityScheduler sched(7);
+    const auto r = dc::run_selection_faulted(*ds.dfs, ds.path, ds.hot_keys[0],
+                                             sched, nullptr, cfg, faults);
+    EXPECT_GT(r.report.retries, 0u);
+    jsons.push_back(dm::report_to_json(r.report, /*include_output=*/true));
+  }
+  EXPECT_EQ(jsons[0], jsons[1]);
+}
+
+TEST(FaultedRun, CorruptReplicaRetriesOnSurvivingCopy) {
+  const auto cfg = small_cfg();
+  auto ds = dc::make_movie_dataset(cfg, 24, 150);
+  const auto& key = ds.hot_keys[0];
+
+  dsch::LocalityScheduler clean_sched(7);
+  const auto clean =
+      dc::run_selection(*ds.dfs, ds.path, key, clean_sched, nullptr, cfg);
+
+  // Corrupt the copy on the exact node each of the first three blocks is
+  // assigned to (the drain is deterministic, so precompute it), forcing the
+  // local read to fail checksum and fall back to a surviving replica.
+  const auto graph = baseline_graph(*ds.dfs, ds.path);
+  std::vector<std::uint64_t> bytes(graph.num_blocks());
+  for (std::size_t j = 0; j < graph.num_blocks(); ++j) {
+    bytes[j] = ds.dfs->block(graph.block(j).block_id).size_bytes;
+  }
+  dsch::LocalityScheduler probe(7);
+  const auto rec = dsch::drain(probe, graph, bytes);
+  std::vector<dd::FaultEvent> plan;
+  for (std::size_t j = 0; j < 3; ++j) {
+    const auto bid = graph.block(j).block_id;
+    const auto node = rec.block_to_node[j];
+    if (!ds.dfs->is_local(bid, node)) continue;  // remote task: no local copy
+    plan.push_back({.at_task = 0, .kind = dd::FaultKind::kCorruptReplica,
+                    .node = node, .block = bid});
+  }
+  ASSERT_FALSE(plan.empty());
+  const auto planned = plan.size();
+
+  dd::FaultInjector faults(*ds.dfs, std::move(plan));
+  dsch::LocalityScheduler faulted_sched(7);
+  const auto faulted = dc::run_selection_faulted(*ds.dfs, ds.path, key,
+                                                 faulted_sched, nullptr, cfg,
+                                                 faults);
+  EXPECT_GE(faulted.report.retries, planned);
+  EXPECT_EQ(faulted.report.lost_blocks, 0u);
+  EXPECT_EQ(faulted.report.output, clean.report.output);
+  EXPECT_EQ(faults.stats().replicas_corrupted, planned);
+}
+
+TEST(FaultedRun, MediaCorruptionLosesBlockButDegradesLoudly) {
+  const auto cfg = small_cfg();
+  auto ds = dc::make_movie_dataset(cfg, 24, 150);
+  const auto& key = ds.hot_keys[0];
+  const auto victim = ds.dfs->blocks_of(ds.path)[0];
+
+  // Flip a byte of the logical block data: every replica fails checksum and
+  // no healthy source exists — the block is unrecoverable.
+  dd::FaultInjector faults(*ds.dfs, {{.at_task = 0,
+                                      .kind = dd::FaultKind::kCorruptBlock,
+                                      .block = victim}});
+  dsch::LocalityScheduler sched(7);
+  const auto r = dc::run_selection_faulted(*ds.dfs, ds.path, key, sched,
+                                           nullptr, cfg, faults);
+  EXPECT_EQ(r.report.lost_blocks, 1u);
+  EXPECT_TRUE(r.report.degraded);
+  ASSERT_EQ(r.lost_block_ids.size(), 1u);
+  EXPECT_EQ(r.lost_block_ids[0], victim);
+  EXPECT_GT(r.report.retries, 0u);  // every replica was tried before giving up
+  // The run still completes and produces output from the surviving blocks.
+  EXPECT_FALSE(r.report.output.empty());
+}
+
+TEST(FaultedRun, SlowNodeStretchesSimulatedClock) {
+  const auto cfg = small_cfg();
+  auto ds = dc::make_movie_dataset(cfg, 24, 150);
+  const auto& key = ds.hot_keys[0];
+
+  dsch::LocalityScheduler clean_sched(7);
+  const auto clean =
+      dc::run_selection(*ds.dfs, ds.path, key, clean_sched, nullptr, cfg);
+
+  dd::FaultInjector faults(*ds.dfs, {{.at_task = 0,
+                                      .kind = dd::FaultKind::kSlowNode,
+                                      .node = 0,
+                                      .speed_factor = 0.25}});
+  dsch::LocalityScheduler faulted_sched(7);
+  const auto slow = dc::run_selection_faulted(*ds.dfs, ds.path, key,
+                                              faulted_sched, nullptr, cfg,
+                                              faults);
+  EXPECT_TRUE(faults.any_slowdown());
+  EXPECT_DOUBLE_EQ(faults.node_speeds()[0], 0.25);
+  EXPECT_EQ(slow.report.output, clean.report.output);  // timing-only fault
+  EXPECT_GE(slow.report.total_seconds, clean.report.total_seconds);
+}

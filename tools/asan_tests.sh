@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Run the full tier-1 test suite under AddressSanitizer.
+#
+# Configures a dedicated build tree (build-asan/) with
+# -DDATANET_SANITIZE=address, builds everything, and runs ctest. Used to
+# verify that corrupt/truncated meta-data inputs and the fault-injection
+# paths are memory-clean (no overflow, no use-after-free, no leak).
+#
+# Usage: tools/asan_tests.sh [extra ctest args...]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build-asan"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DDATANET_SANITIZE=address
+cmake --build "${build_dir}" -j "$(nproc)"
+
+# abort_on_error makes ASan reports fail the test instead of just printing;
+# detect_leaks catches allocation-path regressions in the deserializers.
+export ASAN_OPTIONS="abort_on_error=1:detect_leaks=1"
+ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" "$@"
