@@ -10,6 +10,7 @@
 
 #include "bench_util.hpp"
 #include "common/table.hpp"
+#include "datanet/selection_runtime.hpp"
 #include "scheduler/datanet_sched.hpp"
 #include "scheduler/locality.hpp"
 #include "sim/job_sim.hpp"
@@ -28,12 +29,20 @@ int main() {
   const core::DataNet net(*ds.dfs, ds.path, {.alpha = 0.3});
   const auto graph = net.scheduling_graph(key);
 
+  // One SelectionRuntime; only the TimingBackend changes between the two
+  // halves of the table. Same read policy, same (empty) fault policy, same
+  // schedulers.
+  core::DirectReadPolicy read(*ds.dfs, cfg.remote_read_penalty);
+  core::NoFaults faults;
+
   // ---- analytic backend (the default harness) ----
+  core::AnalyticBackend analytic;
+  const core::SelectionRuntime analytic_rt(read, faults, analytic);
   scheduler::LocalityScheduler base_a(7);
-  const auto sel_loc = core::run_selection(*ds.dfs, ds.path, key, base_a,
-                                           nullptr, cfg);
+  const auto sel_loc =
+      analytic_rt.run(*ds.dfs, ds.path, key, base_a, nullptr, cfg);
   scheduler::DataNetScheduler dn_a;
-  const auto sel_dn = core::run_selection(*ds.dfs, ds.path, key, dn_a, &net, cfg);
+  const auto sel_dn = analytic_rt.run(*ds.dfs, ds.path, key, dn_a, &net, cfg);
 
   // ---- event-driven backend ----
   sim::SelectionSimOptions opt;
@@ -44,10 +53,16 @@ int main() {
   opt.cluster.node.disk_mbps /= cfg.effective_time_scale();
   opt.cluster.node.nic_mbps /= cfg.effective_time_scale();
   opt.cpu_seconds_per_mib *= cfg.effective_time_scale();
+  sim::EventSimBackend event(*ds.dfs, opt);
+  const core::SelectionRuntime event_rt(read, faults, event);
   scheduler::LocalityScheduler base_s(7);
-  const auto sim_loc = sim::simulate_selection(*ds.dfs, graph, base_s, opt);
+  const auto ev_loc = event_rt.run_graph(*ds.dfs, graph, key, base_s, cfg,
+                                         /*materialize=*/false);
+  const auto sim_loc = event.last_sim();
   scheduler::DataNetScheduler dn_s;
-  const auto sim_dn = sim::simulate_selection(*ds.dfs, graph, dn_s, opt);
+  const auto ev_dn = event_rt.run_graph(*ds.dfs, graph, key, dn_s, cfg,
+                                        /*materialize=*/false);
+  const auto sim_dn = event.last_sim();
 
   const auto cv = [](const std::vector<std::uint64_t>& v) {
     std::vector<double> d(v.begin(), v.end());
@@ -71,15 +86,15 @@ int main() {
                  common::fmt_double(sel_dn.report.total_seconds, 1),
                  std::to_string(sel_dn.assignment.remote_tasks)});
   table.add_row({"event-sim", "locality",
-                 common::fmt_double(maxmean(sim_loc.node_filtered_bytes), 2),
-                 common::fmt_double(cv(sim_loc.node_filtered_bytes), 3),
-                 common::fmt_double(sim_loc.sim.makespan, 1),
-                 std::to_string(sim_loc.sim.remote_reads)});
+                 common::fmt_double(maxmean(ev_loc.assignment.node_load), 2),
+                 common::fmt_double(cv(ev_loc.assignment.node_load), 3),
+                 common::fmt_double(sim_loc.makespan, 1),
+                 std::to_string(sim_loc.remote_reads)});
   table.add_row({"event-sim", "datanet",
-                 common::fmt_double(maxmean(sim_dn.node_filtered_bytes), 2),
-                 common::fmt_double(cv(sim_dn.node_filtered_bytes), 3),
-                 common::fmt_double(sim_dn.sim.makespan, 1),
-                 std::to_string(sim_dn.sim.remote_reads)});
+                 common::fmt_double(maxmean(ev_dn.assignment.node_load), 2),
+                 common::fmt_double(cv(ev_dn.assignment.node_load), 3),
+                 common::fmt_double(sim_dn.makespan, 1),
+                 std::to_string(sim_dn.remote_reads)});
   std::printf("\n%s\n", table.to_string().c_str());
   std::printf("both backends agree: locality scheduling leaves a several-fold "
               "filtered-byte spread that DataNet flattens. (Phase-time scales "
@@ -93,9 +108,9 @@ int main() {
   jopt.output_ratio = 0.05;
   jopt.num_reducers = 8;
   const auto job_loc =
-      sim::simulate_analysis_job(sim_loc.node_filtered_bytes, jopt);
+      sim::simulate_analysis_job(ev_loc.assignment.node_load, jopt);
   const auto job_dn =
-      sim::simulate_analysis_job(sim_dn.node_filtered_bytes, jopt);
+      sim::simulate_analysis_job(ev_dn.assignment.node_load, jopt);
   std::printf("\nevent-driven analysis job (WordCount-like):\n");
   std::printf("  locality: map %.1f s, shuffle span %.1f s, total %.1f s\n",
               job_loc.map_phase, job_loc.shuffle_span(), job_loc.makespan);

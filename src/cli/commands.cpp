@@ -13,6 +13,7 @@
 #include "common/units.hpp"
 #include "datanet/datanet.hpp"
 #include "datanet/experiment.hpp"
+#include "datanet/selection_runtime.hpp"
 #include "scheduler/datanet_sched.hpp"
 #include "scheduler/locality.hpp"
 #include "mapred/report_json.hpp"
@@ -271,22 +272,35 @@ int cmd_simulate(const Args& args, std::ostream& out) {
     opt.cluster.node.disk_mbps = args.get_double_or("disk-mbps", 80.0);
     opt.cluster.node.nic_mbps = args.get_double_or("nic-mbps", 100.0);
 
+    // One SelectionRuntime, timing-only, with the event-driven backend; the
+    // scheduler is the only thing that changes between the two rows.
+    core::ExperimentConfig sim_cfg;
+    sim_cfg.num_nodes = nodes;
+    core::DirectReadPolicy read(fs, sim_cfg.remote_read_penalty);
+    core::NoFaults faults;
+    sim::EventSimBackend backend(fs, opt);
+    const core::SelectionRuntime runtime(read, faults, backend);
+
     scheduler::LocalityScheduler base(7);
-    const auto r_loc = sim::simulate_selection(fs, graph, base, opt);
+    const auto r_loc = runtime.run_graph(fs, graph, *key, base, sim_cfg,
+                                         /*materialize=*/false);
+    const auto sim_loc = backend.last_sim();
     scheduler::DataNetScheduler dn;
-    const auto r_dn = sim::simulate_selection(fs, graph, dn, opt);
+    const auto r_dn = runtime.run_graph(fs, graph, *key, dn, sim_cfg,
+                                        /*materialize=*/false);
+    const auto sim_dn = backend.last_sim();
 
     common::TextTable table({"scheduler", "makespan (s)", "remote reads",
                              "max node bytes"});
     const auto max_bytes = [](const std::vector<std::uint64_t>& v) {
       return *std::max_element(v.begin(), v.end());
     };
-    table.add_row({"locality", common::fmt_double(r_loc.sim.makespan, 2),
-                   std::to_string(r_loc.sim.remote_reads),
-                   common::format_bytes(max_bytes(r_loc.node_filtered_bytes))});
-    table.add_row({"datanet", common::fmt_double(r_dn.sim.makespan, 2),
-                   std::to_string(r_dn.sim.remote_reads),
-                   common::format_bytes(max_bytes(r_dn.node_filtered_bytes))});
+    table.add_row({"locality", common::fmt_double(sim_loc.makespan, 2),
+                   std::to_string(sim_loc.remote_reads),
+                   common::format_bytes(max_bytes(r_loc.assignment.node_load))});
+    table.add_row({"datanet", common::fmt_double(sim_dn.makespan, 2),
+                   std::to_string(sim_dn.remote_reads),
+                   common::format_bytes(max_bytes(r_dn.assignment.node_load))});
     out << "\nevent-driven selection over " << graph.num_blocks()
         << " candidate blocks (" << nodes << " nodes, "
         << opt.cluster.node.slots << " slots, "

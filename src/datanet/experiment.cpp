@@ -1,10 +1,9 @@
 #include "datanet/experiment.hpp"
 
 #include <algorithm>
-#include <deque>
 #include <stdexcept>
 
-#include "apps/filter.hpp"
+#include "datanet/selection_runtime.hpp"
 #include "workload/github_gen.hpp"
 #include "workload/movie_gen.hpp"
 
@@ -25,42 +24,11 @@ mapred::EngineOptions engine_options(const ExperimentConfig& cfg) {
   return opt;
 }
 
-graph::BipartiteGraph selection_graph(const dfs::MiniDfs& dfs,
-                                      const std::string& path,
-                                      const std::string& key, const DataNet* net) {
-  // DataNet prunes + weights candidate blocks; the baseline scans
-  // everything, content-blind.
-  return net ? net->scheduling_graph(key)
-             : graph::BipartiteGraph::from_dfs(
-                   dfs, path, [](std::size_t, dfs::BlockId) { return 0; },
-                   /*keep_zero_weight=*/true);
-}
-
-// Copy the record lines of `data` whose key matches into `out`; returns the
-// number of bytes appended (lines kept verbatim, '\n' restored).
-std::uint64_t filter_lines(std::string_view data, const std::string& key,
-                           std::string& out) {
-  std::uint64_t appended = 0;
-  std::size_t start = 0;
-  while (start < data.size()) {
-    std::size_t end = data.find('\n', start);
-    if (end == std::string_view::npos) end = data.size();
-    const std::string_view line = data.substr(start, end - start);
-    if (const auto rv = workload::decode_record(line); rv && rv->key == key) {
-      out.append(line);
-      out.push_back('\n');
-      appended += line.size() + 1;
-    }
-    start = end + 1;
-  }
-  return appended;
-}
-
-}  // namespace
-
-StoredDataset make_movie_dataset(const ExperimentConfig& cfg,
-                                 std::uint64_t num_blocks,
-                                 std::uint64_t num_movies) {
+// Shared DFS-construction half of the dataset builders: validate the
+// cluster shape once, then stand up the MiniDfs the generators ingest into.
+StoredDataset make_dataset_shell(const ExperimentConfig& cfg,
+                                 std::string path) {
+  cfg.validate();
   StoredDataset ds;
   dfs::DfsOptions dopt;
   dopt.block_size = cfg.block_size;
@@ -68,12 +36,49 @@ StoredDataset make_movie_dataset(const ExperimentConfig& cfg,
   dopt.seed = cfg.seed;
   ds.dfs = std::make_unique<dfs::MiniDfs>(
       dfs::ClusterTopology::flat(cfg.num_nodes), dopt);
-  ds.path = "/data/movies.log";
+  ds.path = std::move(path);
+  return ds;
+}
+
+// Records needed so ~`num_blocks` blocks fill at `avg_record_bytes` each.
+std::uint64_t records_for_blocks(const ExperimentConfig& cfg,
+                                 std::uint64_t num_blocks,
+                                 double avg_record_bytes) {
+  return static_cast<std::uint64_t>(
+      static_cast<double>(num_blocks * cfg.block_size) / avg_record_bytes);
+}
+
+}  // namespace
+
+void ExperimentConfig::validate() const {
+  if (num_nodes == 0) {
+    throw std::invalid_argument("ExperimentConfig: num_nodes must be nonzero");
+  }
+  if (block_size == 0) {
+    throw std::invalid_argument("ExperimentConfig: block_size must be nonzero");
+  }
+  if (slots_per_node == 0) {
+    throw std::invalid_argument(
+        "ExperimentConfig: slots_per_node must be nonzero");
+  }
+  if (replication == 0) {
+    throw std::invalid_argument(
+        "ExperimentConfig: replication must be nonzero");
+  }
+  if (replication > num_nodes) {
+    throw std::invalid_argument(
+        "ExperimentConfig: replication exceeds num_nodes");
+  }
+}
+
+StoredDataset make_movie_dataset(const ExperimentConfig& cfg,
+                                 std::uint64_t num_blocks,
+                                 std::uint64_t num_movies) {
+  StoredDataset ds = make_dataset_shell(cfg, "/data/movies.log");
 
   workload::MovieGenOptions gopt;
   gopt.num_movies = num_movies;
-  gopt.num_records = static_cast<std::uint64_t>(
-      static_cast<double>(num_blocks * cfg.block_size) / kAvgMovieRecordBytes);
+  gopt.num_records = records_for_blocks(cfg, num_blocks, kAvgMovieRecordBytes);
   gopt.seed = cfg.seed * 7919 + 13;
   const workload::MovieLogGenerator gen(gopt);
   const auto records = gen.generate();
@@ -88,18 +93,10 @@ StoredDataset make_movie_dataset(const ExperimentConfig& cfg,
 
 StoredDataset make_github_dataset(const ExperimentConfig& cfg,
                                   std::uint64_t num_blocks) {
-  StoredDataset ds;
-  dfs::DfsOptions dopt;
-  dopt.block_size = cfg.block_size;
-  dopt.replication = cfg.replication;
-  dopt.seed = cfg.seed;
-  ds.dfs = std::make_unique<dfs::MiniDfs>(
-      dfs::ClusterTopology::flat(cfg.num_nodes), dopt);
-  ds.path = "/data/github_events.log";
+  StoredDataset ds = make_dataset_shell(cfg, "/data/github_events.log");
 
   workload::GithubGenOptions gopt;
-  gopt.num_records = static_cast<std::uint64_t>(
-      static_cast<double>(num_blocks * cfg.block_size) / kAvgGithubRecordBytes);
+  gopt.num_records = records_for_blocks(cfg, num_blocks, kAvgGithubRecordBytes);
   gopt.seed = cfg.seed * 6271 + 5;
   const workload::GithubLogGenerator gen(gopt);
   workload::ingest(*ds.dfs, ds.path, gen.generate());
@@ -118,54 +115,11 @@ SelectionResult run_selection(const dfs::MiniDfs& dfs, const std::string& path,
   if (cfg.num_nodes != dfs.topology().num_nodes()) {
     throw std::invalid_argument("run_selection: cfg/dfs node count mismatch");
   }
-
-  const graph::BipartiteGraph graph = selection_graph(dfs, path, key, net);
-
-  std::vector<std::uint64_t> block_bytes(graph.num_blocks());
-  for (std::size_t j = 0; j < graph.num_blocks(); ++j) {
-    block_bytes[j] = dfs.block(graph.block(j).block_id).size_bytes;
-  }
-
-  SelectionResult result;
-  result.assignment = scheduler::drain(sched, graph, block_bytes);
-  result.blocks_scanned = graph.num_blocks();
-
-  // Materialize the filtered sub-dataset node-locally (real execution) and
-  // build the simulated selection-phase timing from the same assignment.
-  result.node_local_data.assign(cfg.num_nodes, "");
-  result.node_filtered_bytes.assign(cfg.num_nodes, 0);
-
-  std::vector<mapred::InputSplit> splits;
-  splits.reserve(graph.num_blocks());
-  for (std::size_t j = 0; j < graph.num_blocks(); ++j) {
-    const dfs::BlockId bid = graph.block(j).block_id;
-    const dfs::NodeId node = result.assignment.block_to_node[j];
-    const std::string_view data = dfs.read_block(bid);
-    splits.push_back(mapred::InputSplit{
-        .node = node,
-        .data = data,
-        .charged_bytes = dfs.is_local(bid, node)
-                             ? data.size()
-                             : static_cast<std::uint64_t>(
-                                   static_cast<double>(data.size()) *
-                                   (1.0 + cfg.remote_read_penalty))});
-  }
-
-  // Real filtering pass: copy matching record lines verbatim into the
-  // owning node's local buffer.
-  for (std::size_t j = 0; j < graph.num_blocks(); ++j) {
-    const dfs::BlockId bid = graph.block(j).block_id;
-    const dfs::NodeId node = result.assignment.block_to_node[j];
-    result.node_filtered_bytes[node] +=
-        filter_lines(dfs.read_block(bid), key, result.node_local_data[node]);
-  }
-
-  // Simulated timing of the selection phase (I/O-dominated scan job).
-  mapred::Job filter_job = apps::make_filter_stats_job(key);
-  filter_job.config.cost.time_scale = cfg.effective_time_scale();
-  const mapred::Engine engine(engine_options(cfg));
-  result.report = engine.run(filter_job, splits);
-  return result;
+  DirectReadPolicy read(dfs, cfg.remote_read_penalty);
+  NoFaults faults;
+  AnalyticBackend timing;
+  return SelectionRuntime(read, faults, timing)
+      .run(dfs, path, key, sched, net, cfg);
 }
 
 SelectionResult run_selection_faulted(dfs::MiniDfs& dfs, const std::string& path,
@@ -173,137 +127,15 @@ SelectionResult run_selection_faulted(dfs::MiniDfs& dfs, const std::string& path
                                       scheduler::TaskScheduler& sched,
                                       const DataNet* net,
                                       const ExperimentConfig& cfg,
-                                      dfs::FaultInjector& faults) {
+                                      dfs::FaultInjector& injector) {
   if (cfg.num_nodes != dfs.topology().num_nodes()) {
     throw std::invalid_argument("run_selection_faulted: node count mismatch");
   }
-
-  const graph::BipartiteGraph graph = selection_graph(dfs, path, key, net);
-  const std::size_t num_tasks = graph.num_blocks();
-  std::vector<std::uint64_t> block_bytes(num_tasks);
-  for (std::size_t j = 0; j < num_tasks; ++j) {
-    block_bytes[j] = dfs.block(graph.block(j).block_id).size_bytes;
-  }
-
-  SelectionResult result;
-  result.assignment = scheduler::drain(sched, graph, block_bytes);
-  result.blocks_scanned = num_tasks;
-
-  // Per-task state. Output is buffered per task (not per node) so a killed
-  // node's contribution can be discarded and rebuilt deterministically.
-  std::vector<std::string> task_output(num_tasks);
-  std::vector<std::string_view> task_data(num_tasks);
-  std::vector<std::uint64_t> task_charge(num_tasks, 0);
-  std::vector<std::uint8_t> done(num_tasks, 0);
-  std::vector<std::uint8_t> lost(num_tasks, 0);
-  std::vector<std::vector<std::size_t>> completed_on(cfg.num_nodes);
-  std::uint64_t retries = 0;
-
-  std::deque<std::size_t> queue;
-  for (std::size_t j = 0; j < num_tasks; ++j) queue.push_back(j);
-
-  // React to fired events: when a node died, everything assigned to it is
-  // stranded — the scheduler re-enqueues pending tasks onto survivors, and
-  // tasks that already completed there lost their local output, so they run
-  // again (each re-execution is a retry).
-  const auto react = [&](const std::vector<dfs::FaultEvent>& fired) {
-    const bool any_kill =
-        std::any_of(fired.begin(), fired.end(), [](const dfs::FaultEvent& e) {
-          return e.kind == dfs::FaultKind::kKillNode;
-        });
-    if (!any_kill) return;
-    std::vector<bool> alive(cfg.num_nodes);
-    for (dfs::NodeId n = 0; n < cfg.num_nodes; ++n) alive[n] = dfs.is_active(n);
-    for (dfs::NodeId n = 0; n < cfg.num_nodes; ++n) {
-      if (alive[n]) continue;
-      for (const std::size_t j : completed_on[n]) {
-        done[j] = 0;
-        task_output[j].clear();
-        task_charge[j] += block_bytes[j];  // the dead attempt's work, redone
-        queue.push_back(j);
-        ++retries;
-      }
-      completed_on[n].clear();
-    }
-    scheduler::reassign_stranded(result.assignment, graph, block_bytes, alive);
-  };
-
-  react(faults.advance(0));
-
-  std::uint64_t executed = 0;
-  while (!queue.empty()) {
-    const std::size_t j = queue.front();
-    queue.pop_front();
-    if (done[j] || lost[j]) continue;
-    const dfs::NodeId node = result.assignment.block_to_node[j];
-    const dfs::BlockId bid = graph.block(j).block_id;
-
-    // Read order: the task's own node if it holds a copy, then the other
-    // current replica holders ascending — each failed checksum costs a full
-    // (possibly remote) read before the failure is detected, and the bad
-    // copy is reported so the NameNode drops and re-replicates it.
-    std::vector<dfs::NodeId> sources;
-    if (dfs.is_local(bid, node)) sources.push_back(node);
-    {
-      std::vector<dfs::NodeId> others = dfs.block(bid).replicas;
-      std::sort(others.begin(), others.end());
-      for (const dfs::NodeId s : others) {
-        if (s != node) sources.push_back(s);
-      }
-    }
-    bool got = false;
-    for (const dfs::NodeId src : sources) {
-      const bool remote = src != node;
-      const auto charged = static_cast<std::uint64_t>(
-          static_cast<double>(block_bytes[j]) *
-          (remote ? 1.0 + cfg.remote_read_penalty : 1.0));
-      task_charge[j] += charged;
-      if (dfs.replica_healthy(bid, src)) {
-        task_data[j] = dfs.read_replica(bid, src);
-        got = true;
-        break;
-      }
-      ++retries;  // checksum failure detected after the read
-      (void)dfs.report_corrupt_replica(bid, src);
-    }
-    if (!got) {
-      lost[j] = 1;
-      result.lost_block_ids.push_back(bid);
-    } else {
-      filter_lines(task_data[j], key, task_output[j]);
-      done[j] = 1;
-      completed_on[node].push_back(j);
-    }
-
-    ++executed;
-    react(faults.advance(executed));
-  }
-
-  // Rebuild the node-local view in task order, so the final buffers are
-  // independent of the retry history.
-  result.node_local_data.assign(cfg.num_nodes, "");
-  result.node_filtered_bytes.assign(cfg.num_nodes, 0);
-  std::vector<mapred::InputSplit> splits;
-  splits.reserve(num_tasks);
-  for (std::size_t j = 0; j < num_tasks; ++j) {
-    if (!done[j]) continue;
-    const dfs::NodeId node = result.assignment.block_to_node[j];
-    result.node_local_data[node].append(task_output[j]);
-    result.node_filtered_bytes[node] += task_output[j].size();
-    splits.push_back(mapred::InputSplit{
-        .node = node, .data = task_data[j], .charged_bytes = task_charge[j]});
-  }
-
-  mapred::Job filter_job = apps::make_filter_stats_job(key);
-  filter_job.config.cost.time_scale = cfg.effective_time_scale();
-  mapred::EngineOptions opt = engine_options(cfg);
-  if (faults.any_slowdown()) opt.node_speed = faults.node_speeds();
-  const mapred::Engine engine(opt);
-  result.report = engine.run(filter_job, splits);
-  result.report.retries = retries;
-  result.report.lost_blocks = result.lost_block_ids.size();
-  result.report.degraded = !result.lost_block_ids.empty();
-  return result;
+  ChecksumRetryReadPolicy read(dfs, cfg.remote_read_penalty);
+  InjectedFaults faults(injector);
+  AnalyticBackend timing;
+  return SelectionRuntime(read, faults, timing)
+      .run(dfs, path, key, sched, net, cfg);
 }
 
 mapred::JobReport run_analysis(const mapred::Job& job,
@@ -316,21 +148,10 @@ mapred::JobReport run_analysis(const mapred::Job& job,
   // record boundaries.
   std::vector<mapred::InputSplit> splits;
   for (std::uint32_t n = 0; n < cfg.num_nodes; ++n) {
-    const std::string_view data = selection.node_local_data[n];
-    if (data.empty()) continue;
-    const std::uint64_t chunk =
-        std::max<std::uint64_t>(data.size() / cfg.slots_per_node, 1);
-    std::size_t start = 0;
-    while (start < data.size()) {
-      std::size_t end = std::min<std::size_t>(start + chunk, data.size());
-      if (end < data.size()) {
-        const std::size_t nl = data.find('\n', end);
-        end = (nl == std::string_view::npos) ? data.size() : nl + 1;
-      }
-      splits.push_back(mapred::InputSplit{.node = n,
-                                          .data = data.substr(start, end - start),
-                                          .charged_bytes = 0});
-      start = end;
+    for (const std::string_view chunk : mapred::split_at_record_boundaries(
+             selection.node_local_data[n], cfg.slots_per_node)) {
+      splits.push_back(
+          mapred::InputSplit{.node = n, .data = chunk, .charged_bytes = 0});
     }
   }
 

@@ -40,6 +40,11 @@ struct ExperimentConfig {
                ? time_scale
                : static_cast<double>(64ull << 20) / static_cast<double>(block_size);
   }
+
+  // Throws std::invalid_argument on a configuration no cluster can satisfy:
+  // zero nodes/block size/slots/replication, or replication > nodes. Called
+  // by the dataset builders and SelectionRuntime::run before any work.
+  void validate() const;
 };
 
 // A generated-and-ingested dataset plus its oracle.
@@ -77,6 +82,11 @@ struct SelectionResult {
 // When `net` is non-null its ElasticMap provides the weights AND prunes
 // blocks that provably hold no target data; when null (baseline) every block
 // is scanned with zero weights.
+//
+// Deprecated shim (kept working for one PR): equivalent to a
+// SelectionRuntime composed of DirectReadPolicy + NoFaults +
+// AnalyticBackend — see datanet/selection_runtime.hpp. Output is
+// byte-identical to the runtime spelling.
 [[nodiscard]] SelectionResult run_selection(const dfs::MiniDfs& dfs,
                                             const std::string& path,
                                             const std::string& key,
@@ -99,6 +109,10 @@ struct SelectionResult {
 //    is observable, never silent.
 // Orchestration is serial and seeded, so the JobReport is bit-identical for
 // any engine thread count (the PR-1 invariance property holds under faults).
+//
+// Deprecated shim (kept working for one PR): equivalent to a
+// SelectionRuntime composed of ChecksumRetryReadPolicy + InjectedFaults +
+// AnalyticBackend — see datanet/selection_runtime.hpp.
 [[nodiscard]] SelectionResult run_selection_faulted(
     dfs::MiniDfs& dfs, const std::string& path, const std::string& key,
     scheduler::TaskScheduler& sched, const DataNet* net,

@@ -1,0 +1,282 @@
+#include "datanet/selection_runtime.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+#include "apps/filter.hpp"
+
+namespace datanet::core {
+
+namespace {
+
+mapred::EngineOptions engine_options(const ExperimentConfig& cfg) {
+  mapred::EngineOptions opt;
+  opt.num_nodes = cfg.num_nodes;
+  opt.slots_per_node = cfg.slots_per_node;
+  opt.execution_threads = cfg.execution_threads;
+  return opt;
+}
+
+}  // namespace
+
+// ---- read policies ----
+
+ReplicaRead DirectReadPolicy::read(dfs::BlockId block, dfs::NodeId node) {
+  ReplicaRead r;
+  r.data = dfs_->read_block(block);
+  r.charged_bytes = dfs_->is_local(block, node)
+                        ? r.data.size()
+                        : static_cast<std::uint64_t>(
+                              static_cast<double>(r.data.size()) *
+                              (1.0 + penalty_));
+  r.ok = true;
+  return r;
+}
+
+ReplicaRead ChecksumRetryReadPolicy::read(dfs::BlockId block,
+                                          dfs::NodeId node) {
+  ReplicaRead r;
+  const auto bytes = dfs_->block(block).size_bytes;
+  std::vector<dfs::NodeId> sources;
+  if (dfs_->is_local(block, node)) sources.push_back(node);
+  {
+    std::vector<dfs::NodeId> others = dfs_->block(block).replicas;
+    std::sort(others.begin(), others.end());
+    for (const dfs::NodeId s : others) {
+      if (s != node) sources.push_back(s);
+    }
+  }
+  for (const dfs::NodeId src : sources) {
+    const bool remote = src != node;
+    r.charged_bytes += static_cast<std::uint64_t>(
+        static_cast<double>(bytes) * (remote ? 1.0 + penalty_ : 1.0));
+    if (dfs_->replica_healthy(block, src)) {
+      r.data = dfs_->read_replica(block, src);
+      r.ok = true;
+      return r;
+    }
+    ++r.failed_attempts;  // checksum failure detected after the read
+    (void)dfs_->report_corrupt_replica(block, src);
+  }
+  return r;
+}
+
+// ---- fault policies ----
+
+bool InjectedFaults::advance(std::uint64_t executed_tasks) {
+  const auto fired = injector_->advance(executed_tasks);
+  return std::any_of(fired.begin(), fired.end(), [](const dfs::FaultEvent& e) {
+    return e.kind == dfs::FaultKind::kKillNode;
+  });
+}
+
+std::vector<double> InjectedFaults::node_speeds() const {
+  if (!injector_->any_slowdown()) return {};
+  return injector_->node_speeds();
+}
+
+// ---- analytic timing backend ----
+
+scheduler::AssignmentRecord AnalyticBackend::assign(
+    scheduler::TaskScheduler& sched, const graph::BipartiteGraph& graph,
+    const std::vector<std::uint64_t>& block_bytes) {
+  return scheduler::pull_assign(
+      sched, graph, block_bytes,
+      {.order = scheduler::PullOptions::Order::kRoundRobin});
+}
+
+mapred::JobReport AnalyticBackend::report(
+    const std::string& key, const std::vector<mapred::InputSplit>& splits,
+    const ExperimentConfig& cfg, const std::vector<double>& node_speeds) {
+  mapred::Job filter_job = apps::make_filter_stats_job(key);
+  filter_job.config.cost.time_scale = cfg.effective_time_scale();
+  mapred::EngineOptions opt = engine_options(cfg);
+  if (!node_speeds.empty()) opt.node_speed = node_speeds;
+  const mapred::Engine engine(opt);
+  return engine.run(filter_job, splits);
+}
+
+// ---- the runtime ----
+
+SelectionResult SelectionRuntime::run(const dfs::MiniDfs& dfs,
+                                      const std::string& path,
+                                      const std::string& key,
+                                      scheduler::TaskScheduler& sched,
+                                      const DataNet* net,
+                                      const ExperimentConfig& cfg) const {
+  cfg.validate();
+  if (cfg.num_nodes != dfs.topology().num_nodes()) {
+    throw std::invalid_argument("SelectionRuntime: cfg/dfs node count mismatch");
+  }
+  // DataNet prunes + weights candidate blocks; the baseline scans
+  // everything, content-blind.
+  const graph::BipartiteGraph graph =
+      net ? net->scheduling_graph(key)
+          : graph::BipartiteGraph::from_dfs(
+                dfs, path, [](std::size_t, dfs::BlockId) { return 0; },
+                /*keep_zero_weight=*/true);
+  return run_graph(dfs, graph, key, sched, cfg);
+}
+
+SelectionResult SelectionRuntime::run_graph(const dfs::MiniDfs& dfs,
+                                            const graph::BipartiteGraph& graph,
+                                            const std::string& key,
+                                            scheduler::TaskScheduler& sched,
+                                            const ExperimentConfig& cfg,
+                                            bool materialize) const {
+  if (cfg.num_nodes != graph.num_nodes()) {
+    throw std::invalid_argument(
+        "SelectionRuntime: cfg/graph node count mismatch");
+  }
+  const std::size_t num_tasks = graph.num_blocks();
+  std::vector<std::uint64_t> block_bytes(num_tasks);
+  for (std::size_t j = 0; j < num_tasks; ++j) {
+    block_bytes[j] = dfs.block(graph.block(j).block_id).size_bytes;
+  }
+
+  SelectionResult result;
+  result.assignment = timing_->assign(sched, graph, block_bytes);
+  result.blocks_scanned = num_tasks;
+  result.node_local_data.assign(cfg.num_nodes, "");
+  result.node_filtered_bytes.assign(cfg.num_nodes, 0);
+
+  std::vector<mapred::InputSplit> splits;
+  std::uint64_t retries = 0;
+
+  if (materialize) {
+    // Per-task state. Output is buffered per task (not per node) so a killed
+    // node's contribution can be discarded and rebuilt deterministically.
+    std::vector<std::string> task_output(num_tasks);
+    std::vector<std::string_view> task_data(num_tasks);
+    std::vector<std::uint64_t> task_charge(num_tasks, 0);
+    std::vector<std::uint8_t> done(num_tasks, 0);
+    std::vector<std::uint8_t> lost(num_tasks, 0);
+    std::vector<std::vector<std::size_t>> completed_on(cfg.num_nodes);
+
+    std::deque<std::size_t> queue;
+    for (std::size_t j = 0; j < num_tasks; ++j) queue.push_back(j);
+
+    // React to a node kill: everything assigned to a dead node is stranded —
+    // the scheduler re-enqueues pending tasks onto survivors, and tasks that
+    // already completed there lost their local output, so they run again
+    // (each re-execution is a retry).
+    const auto react = [&](const bool any_kill) {
+      if (!any_kill) return;
+      std::vector<bool> alive(cfg.num_nodes);
+      for (dfs::NodeId n = 0; n < cfg.num_nodes; ++n) {
+        alive[n] = dfs.is_active(n);
+      }
+      for (dfs::NodeId n = 0; n < cfg.num_nodes; ++n) {
+        if (alive[n]) continue;
+        for (const std::size_t j : completed_on[n]) {
+          done[j] = 0;
+          task_output[j].clear();
+          task_charge[j] += block_bytes[j];  // the dead attempt's work, redone
+          queue.push_back(j);
+          ++retries;
+        }
+        completed_on[n].clear();
+      }
+      scheduler::reassign_stranded(result.assignment, graph, block_bytes,
+                                   alive);
+    };
+
+    react(faults_->advance(0));
+
+    std::uint64_t executed = 0;
+    while (!queue.empty()) {
+      const std::size_t j = queue.front();
+      queue.pop_front();
+      if (done[j] || lost[j]) continue;
+      const dfs::NodeId node = result.assignment.block_to_node[j];
+      const dfs::BlockId bid = graph.block(j).block_id;
+
+      const ReplicaRead read = read_->read(bid, node);
+      task_charge[j] += read.charged_bytes;
+      retries += read.failed_attempts;
+      if (!read.ok) {
+        lost[j] = 1;
+        result.lost_block_ids.push_back(bid);
+      } else {
+        task_data[j] = read.data;
+        filter_lines(task_data[j], key, task_output[j]);
+        done[j] = 1;
+        completed_on[node].push_back(j);
+      }
+
+      ++executed;
+      react(faults_->advance(executed));
+    }
+
+    // Rebuild the node-local view in task order, so the final buffers are
+    // independent of the retry history.
+    splits.reserve(num_tasks);
+    for (std::size_t j = 0; j < num_tasks; ++j) {
+      if (!done[j]) continue;
+      const dfs::NodeId node = result.assignment.block_to_node[j];
+      result.node_local_data[node].append(task_output[j]);
+      result.node_filtered_bytes[node] += task_output[j].size();
+      splits.push_back(mapred::InputSplit{
+          .node = node, .data = task_data[j], .charged_bytes = task_charge[j]});
+    }
+  }
+
+  result.report = timing_->report(key, splits, cfg, faults_->node_speeds());
+  result.report.retries = retries;
+  result.report.lost_blocks = result.lost_block_ids.size();
+  result.report.degraded = !result.lost_block_ids.empty();
+  return result;
+}
+
+// ---- shared filtering kernel ----
+
+std::uint64_t filter_lines(std::string_view data, const std::string& key,
+                           std::string& out) {
+  std::uint64_t appended = 0;
+  std::size_t start = 0;
+  while (start < data.size()) {
+    std::size_t end = data.find('\n', start);
+    if (end == std::string_view::npos) end = data.size();
+    const std::string_view line = data.substr(start, end - start);
+    // Cheap exact test on the key field (the bytes between the first and
+    // second tab); only candidate lines pay the full decode, which still
+    // validates the timestamp before the line is kept.
+    const std::size_t tab = line.find('\t');
+    if (tab != std::string_view::npos) {
+      const std::string_view rest = line.substr(tab + 1);
+      if (rest.size() > key.size() && rest[key.size()] == '\t' &&
+          rest.compare(0, key.size(), key) == 0) {
+        if (const auto rv = workload::decode_record(line);
+            rv && rv->key == key) {
+          out.append(line);
+          out.push_back('\n');
+          appended += line.size() + 1;
+        }
+      }
+    }
+    start = end + 1;
+  }
+  return appended;
+}
+
+std::uint64_t filter_lines_decode_all(std::string_view data,
+                                      const std::string& key,
+                                      std::string& out) {
+  std::uint64_t appended = 0;
+  std::size_t start = 0;
+  while (start < data.size()) {
+    std::size_t end = data.find('\n', start);
+    if (end == std::string_view::npos) end = data.size();
+    const std::string_view line = data.substr(start, end - start);
+    if (const auto rv = workload::decode_record(line); rv && rv->key == key) {
+      out.append(line);
+      out.push_back('\n');
+      appended += line.size() + 1;
+    }
+    start = end + 1;
+  }
+  return appended;
+}
+
+}  // namespace datanet::core

@@ -1,0 +1,208 @@
+#pragma once
+// SelectionRuntime: the single pull-driven execution engine behind every
+// selection-phase entry point (the paper's Algorithm 1 task-request loop).
+// Previously the loop was re-implemented three times with diverging
+// semantics — run_selection (up-front drain, no fault handling),
+// run_selection_faulted (a second serial loop with its own read-retry and
+// re-enqueue logic) and sim::simulate_selection (the only genuine
+// pull-on-slot-free order). One runtime now drives any
+// scheduler::TaskScheduler and composes three policy seams:
+//
+//   * ReplicaReadPolicy — how a task obtains its block bytes and what the
+//     attempt costs on the simulated clock. DirectReadPolicy is the clean
+//     logical read; ChecksumRetryReadPolicy is the Hadoop datanode path
+//     (local copy first, then remaining replica holders ascending, every
+//     failed checksum charged as a full read and reported to the NameNode).
+//   * FaultPolicy — which faults fire as tasks complete. NoFaults is the
+//     empty plan: a zero-fault run is this policy, not a separate harness.
+//     InjectedFaults adapts dfs::FaultInjector (kill / corrupt / slow).
+//   * TimingBackend — how the assignment is ordered and the phase is timed.
+//     AnalyticBackend keeps the fair round-robin request order and the
+//     closed-form mapred::Engine cost model (and runs the real filter job,
+//     so report.output is live). sim::EventSimBackend (sim/selection_sim.hpp)
+//     drives the same scheduler with discrete-event pull-on-slot-free
+//     ordering instead.
+//
+// Invariance properties (tests/selection_runtime_test.cpp):
+//   * JobReports are bit-identical at any engine thread count;
+//   * with DirectReadPolicy + NoFaults + AnalyticBackend the result
+//     (assignment, node_local_data, node_filtered_bytes, JobReport) is
+//     byte-identical to the legacy run_selection;
+//   * a FaultPolicy with an empty plan never changes any report field.
+//
+// run_selection / run_selection_faulted / sim::simulate_selection remain as
+// deprecated thin shims over this class for one PR.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "datanet/experiment.hpp"
+#include "dfs/fault_injector.hpp"
+
+namespace datanet::core {
+
+// ---- read policy ----
+
+// Outcome of one task's read, including every failed attempt made.
+struct ReplicaRead {
+  std::string_view data;              // valid iff ok
+  std::uint64_t charged_bytes = 0;    // simulated cost of all attempts
+  std::uint64_t failed_attempts = 0;  // checksum failures before success/loss
+  bool ok = false;                    // false = no healthy copy remains
+};
+
+class ReplicaReadPolicy {
+ public:
+  virtual ~ReplicaReadPolicy() = default;
+  // Obtain the bytes of `block` for a task running on `node`.
+  [[nodiscard]] virtual ReplicaRead read(dfs::BlockId block,
+                                         dfs::NodeId node) = 0;
+};
+
+// Clean-path read: the logical block via MiniDfs::read_block, charged
+// remote_read_penalty extra when `node` holds no replica. Propagates
+// dfs::BlockCorruptError — corruption is a fault-path concern.
+class DirectReadPolicy final : public ReplicaReadPolicy {
+ public:
+  DirectReadPolicy(const dfs::MiniDfs& dfs, double remote_read_penalty)
+      : dfs_(&dfs), penalty_(remote_read_penalty) {}
+  [[nodiscard]] ReplicaRead read(dfs::BlockId block, dfs::NodeId node) override;
+
+ private:
+  const dfs::MiniDfs* dfs_;
+  double penalty_;
+};
+
+// Local-first / checksum-retry / report-corrupt read path: try the task's
+// own copy if it holds one, then the other current replica holders in
+// ascending node order. Each failed checksum costs a full (possibly remote)
+// read before the failure is detected, and the bad copy is reported so the
+// NameNode drops and re-replicates it. ok == false when every copy is bad.
+class ChecksumRetryReadPolicy final : public ReplicaReadPolicy {
+ public:
+  ChecksumRetryReadPolicy(dfs::MiniDfs& dfs, double remote_read_penalty)
+      : dfs_(&dfs), penalty_(remote_read_penalty) {}
+  [[nodiscard]] ReplicaRead read(dfs::BlockId block, dfs::NodeId node) override;
+
+ private:
+  dfs::MiniDfs* dfs_;
+  double penalty_;
+};
+
+// ---- fault policy ----
+
+class FaultPolicy {
+ public:
+  virtual ~FaultPolicy() = default;
+  // Called with the number of executed task attempts so far (0 before the
+  // first); applies due faults and returns true when a node kill fired —
+  // the runtime then re-enqueues the dead node's pending AND completed work.
+  virtual bool advance(std::uint64_t executed_tasks) = 0;
+  // Per-node simulated speed multipliers in effect after the run (empty =
+  // nominal); forwarded to the timing backend.
+  [[nodiscard]] virtual std::vector<double> node_speeds() const { return {}; }
+};
+
+// The empty plan: no events, ever.
+class NoFaults final : public FaultPolicy {
+ public:
+  bool advance(std::uint64_t) override { return false; }
+};
+
+// Adapter over dfs::FaultInjector's deterministic plans.
+class InjectedFaults final : public FaultPolicy {
+ public:
+  explicit InjectedFaults(dfs::FaultInjector& injector) : injector_(&injector) {}
+  bool advance(std::uint64_t executed_tasks) override;
+  [[nodiscard]] std::vector<double> node_speeds() const override;
+
+ private:
+  dfs::FaultInjector* injector_;
+};
+
+// ---- timing backend ----
+
+class TimingBackend {
+ public:
+  virtual ~TimingBackend() = default;
+  // Drive `sched` to a full assignment over `graph` (the pull loop; the
+  // backend owns the request order).
+  [[nodiscard]] virtual scheduler::AssignmentRecord assign(
+      scheduler::TaskScheduler& sched, const graph::BipartiteGraph& graph,
+      const std::vector<std::uint64_t>& block_bytes) = 0;
+  // Selection-phase JobReport over the materialized splits. `node_speeds`
+  // is the FaultPolicy's post-run view (empty = homogeneous).
+  [[nodiscard]] virtual mapred::JobReport report(
+      const std::string& key, const std::vector<mapred::InputSplit>& splits,
+      const ExperimentConfig& cfg,
+      const std::vector<double>& node_speeds) = 0;
+};
+
+// Fair round-robin request order + the closed-form engine cost model. Runs
+// the real filter job over the splits, so the report carries live output.
+class AnalyticBackend final : public TimingBackend {
+ public:
+  [[nodiscard]] scheduler::AssignmentRecord assign(
+      scheduler::TaskScheduler& sched, const graph::BipartiteGraph& graph,
+      const std::vector<std::uint64_t>& block_bytes) override;
+  [[nodiscard]] mapred::JobReport report(
+      const std::string& key, const std::vector<mapred::InputSplit>& splits,
+      const ExperimentConfig& cfg,
+      const std::vector<double>& node_speeds) override;
+};
+
+// ---- the runtime ----
+
+class SelectionRuntime {
+ public:
+  // Policies must outlive the runtime; each run drives read -> fault ->
+  // timing through the shared pull/materialize/report pipeline.
+  SelectionRuntime(ReplicaReadPolicy& read, FaultPolicy& faults,
+                   TimingBackend& timing)
+      : read_(&read), faults_(&faults), timing_(&timing) {}
+
+  // Full pipeline: build the scheduling graph for `key` (DataNet prunes +
+  // weights candidate blocks when `net` != nullptr; the content-blind
+  // baseline scans everything with zero weights) and execute it.
+  [[nodiscard]] SelectionResult run(const dfs::MiniDfs& dfs,
+                                    const std::string& path,
+                                    const std::string& key,
+                                    scheduler::TaskScheduler& sched,
+                                    const DataNet* net,
+                                    const ExperimentConfig& cfg) const;
+
+  // Prebuilt-graph entry. `materialize` false skips the read/filter loop
+  // (timing-only runs: node_local_data and the fault loop stay empty) —
+  // the sim::simulate_selection shim's path.
+  [[nodiscard]] SelectionResult run_graph(const dfs::MiniDfs& dfs,
+                                          const graph::BipartiteGraph& graph,
+                                          const std::string& key,
+                                          scheduler::TaskScheduler& sched,
+                                          const ExperimentConfig& cfg,
+                                          bool materialize = true) const;
+
+ private:
+  ReplicaReadPolicy* read_;
+  FaultPolicy* faults_;
+  TimingBackend* timing_;
+};
+
+// ---- shared filtering kernel ----
+
+// Copy the record lines of `data` whose key equals `key` into `out`; returns
+// the bytes appended (lines kept verbatim, '\n' restored). Matches on a
+// cheap key-field prefix comparison and only falls back to a full
+// workload::decode_record on candidate lines, so non-matching records never
+// pay the timestamp parse (see bench_fig5_overall for the delta).
+std::uint64_t filter_lines(std::string_view data, const std::string& key,
+                           std::string& out);
+
+// Reference implementation (full decode of every line); kept for the
+// equivalence test and the bench comparison.
+std::uint64_t filter_lines_decode_all(std::string_view data,
+                                      const std::string& key,
+                                      std::string& out);
+
+}  // namespace datanet::core

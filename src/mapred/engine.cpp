@@ -12,6 +12,25 @@
 
 namespace datanet::mapred {
 
+std::vector<std::string_view> split_at_record_boundaries(std::string_view data,
+                                                         std::uint32_t pieces) {
+  std::vector<std::string_view> chunks;
+  if (data.empty()) return chunks;
+  if (pieces == 0) pieces = 1;
+  const std::uint64_t chunk = std::max<std::uint64_t>(data.size() / pieces, 1);
+  std::size_t start = 0;
+  while (start < data.size()) {
+    std::size_t end = std::min<std::size_t>(start + chunk, data.size());
+    if (end < data.size()) {
+      const std::size_t nl = data.find('\n', end);
+      end = (nl == std::string_view::npos) ? data.size() : nl + 1;
+    }
+    chunks.push_back(data.substr(start, end - start));
+    start = end;
+  }
+  return chunks;
+}
+
 namespace {
 
 // Seed of the shuffle partitioner; also seeds the cached sort hash so one

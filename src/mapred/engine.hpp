@@ -120,4 +120,12 @@ class Engine {
   EngineOptions options_;
 };
 
+// Cut `data` (newline-separated records) into ~`pieces` contiguous chunks of
+// roughly data.size()/pieces bytes, each extended to the next record
+// boundary so no record straddles two chunks (Hadoop's line-record input
+// split rule). Empty data yields no chunks; a single record (or pieces == 1)
+// yields one chunk spanning all of it. The returned views alias `data`.
+[[nodiscard]] std::vector<std::string_view> split_at_record_boundaries(
+    std::string_view data, std::uint32_t pieces);
+
 }  // namespace datanet::mapred

@@ -6,19 +6,20 @@
 
 namespace datanet::scheduler {
 
-AssignmentRecord drain_timed(TaskScheduler& sched,
+AssignmentRecord pull_assign(TaskScheduler& sched,
                              const graph::BipartiteGraph& graph,
                              const std::vector<std::uint64_t>& block_bytes,
-                             const std::vector<double>& node_speed) {
+                             const PullOptions& options) {
   if (block_bytes.size() != graph.num_blocks()) {
-    throw std::invalid_argument("drain_timed: block_bytes size mismatch");
+    throw std::invalid_argument("pull_assign: block_bytes size mismatch");
   }
-  if (!node_speed.empty()) {
-    if (node_speed.size() != graph.num_nodes()) {
-      throw std::invalid_argument("drain_timed: node_speed size mismatch");
+  const bool timed = options.order == PullOptions::Order::kTimed;
+  if (!options.node_speed.empty()) {
+    if (options.node_speed.size() != graph.num_nodes()) {
+      throw std::invalid_argument("pull_assign: node_speed size mismatch");
     }
-    for (const double s : node_speed) {
-      if (!(s > 0.0)) throw std::invalid_argument("drain_timed: speed <= 0");
+    for (const double s : options.node_speed) {
+      if (!(s > 0.0)) throw std::invalid_argument("pull_assign: speed <= 0");
     }
   }
   sched.reset(graph);
@@ -27,10 +28,14 @@ AssignmentRecord drain_timed(TaskScheduler& sched,
   rec.node_load.assign(graph.num_nodes(), 0);
   rec.node_input_bytes.assign(graph.num_nodes(), 0);
 
+  std::vector<std::uint8_t> assigned(graph.num_blocks(), 0);
   std::vector<double> clock(graph.num_nodes(), 0.0);
   std::vector<bool> exhausted(graph.num_nodes(), false);
   std::size_t remaining = graph.num_blocks();
   std::uint32_t live_nodes = graph.num_nodes();
+  // Round-robin stall detection: a full round of unanswered requests with
+  // tasks remaining means the scheduler will never drain.
+  std::uint32_t barren_requests = 0;
 
   while (remaining > 0 && live_nodes > 0) {
     // Earliest-clock non-exhausted node requests next; ties to lowest id.
@@ -44,18 +49,32 @@ AssignmentRecord drain_timed(TaskScheduler& sched,
     }
     const auto task = sched.next_task(next);
     if (!task) {
-      exhausted[next] = true;
-      --live_nodes;
+      if (timed) {
+        // A freed slot with no answer retires: this worker is done.
+        exhausted[next] = true;
+        --live_nodes;
+      } else {
+        // Skip this round; ask again next round (like drain's retry rounds).
+        clock[next] += 1.0;
+        if (++barren_requests >= graph.num_nodes()) break;
+      }
       continue;
     }
-    if (*task >= graph.num_blocks()) {
-      throw std::logic_error("drain_timed: scheduler returned bad task");
+    if (*task >= graph.num_blocks() || assigned[*task]) {
+      throw std::logic_error("pull_assign: scheduler returned bad/duplicate task");
     }
+    assigned[*task] = 1;
+    barren_requests = 0;
     rec.block_to_node[*task] = next;
     rec.node_load[next] += graph.block(*task).weight;
     rec.node_input_bytes[next] += block_bytes[*task];
-    const double speed = node_speed.empty() ? 1.0 : node_speed[next];
-    clock[next] += static_cast<double>(block_bytes[*task]) / speed;
+    if (timed) {
+      const double speed =
+          options.node_speed.empty() ? 1.0 : options.node_speed[next];
+      clock[next] += static_cast<double>(block_bytes[*task]) / speed;
+    } else {
+      clock[next] += 1.0;
+    }
     --remaining;
     const auto& hosts = graph.block(*task).hosts;
     if (std::find(hosts.begin(), hosts.end(), next) != hosts.end()) {
@@ -63,11 +82,27 @@ AssignmentRecord drain_timed(TaskScheduler& sched,
     } else {
       ++rec.remote_tasks;
     }
+    if (options.on_assign) options.on_assign(*task, next);
   }
   if (remaining > 0) {
-    throw std::logic_error("drain_timed: scheduler stalled with tasks remaining");
+    throw std::logic_error("pull_assign: scheduler stalled with tasks remaining");
   }
   return rec;
+}
+
+AssignmentRecord drain(TaskScheduler& sched, const graph::BipartiteGraph& graph,
+                       const std::vector<std::uint64_t>& block_bytes) {
+  return pull_assign(sched, graph, block_bytes,
+                     {.order = PullOptions::Order::kRoundRobin});
+}
+
+AssignmentRecord drain_timed(TaskScheduler& sched,
+                             const graph::BipartiteGraph& graph,
+                             const std::vector<std::uint64_t>& block_bytes,
+                             const std::vector<double>& node_speed) {
+  return pull_assign(sched, graph, block_bytes,
+                     {.order = PullOptions::Order::kTimed,
+                      .node_speed = node_speed});
 }
 
 std::uint64_t reassign_stranded(AssignmentRecord& rec,
@@ -128,48 +163,6 @@ std::uint64_t reassign_stranded(AssignmentRecord& rec,
     ++moved;
   }
   return moved;
-}
-
-AssignmentRecord drain(TaskScheduler& sched, const graph::BipartiteGraph& graph,
-                       const std::vector<std::uint64_t>& block_bytes) {
-  if (block_bytes.size() != graph.num_blocks()) {
-    throw std::invalid_argument("drain: block_bytes size mismatch");
-  }
-  sched.reset(graph);
-  AssignmentRecord rec;
-  rec.block_to_node.assign(graph.num_blocks(), 0);
-  rec.node_load.assign(graph.num_nodes(), 0);
-  rec.node_input_bytes.assign(graph.num_nodes(), 0);
-
-  std::vector<bool> assigned(graph.num_blocks(), false);
-  std::size_t remaining = graph.num_blocks();
-  bool progress = true;
-  while (remaining > 0 && progress) {
-    progress = false;
-    for (dfs::NodeId n = 0; n < graph.num_nodes() && remaining > 0; ++n) {
-      const auto task = sched.next_task(n);
-      if (!task) continue;
-      if (*task >= graph.num_blocks() || assigned[*task]) {
-        throw std::logic_error("drain: scheduler returned bad/duplicate task");
-      }
-      assigned[*task] = true;
-      --remaining;
-      progress = true;
-      rec.block_to_node[*task] = n;
-      rec.node_load[n] += graph.block(*task).weight;
-      rec.node_input_bytes[n] += block_bytes[*task];
-      const auto& hosts = graph.block(*task).hosts;
-      if (std::find(hosts.begin(), hosts.end(), n) != hosts.end()) {
-        ++rec.local_tasks;
-      } else {
-        ++rec.remote_tasks;
-      }
-    }
-  }
-  if (remaining > 0) {
-    throw std::logic_error("drain: scheduler stalled with tasks remaining");
-  }
-  return rec;
 }
 
 }  // namespace datanet::scheduler

@@ -5,6 +5,7 @@
 // graph, or nothing when the task set T is exhausted.
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string_view>
 #include <vector>
@@ -38,12 +39,48 @@ struct AssignmentRecord {
   std::uint64_t remote_tasks = 0;  // tasks that required a remote read
 };
 
-// Drive a scheduler through a full assignment with a fair request order:
-// every node requests in round-robin until all tasks are handed out. Returns
-// the per-node loads. `block_bytes[j]` is the raw size of block j (for the
-// node_input_bytes accounting).
+// ---- the pull loop ----
+// One implementation drives every analytic selection path (drain and
+// drain_timed are thin spellings of it; core::SelectionRuntime calls it
+// directly). Each node carries a virtual clock; the node with the earliest
+// clock requests next (ties to the lowest id). The request-order policy is
+// what the clock measures:
+//   * kRoundRobin — every request (answered or not) costs one tick, which
+//     reproduces Hadoop's fair heartbeat rounds: node 0..N-1 ask in id order
+//     until the task set is exhausted. A node whose request goes unanswered
+//     is asked again next round (a later request may succeed).
+//   * kTimed — an assigned task costs block_bytes / node_speed, so a slow
+//     node naturally asks for fewer blocks, like a real task tracker that
+//     heartbeats only when a slot frees up; an unanswered request retires
+//     the node.
+struct PullOptions {
+  enum class Order { kRoundRobin, kTimed };
+  Order order = Order::kRoundRobin;
+  // Relative processing speed per node; kTimed only. Empty = homogeneous.
+  std::vector<double> node_speed;
+  // Invoked as each task is handed out (tracing / progress hooks).
+  std::function<void(std::size_t task, dfs::NodeId node)> on_assign;
+};
+
+// Drive `sched` to a full assignment over `graph`. `block_bytes[j]` is the
+// raw size of block j (node_input_bytes accounting + kTimed clock costs).
+// Throws std::logic_error if the scheduler returns an out-of-range or
+// duplicate task, or stalls with tasks remaining.
+AssignmentRecord pull_assign(TaskScheduler& sched,
+                             const graph::BipartiteGraph& graph,
+                             const std::vector<std::uint64_t>& block_bytes,
+                             const PullOptions& options = {});
+
+// Fair round-robin request order (PullOptions::Order::kRoundRobin).
 AssignmentRecord drain(TaskScheduler& sched, const graph::BipartiteGraph& graph,
                        const std::vector<std::uint64_t>& block_bytes);
+
+// Speed-aware pull order (PullOptions::Order::kTimed). Empty `node_speed` =
+// homogeneous unit speeds (clocks advance by raw block bytes).
+AssignmentRecord drain_timed(TaskScheduler& sched,
+                             const graph::BipartiteGraph& graph,
+                             const std::vector<std::uint64_t>& block_bytes,
+                             const std::vector<double>& node_speed);
 
 // Failure reaction (the JobTracker's lost-TaskTracker path): every block in
 // `rec` assigned to a node with alive[n] == false is re-enqueued onto a
@@ -56,15 +93,5 @@ std::uint64_t reassign_stranded(AssignmentRecord& rec,
                                 const graph::BipartiteGraph& graph,
                                 const std::vector<std::uint64_t>& block_bytes,
                                 const std::vector<bool>& alive);
-
-// Speed-aware pull model: each node carries a virtual clock advanced by
-// block_bytes / node_speed per assigned task, and the node with the earliest
-// clock requests next — a slow node naturally asks for fewer blocks, like a
-// real task tracker that heartbeats only when a slot frees up. Empty
-// `node_speed` = homogeneous (equivalent to round-robin drain).
-AssignmentRecord drain_timed(TaskScheduler& sched,
-                             const graph::BipartiteGraph& graph,
-                             const std::vector<std::uint64_t>& block_bytes,
-                             const std::vector<double>& node_speed);
 
 }  // namespace datanet::scheduler

@@ -5,6 +5,72 @@
 
 namespace datanet::sim {
 
+scheduler::AssignmentRecord EventSimBackend::assign(
+    scheduler::TaskScheduler& sched, const graph::BipartiteGraph& graph,
+    const std::vector<std::uint64_t>& block_bytes) {
+  if (options_.cluster.num_nodes != graph.num_nodes()) {
+    throw std::invalid_argument("simulate_selection: node count mismatch");
+  }
+  sched.reset(graph);
+
+  std::vector<SimTask> tasks(graph.num_blocks());
+  for (std::size_t j = 0; j < graph.num_blocks(); ++j) {
+    tasks[j].input_bytes = block_bytes[j];
+    tasks[j].cpu_seconds = options_.cpu_seconds_per_mib *
+                           static_cast<double>(block_bytes[j]) /
+                           (1024.0 * 1024.0);
+  }
+
+  scheduler::AssignmentRecord rec;
+  rec.block_to_node.assign(graph.num_blocks(), 0);
+  rec.node_load.assign(graph.num_nodes(), 0);
+  rec.node_input_bytes.assign(graph.num_nodes(), 0);
+
+  ClusterSim cluster(options_.cluster);
+  last_sim_ = cluster.run(
+      tasks,
+      [&](std::uint32_t node) -> std::optional<std::size_t> {
+        const auto j = sched.next_task(node);
+        if (j) {
+          rec.block_to_node[*j] = node;
+          rec.node_load[node] += graph.block(*j).weight;
+          rec.node_input_bytes[node] += block_bytes[*j];
+          const auto& hosts = graph.block(*j).hosts;
+          if (std::find(hosts.begin(), hosts.end(), node) != hosts.end()) {
+            ++rec.local_tasks;
+          } else {
+            ++rec.remote_tasks;
+          }
+        }
+        return j;
+      },
+      [&](std::uint32_t node, std::size_t j) {
+        return !dfs_->is_local(graph.block(j).block_id, node);
+      });
+  return rec;
+}
+
+mapred::JobReport EventSimBackend::report(
+    const std::string& /*key*/, const std::vector<mapred::InputSplit>& splits,
+    const core::ExperimentConfig& /*cfg*/,
+    const std::vector<double>& /*node_speeds — heterogeneity comes from
+                                  SimConfig::per_node cpu_speed instead */) {
+  mapred::JobReport rep;
+  rep.node_map_seconds.assign(last_sim_.node_finish.begin(),
+                              last_sim_.node_finish.end());
+  rep.map_phase_seconds = last_sim_.makespan;
+  rep.total_seconds = last_sim_.makespan;
+  double first = 0.0;
+  for (const Time t : last_sim_.task_finish) {
+    if (t > 0.0 && (first == 0.0 || t < first)) first = t;
+  }
+  rep.first_map_finish_seconds = first;
+  for (const auto& s : splits) {
+    rep.input_bytes += s.data.size();
+  }
+  return rep;
+}
+
 SelectionSimReport simulate_selection(const dfs::MiniDfs& dfs,
                                       const graph::BipartiteGraph& graph,
                                       scheduler::TaskScheduler& sched,
@@ -12,30 +78,19 @@ SelectionSimReport simulate_selection(const dfs::MiniDfs& dfs,
   if (options.cluster.num_nodes != graph.num_nodes()) {
     throw std::invalid_argument("simulate_selection: node count mismatch");
   }
-  sched.reset(graph);
+  EventSimBackend backend(dfs, options);
+  core::DirectReadPolicy read(dfs, 0.0);  // unused on the timing-only path
+  core::NoFaults faults;
+  const core::SelectionRuntime runtime(read, faults, backend);
 
-  std::vector<SimTask> tasks(graph.num_blocks());
-  for (std::size_t j = 0; j < graph.num_blocks(); ++j) {
-    const auto bytes = dfs.block(graph.block(j).block_id).size_bytes;
-    tasks[j].input_bytes = bytes;
-    tasks[j].cpu_seconds = options.cpu_seconds_per_mib *
-                           static_cast<double>(bytes) / (1024.0 * 1024.0);
-  }
+  core::ExperimentConfig cfg;
+  cfg.num_nodes = options.cluster.num_nodes;
+  const auto result = runtime.run_graph(dfs, graph, /*key=*/"", sched, cfg,
+                                        /*materialize=*/false);
 
   SelectionSimReport report;
-  report.node_filtered_bytes.assign(graph.num_nodes(), 0);
-
-  ClusterSim cluster(options.cluster);
-  report.sim = cluster.run(
-      tasks,
-      [&](std::uint32_t node) -> std::optional<std::size_t> {
-        const auto j = sched.next_task(node);
-        if (j) report.node_filtered_bytes[node] += graph.block(*j).weight;
-        return j;
-      },
-      [&](std::uint32_t node, std::size_t j) {
-        return !dfs.is_local(graph.block(j).block_id, node);
-      });
+  report.sim = backend.last_sim();
+  report.node_filtered_bytes = result.assignment.node_load;
   return report;
 }
 

@@ -1,13 +1,16 @@
 #pragma once
 // Bridge between the real TaskSchedulers and the discrete-event cluster
-// simulator: run a selection phase (one map task per block of a scheduling
-// graph) under event-driven timing with genuine pull-on-slot-free ordering.
-// Complements core::run_selection's analytic timing; bench_sim_vs_analytic
-// cross-checks the two backends.
+// simulator: EventSimBackend is the second core::TimingBackend next to the
+// analytic core::AnalyticBackend. One core::SelectionRuntime drives either —
+// the same scheduler, read policy and fault policy run under event-driven
+// timing with genuine pull-on-slot-free ordering (a slot frees -> that node
+// requests the next block, exactly the paper's task-request loop).
+// bench_sim_vs_analytic cross-checks the two backends of the one runtime.
 
 #include <cstdint>
 #include <vector>
 
+#include "datanet/selection_runtime.hpp"
 #include "dfs/mini_dfs.hpp"
 #include "graph/bipartite.hpp"
 #include "scheduler/scheduler.hpp"
@@ -29,8 +32,38 @@ struct SelectionSimReport {
   std::vector<std::uint64_t> node_filtered_bytes;
 };
 
-// Drives `sched` with the simulator's pull events: the node whose slot frees
-// first requests the next block, exactly the paper's task-request loop.
+// Discrete-event timing backend. assign() runs the full event simulation
+// (placement falls out of which slot freed first); the raw SimResult of the
+// latest run stays available via last_sim(). report() translates it into
+// the phase-level JobReport fields (node/map/total seconds, first finish,
+// input bytes) — per-task engine details (map_tasks, output, shuffle) stay
+// empty, since the event model times the selection scan only.
+class EventSimBackend final : public core::TimingBackend {
+ public:
+  EventSimBackend(const dfs::MiniDfs& dfs, SelectionSimOptions options)
+      : dfs_(&dfs), options_(std::move(options)) {}
+
+  [[nodiscard]] scheduler::AssignmentRecord assign(
+      scheduler::TaskScheduler& sched, const graph::BipartiteGraph& graph,
+      const std::vector<std::uint64_t>& block_bytes) override;
+  [[nodiscard]] mapred::JobReport report(
+      const std::string& key, const std::vector<mapred::InputSplit>& splits,
+      const core::ExperimentConfig& cfg,
+      const std::vector<double>& node_speeds) override;
+
+  // Raw result of the most recent assign() (task finish times, makespan,
+  // remote reads).
+  [[nodiscard]] const SimResult& last_sim() const { return last_sim_; }
+
+ private:
+  const dfs::MiniDfs* dfs_;
+  SelectionSimOptions options_;
+  SimResult last_sim_;
+};
+
+// Drives `sched` with the simulator's pull events. Deprecated shim (kept
+// working for one PR) over SelectionRuntime + EventSimBackend with the
+// timing-only (materialize = false) path.
 [[nodiscard]] SelectionSimReport simulate_selection(
     const dfs::MiniDfs& dfs, const graph::BipartiteGraph& graph,
     scheduler::TaskScheduler& sched, const SelectionSimOptions& options);

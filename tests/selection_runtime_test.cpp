@@ -1,0 +1,300 @@
+// SelectionRuntime equivalence and policy-seam properties (the PR's two
+// invariants): a zero-fault runtime is byte-identical to the legacy
+// run_selection for every scheduler on both datasets, and an empty-plan
+// FaultPolicy never changes any report field. Plus unit coverage for the
+// shared split/filter kernels the runtime and run_analysis now share.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "datanet/experiment.hpp"
+#include "datanet/selection_runtime.hpp"
+#include "mapred/report_json.hpp"
+#include "scheduler/datanet_sched.hpp"
+#include "scheduler/flow_sched.hpp"
+#include "scheduler/locality.hpp"
+#include "scheduler/lpt.hpp"
+#include "sim/selection_sim.hpp"
+
+namespace dc = datanet::core;
+namespace dfs = datanet::dfs;
+namespace dm = datanet::mapred;
+namespace dsch = datanet::scheduler;
+namespace dsim = datanet::sim;
+
+namespace {
+
+dc::ExperimentConfig small_config() {
+  dc::ExperimentConfig cfg;
+  cfg.num_nodes = 8;
+  cfg.block_size = 16 * 1024;
+  cfg.seed = 5;
+  return cfg;
+}
+
+// All four production schedulers, fresh instances per call.
+std::vector<std::unique_ptr<dsch::TaskScheduler>> all_schedulers() {
+  std::vector<std::unique_ptr<dsch::TaskScheduler>> v;
+  v.push_back(std::make_unique<dsch::LocalityScheduler>(7));
+  v.push_back(std::make_unique<dsch::LptScheduler>());
+  v.push_back(std::make_unique<dsch::DataNetScheduler>());
+  v.push_back(std::make_unique<dsch::FlowScheduler>());
+  return v;
+}
+
+void expect_identical(const dc::SelectionResult& a, const dc::SelectionResult& b,
+                      const std::string& label) {
+  EXPECT_EQ(a.assignment.block_to_node, b.assignment.block_to_node) << label;
+  EXPECT_EQ(a.assignment.node_load, b.assignment.node_load) << label;
+  EXPECT_EQ(a.assignment.node_input_bytes, b.assignment.node_input_bytes)
+      << label;
+  EXPECT_EQ(a.assignment.local_tasks, b.assignment.local_tasks) << label;
+  EXPECT_EQ(a.assignment.remote_tasks, b.assignment.remote_tasks) << label;
+  EXPECT_EQ(a.node_local_data, b.node_local_data) << label;
+  EXPECT_EQ(a.node_filtered_bytes, b.node_filtered_bytes) << label;
+  EXPECT_EQ(a.blocks_scanned, b.blocks_scanned) << label;
+  EXPECT_EQ(a.lost_block_ids, b.lost_block_ids) << label;
+  EXPECT_EQ(dm::report_to_json(a.report, /*include_output=*/true),
+            dm::report_to_json(b.report, /*include_output=*/true))
+      << label;
+}
+
+dc::SelectionResult runtime_clean(const dc::StoredDataset& ds,
+                                  const std::string& key,
+                                  dsch::TaskScheduler& sched,
+                                  const dc::DataNet* net,
+                                  const dc::ExperimentConfig& cfg) {
+  dc::DirectReadPolicy read(*ds.dfs, cfg.remote_read_penalty);
+  dc::NoFaults faults;
+  dc::AnalyticBackend timing;
+  return dc::SelectionRuntime(read, faults, timing)
+      .run(*ds.dfs, ds.path, key, sched, net, cfg);
+}
+
+}  // namespace
+
+// ---- golden equivalence: runtime vs legacy run_selection ----
+
+TEST(SelectionRuntime, MatchesLegacyOnMovieAllSchedulers) {
+  const auto cfg = small_config();
+  const auto ds = dc::make_movie_dataset(cfg, 48, 300);
+  const dc::DataNet net(*ds.dfs, ds.path, {.alpha = 0.3});
+  const std::string key = ds.hot_keys[0];
+  for (const auto& sched : all_schedulers()) {
+    auto fresh = all_schedulers();  // legacy gets its own instances
+    for (std::size_t i = 0; i < fresh.size(); ++i) {
+      if (fresh[i]->name() != sched->name()) continue;
+      const auto legacy =
+          dc::run_selection(*ds.dfs, ds.path, key, *fresh[i], &net, cfg);
+      const auto now = runtime_clean(ds, key, *sched, &net, cfg);
+      expect_identical(now, legacy, std::string(sched->name()) + "/movie");
+    }
+  }
+}
+
+TEST(SelectionRuntime, MatchesLegacyOnGithubBaselineAndNet) {
+  const auto cfg = small_config();
+  const auto ds = dc::make_github_dataset(cfg, 32);
+  const dc::DataNet net(*ds.dfs, ds.path, {.alpha = 0.6});
+  const std::string key = "IssueEvent";
+  for (const dc::DataNet* net_ptr : {static_cast<const dc::DataNet*>(nullptr),
+                                     &net}) {
+    for (const auto& sched : all_schedulers()) {
+      auto fresh = all_schedulers();
+      for (std::size_t i = 0; i < fresh.size(); ++i) {
+        if (fresh[i]->name() != sched->name()) continue;
+        const auto legacy =
+            dc::run_selection(*ds.dfs, ds.path, key, *fresh[i], net_ptr, cfg);
+        const auto now = runtime_clean(ds, key, *sched, net_ptr, cfg);
+        expect_identical(now, legacy,
+                         std::string(sched->name()) +
+                             (net_ptr ? "/github+net" : "/github-baseline"));
+      }
+    }
+  }
+}
+
+// ---- property: an empty fault plan changes nothing ----
+
+TEST(SelectionRuntime, EmptyFaultPlanIsInvisible) {
+  const auto cfg = small_config();
+  const auto ds = dc::make_movie_dataset(cfg, 48, 300);
+  const dc::DataNet net(*ds.dfs, ds.path, {.alpha = 0.3});
+  const std::string key = ds.hot_keys[0];
+
+  dsch::LocalityScheduler clean_sched(7);
+  const auto clean =
+      dc::run_selection(*ds.dfs, ds.path, key, clean_sched, &net, cfg);
+
+  // Full fault machinery — checksum-retry reads, injected faults — but the
+  // plan is empty: every field must come out unchanged.
+  dfs::FaultInjector injector(*ds.dfs, {});
+  dsch::LocalityScheduler sched(7);
+  const auto faulted = dc::run_selection_faulted(*ds.dfs, ds.path, key, sched,
+                                                 &net, cfg, injector);
+  expect_identical(faulted, clean, "empty-plan");
+  EXPECT_EQ(faulted.report.retries, 0u);
+  EXPECT_EQ(faulted.report.lost_blocks, 0u);
+  EXPECT_FALSE(faulted.report.degraded);
+}
+
+// ---- property: reports are bit-identical at any engine thread count ----
+
+TEST(SelectionRuntime, ThreadCountInvariance) {
+  auto cfg = small_config();
+  const auto ds = dc::make_movie_dataset(cfg, 48, 300);
+  const dc::DataNet net(*ds.dfs, ds.path, {.alpha = 0.3});
+  const std::string key = ds.hot_keys[0];
+
+  cfg.execution_threads = 1;
+  dsch::DataNetScheduler s1;
+  const auto one = runtime_clean(ds, key, s1, &net, cfg);
+  cfg.execution_threads = 4;
+  dsch::DataNetScheduler s4;
+  const auto four = runtime_clean(ds, key, s4, &net, cfg);
+  EXPECT_EQ(dm::report_to_json(one.report, true),
+            dm::report_to_json(four.report, true));
+}
+
+// ---- config validation ----
+
+TEST(SelectionRuntime, ValidateRejectsImpossibleConfigs) {
+  const auto base = small_config();
+  auto cfg = base;
+  cfg.num_nodes = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = base;
+  cfg.block_size = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = base;
+  cfg.slots_per_node = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = base;
+  cfg.replication = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = base;
+  cfg.replication = cfg.num_nodes + 1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  EXPECT_NO_THROW(base.validate());
+  // The dataset builders validate up front.
+  auto bad = base;
+  bad.replication = bad.num_nodes + 1;
+  EXPECT_THROW(dc::make_movie_dataset(bad, 8, 50), std::invalid_argument);
+}
+
+// ---- event backend plugs into the same runtime ----
+
+TEST(SelectionRuntime, EventBackendMatchesLegacySimulateSelection) {
+  const auto cfg = small_config();
+  const auto ds = dc::make_movie_dataset(cfg, 48, 300);
+  const dc::DataNet net(*ds.dfs, ds.path, {.alpha = 0.3});
+  const auto graph = net.scheduling_graph(ds.hot_keys[0]);
+
+  dsim::SelectionSimOptions opt;
+  opt.cluster.num_nodes = cfg.num_nodes;
+  dsch::DataNetScheduler legacy_sched;
+  const auto legacy =
+      dsim::simulate_selection(*ds.dfs, graph, legacy_sched, opt);
+
+  dsim::EventSimBackend backend(*ds.dfs, opt);
+  dc::DirectReadPolicy read(*ds.dfs, cfg.remote_read_penalty);
+  dc::NoFaults faults;
+  const dc::SelectionRuntime runtime(read, faults, backend);
+  dsch::DataNetScheduler sched;
+  const auto result = runtime.run_graph(*ds.dfs, graph, ds.hot_keys[0], sched,
+                                        cfg, /*materialize=*/false);
+
+  EXPECT_EQ(backend.last_sim().makespan, legacy.sim.makespan);
+  EXPECT_EQ(backend.last_sim().task_finish, legacy.sim.task_finish);
+  EXPECT_EQ(backend.last_sim().task_node, legacy.sim.task_node);
+  EXPECT_EQ(result.assignment.node_load, legacy.node_filtered_bytes);
+  EXPECT_EQ(result.report.total_seconds, legacy.sim.makespan);
+  EXPECT_EQ(result.report.map_phase_seconds, legacy.sim.makespan);
+}
+
+// ---- shared kernels ----
+
+TEST(SplitAtRecordBoundaries, EdgeCases) {
+  using datanet::mapred::split_at_record_boundaries;
+
+  EXPECT_TRUE(split_at_record_boundaries("", 4).empty());
+
+  const std::string one = "1\tk\tpayload\n";
+  auto chunks = split_at_record_boundaries(one, 4);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0], one);
+
+  // pieces == 0 behaves like 1.
+  chunks = split_at_record_boundaries(one, 0);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0], one);
+
+  // Multi-record data reassembles exactly and never splits mid-record.
+  std::string data;
+  for (int i = 0; i < 9; ++i) {
+    data += std::to_string(i) + "\tkey" + std::to_string(i) + "\tpayload\n";
+  }
+  for (const std::uint32_t pieces : {1u, 2u, 3u, 8u, 100u}) {
+    const auto parts = split_at_record_boundaries(data, pieces);
+    std::string joined;
+    for (const auto p : parts) {
+      EXPECT_FALSE(p.empty());
+      EXPECT_EQ(p.back(), '\n');
+      joined.append(p);
+    }
+    EXPECT_EQ(joined, data) << "pieces=" << pieces;
+  }
+
+  // No trailing newline: the tail chunk keeps the partial last line intact.
+  const std::string untailed = "1\ta\tx\n2\tb\ty";
+  const auto parts = split_at_record_boundaries(untailed, 2);
+  std::string joined;
+  for (const auto p : parts) joined.append(p);
+  EXPECT_EQ(joined, untailed);
+}
+
+TEST(FilterLines, FastPathMatchesFullDecode) {
+  const std::string key = "ab";
+  // Adversarial lines: prefix-of-key, key-is-prefix, malformed timestamps,
+  // missing fields, empty key, key in payload position.
+  const std::string data =
+      "10\tab\tgood\n"
+      "11\tabc\tlonger-key\n"
+      "12\ta\tshorter-key\n"
+      "xx\tab\tbad-timestamp\n"
+      "13\tab\n"
+      "14\t\tempty-key\n"
+      "noTabs\n"
+      "15\tzz\tab\n"
+      "16\tab\t\n"
+      "17\tab\ttrailing";
+  std::string fast, slow;
+  const auto fast_n = dc::filter_lines(data, key, fast);
+  const auto slow_n = dc::filter_lines_decode_all(data, key, slow);
+  EXPECT_EQ(fast, slow);
+  EXPECT_EQ(fast_n, slow_n);
+  // Sanity: the good lines actually survive. "13\tab" has no second tab and
+  // must be dropped by both.
+  EXPECT_NE(fast.find("10\tab\tgood"), std::string::npos);
+  EXPECT_NE(fast.find("16\tab\t"), std::string::npos);
+  EXPECT_EQ(fast.find("13\tab\n"), std::string::npos);
+}
+
+TEST(FilterLines, FastPathMatchesFullDecodeOnRealBlocks) {
+  const auto cfg = small_config();
+  const auto ds = dc::make_github_dataset(cfg, 16);
+  for (const std::string key : {"IssueEvent", "PushEvent", "NoSuchEvent"}) {
+    for (const auto bid : ds.dfs->blocks_of(ds.path)) {
+      const auto data = ds.dfs->read_block(bid);
+      std::string fast, slow;
+      const auto fn = dc::filter_lines(data, key, fast);
+      const auto sn = dc::filter_lines_decode_all(data, key, slow);
+      EXPECT_EQ(fast, slow);
+      EXPECT_EQ(fn, sn);
+    }
+  }
+}

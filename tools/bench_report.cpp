@@ -1,0 +1,124 @@
+// Machine-readable benchmark report for CI and PR review: runs the Fig. 5
+// (movie, 256 blocks) selection under both schedulers through the
+// SelectionRuntime and the Fig. 7 shuffle comparison over the same filtered
+// data, and emits one JSON document with measured selection wall time (host
+// clock) plus the deterministic simulated report totals. Redirect to
+// BENCH_PR3.json via tools/bench_report.sh.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "apps/topk_search.hpp"
+#include "apps/word_count.hpp"
+#include "datanet/selection_runtime.hpp"
+#include "scheduler/datanet_sched.hpp"
+#include "scheduler/locality.hpp"
+#include "stats/descriptive.hpp"
+
+namespace {
+
+datanet::core::ExperimentConfig paper_config() {
+  datanet::core::ExperimentConfig cfg;  // same setup as bench_util.hpp
+  cfg.num_nodes = 32;
+  cfg.block_size = 128 * 1024;
+  cfg.replication = 3;
+  cfg.slots_per_node = 2;
+  cfg.seed = 2016;
+  return cfg;
+}
+
+struct TimedSelection {
+  datanet::core::SelectionResult result;
+  double wall_seconds = 0.0;
+};
+
+TimedSelection timed_selection(const datanet::core::StoredDataset& ds,
+                               const std::string& key,
+                               datanet::scheduler::TaskScheduler& sched,
+                               const datanet::core::DataNet* net,
+                               const datanet::core::ExperimentConfig& cfg) {
+  datanet::core::DirectReadPolicy read(*ds.dfs, cfg.remote_read_penalty);
+  datanet::core::NoFaults faults;
+  datanet::core::AnalyticBackend timing;
+  const datanet::core::SelectionRuntime runtime(read, faults, timing);
+  const auto t0 = std::chrono::steady_clock::now();
+  TimedSelection t{runtime.run(*ds.dfs, ds.path, key, sched, net, cfg), 0.0};
+  t.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return t;
+}
+
+double max_over_mean(const std::vector<std::uint64_t>& v) {
+  std::vector<double> d(v.begin(), v.end());
+  return datanet::stats::summarize(d).max_over_mean();
+}
+
+void emit_selection(const char* name, const TimedSelection& t, bool last) {
+  std::printf(
+      "    \"%s\": {\n"
+      "      \"selection_wall_seconds\": %.6f,\n"
+      "      \"selection_sim_total_seconds\": %.6f,\n"
+      "      \"map_phase_seconds\": %.6f,\n"
+      "      \"input_bytes\": %llu,\n"
+      "      \"filtered_max_over_mean\": %.4f,\n"
+      "      \"local_tasks\": %llu,\n"
+      "      \"remote_tasks\": %llu,\n"
+      "      \"blocks_scanned\": %llu\n"
+      "    }%s\n",
+      name, t.wall_seconds, t.result.report.total_seconds,
+      t.result.report.map_phase_seconds,
+      static_cast<unsigned long long>(t.result.report.input_bytes),
+      max_over_mean(t.result.node_filtered_bytes),
+      static_cast<unsigned long long>(t.result.assignment.local_tasks),
+      static_cast<unsigned long long>(t.result.assignment.remote_tasks),
+      static_cast<unsigned long long>(t.result.blocks_scanned),
+      last ? "" : ",");
+}
+
+}  // namespace
+
+int main() {
+  using namespace datanet;
+  const auto cfg = paper_config();
+  const auto ds = core::make_movie_dataset(cfg, 256, 2000);
+  const std::string key = ds.hot_keys[0];
+  const core::DataNet net(*ds.dfs, ds.path, {.alpha = 0.3});
+
+  scheduler::LocalityScheduler base(7);
+  const auto loc = timed_selection(ds, key, base, nullptr, cfg);
+  scheduler::DataNetScheduler dn;
+  const auto with = timed_selection(ds, key, dn, &net, cfg);
+
+  std::printf("{\n");
+  std::printf(
+      "  \"config\": {\"num_nodes\": %u, \"block_size\": %llu, "
+      "\"replication\": %u, \"slots_per_node\": %u, \"seed\": %llu},\n",
+      cfg.num_nodes, static_cast<unsigned long long>(cfg.block_size),
+      cfg.replication, cfg.slots_per_node,
+      static_cast<unsigned long long>(cfg.seed));
+  std::printf("  \"fig5_movie_selection\": {\n");
+  emit_selection("locality", loc, false);
+  emit_selection("datanet", with, true);
+  std::printf("  },\n");
+
+  // Fig. 7: shuffle-phase means over the two selections' filtered data.
+  std::printf("  \"fig7_shuffle\": {\n");
+  const auto shuffle = [&](const char* name, const mapred::Job& job,
+                           bool last) {
+    const auto without = core::run_analysis(job, loc.result, cfg);
+    const auto withdn = core::run_analysis(job, with.result, cfg);
+    const auto swo = stats::summarize(without.shuffle_task_seconds);
+    const auto swi = stats::summarize(withdn.shuffle_task_seconds);
+    std::printf(
+        "    \"%s\": {\"without_mean_seconds\": %.6f, "
+        "\"with_mean_seconds\": %.6f, \"speedup\": %.4f}%s\n",
+        name, swo.mean, swi.mean, swo.mean / swi.mean, last ? "" : ",");
+  };
+  shuffle("WordCount", apps::make_word_count_job(), false);
+  shuffle("TopKSearch", apps::make_topk_search_job("a stunning film", 10),
+          true);
+  std::printf("  }\n}\n");
+  return 0;
+}

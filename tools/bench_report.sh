@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Build and run the machine-readable benchmark report, writing BENCH_PR3.json
+# at the repo root: Fig. 5 selection wall time + simulated report totals for
+# both schedulers, and the Fig. 7 shuffle speedups, all through the
+# SelectionRuntime. Wall times depend on the host; the simulated totals are
+# bit-for-bit reproducible.
+#
+# Usage: tools/bench_report.sh [build-dir] (default: build)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/${1:-build}"
+
+cmake -B "${build_dir}" -S "${repo_root}" >/dev/null
+cmake --build "${build_dir}" -j "$(nproc)" --target bench_report >/dev/null
+
+out="${repo_root}/BENCH_PR3.json"
+"${build_dir}/tools/bench_report" > "${out}"
+echo "wrote ${out}"
