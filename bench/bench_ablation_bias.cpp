@@ -29,7 +29,7 @@ int main() {
 
   const auto run = [&](const char* name, scheduler::DataNetSchedulerOptions opt) {
     scheduler::DataNetScheduler sched(opt);
-    const auto sel = core::run_selection(*ds.dfs, ds.path, key, sched, &net, cfg);
+    const auto sel = benchutil::run_selection(*ds.dfs, ds.path, key, sched, &net, cfg);
     std::vector<double> loads(sel.node_filtered_bytes.begin(),
                               sel.node_filtered_bytes.end());
     const auto s = stats::summarize(loads);

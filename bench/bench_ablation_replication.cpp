@@ -30,10 +30,10 @@ int main() {
 
     scheduler::LocalityScheduler base(7);
     const auto sel_loc =
-        core::run_selection(*ds.dfs, ds.path, key, base, nullptr, cfg);
+        benchutil::run_selection(*ds.dfs, ds.path, key, base, nullptr, cfg);
     const core::DataNet net(*ds.dfs, ds.path, {.alpha = 0.3});
     scheduler::DataNetScheduler dn;
-    const auto sel_dn = core::run_selection(*ds.dfs, ds.path, key, dn, &net, cfg);
+    const auto sel_dn = benchutil::run_selection(*ds.dfs, ds.path, key, dn, &net, cfg);
 
     const auto stat = [](const std::vector<std::uint64_t>& v) {
       std::vector<double> d(v.begin(), v.end());

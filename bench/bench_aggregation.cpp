@@ -30,7 +30,7 @@ int main() {
     // The map output each node will produce under the locality baseline: the
     // filtered bytes landing on it (measured by running the selection).
     scheduler::LocalityScheduler base(7);
-    const auto sel = core::run_selection(*ds.dfs, ds.path, key, base, nullptr, cfg);
+    const auto sel = benchutil::run_selection(*ds.dfs, ds.path, key, base, nullptr, cfg);
 
     for (const std::uint32_t reducers : {4u, 16u}) {
       const auto naive =

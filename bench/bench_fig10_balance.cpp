@@ -32,7 +32,7 @@ int main() {
                              0.80, 1.00}) {
     const core::DataNet net(*ds.dfs, ds.path, {.alpha = alpha});
     scheduler::DataNetScheduler sched;
-    const auto sel = core::run_selection(*ds.dfs, ds.path, key, sched, &net, cfg);
+    const auto sel = benchutil::run_selection(*ds.dfs, ds.path, key, sched, &net, cfg);
     std::vector<double> loads(sel.node_filtered_bytes.begin(),
                               sel.node_filtered_bytes.end());
     const auto s = stats::summarize(loads);

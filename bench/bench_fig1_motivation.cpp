@@ -49,7 +49,7 @@ int main() {
 
   // ---- Fig. 1b: node workload under locality scheduling ----
   scheduler::LocalityScheduler sched(7);
-  const auto sel = core::run_selection(*ds.dfs, ds.path, key, sched, nullptr, cfg);
+  const auto sel = benchutil::run_selection(*ds.dfs, ds.path, key, sched, nullptr, cfg);
   std::printf("\nFig 1b: filtered sub-dataset bytes per node (KiB), %u nodes\n",
               cfg.num_nodes);
   std::printf("node: workload\n");

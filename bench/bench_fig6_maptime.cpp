@@ -32,9 +32,9 @@ TwoRuns run_both(const core::StoredDataset& ds, const std::string& key,
                  const core::ExperimentConfig& cfg) {
   scheduler::LocalityScheduler base(7);
   const auto sel_base =
-      core::run_selection(*ds.dfs, ds.path, key, base, nullptr, cfg);
+      benchutil::run_selection(*ds.dfs, ds.path, key, base, nullptr, cfg);
   scheduler::DataNetScheduler dn;
-  const auto sel_dn = core::run_selection(*ds.dfs, ds.path, key, dn, &net, cfg);
+  const auto sel_dn = benchutil::run_selection(*ds.dfs, ds.path, key, dn, &net, cfg);
   return TwoRuns{core::run_analysis(job, sel_base, cfg),
                  core::run_analysis(job, sel_dn, cfg)};
 }

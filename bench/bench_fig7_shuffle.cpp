@@ -30,9 +30,9 @@ int main() {
 
   scheduler::LocalityScheduler base(7);
   const auto sel_base =
-      core::run_selection(*ds.dfs, ds.path, key, base, nullptr, cfg);
+      benchutil::run_selection(*ds.dfs, ds.path, key, base, nullptr, cfg);
   scheduler::DataNetScheduler dn;
-  const auto sel_dn = core::run_selection(*ds.dfs, ds.path, key, dn, &net, cfg);
+  const auto sel_dn = benchutil::run_selection(*ds.dfs, ds.path, key, dn, &net, cfg);
 
   common::TextTable table(
       {"job", "scheduler", "min (s)", "avg (s)", "max (s)"});

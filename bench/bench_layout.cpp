@@ -58,10 +58,10 @@ int main() {
     const double g = stats::gini(std::span<const std::uint64_t>(dist));
 
     scheduler::LocalityScheduler base(7);
-    const auto sel_loc = core::run_selection(fs, "/data", key, base, nullptr, cfg);
+    const auto sel_loc = benchutil::run_selection(fs, "/data", key, base, nullptr, cfg);
     const core::DataNet net(fs, "/data", {.alpha = 0.3});
     scheduler::DataNetScheduler dn;
-    const auto sel_dn = core::run_selection(fs, "/data", key, dn, &net, cfg);
+    const auto sel_dn = benchutil::run_selection(fs, "/data", key, dn, &net, cfg);
 
     const auto stat = [](const std::vector<std::uint64_t>& v) {
       std::vector<double> d(v.begin(), v.end());

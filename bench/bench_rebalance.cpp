@@ -32,12 +32,12 @@ int main() {
 
     scheduler::LocalityScheduler base(7);
     const auto sel_base =
-        core::run_selection(*ds.dfs, ds.path, key, base, nullptr, cfg);
+        benchutil::run_selection(*ds.dfs, ds.path, key, base, nullptr, cfg);
     const auto plan_base = core::plan_rebalance(sel_base.node_filtered_bytes);
 
     const core::DataNet net(*ds.dfs, ds.path, {.alpha = 0.3});
     scheduler::DataNetScheduler dn;
-    const auto sel_dn = core::run_selection(*ds.dfs, ds.path, key, dn, &net, cfg);
+    const auto sel_dn = benchutil::run_selection(*ds.dfs, ds.path, key, dn, &net, cfg);
     const auto plan_dn = core::plan_rebalance(sel_dn.node_filtered_bytes);
 
     table.add_row({key, "locality+migrate",

@@ -2,13 +2,17 @@
 // the classic reactive answer to stragglers (re-run slow tasks elsewhere);
 // the paper argues reactive mitigation cannot fix a *data* imbalance — a
 // node with 3x the sub-dataset bytes runs 3x longer whether or not its last
-// task gets a backup. This bench quantifies that on the movie workload.
+// task gets a backup. This bench quantifies that on the movie workload,
+// then measures the straggler tail the SelectionRuntime's attempt layer
+// handles: stalled nodes and transient read errors, recovered by timeouts
+// alone vs timeouts + speculative duplicates.
 
 #include <cstdio>
 
 #include "apps/topk_search.hpp"
 #include "bench_util.hpp"
 #include "common/table.hpp"
+#include "dfs/fault_injector.hpp"
 #include "mapred/engine.hpp"
 #include "scheduler/datanet_sched.hpp"
 #include "scheduler/locality.hpp"
@@ -63,15 +67,15 @@ int main() {
       "reactive task re-execution cannot fix a data-placement imbalance");
 
   auto cfg = benchutil::paper_config();
-  const auto ds = core::make_movie_dataset(cfg, 256, 2000);
+  auto ds = core::make_movie_dataset(cfg, 256, 2000);
   const auto& key = ds.hot_keys[0];
 
   scheduler::LocalityScheduler base(7);
   const auto sel_base =
-      core::run_selection(*ds.dfs, ds.path, key, base, nullptr, cfg);
+      benchutil::run_selection(*ds.dfs, ds.path, key, base, nullptr, cfg);
   const core::DataNet net(*ds.dfs, ds.path, {.alpha = 0.3});
   scheduler::DataNetScheduler dn;
-  const auto sel_dn = core::run_selection(*ds.dfs, ds.path, key, dn, &net, cfg);
+  const auto sel_dn = benchutil::run_selection(*ds.dfs, ds.path, key, dn, &net, cfg);
 
   common::TextTable table({"configuration", "map phase (s)", "vs baseline"});
   const double baseline = analyze(sel_base, cfg, false).map_phase_seconds;
@@ -102,5 +106,61 @@ int main() {
               machine.to_string().c_str());
   std::printf("the two mechanisms are complementary: DataNet fixes data "
               "skew proactively, speculation fixes machine skew reactively.\n");
+
+  // Straggler tail through the runtime's attempt layer: two nodes stall and
+  // two blocks throw transient read errors. Timeout/backoff re-dispatch
+  // always recovers; speculative duplicates shorten the tail further.
+  const auto straggler = [&](bool speculative) {
+    const auto blocks = ds.dfs->blocks_of(ds.path);
+    std::vector<dfs::FaultEvent> plan;
+    plan.push_back(
+        {.at_task = 0, .kind = dfs::FaultKind::kStallNode, .node = 1});
+    plan.push_back(
+        {.at_task = 0, .kind = dfs::FaultKind::kStallNode, .node = 2});
+    // Armed before any read, on mid-file blocks the hot key is dense in.
+    plan.push_back({.at_task = 0,
+                    .kind = dfs::FaultKind::kTransientReadError,
+                    .block = blocks[blocks.size() / 2],
+                    .fail_count = 2});
+    plan.push_back({.at_task = 0,
+                    .kind = dfs::FaultKind::kTransientReadError,
+                    .block = blocks[blocks.size() / 2 + 1],
+                    .fail_count = 2});
+    dfs::FaultInjector injector(*ds.dfs, std::move(plan));
+    core::AttemptOptions aopt;
+    aopt.speculative = speculative;
+    // With the short default deadline, timeouts always beat the drain point
+    // and speculation never gets a turn; the speculative configuration uses
+    // a patient deadline so the duplicates race the stall instead.
+    if (speculative) aopt.timeout_ticks = 1000;
+    core::ChecksumRetryReadPolicy read(*ds.dfs, cfg.remote_read_penalty);
+    core::InjectedFaults faults(injector);
+    core::AnalyticBackend timing;
+    scheduler::DataNetScheduler sched;
+    return core::SelectionRuntime(read, faults, timing, aopt)
+        .run(*ds.dfs, ds.path, key, sched, &net, cfg);
+  };
+  const auto tail_timeout = straggler(/*speculative=*/false);
+  const auto tail_spec = straggler(/*speculative=*/true);
+  common::TextTable tail({"configuration", "selection (s)", "timeouts",
+                          "re-dispatches", "spec launched", "spec wins",
+                          "degraded"});
+  const auto tail_row = [&](const char* name,
+                            const core::SelectionResult& r) {
+    const auto& a = r.report.attempts;
+    tail.add_row({name, common::fmt_double(r.report.total_seconds, 1),
+                  std::to_string(a.timeouts), std::to_string(a.redispatches),
+                  std::to_string(a.speculative_launched),
+                  std::to_string(a.speculative_wins),
+                  std::to_string(a.degraded_tasks)});
+  };
+  tail_row("clean DataNet selection", sel_dn);
+  tail_row("stalls+transients, timeouts (8 ticks)", tail_timeout);
+  tail_row("stalls+transients, speculation", tail_spec);
+  std::printf("\nStraggler tail (2 stalled nodes, 2 flaky blocks):\n%s\n",
+              tail.to_string().c_str());
+  std::printf("no run hangs and none degrades: every straggler is detected "
+              "by its deadline, re-dispatched with backoff, and (when "
+              "enabled) raced by a speculative duplicate.\n");
   return 0;
 }

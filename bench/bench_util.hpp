@@ -9,8 +9,23 @@
 #include <string>
 
 #include "datanet/experiment.hpp"
+#include "datanet/selection_runtime.hpp"
 
 namespace benchutil {
+
+// Clean-path selection (DirectReadPolicy + NoFaults + AnalyticBackend): the
+// spelling every bench uses; runtime composition lives in one place.
+inline datanet::core::SelectionResult run_selection(
+    const datanet::dfs::MiniDfs& dfs, const std::string& path,
+    const std::string& key, datanet::scheduler::TaskScheduler& sched,
+    const datanet::core::DataNet* net,
+    const datanet::core::ExperimentConfig& cfg) {
+  datanet::core::DirectReadPolicy read(dfs, cfg.remote_read_penalty);
+  datanet::core::NoFaults faults;
+  datanet::core::AnalyticBackend timing;
+  return datanet::core::SelectionRuntime(read, faults, timing)
+      .run(dfs, path, key, sched, net, cfg);
+}
 
 inline datanet::core::ExperimentConfig paper_config() {
   datanet::core::ExperimentConfig cfg;

@@ -9,6 +9,7 @@
 #include "common/table.hpp"
 #include "common/units.hpp"
 #include "datanet/experiment.hpp"
+#include "datanet/selection_runtime.hpp"
 #include "elasticmap/cost_model.hpp"
 #include "scheduler/datanet_sched.hpp"
 #include "scheduler/locality.hpp"
@@ -57,12 +58,15 @@ int main() {
   cfg.seed = 99;
   const auto ds = core::make_movie_dataset(cfg, 256, 1500);
   const core::DataNet net(*ds.dfs, ds.path, {.alpha = 0.3});
+  core::DirectReadPolicy read(*ds.dfs, cfg.remote_read_penalty);
+  core::NoFaults faults;
+  core::AnalyticBackend timing;
+  const core::SelectionRuntime runtime(read, faults, timing);
   scheduler::LocalityScheduler base(7);
   const auto sb =
-      core::run_selection(*ds.dfs, ds.path, ds.hot_keys[0], base, nullptr, cfg);
+      runtime.run(*ds.dfs, ds.path, ds.hot_keys[0], base, nullptr, cfg);
   scheduler::DataNetScheduler dn;
-  const auto sd =
-      core::run_selection(*ds.dfs, ds.path, ds.hot_keys[0], dn, &net, cfg);
+  const auto sd = runtime.run(*ds.dfs, ds.path, ds.hot_keys[0], dn, &net, cfg);
   const auto stat = [](const std::vector<std::uint64_t>& v) {
     std::vector<double> d(v.begin(), v.end());
     return stats::summarize(d);

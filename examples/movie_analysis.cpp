@@ -15,6 +15,7 @@
 #include "common/table.hpp"
 #include "datanet/datanet.hpp"
 #include "datanet/experiment.hpp"
+#include "datanet/selection_runtime.hpp"
 #include "scheduler/datanet_sched.hpp"
 #include "scheduler/locality.hpp"
 
@@ -72,8 +73,11 @@ int main() {
 
   // Show real analysis output for the hot movie: the weekly rating trend.
   scheduler::DataNetScheduler dn;
-  const auto sel = core::run_selection(*ds.dfs, ds.path, ds.hot_keys[0], dn,
-                                       &net, cfg);
+  core::DirectReadPolicy read(*ds.dfs, cfg.remote_read_penalty);
+  core::NoFaults faults;
+  core::AnalyticBackend timing;
+  const auto sel = core::SelectionRuntime(read, faults, timing)
+                       .run(*ds.dfs, ds.path, ds.hot_keys[0], dn, &net, cfg);
   const auto trend =
       core::run_analysis(apps::make_moving_average_job(86400 * 7), sel, cfg);
   std::printf("weekly rating trend for %s (first 10 windows):\n",

@@ -14,6 +14,8 @@
 #include "datanet/datanet.hpp"
 #include "datanet/experiment.hpp"
 #include "datanet/selection_runtime.hpp"
+#include "dfs/fault_injector.hpp"
+#include "dfs/fsck.hpp"
 #include "scheduler/datanet_sched.hpp"
 #include "scheduler/locality.hpp"
 #include "mapred/report_json.hpp"
@@ -314,6 +316,90 @@ int cmd_simulate(const Args& args, std::ostream& out) {
   return 0;
 }
 
+int cmd_faults(const Args& args, std::ostream& out) {
+  const auto file = args.get("in");
+  if (!file) return fail(out, "faults requires --in FILE");
+  const auto key = args.get("key");
+  if (!key) return fail(out, "faults requires --key SUBDATASET");
+  try {
+    core::ExperimentConfig cfg;
+    cfg.num_nodes = static_cast<std::uint32_t>(args.get_u64_or("nodes", 16));
+    cfg.block_size = args.get_u64_or("block-size", 128 * 1024);
+    cfg.seed = args.get_u64_or("seed", 42);
+
+    dfs::DfsOptions dopt;
+    dopt.block_size = cfg.block_size;
+    dopt.replication = cfg.replication;
+    dopt.seed = cfg.seed;
+    dfs::MiniDfs fs(dfs::ClusterTopology::flat(cfg.num_nodes), dopt);
+    workload::LoadStats stats;
+    workload::ingest_file(fs, "/data", *file, &stats);
+    out << "ingested " << stats.loaded << " records into " << fs.num_blocks()
+        << " blocks\n";
+
+    const core::DataNet net(fs, "/data",
+                            {.alpha = args.get_double_or("alpha", 0.3)});
+    auto injector = dfs::FaultInjector::random_plan(
+        fs, args.get_u64_or("fault-seed", 7), fs.num_blocks(),
+        static_cast<std::uint32_t>(args.get_u64_or("kill-nodes", 0)),
+        static_cast<std::uint32_t>(args.get_u64_or("corrupt-replicas", 0)),
+        /*slow_nodes=*/0,
+        static_cast<std::uint32_t>(args.get_u64_or("stall-nodes", 1)),
+        static_cast<std::uint32_t>(args.get_u64_or("transient-reads", 2)));
+
+    core::AttemptOptions aopt;
+    aopt.timeout_ticks = args.get_u64_or("timeout-ticks", aopt.timeout_ticks);
+    aopt.max_attempts = static_cast<std::uint32_t>(
+        args.get_u64_or("max-attempts", aopt.max_attempts));
+    aopt.speculative = !args.has("no-speculation");
+
+    core::ChecksumRetryReadPolicy read(fs, cfg.remote_read_penalty);
+    core::InjectedFaults faults(injector);
+    core::AnalyticBackend timing;
+    scheduler::DataNetScheduler dn;
+    const auto sel = core::SelectionRuntime(read, faults, timing, aopt)
+                         .run(fs, "/data", *key, dn, &net, cfg);
+
+    const auto& fstats = injector.stats();
+    out << "\nfault plan fired: " << fstats.nodes_killed << " kill(s), "
+        << fstats.nodes_stalled << " stall(s), "
+        << fstats.replicas_corrupted << " corrupt replica(s), "
+        << fstats.transient_failures_consumed
+        << " transient read failure(s) consumed\n";
+    const auto& a = sel.report.attempts;
+    common::TextTable table({"metric", "value"});
+    table.add_row({"selection seconds",
+                   common::fmt_double(sel.report.total_seconds, 1)});
+    table.add_row({"attempts dispatched", std::to_string(a.attempts)});
+    table.add_row({"timeouts", std::to_string(a.timeouts)});
+    table.add_row({"transient retries", std::to_string(a.transient_retries)});
+    table.add_row({"re-dispatches", std::to_string(a.redispatches)});
+    table.add_row({"speculative launched",
+                   std::to_string(a.speculative_launched)});
+    table.add_row({"speculative wins", std::to_string(a.speculative_wins)});
+    table.add_row({"degraded tasks", std::to_string(a.degraded_tasks)});
+    table.add_row({"retries (checksum/kill)",
+                   std::to_string(sel.report.retries)});
+    table.add_row({"lost blocks", std::to_string(sel.report.lost_blocks)});
+    table.add_row({"under-replicated blocks",
+                   std::to_string(sel.report.under_replicated)});
+    out << table.to_string();
+
+    const auto post = dfs::check_post_fault_invariants(fs);
+    if (!post.ok) return fail(out, post.violation);
+    out << "post-fault fsck: " << post.report.missing_blocks << " missing, "
+        << post.report.under_replicated << " under-replicated — invariants "
+        << "hold\n";
+    if (args.has("json")) {
+      out << "\n" << mapred::report_to_json(sel.report, false) << "\n";
+    }
+  } catch (const std::exception& e) {
+    return fail(out, e.what());
+  }
+  warn_unused(args, out);
+  return 0;
+}
+
 int cmd_forecast(const Args& args, std::ostream& out) {
   const auto file = args.get("in");
   if (!file) return fail(out, "forecast requires --in FILE");
@@ -395,6 +481,10 @@ commands:
             [--field PREFIX] [--gap SECS] [--show-output] [--json]
   simulate  --in FILE --key SUBDATASET [--nodes N] [--slots S]
             [--disk-mbps D] [--nic-mbps NW] [--block-size BYTES] [--alpha A]
+  faults    --in FILE --key SUBDATASET [--nodes N] [--block-size BYTES]
+            [--kill-nodes K] [--stall-nodes S] [--transient-reads T]
+            [--corrupt-replicas C] [--fault-seed S] [--timeout-ticks T]
+            [--max-attempts A] [--no-speculation] [--json]
   forecast  --in FILE --key SUBDATASET [--block-size BYTES]
 )";
 }
@@ -416,6 +506,7 @@ int run_cli(const std::vector<std::string>& argv, std::ostream& out) {
   if (command == "inspect") return cmd_inspect(*args, out);
   if (command == "analyze") return cmd_analyze(*args, out);
   if (command == "simulate") return cmd_simulate(*args, out);
+  if (command == "faults") return cmd_faults(*args, out);
   if (command == "forecast") return cmd_forecast(*args, out);
   out << "error: unknown command '" << command << "'\n" << usage();
   return 1;

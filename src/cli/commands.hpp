@@ -8,6 +8,8 @@
 //   analyze   — ingest a log file into the simulated cluster and run one of
 //               the analysis jobs over a sub-dataset, DataNet vs baseline
 //   simulate  — event-driven selection timing on configurable hardware
+//   faults    — selection under an injected fault plan (kills, stalls,
+//               transient read errors) with the attempt/timeout report
 //   forecast  — Section II-B imbalance forecast fitted from a log file
 
 #include <ostream>
@@ -24,6 +26,7 @@ int cmd_generate(const Args& args, std::ostream& out);
 int cmd_inspect(const Args& args, std::ostream& out);
 int cmd_analyze(const Args& args, std::ostream& out);
 int cmd_simulate(const Args& args, std::ostream& out);
+int cmd_faults(const Args& args, std::ostream& out);
 int cmd_forecast(const Args& args, std::ostream& out);
 
 // Dispatch "generate|inspect|analyze --flags..." and handle help/unknown

@@ -108,36 +108,6 @@ StoredDataset make_github_dataset(const ExperimentConfig& cfg,
   return ds;
 }
 
-SelectionResult run_selection(const dfs::MiniDfs& dfs, const std::string& path,
-                              const std::string& key,
-                              scheduler::TaskScheduler& sched, const DataNet* net,
-                              const ExperimentConfig& cfg) {
-  if (cfg.num_nodes != dfs.topology().num_nodes()) {
-    throw std::invalid_argument("run_selection: cfg/dfs node count mismatch");
-  }
-  DirectReadPolicy read(dfs, cfg.remote_read_penalty);
-  NoFaults faults;
-  AnalyticBackend timing;
-  return SelectionRuntime(read, faults, timing)
-      .run(dfs, path, key, sched, net, cfg);
-}
-
-SelectionResult run_selection_faulted(dfs::MiniDfs& dfs, const std::string& path,
-                                      const std::string& key,
-                                      scheduler::TaskScheduler& sched,
-                                      const DataNet* net,
-                                      const ExperimentConfig& cfg,
-                                      dfs::FaultInjector& injector) {
-  if (cfg.num_nodes != dfs.topology().num_nodes()) {
-    throw std::invalid_argument("run_selection_faulted: node count mismatch");
-  }
-  ChecksumRetryReadPolicy read(dfs, cfg.remote_read_penalty);
-  InjectedFaults faults(injector);
-  AnalyticBackend timing;
-  return SelectionRuntime(read, faults, timing)
-      .run(dfs, path, key, sched, net, cfg);
-}
-
 mapred::JobReport run_analysis(const mapred::Job& job,
                                const SelectionResult& selection,
                                const ExperimentConfig& cfg) {
@@ -166,7 +136,11 @@ EndToEndResult run_end_to_end(const dfs::MiniDfs& dfs, const std::string& path,
                               scheduler::TaskScheduler& sched, const DataNet* net,
                               const mapred::Job& job,
                               const ExperimentConfig& cfg) {
-  EndToEndResult r{.selection = run_selection(dfs, path, key, sched, net, cfg),
+  DirectReadPolicy read(dfs, cfg.remote_read_penalty);
+  NoFaults faults;
+  AnalyticBackend timing;
+  EndToEndResult r{.selection = SelectionRuntime(read, faults, timing)
+                                    .run(dfs, path, key, sched, net, cfg),
                    .analysis = {}};
   r.analysis = run_analysis(job, r.selection, cfg);
   return r;

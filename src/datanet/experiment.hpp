@@ -78,45 +78,14 @@ struct SelectionResult {
   std::vector<dfs::BlockId> lost_block_ids;
 };
 
-// Filter sub-dataset `key` from `path`, scheduling block tasks with `sched`.
-// When `net` is non-null its ElasticMap provides the weights AND prunes
-// blocks that provably hold no target data; when null (baseline) every block
-// is scanned with zero weights.
-//
-// Deprecated shim (kept working for one PR): equivalent to a
-// SelectionRuntime composed of DirectReadPolicy + NoFaults +
-// AnalyticBackend — see datanet/selection_runtime.hpp. Output is
-// byte-identical to the runtime spelling.
-[[nodiscard]] SelectionResult run_selection(const dfs::MiniDfs& dfs,
-                                            const std::string& path,
-                                            const std::string& key,
-                                            scheduler::TaskScheduler& sched,
-                                            const DataNet* net,
-                                            const ExperimentConfig& cfg);
-
-// Fault-tolerant selection: same contract as run_selection, but the run is
-// driven task-by-task so `faults` can kill nodes, corrupt replicas/blocks
-// and slow nodes mid-job (FaultInjector events fire on completed-task
-// counts). Reactions mirror Hadoop's:
-//  * a killed node strands its pending AND completed tasks — the scheduler
-//    re-enqueues them onto surviving nodes (scheduler::reassign_stranded)
-//    and re-executed work counts into report.retries;
-//  * a checksum failure on one replica retries the read on the next healthy
-//    replica (remote attempts charge cfg.remote_read_penalty to the
-//    simulated clock) and the bad copy is dropped + re-replicated;
-//  * a block with no healthy replica left is recorded in lost_block_ids,
-//    counted in report.lost_blocks, and sets report.degraded — degradation
-//    is observable, never silent.
-// Orchestration is serial and seeded, so the JobReport is bit-identical for
-// any engine thread count (the PR-1 invariance property holds under faults).
-//
-// Deprecated shim (kept working for one PR): equivalent to a
-// SelectionRuntime composed of ChecksumRetryReadPolicy + InjectedFaults +
-// AnalyticBackend — see datanet/selection_runtime.hpp.
-[[nodiscard]] SelectionResult run_selection_faulted(
-    dfs::MiniDfs& dfs, const std::string& path, const std::string& key,
-    scheduler::TaskScheduler& sched, const DataNet* net,
-    const ExperimentConfig& cfg, dfs::FaultInjector& faults);
+// Selection is executed by core::SelectionRuntime
+// (datanet/selection_runtime.hpp): compose a ReplicaReadPolicy
+// (DirectReadPolicy for the clean path, ChecksumRetryReadPolicy for the
+// Hadoop datanode path), a FaultPolicy (NoFaults, or InjectedFaults over a
+// dfs::FaultInjector plan: kill / corrupt / slow / stall / transient-read)
+// and a TimingBackend (AnalyticBackend, or sim::EventSimBackend), then call
+// runtime.run(dfs, path, key, sched, net, cfg). The former run_selection /
+// run_selection_faulted shims are gone; benches use benchutil::run_selection.
 
 // ---- Phase 2: analysis over the filtered, node-local sub-dataset ----
 

@@ -1,10 +1,11 @@
 #include "datanet/selection_runtime.hpp"
 
 #include <algorithm>
-#include <deque>
 #include <stdexcept>
 
 #include "apps/filter.hpp"
+#include "dfs/fsck.hpp"
+#include "workload/record.hpp"
 
 namespace datanet::core {
 
@@ -71,6 +72,14 @@ bool InjectedFaults::advance(std::uint64_t executed_tasks) {
   });
 }
 
+bool InjectedFaults::is_stalled(dfs::NodeId node) const {
+  return injector_->is_stalled(node);
+}
+
+bool InjectedFaults::take_transient_read_failure(dfs::BlockId block) {
+  return injector_->take_transient_read_failure(block);
+}
+
 std::vector<double> InjectedFaults::node_speeds() const {
   if (!injector_->any_slowdown()) return {};
   return injector_->node_speeds();
@@ -88,11 +97,16 @@ scheduler::AssignmentRecord AnalyticBackend::assign(
 
 mapred::JobReport AnalyticBackend::report(
     const std::string& key, const std::vector<mapred::InputSplit>& splits,
-    const ExperimentConfig& cfg, const std::vector<double>& node_speeds) {
+    const ExperimentConfig& cfg, const std::vector<double>& node_speeds,
+    const mapred::AttemptCounters& attempts) {
   mapred::Job filter_job = apps::make_filter_stats_job(key);
   filter_job.config.cost.time_scale = cfg.effective_time_scale();
   mapred::EngineOptions opt = engine_options(cfg);
   if (!node_speeds.empty()) opt.node_speed = node_speeds;
+  // Price duplicated work with the engine's (single) speculative backup
+  // pass exactly when the attempt layer actually launched duplicates, so
+  // clean runs keep their non-speculative timings bit-for-bit.
+  opt.speculative = attempts.speculative_launched > 0;
   const mapred::Engine engine(opt);
   return engine.run(filter_job, splits);
 }
@@ -143,6 +157,7 @@ SelectionResult SelectionRuntime::run_graph(const dfs::MiniDfs& dfs,
 
   std::vector<mapred::InputSplit> splits;
   std::uint64_t retries = 0;
+  mapred::AttemptCounters counters;
 
   if (materialize) {
     // Per-task state. Output is buffered per task (not per node) so a killed
@@ -154,13 +169,102 @@ SelectionResult SelectionRuntime::run_graph(const dfs::MiniDfs& dfs,
     std::vector<std::uint8_t> lost(num_tasks, 0);
     std::vector<std::vector<std::size_t>> completed_on(cfg.num_nodes);
 
-    std::deque<std::size_t> queue;
-    for (std::size_t j = 0; j < num_tasks; ++j) queue.push_back(j);
+    AttemptTracker tracker(num_tasks, attempts_);
+    std::vector<std::uint32_t> node_timeouts(cfg.num_nodes, 0);
+    const auto blacklisted = [&](dfs::NodeId n) {
+      return node_timeouts[n] >= attempts_.blacklist_after_timeouts;
+    };
+
+    // Failover target for one task: prefer alive, non-blacklisted nodes;
+    // when every alive node is blacklisted keep trying somewhere (the retry
+    // cap bounds the run either way).
+    const auto pick_target = [&](std::size_t j) {
+      std::vector<bool> eligible(cfg.num_nodes);
+      bool any = false;
+      for (dfs::NodeId n = 0; n < cfg.num_nodes; ++n) {
+        eligible[n] = dfs.is_active(n) && !blacklisted(n);
+        any = any || eligible[n];
+      }
+      if (!any) {
+        for (dfs::NodeId n = 0; n < cfg.num_nodes; ++n) {
+          eligible[n] = dfs.is_active(n);
+        }
+      }
+      return scheduler::pick_failover_node(result.assignment, graph, j,
+                                           eligible);
+    };
+
+    // Cap-counted re-dispatch (timeout/transient successor): exponential
+    // backoff, deterministic failover target, degrade at the cap.
+    const auto redispatch = [&](std::size_t j, dfs::NodeId node,
+                                bool same_node) {
+      if (tracker.capped_attempts(j) >= attempts_.max_attempts) {
+        tracker.abandon(j);
+        return;
+      }
+      dfs::NodeId target = node;
+      if (!same_node || !dfs.is_active(node)) {
+        target = pick_target(j);
+        scheduler::move_task(result.assignment, graph, block_bytes, j, target);
+      }
+      tracker.dispatch(j, target,
+                       tracker.backoff_delay(tracker.capped_attempts(j)),
+                       /*speculative=*/false, /*counts_toward_cap=*/true);
+    };
+
+    const auto handle_timeouts = [&] {
+      for (const std::size_t a : tracker.expire_due()) {
+        const TaskAttempt& at = tracker.attempt(a);
+        ++node_timeouts[at.node];
+        // The parked attempt's read was started and wasted: charge it like
+        // any other redone work.
+        task_charge[at.task] += block_bytes[at.task];
+        redispatch(at.task, at.node, /*same_node=*/false);
+      }
+    };
+
+    // Hadoop-style speculation: when the run is near-drained and attempts
+    // are parked on unresponsive nodes, duplicate each parked task once on
+    // an idle healthy node (ascending task order; pick_failover_node keeps
+    // target choice deterministic). First result wins — the tracker
+    // supersedes the rival. Returns whether anything launched.
+    const auto maybe_speculate = [&]() -> bool {
+      if (!attempts_.speculative) return false;
+      const std::uint64_t threshold = attempts_.speculation_drain_threshold
+                                          ? attempts_.speculation_drain_threshold
+                                          : cfg.num_nodes;
+      if (tracker.open_tasks() > threshold) return false;
+      const auto running = tracker.running_attempts();
+      if (running.empty()) return false;
+      // Nodes currently holding a parked attempt are busy, not idle.
+      std::vector<std::uint8_t> busy(cfg.num_nodes, 0);
+      for (const std::size_t a : running) busy[tracker.attempt(a).node] = 1;
+      bool launched = false;
+      for (const std::size_t a : running) {
+        const TaskAttempt& at = tracker.attempt(a);
+        const std::size_t j = at.task;
+        if (tracker.speculated(j) || tracker.live_attempts_of(j) > 1) continue;
+        std::vector<bool> eligible(cfg.num_nodes);
+        bool any = false;
+        for (dfs::NodeId n = 0; n < cfg.num_nodes; ++n) {
+          eligible[n] =
+              dfs.is_active(n) && !blacklisted(n) && !busy[n] && n != at.node;
+          any = any || eligible[n];
+        }
+        if (!any) continue;
+        const dfs::NodeId target =
+            scheduler::pick_failover_node(result.assignment, graph, j, eligible);
+        tracker.dispatch(j, target, /*delay=*/0, /*speculative=*/true,
+                         /*counts_toward_cap=*/false);
+        launched = true;
+      }
+      return launched;
+    };
 
     // React to a node kill: everything assigned to a dead node is stranded —
     // the scheduler re-enqueues pending tasks onto survivors, and tasks that
     // already completed there lost their local output, so they run again
-    // (each re-execution is a retry).
+    // (each re-execution is a retry; kill re-dispatches never burn the cap).
     const auto react = [&](const bool any_kill) {
       if (!any_kill) return;
       std::vector<bool> alive(cfg.num_nodes);
@@ -173,24 +277,76 @@ SelectionResult SelectionRuntime::run_graph(const dfs::MiniDfs& dfs,
           done[j] = 0;
           task_output[j].clear();
           task_charge[j] += block_bytes[j];  // the dead attempt's work, redone
-          queue.push_back(j);
+          tracker.reopen(j);
           ++retries;
         }
         completed_on[n].clear();
       }
       scheduler::reassign_stranded(result.assignment, graph, block_bytes,
                                    alive);
+      // Attempts stranded on the dead node are cancelled; every open task
+      // left without a live attempt re-dispatches on its (now alive) owner.
+      for (const std::size_t a : tracker.live_attempts()) {
+        if (!alive[tracker.attempt(a).node]) tracker.cancel(a);
+      }
+      for (std::size_t j = 0; j < num_tasks; ++j) {
+        if (!tracker.task_open(j) || tracker.has_live_attempt(j)) continue;
+        tracker.dispatch(j, result.assignment.block_to_node[j], /*delay=*/0,
+                         /*speculative=*/false, /*counts_toward_cap=*/false);
+      }
     };
 
+    for (std::size_t j = 0; j < num_tasks; ++j) {
+      tracker.dispatch(j, result.assignment.block_to_node[j]);
+    }
     react(faults_->advance(0));
 
     std::uint64_t executed = 0;
-    while (!queue.empty()) {
-      const std::size_t j = queue.front();
-      queue.pop_front();
-      if (done[j] || lost[j]) continue;
-      const dfs::NodeId node = result.assignment.block_to_node[j];
+    while (tracker.open_tasks() > 0) {
+      const auto popped = tracker.pop_ready();
+      if (!popped) {
+        // Nothing ready now: speculate on parked work, else jump the clock
+        // to the next deadline/backoff expiry (event-driven, never spins).
+        if (maybe_speculate()) continue;
+        const auto next = tracker.next_event_tick();
+        if (!next) break;  // no live attempts remain for any open task
+        tracker.advance_to(*next);
+        handle_timeouts();
+        continue;
+      }
+      const std::size_t a = *popped;
+      const std::size_t j = tracker.attempt(a).task;
+      const dfs::NodeId node = tracker.attempt(a).node;
       const dfs::BlockId bid = graph.block(j).block_id;
+
+      if (!dfs.is_active(node)) {
+        // The node died between dispatch and execution (defensive: react()
+        // retargets on kills). Cancel and re-dispatch cap-free.
+        tracker.cancel(a);
+        const dfs::NodeId target = pick_target(j);
+        scheduler::move_task(result.assignment, graph, block_bytes, j, target);
+        tracker.dispatch(j, target, /*delay=*/0, /*speculative=*/false,
+                         /*counts_toward_cap=*/false);
+        continue;
+      }
+      if (faults_->is_stalled(node)) {
+        // The node accepted the task but will never answer: park the attempt
+        // until its deadline expires (that is how a stall is detected).
+        tracker.mark_running(a);
+        continue;
+      }
+
+      if (faults_->take_transient_read_failure(bid)) {
+        // The read failed transiently; retry the same node after backoff.
+        task_charge[j] += block_bytes[j];
+        tracker.fail_transient(a);
+        redispatch(j, node, /*same_node=*/true);
+        tracker.tick();
+        ++executed;
+        react(faults_->advance(executed));
+        handle_timeouts();
+        continue;
+      }
 
       const ReplicaRead read = read_->read(bid, node);
       task_charge[j] += read.charged_bytes;
@@ -198,15 +354,31 @@ SelectionResult SelectionRuntime::run_graph(const dfs::MiniDfs& dfs,
       if (!read.ok) {
         lost[j] = 1;
         result.lost_block_ids.push_back(bid);
+        tracker.drop(j);
       } else {
         task_data[j] = read.data;
+        task_output[j].clear();  // may be a re-execution
         filter_lines(task_data[j], key, task_output[j]);
         done[j] = 1;
+        // First result wins: if a re-dispatch or speculative duplicate beat
+        // the recorded owner, the assignment follows the winner.
+        if (result.assignment.block_to_node[j] != node) {
+          scheduler::move_task(result.assignment, graph, block_bytes, j, node);
+        }
         completed_on[node].push_back(j);
+        tracker.complete(a);
       }
 
+      tracker.tick();
       ++executed;
       react(faults_->advance(executed));
+      handle_timeouts();
+    }
+
+    // Anything still open ran out of live attempts: degrade loudly rather
+    // than hang (belt-and-braces; redispatch() normally abandons at the cap).
+    for (std::size_t j = 0; j < num_tasks; ++j) {
+      if (tracker.task_open(j) && !done[j] && !lost[j]) tracker.abandon(j);
     }
 
     // Rebuild the node-local view in task order, so the final buffers are
@@ -220,12 +392,39 @@ SelectionResult SelectionRuntime::run_graph(const dfs::MiniDfs& dfs,
       splits.push_back(mapred::InputSplit{
           .node = node, .data = task_data[j], .charged_bytes = task_charge[j]});
     }
+
+    const AttemptStats& s = tracker.stats();
+    counters.attempts = s.dispatched;
+    counters.timeouts = s.timeouts;
+    counters.transient_retries = s.transient_retries;
+    counters.redispatches = s.redispatches;
+    counters.speculative_launched = s.speculative_launched;
+    counters.speculative_wins = s.speculative_wins;
+    counters.degraded_tasks = s.degraded_tasks;
   }
 
-  result.report = timing_->report(key, splits, cfg, faults_->node_speeds());
+  result.report = timing_->report(key, splits, cfg, faults_->node_speeds(),
+                                  counters);
   result.report.retries = retries;
   result.report.lost_blocks = result.lost_block_ids.size();
-  result.report.degraded = !result.lost_block_ids.empty();
+  // Merge the loop's attempt counters over whatever the backend priced
+  // (AnalyticBackend contributes timing_backups; EventSimBackend its
+  // event-level duplicates).
+  result.report.attempts.attempts += counters.attempts;
+  result.report.attempts.timeouts += counters.timeouts;
+  result.report.attempts.transient_retries += counters.transient_retries;
+  result.report.attempts.redispatches += counters.redispatches;
+  result.report.attempts.speculative_launched += counters.speculative_launched;
+  result.report.attempts.speculative_wins += counters.speculative_wins;
+  result.report.attempts.degraded_tasks += counters.degraded_tasks;
+  if (materialize) {
+    // Post-run DFS health: kills strand replicas; a completed faulted
+    // selection must never silently leave data missing (dfs::fsck's
+    // post-fault invariant, tested in faults_test.cpp).
+    result.report.under_replicated = dfs::fsck(dfs).under_replicated;
+  }
+  result.report.degraded = !result.lost_block_ids.empty() ||
+                           result.report.attempts.degraded_tasks > 0;
   return result;
 }
 

@@ -1,12 +1,8 @@
 #pragma once
 // SelectionRuntime: the single pull-driven execution engine behind every
 // selection-phase entry point (the paper's Algorithm 1 task-request loop).
-// Previously the loop was re-implemented three times with diverging
-// semantics — run_selection (up-front drain, no fault handling),
-// run_selection_faulted (a second serial loop with its own read-retry and
-// re-enqueue logic) and sim::simulate_selection (the only genuine
-// pull-on-slot-free order). One runtime now drives any
-// scheduler::TaskScheduler and composes three policy seams:
+// One runtime drives any scheduler::TaskScheduler and composes three policy
+// seams:
 //
 //   * ReplicaReadPolicy — how a task obtains its block bytes and what the
 //     attempt costs on the simulated clock. DirectReadPolicy is the clean
@@ -15,7 +11,8 @@
 //     failed checksum charged as a full read and reported to the NameNode).
 //   * FaultPolicy — which faults fire as tasks complete. NoFaults is the
 //     empty plan: a zero-fault run is this policy, not a separate harness.
-//     InjectedFaults adapts dfs::FaultInjector (kill / corrupt / slow).
+//     InjectedFaults adapts dfs::FaultInjector (kill / corrupt / slow /
+//     stall / transient-read).
 //   * TimingBackend — how the assignment is ordered and the phase is timed.
 //     AnalyticBackend keeps the fair round-robin request order and the
 //     closed-form mapred::Engine cost model (and runs the real filter job,
@@ -23,21 +20,27 @@
 //     drives the same scheduler with discrete-event pull-on-slot-free
 //     ordering instead.
 //
-// Invariance properties (tests/selection_runtime_test.cpp):
-//   * JobReports are bit-identical at any engine thread count;
-//   * with DirectReadPolicy + NoFaults + AnalyticBackend the result
-//     (assignment, node_local_data, node_filtered_bytes, JobReport) is
-//     byte-identical to the legacy run_selection;
-//   * a FaultPolicy with an empty plan never changes any report field.
+// The materialize loop is straggler-resilient (core::AttemptTracker): every
+// dispatched task is a TaskAttempt on a deterministic logical clock;
+// attempts parked on a stalled node time out and are re-dispatched with
+// exponential backoff onto scheduler::pick_failover_node's choice, nodes
+// accumulating timeouts are blacklisted, near-drained runs launch
+// Hadoop-style speculative duplicates with first-result-wins, and the retry
+// cap degrades (never hangs) a task no node can finish. The clock jumps to
+// the next deadline when nothing is ready, so stalled plans cost O(attempts)
+// iterations. See DESIGN.md §5d for the lifecycle state machine.
 //
-// run_selection / run_selection_faulted / sim::simulate_selection remain as
-// deprecated thin shims over this class for one PR.
+// Invariance properties (tests/selection_runtime_test.cpp, faults_test.cpp):
+//   * JobReports are bit-identical at any engine thread count;
+//   * a FaultPolicy with an empty plan never changes any report field;
+//   * every seeded plan (kill/stall/transient mixes included) completes.
 
 #include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "datanet/attempt_tracker.hpp"
 #include "datanet/experiment.hpp"
 #include "dfs/fault_injector.hpp"
 
@@ -100,6 +103,14 @@ class FaultPolicy {
   // first); applies due faults and returns true when a node kill fired —
   // the runtime then re-enqueues the dead node's pending AND completed work.
   virtual bool advance(std::uint64_t executed_tasks) = 0;
+  // Whether `node` currently ignores task requests without being dead (the
+  // straggler fault). Attempts dispatched there park until their deadline.
+  [[nodiscard]] virtual bool is_stalled(dfs::NodeId) const { return false; }
+  // Consume one armed transient failure for `block`: true = this read fails
+  // and the attempt retries with backoff.
+  [[nodiscard]] virtual bool take_transient_read_failure(dfs::BlockId) {
+    return false;
+  }
   // Per-node simulated speed multipliers in effect after the run (empty =
   // nominal); forwarded to the timing backend.
   [[nodiscard]] virtual std::vector<double> node_speeds() const { return {}; }
@@ -116,6 +127,8 @@ class InjectedFaults final : public FaultPolicy {
  public:
   explicit InjectedFaults(dfs::FaultInjector& injector) : injector_(&injector) {}
   bool advance(std::uint64_t executed_tasks) override;
+  [[nodiscard]] bool is_stalled(dfs::NodeId node) const override;
+  [[nodiscard]] bool take_transient_read_failure(dfs::BlockId block) override;
   [[nodiscard]] std::vector<double> node_speeds() const override;
 
  private:
@@ -133,15 +146,21 @@ class TimingBackend {
       scheduler::TaskScheduler& sched, const graph::BipartiteGraph& graph,
       const std::vector<std::uint64_t>& block_bytes) = 0;
   // Selection-phase JobReport over the materialized splits. `node_speeds`
-  // is the FaultPolicy's post-run view (empty = homogeneous).
+  // is the FaultPolicy's post-run view (empty = homogeneous); `attempts`
+  // the materialize loop's attempt counters (all-zero on clean runs) — the
+  // backend prices wasted/duplicated work from them.
   [[nodiscard]] virtual mapred::JobReport report(
       const std::string& key, const std::vector<mapred::InputSplit>& splits,
-      const ExperimentConfig& cfg,
-      const std::vector<double>& node_speeds) = 0;
+      const ExperimentConfig& cfg, const std::vector<double>& node_speeds,
+      const mapred::AttemptCounters& attempts) = 0;
 };
 
 // Fair round-robin request order + the closed-form engine cost model. Runs
 // the real filter job over the splits, so the report carries live output.
+// When the attempt layer launched speculative duplicates the engine's
+// speculative backup pass (mapred::apply_speculative_backups — the one
+// speculation-timing implementation) prices them; clean runs keep the exact
+// non-speculative timings.
 class AnalyticBackend final : public TimingBackend {
  public:
   [[nodiscard]] scheduler::AssignmentRecord assign(
@@ -149,8 +168,8 @@ class AnalyticBackend final : public TimingBackend {
       const std::vector<std::uint64_t>& block_bytes) override;
   [[nodiscard]] mapred::JobReport report(
       const std::string& key, const std::vector<mapred::InputSplit>& splits,
-      const ExperimentConfig& cfg,
-      const std::vector<double>& node_speeds) override;
+      const ExperimentConfig& cfg, const std::vector<double>& node_speeds,
+      const mapred::AttemptCounters& attempts) override;
 };
 
 // ---- the runtime ----
@@ -158,10 +177,14 @@ class AnalyticBackend final : public TimingBackend {
 class SelectionRuntime {
  public:
   // Policies must outlive the runtime; each run drives read -> fault ->
-  // timing through the shared pull/materialize/report pipeline.
+  // timing through the shared pull/materialize/report pipeline. `attempts`
+  // tunes the straggler layer (defaults keep clean runs byte-identical to
+  // the pre-attempt loop).
   SelectionRuntime(ReplicaReadPolicy& read, FaultPolicy& faults,
-                   TimingBackend& timing)
-      : read_(&read), faults_(&faults), timing_(&timing) {}
+                   TimingBackend& timing, AttemptOptions attempts = {})
+      : read_(&read), faults_(&faults), timing_(&timing), attempts_(attempts) {
+    attempts_.validate();
+  }
 
   // Full pipeline: build the scheduling graph for `key` (DataNet prunes +
   // weights candidate blocks when `net` != nullptr; the content-blind
@@ -173,9 +196,9 @@ class SelectionRuntime {
                                     const DataNet* net,
                                     const ExperimentConfig& cfg) const;
 
-  // Prebuilt-graph entry. `materialize` false skips the read/filter loop
-  // (timing-only runs: node_local_data and the fault loop stay empty) —
-  // the sim::simulate_selection shim's path.
+  // Prebuilt-graph entry. `materialize` false skips the read/filter/attempt
+  // loop (timing-only runs: node_local_data stays empty) — cmd_simulate's
+  // event-timing path.
   [[nodiscard]] SelectionResult run_graph(const dfs::MiniDfs& dfs,
                                           const graph::BipartiteGraph& graph,
                                           const std::string& key,
@@ -187,6 +210,7 @@ class SelectionRuntime {
   ReplicaReadPolicy* read_;
   FaultPolicy* faults_;
   TimingBackend* timing_;
+  AttemptOptions attempts_;
 };
 
 // ---- shared filtering kernel ----

@@ -12,22 +12,29 @@ FaultInjector::FaultInjector(MiniDfs& dfs, std::vector<FaultEvent> plan)
                      return a.at_task < b.at_task;
                    });
   for (const auto& e : plan_) {
-    if ((e.kind == FaultKind::kKillNode || e.kind == FaultKind::kSlowNode) &&
+    if ((e.kind == FaultKind::kKillNode || e.kind == FaultKind::kSlowNode ||
+         e.kind == FaultKind::kStallNode) &&
         e.node >= dfs.topology().num_nodes()) {
       throw std::invalid_argument("FaultInjector: event names a bad node");
     }
     if (e.kind == FaultKind::kSlowNode && !(e.speed_factor > 0.0)) {
       throw std::invalid_argument("FaultInjector: speed_factor must be > 0");
     }
+    if (e.kind == FaultKind::kTransientReadError && e.fail_count == 0) {
+      throw std::invalid_argument("FaultInjector: fail_count must be > 0");
+    }
   }
   speed_.assign(dfs.topology().num_nodes(), 1.0);
+  stalled_.assign(dfs.topology().num_nodes(), 0);
 }
 
 FaultInjector FaultInjector::random_plan(MiniDfs& dfs, std::uint64_t seed,
                                          std::uint64_t horizon_tasks,
                                          std::uint32_t kill_nodes,
                                          std::uint32_t corrupt_replicas,
-                                         std::uint32_t slow_nodes) {
+                                         std::uint32_t slow_nodes,
+                                         std::uint32_t stall_nodes,
+                                         std::uint32_t transient_reads) {
   common::Rng rng(seed);
   const std::uint32_t n = dfs.topology().num_nodes();
   const std::uint64_t horizon = std::max<std::uint64_t>(horizon_tasks, 1);
@@ -60,6 +67,24 @@ FaultInjector FaultInjector::random_plan(MiniDfs& dfs, std::uint64_t seed,
                               .node = nodes[kill_nodes + i],
                               .speed_factor = rng.uniform(0.25, 1.0)});
   }
+  // Stalled nodes draw from the remaining (never-killed, never-slowed) pool
+  // and always leave one responsive survivor among them.
+  const std::uint32_t drawn = kill_nodes + slow_nodes;
+  stall_nodes = std::min(stall_nodes, n > drawn + 1 ? n - drawn - 1 : 0);
+  for (std::uint32_t i = 0; i < stall_nodes; ++i) {
+    const auto j = drawn + i + rng.bounded(nodes.size() - drawn - i);
+    std::swap(nodes[drawn + i], nodes[j]);
+    plan.push_back(FaultEvent{.at_task = 1 + rng.bounded(horizon),
+                              .kind = FaultKind::kStallNode,
+                              .node = nodes[drawn + i]});
+  }
+  for (std::uint32_t i = 0; i < transient_reads && dfs.num_blocks() > 0; ++i) {
+    plan.push_back(FaultEvent{
+        .at_task = 1 + rng.bounded(horizon),
+        .kind = FaultKind::kTransientReadError,
+        .block = rng.bounded(dfs.num_blocks()),
+        .fail_count = static_cast<std::uint32_t>(1 + rng.bounded(3))});
+  }
   return FaultInjector(dfs, std::move(plan));
 }
 
@@ -71,6 +96,17 @@ std::vector<FaultEvent> FaultInjector::advance(std::uint64_t completed_tasks) {
     ++next_;
   }
   return fired;
+}
+
+bool FaultInjector::take_transient_read_failure(BlockId block) {
+  if (block >= transient_.size() || transient_[block] == 0) return false;
+  --transient_[block];
+  ++stats_.transient_failures_consumed;
+  return true;
+}
+
+std::uint32_t FaultInjector::pending_transient_failures(BlockId block) const {
+  return block < transient_.size() ? transient_[block] : 0;
 }
 
 void FaultInjector::apply(const FaultEvent& event) {
@@ -106,6 +142,29 @@ void FaultInjector::apply(const FaultEvent& event) {
       speed_[event.node] *= event.speed_factor;
       any_slowdown_ = true;
       ++stats_.nodes_slowed;
+      break;
+    }
+    case FaultKind::kStallNode: {
+      if (stalled_[event.node]) break;            // already stalled: no-op
+      if (!dfs_->is_active(event.node)) break;    // dead nodes can't stall
+      // Never stall the last responsive active node: some worker must keep
+      // answering or every plan would hang at the retry cap.
+      std::uint32_t responsive = 0;
+      for (NodeId n = 0; n < stalled_.size(); ++n) {
+        if (dfs_->is_active(n) && !stalled_[n]) ++responsive;
+      }
+      if (responsive <= 1) break;
+      stalled_[event.node] = 1;
+      ++stats_.nodes_stalled;
+      break;
+    }
+    case FaultKind::kTransientReadError: {
+      if (event.block >= dfs_->num_blocks()) break;
+      if (transient_.size() < dfs_->num_blocks()) {
+        transient_.resize(dfs_->num_blocks(), 0);
+      }
+      transient_[event.block] += event.fail_count;
+      stats_.transient_failures_armed += event.fail_count;
       break;
     }
   }

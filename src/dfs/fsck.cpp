@@ -51,6 +51,19 @@ FsckReport fsck(const MiniDfs& dfs) {
   return report;
 }
 
+PostFaultCheck check_post_fault_invariants(const MiniDfs& dfs) {
+  PostFaultCheck check;
+  check.report = fsck(dfs);
+  if (check.report.missing_blocks > 0 && dfs.options().replication > 1) {
+    check.ok = false;
+    check.violation = "fsck: " + std::to_string(check.report.missing_blocks) +
+                      " block(s) missing with replication " +
+                      std::to_string(dfs.options().replication) +
+                      " — faults must not silently destroy replicated data";
+  }
+  return check;
+}
+
 BalanceResult balance_replicas(MiniDfs& dfs, std::uint64_t tolerance) {
   BalanceResult result;
   const std::uint32_t nodes = dfs.topology().num_nodes();

@@ -29,6 +29,19 @@ struct FsckReport {
 // Inspect the replica map against the configured replication target.
 [[nodiscard]] FsckReport fsck(const MiniDfs& dfs);
 
+// Post-run invariant over a faulted DFS: a completed selection may leave
+// blocks under-replicated (kills strand replicas until re-replication
+// catches up), but data must never silently go missing — unless the cluster
+// ran with replication == 1, where a single kill legitimately destroys the
+// only copy. `ok` false carries a human-readable violation.
+struct PostFaultCheck {
+  FsckReport report;
+  bool ok = true;
+  std::string violation;
+};
+
+[[nodiscard]] PostFaultCheck check_post_fault_invariants(const MiniDfs& dfs);
+
 struct BalanceResult {
   std::uint64_t moves = 0;  // replicas relocated
   FsckReport after;

@@ -31,6 +31,72 @@ std::vector<std::string_view> split_at_record_boundaries(std::string_view data,
   return chunks;
 }
 
+std::uint64_t apply_speculative_backups(
+    std::vector<TaskTiming>& map_tasks, std::vector<double>& node_map_seconds,
+    const std::function<double(std::size_t task, std::uint32_t node)>&
+        backup_duration) {
+  const std::size_t num_tasks = map_tasks.size();
+  const auto num_nodes = static_cast<std::uint32_t>(node_map_seconds.size());
+  if (num_tasks == 0 || num_nodes < 2) return 0;
+
+  // Speculative execution: while one node finishes well after the rest, its
+  // last-running task gets a backup on the earliest idle node and the
+  // earlier copy wins. Iterated until no backup would finish earlier —
+  // Hadoop keeps speculating as slots free up. (Results are unaffected;
+  // only the simulated clock moves.)
+  // Per-node "owner" of each task for recomputing node finish times.
+  std::vector<std::uint32_t> owner(num_tasks);
+  for (std::size_t t = 0; t < num_tasks; ++t) owner[t] = map_tasks[t].node;
+
+  std::uint64_t backups = 0;
+  const std::size_t max_waves = 4 * num_tasks;
+  for (std::size_t wave = 0; wave < max_waves; ++wave) {
+    const auto straggler = static_cast<std::uint32_t>(
+        std::max_element(node_map_seconds.begin(), node_map_seconds.end()) -
+        node_map_seconds.begin());
+    std::uint32_t backup_node = straggler;
+    double earliest_idle = node_map_seconds[straggler];
+    for (std::uint32_t n = 0; n < num_nodes; ++n) {
+      if (n == straggler) continue;
+      if (node_map_seconds[n] < earliest_idle) {
+        earliest_idle = node_map_seconds[n];
+        backup_node = n;
+      }
+    }
+    if (backup_node == straggler) break;
+
+    // The straggler's last-finishing task.
+    std::size_t tail = num_tasks;
+    for (std::size_t t = 0; t < num_tasks; ++t) {
+      if (owner[t] != straggler) continue;
+      if (tail == num_tasks ||
+          map_tasks[t].finish > map_tasks[tail].finish) {
+        tail = t;
+      }
+    }
+    if (tail == num_tasks) break;
+
+    const double launch = std::max(earliest_idle, map_tasks[tail].start);
+    const double backup_finish = launch + backup_duration(tail, backup_node);
+    if (backup_finish >= map_tasks[tail].finish) break;  // no gain left
+
+    map_tasks[tail].finish = backup_finish;
+    map_tasks[tail].node = backup_node;
+    owner[tail] = backup_node;
+    ++backups;
+    node_map_seconds[backup_node] =
+        std::max(node_map_seconds[backup_node], backup_finish);
+    double node_finish = 0.0;
+    for (std::size_t t = 0; t < num_tasks; ++t) {
+      if (owner[t] == straggler) {
+        node_finish = std::max(node_finish, map_tasks[t].finish);
+      }
+    }
+    node_map_seconds[straggler] = node_finish;
+  }
+  return backups;
+}
+
 namespace {
 
 // Seed of the shuffle partitioner; also seeds the cached sort hash so one
@@ -235,64 +301,13 @@ JobReport Engine::run(const Job& job, const std::vector<InputSplit>& splits) con
   }
 
   if (options_.speculative && options_.num_nodes > 1 && !splits.empty()) {
-    // Speculative execution: while one node finishes well after the rest,
-    // its last-running task gets a backup on the earliest idle node and the
-    // earlier copy wins. Iterated until no backup would finish earlier —
-    // Hadoop keeps speculating as slots free up. (Results are unaffected;
-    // only the simulated clock moves.)
-    // Per-node "owner" of each task for recomputing node finish times.
-    std::vector<std::uint32_t> owner(splits.size());
-    for (std::size_t t = 0; t < splits.size(); ++t) owner[t] = splits[t].node;
-
-    const std::size_t max_waves = 4 * splits.size();
-    for (std::size_t wave = 0; wave < max_waves; ++wave) {
-      const auto straggler = static_cast<std::uint32_t>(
-          std::max_element(report.node_map_seconds.begin(),
-                           report.node_map_seconds.end()) -
-          report.node_map_seconds.begin());
-      std::uint32_t backup_node = straggler;
-      double earliest_idle = report.node_map_seconds[straggler];
-      for (std::uint32_t n = 0; n < options_.num_nodes; ++n) {
-        if (n == straggler) continue;
-        if (report.node_map_seconds[n] < earliest_idle) {
-          earliest_idle = report.node_map_seconds[n];
-          backup_node = n;
-        }
-      }
-      if (backup_node == straggler) break;
-
-      // The straggler's last-finishing task.
-      std::size_t tail = splits.size();
-      for (std::size_t t = 0; t < splits.size(); ++t) {
-        if (owner[t] != straggler) continue;
-        if (tail == splits.size() ||
-            report.map_tasks[t].finish > report.map_tasks[tail].finish) {
-          tail = t;
-        }
-      }
-      if (tail == splits.size()) break;
-
-      const double launch = std::max(earliest_idle, report.map_tasks[tail].start);
-      const double backup_dur =
-          job.config.cost.map_seconds(splits[tail].effective_bytes(),
-                                      results[tail].records) /
-          speed_of(backup_node);
-      const double backup_finish = launch + backup_dur;
-      if (backup_finish >= report.map_tasks[tail].finish) break;  // no gain left
-
-      report.map_tasks[tail].finish = backup_finish;
-      report.map_tasks[tail].node = backup_node;
-      owner[tail] = backup_node;
-      report.node_map_seconds[backup_node] =
-          std::max(report.node_map_seconds[backup_node], backup_finish);
-      double node_finish = 0.0;
-      for (std::size_t t = 0; t < splits.size(); ++t) {
-        if (owner[t] == straggler) {
-          node_finish = std::max(node_finish, report.map_tasks[t].finish);
-        }
-      }
-      report.node_map_seconds[straggler] = node_finish;
-    }
+    report.attempts.timing_backups = apply_speculative_backups(
+        report.map_tasks, report.node_map_seconds,
+        [&](std::size_t t, std::uint32_t node) {
+          return job.config.cost.map_seconds(splits[t].effective_bytes(),
+                                             results[t].records) /
+                 speed_of(node);
+        });
   }
 
   report.map_phase_seconds = splits.empty()

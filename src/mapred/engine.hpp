@@ -20,6 +20,7 @@
 // results and simulated timings are bit-identical at any thread count.
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string_view>
 #include <vector>
@@ -46,6 +47,23 @@ struct TaskTiming {
   double start = 0.0;
   double finish = 0.0;
   [[nodiscard]] double duration() const { return finish - start; }
+};
+
+// Attempt-layer accounting (the JobReport JSON's "attempts" section).
+// `attempts`..`degraded_tasks` come from the SelectionRuntime's attempt
+// tracker (or, for event-sim runs, sim::ClusterSim's duplicate events);
+// `timing_backups` counts the analytic cost model's accepted speculative
+// backup placements (apply_speculative_backups below). Zero everywhere on a
+// clean run.
+struct AttemptCounters {
+  std::uint64_t attempts = 0;            // dispatched, duplicates included
+  std::uint64_t timeouts = 0;            // attempts whose deadline expired
+  std::uint64_t transient_retries = 0;   // reads failed then retried (backoff)
+  std::uint64_t redispatches = 0;        // cap-counted follow-up dispatches
+  std::uint64_t speculative_launched = 0;
+  std::uint64_t speculative_wins = 0;    // duplicates that beat the original
+  std::uint64_t timing_backups = 0;      // analytic-model backup placements
+  std::uint64_t degraded_tasks = 0;      // abandoned at the retry cap
 };
 
 struct JobReport {
@@ -80,6 +98,11 @@ struct JobReport {
   std::uint64_t retries = 0;
   std::uint64_t lost_blocks = 0;
   bool degraded = false;
+  // Blocks left under-replicated when the run finished (dfs::fsck after a
+  // faulted selection; kills strand copies until re-replication catches up).
+  std::uint64_t under_replicated = 0;
+  // Attempt/timeout/speculation counters (see AttemptCounters above).
+  AttemptCounters attempts;
 
   // Counters.
   std::uint64_t input_records = 0;
@@ -119,6 +142,20 @@ class Engine {
  private:
   EngineOptions options_;
 };
+
+// Hadoop's single-wave speculative backup pass over simulated map timings,
+// the ONE speculation-timing implementation shared by the engine cost model
+// and (through core::AnalyticBackend, which enables EngineOptions::
+// speculative whenever the SelectionRuntime's attempt layer launched
+// duplicates) the selection phase. While one node finishes well after the
+// rest, its last-running task gets a backup on the earliest idle node and
+// the earlier copy wins; iterated until no backup would finish earlier.
+// `backup_duration(task, node)` prices the duplicate. Mutates map_tasks /
+// node_map_seconds in place and returns the number of accepted backups.
+std::uint64_t apply_speculative_backups(
+    std::vector<TaskTiming>& map_tasks, std::vector<double>& node_map_seconds,
+    const std::function<double(std::size_t task, std::uint32_t node)>&
+        backup_duration);
 
 // Cut `data` (newline-separated records) into ~`pieces` contiguous chunks of
 // roughly data.size()/pieces bytes, each extended to the next record

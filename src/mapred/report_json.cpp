@@ -34,7 +34,19 @@ std::string report_to_json(const JobReport& report, bool include_output) {
   w.key("faults").begin_object();
   w.field("retries", report.retries);
   w.field("lost_blocks", report.lost_blocks);
+  w.field("under_replicated", report.under_replicated);
   w.field("degraded", report.degraded);
+  w.end_object();
+
+  w.key("attempts").begin_object();
+  w.field("attempts", report.attempts.attempts);
+  w.field("timeouts", report.attempts.timeouts);
+  w.field("transient_retries", report.attempts.transient_retries);
+  w.field("redispatches", report.attempts.redispatches);
+  w.field("speculative_launched", report.attempts.speculative_launched);
+  w.field("speculative_wins", report.attempts.speculative_wins);
+  w.field("timing_backups", report.attempts.timing_backups);
+  w.field("degraded_tasks", report.attempts.degraded_tasks);
   w.end_object();
 
   w.key("counters").begin_object();

@@ -105,6 +105,59 @@ AssignmentRecord drain_timed(TaskScheduler& sched,
                       .node_speed = node_speed});
 }
 
+dfs::NodeId pick_failover_node(const AssignmentRecord& rec,
+                               const graph::BipartiteGraph& graph,
+                               std::size_t task,
+                               const std::vector<bool>& eligible) {
+  if (eligible.size() != graph.num_nodes()) {
+    throw std::invalid_argument("pick_failover_node: eligible size mismatch");
+  }
+  const auto& hosts = graph.block(task).hosts;
+  // Least-loaded eligible replica holder first; any least-loaded eligible
+  // node as the remote fallback.
+  const auto pick_min = [&](auto&& ok) {
+    dfs::NodeId best = graph.num_nodes();
+    for (dfs::NodeId n = 0; n < graph.num_nodes(); ++n) {
+      if (!eligible[n] || !ok(n)) continue;
+      if (best == graph.num_nodes() ||
+          rec.node_input_bytes[n] < rec.node_input_bytes[best]) {
+        best = n;
+      }
+    }
+    return best;
+  };
+  const dfs::NodeId holder = pick_min([&](dfs::NodeId n) {
+    return std::find(hosts.begin(), hosts.end(), n) != hosts.end();
+  });
+  if (holder != graph.num_nodes()) return holder;
+  return pick_min([](dfs::NodeId) { return true; });
+}
+
+void move_task(AssignmentRecord& rec, const graph::BipartiteGraph& graph,
+               const std::vector<std::uint64_t>& block_bytes, std::size_t task,
+               dfs::NodeId target) {
+  const dfs::NodeId old_node = rec.block_to_node[task];
+  if (old_node == target) return;
+  const auto& hosts = graph.block(task).hosts;
+  const bool was_local =
+      std::find(hosts.begin(), hosts.end(), old_node) != hosts.end();
+  const bool now_local =
+      std::find(hosts.begin(), hosts.end(), target) != hosts.end();
+
+  rec.block_to_node[task] = target;
+  rec.node_load[old_node] -= graph.block(task).weight;
+  rec.node_load[target] += graph.block(task).weight;
+  rec.node_input_bytes[old_node] -= block_bytes[task];
+  rec.node_input_bytes[target] += block_bytes[task];
+  if (was_local && !now_local) {
+    --rec.local_tasks;
+    ++rec.remote_tasks;
+  } else if (!was_local && now_local) {
+    ++rec.local_tasks;
+    --rec.remote_tasks;
+  }
+}
+
 std::uint64_t reassign_stranded(AssignmentRecord& rec,
                                 const graph::BipartiteGraph& graph,
                                 const std::vector<std::uint64_t>& block_bytes,
@@ -122,44 +175,9 @@ std::uint64_t reassign_stranded(AssignmentRecord& rec,
 
   std::uint64_t moved = 0;
   for (std::size_t j = 0; j < graph.num_blocks(); ++j) {
-    const dfs::NodeId old_node = rec.block_to_node[j];
-    if (alive[old_node]) continue;
-
-    const auto& hosts = graph.block(j).hosts;
-    const auto was_local =
-        std::find(hosts.begin(), hosts.end(), old_node) != hosts.end();
-
-    // Least-loaded alive replica holder first; any least-loaded alive node
-    // as the remote fallback.
-    const auto pick_min = [&](auto&& eligible) {
-      dfs::NodeId best = graph.num_nodes();
-      for (dfs::NodeId n = 0; n < graph.num_nodes(); ++n) {
-        if (!alive[n] || !eligible(n)) continue;
-        if (best == graph.num_nodes() ||
-            rec.node_input_bytes[n] < rec.node_input_bytes[best]) {
-          best = n;
-        }
-      }
-      return best;
-    };
-    dfs::NodeId target = pick_min([&](dfs::NodeId n) {
-      return std::find(hosts.begin(), hosts.end(), n) != hosts.end();
-    });
-    const bool now_local = target != graph.num_nodes();
-    if (!now_local) target = pick_min([](dfs::NodeId) { return true; });
-
-    rec.block_to_node[j] = target;
-    rec.node_load[old_node] -= graph.block(j).weight;
-    rec.node_load[target] += graph.block(j).weight;
-    rec.node_input_bytes[old_node] -= block_bytes[j];
-    rec.node_input_bytes[target] += block_bytes[j];
-    if (was_local && !now_local) {
-      --rec.local_tasks;
-      ++rec.remote_tasks;
-    } else if (!was_local && now_local) {
-      ++rec.local_tasks;
-      --rec.remote_tasks;
-    }
+    if (alive[rec.block_to_node[j]]) continue;
+    move_task(rec, graph, block_bytes, j,
+              pick_failover_node(rec, graph, j, alive));
     ++moved;
   }
   return moved;

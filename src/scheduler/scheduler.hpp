@@ -82,6 +82,24 @@ AssignmentRecord drain_timed(TaskScheduler& sched,
                              const std::vector<std::uint64_t>& block_bytes,
                              const std::vector<double>& node_speed);
 
+// Deterministic failover choice for one task: the eligible replica holder
+// with the least assigned input bytes (ties to the lowest node id), else the
+// least-loaded eligible node. Returns graph.num_nodes() when nothing is
+// eligible. Shared by reassign_stranded and the SelectionRuntime's attempt
+// re-dispatch / speculation targeting, so every failure path picks the same
+// node for the same state.
+[[nodiscard]] dfs::NodeId pick_failover_node(const AssignmentRecord& rec,
+                                             const graph::BipartiteGraph& graph,
+                                             std::size_t task,
+                                             const std::vector<bool>& eligible);
+
+// Move one task's assignment to `target`, updating loads and locality
+// counters in place (the bookkeeping half of a re-dispatch or a speculative
+// win). No-op when the task already runs on `target`.
+void move_task(AssignmentRecord& rec, const graph::BipartiteGraph& graph,
+               const std::vector<std::uint64_t>& block_bytes, std::size_t task,
+               dfs::NodeId target);
+
 // Failure reaction (the JobTracker's lost-TaskTracker path): every block in
 // `rec` assigned to a node with alive[n] == false is re-enqueued onto a
 // surviving node — preferably an alive replica holder with the least

@@ -37,35 +37,96 @@ SimResult ClusterSim::run(const std::vector<SimTask>& tasks,
   // Per-node FIFO disk: the time at which the disk frees.
   std::vector<Time> disk_free(config_.num_nodes, 0.0);
 
-  // A slot pulls, runs, completes, then pulls again.
-  std::function<void(std::uint32_t)> pull = [&](std::uint32_t node) {
-    const auto t = next_task(node);
-    if (!t) return;  // slot retires
-    if (*t >= tasks.size()) throw std::logic_error("sim: bad task index");
-    const SimTask& task = tasks[*t];
-    const auto& nc = config_.node_config(node);
-    const bool remote = is_remote ? is_remote(node, *t) : task.remote;
+  // A task may have up to two live attempts (the scheduler's original and
+  // one speculative duplicate); the first finish event wins and cancels the
+  // rival, whose slot frees at the win time.
+  struct Attempt {
+    std::size_t task;
+    std::uint32_t node;
+    Time finish;
+    bool speculative;
+    bool cancelled = false;
+  };
+  std::vector<Attempt> attempts;
+  std::vector<std::uint8_t> task_done(tasks.size(), 0);
+  std::vector<std::uint8_t> task_backed(tasks.size(), 0);
+  std::vector<std::vector<std::size_t>> task_live(tasks.size());
 
-    // Read stage: FIFO on the node's disk; remote reads are additionally
-    // bounded by the NIC.
+  std::function<void(std::uint32_t)> pull;
+
+  // Projected finish of `t` if started on `node` now (disk FIFO + NIC bound
+  // + compute). Finish times never change after launch, so projections are
+  // exact — backup selection can compare against them safely.
+  const auto project = [&](std::uint32_t node, std::size_t t) {
+    const SimTask& task = tasks[t];
+    const auto& nc = config_.node_config(node);
+    const bool remote = is_remote ? is_remote(node, t) : task.remote;
     const double rate_mbps =
         remote ? std::min(nc.disk_mbps, nc.nic_mbps) : nc.disk_mbps;
     const double read_dur =
         static_cast<double>(task.input_bytes) / kMiB / rate_mbps;
-    const Time read_start = std::max(queue.now(), disk_free[node]);
-    const Time read_end = read_start + read_dur;
-    disk_free[node] = read_end;
-
-    // Compute stage follows the read on this slot.
+    const Time read_end = std::max(queue.now(), disk_free[node]) + read_dur;
     const Time finish = read_end + task.cpu_seconds / nc.cpu_speed;
-    result.task_finish[*t] = finish;
-    result.task_node[*t] = node;
-    if (remote) ++result.remote_reads;
+    return std::tuple(read_end, finish, remote);
+  };
 
-    queue.schedule(finish, [&, node, finish] {
+  const auto launch = [&](std::uint32_t node, std::size_t t, bool speculative) {
+    const auto [read_end, finish, remote] = project(node, t);
+    disk_free[node] = read_end;
+    if (remote) ++result.remote_reads;
+    const std::size_t aid = attempts.size();
+    attempts.push_back({t, node, finish, speculative});
+    task_live[t].push_back(aid);
+    queue.schedule(finish, [&, aid, node, finish] {
+      if (attempts[aid].cancelled) return;  // rival won; slot re-pulled then
+      const std::size_t task = attempts[aid].task;
+      task_done[task] = 1;
+      result.task_finish[task] = finish;
+      result.task_node[task] = node;
       result.node_finish[node] = std::max(result.node_finish[node], finish);
+      if (attempts[aid].speculative) ++result.speculative_wins;
+      for (const std::size_t rid : task_live[task]) {
+        if (rid == aid || attempts[rid].cancelled) continue;
+        attempts[rid].cancelled = true;  // preempt: its finish event no-ops
+        const std::uint32_t rn = attempts[rid].node;
+        result.node_finish[rn] = std::max(result.node_finish[rn], finish);
+        queue.schedule(finish, [&, rn] { pull(rn); });
+      }
+      task_live[task].clear();
       pull(node);
     });
+  };
+
+  pull = [&](std::uint32_t node) {
+    const auto t = next_task(node);
+    if (t) {
+      if (*t >= tasks.size()) throw std::logic_error("sim: bad task index");
+      launch(node, *t, /*speculative=*/false);
+      return;
+    }
+    if (!config_.speculative) return;  // slot retires
+    // Speculation: duplicate the running, not-yet-backed task with the
+    // latest projected finish — but only when this slot would beat it
+    // strictly. Ascending scan keeps ties on the lowest task id.
+    std::size_t best = tasks.size();
+    Time best_finish = 0.0;
+    for (std::size_t j = 0; j < tasks.size(); ++j) {
+      if (task_done[j] || task_backed[j] || task_live[j].empty()) continue;
+      const Attempt& running = attempts[task_live[j].front()];
+      if (running.cancelled || running.node == node) continue;
+      const auto [read_end, backup_finish, remote] = project(node, j);
+      (void)read_end;
+      (void)remote;
+      if (backup_finish >= running.finish) continue;
+      if (best == tasks.size() || running.finish > best_finish) {
+        best = j;
+        best_finish = running.finish;
+      }
+    }
+    if (best == tasks.size()) return;  // nothing worth duplicating: retire
+    task_backed[best] = 1;
+    ++result.speculative_launched;
+    launch(node, best, /*speculative=*/true);
   };
 
   // Kick off every slot at t = 0.

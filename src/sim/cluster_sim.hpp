@@ -7,6 +7,14 @@
 // -> release slot and pull the next task from the scheduler (genuine
 // pull-on-slot-free, the paper's "worker process requests a task" loop).
 //
+// With SimConfig::speculative set, a slot whose pull goes unanswered turns
+// into a speculative backup runner (the Hadoop straggler defence): it
+// duplicates the running task with the latest projected finish — provided
+// this slot would beat it strictly — and the first attempt to finish wins,
+// cancelling the rival and freeing its slot at the win time. Every choice
+// is deterministic (ties to the lowest task id; the event queue breaks
+// time ties FIFO), so reports stay reproducible.
+//
 // Used by bench_sim_vs_analytic to check that the paper's conclusions are
 // robust to the timing model, not an artifact of the closed-form engine.
 
@@ -31,6 +39,8 @@ struct SimConfig {
   NodeConfig node;  // homogeneous default
   // Optional per-node overrides (size 0 or num_nodes).
   std::vector<NodeConfig> per_node;
+  // Idle slots launch speculative duplicates of projected stragglers.
+  bool speculative = false;
 
   [[nodiscard]] const NodeConfig& node_config(std::uint32_t n) const {
     return per_node.empty() ? node : per_node[n];
@@ -53,10 +63,12 @@ using RemoteFn = std::function<bool(std::uint32_t node, std::size_t task)>;
 
 struct SimResult {
   std::vector<Time> task_finish;   // per task (indexed as given)
-  std::vector<std::uint32_t> task_node;
+  std::vector<std::uint32_t> task_node;  // winning attempt's node
   std::vector<Time> node_finish;   // last completion per node
   Time makespan = 0.0;
-  std::uint64_t remote_reads = 0;
+  std::uint64_t remote_reads = 0;  // reads started, duplicates included
+  std::uint64_t speculative_launched = 0;
+  std::uint64_t speculative_wins = 0;
 };
 
 class ClusterSim {

@@ -9,7 +9,7 @@ scheduler::AssignmentRecord EventSimBackend::assign(
     scheduler::TaskScheduler& sched, const graph::BipartiteGraph& graph,
     const std::vector<std::uint64_t>& block_bytes) {
   if (options_.cluster.num_nodes != graph.num_nodes()) {
-    throw std::invalid_argument("simulate_selection: node count mismatch");
+    throw std::invalid_argument("EventSimBackend: node count mismatch");
   }
   sched.reset(graph);
 
@@ -54,8 +54,13 @@ mapred::JobReport EventSimBackend::report(
     const std::string& /*key*/, const std::vector<mapred::InputSplit>& splits,
     const core::ExperimentConfig& /*cfg*/,
     const std::vector<double>& /*node_speeds — heterogeneity comes from
-                                  SimConfig::per_node cpu_speed instead */) {
+                                  SimConfig::per_node cpu_speed instead */,
+    const mapred::AttemptCounters& /*attempts — the simulator models its own
+                                     duplicates as events; the runtime merges
+                                     the loop's counters on top */) {
   mapred::JobReport rep;
+  rep.attempts.speculative_launched = last_sim_.speculative_launched;
+  rep.attempts.speculative_wins = last_sim_.speculative_wins;
   rep.node_map_seconds.assign(last_sim_.node_finish.begin(),
                               last_sim_.node_finish.end());
   rep.map_phase_seconds = last_sim_.makespan;
@@ -69,29 +74,6 @@ mapred::JobReport EventSimBackend::report(
     rep.input_bytes += s.data.size();
   }
   return rep;
-}
-
-SelectionSimReport simulate_selection(const dfs::MiniDfs& dfs,
-                                      const graph::BipartiteGraph& graph,
-                                      scheduler::TaskScheduler& sched,
-                                      const SelectionSimOptions& options) {
-  if (options.cluster.num_nodes != graph.num_nodes()) {
-    throw std::invalid_argument("simulate_selection: node count mismatch");
-  }
-  EventSimBackend backend(dfs, options);
-  core::DirectReadPolicy read(dfs, 0.0);  // unused on the timing-only path
-  core::NoFaults faults;
-  const core::SelectionRuntime runtime(read, faults, backend);
-
-  core::ExperimentConfig cfg;
-  cfg.num_nodes = options.cluster.num_nodes;
-  const auto result = runtime.run_graph(dfs, graph, /*key=*/"", sched, cfg,
-                                        /*materialize=*/false);
-
-  SelectionSimReport report;
-  report.sim = backend.last_sim();
-  report.node_filtered_bytes = result.assignment.node_load;
-  return report;
 }
 
 }  // namespace datanet::sim

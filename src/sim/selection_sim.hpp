@@ -19,25 +19,19 @@
 namespace datanet::sim {
 
 struct SelectionSimOptions {
-  SimConfig cluster;
+  SimConfig cluster;  // cluster.speculative turns on event-level duplicates
   // Compute cost of the selection map (filtering) per input MiB, at cpu
   // speed 1.0.
   double cpu_seconds_per_mib = 0.2;
-};
-
-struct SelectionSimReport {
-  SimResult sim;
-  // Bytes of the target sub-dataset landing on each node (graph weights of
-  // the blocks each node executed).
-  std::vector<std::uint64_t> node_filtered_bytes;
 };
 
 // Discrete-event timing backend. assign() runs the full event simulation
 // (placement falls out of which slot freed first); the raw SimResult of the
 // latest run stays available via last_sim(). report() translates it into
 // the phase-level JobReport fields (node/map/total seconds, first finish,
-// input bytes) — per-task engine details (map_tasks, output, shuffle) stay
-// empty, since the event model times the selection scan only.
+// input bytes) and carries the simulator's speculative-duplicate counters
+// in the attempts section — per-task engine details (map_tasks, output,
+// shuffle) stay empty, since the event model times the selection scan only.
 class EventSimBackend final : public core::TimingBackend {
  public:
   EventSimBackend(const dfs::MiniDfs& dfs, SelectionSimOptions options)
@@ -49,7 +43,8 @@ class EventSimBackend final : public core::TimingBackend {
   [[nodiscard]] mapred::JobReport report(
       const std::string& key, const std::vector<mapred::InputSplit>& splits,
       const core::ExperimentConfig& cfg,
-      const std::vector<double>& node_speeds) override;
+      const std::vector<double>& node_speeds,
+      const mapred::AttemptCounters& attempts) override;
 
   // Raw result of the most recent assign() (task finish times, makespan,
   // remote reads).
@@ -60,12 +55,5 @@ class EventSimBackend final : public core::TimingBackend {
   SelectionSimOptions options_;
   SimResult last_sim_;
 };
-
-// Drives `sched` with the simulator's pull events. Deprecated shim (kept
-// working for one PR) over SelectionRuntime + EventSimBackend with the
-// timing-only (materialize = false) path.
-[[nodiscard]] SelectionSimReport simulate_selection(
-    const dfs::MiniDfs& dfs, const graph::BipartiteGraph& graph,
-    scheduler::TaskScheduler& sched, const SelectionSimOptions& options);
 
 }  // namespace datanet::sim

@@ -233,6 +233,37 @@ TEST(Cli, SimulateUnknownKeyFails) {
   EXPECT_NE(out.find("not found"), std::string::npos);
 }
 
+TEST(Cli, FaultsCommandRunsStragglerPlan) {
+  TempDir tmp;
+  const auto log = tmp.file("flt.log");
+  std::string out;
+  ASSERT_EQ(run({"generate", "--out", log.c_str(), "--records", "8000",
+                 "--seed", "5"},
+                &out),
+            0);
+  ASSERT_EQ(run({"faults", "--in", log.c_str(), "--key", "movie_00000",
+                 "--nodes", "8", "--stall-nodes", "1", "--transient-reads",
+                 "2", "--json"},
+                &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("fault plan fired"), std::string::npos);
+  EXPECT_NE(out.find("timeouts"), std::string::npos);
+  EXPECT_NE(out.find("post-fault fsck"), std::string::npos);
+  EXPECT_NE(out.find("\"attempts\":"), std::string::npos);
+  EXPECT_NE(out.find("\"under_replicated\":"), std::string::npos);
+}
+
+TEST(Cli, FaultsRequiresKey) {
+  TempDir tmp;
+  const auto log = tmp.file("flt2.log");
+  std::string out;
+  ASSERT_EQ(run({"generate", "--out", log.c_str(), "--records", "1000"}, &out),
+            0);
+  EXPECT_EQ(run({"faults", "--in", log.c_str()}, &out), 1);
+  EXPECT_NE(out.find("--key"), std::string::npos);
+}
+
 TEST(Cli, ForecastCommand) {
   TempDir tmp;
   const auto log = tmp.file("f.log");

@@ -19,6 +19,7 @@
 #include "datanet/datanet.hpp"
 #include "datanet/experiment.hpp"
 #include "datanet/rebalance.hpp"
+#include "datanet/selection_runtime.hpp"
 #include "elasticmap/meta_store.hpp"
 #include "mapred/engine.hpp"
 #include "scheduler/datanet_sched.hpp"
@@ -32,6 +33,22 @@ namespace de = datanet::elasticmap;
 namespace dm = datanet::mapred;
 namespace dsch = datanet::scheduler;
 namespace dw = datanet::workload;
+
+namespace {
+// Clean (no-fault, analytic-timing) selection through the runtime.
+dc::SelectionResult run_selection(const datanet::dfs::MiniDfs& dfs,
+                                  const std::string& path,
+                                  const std::string& key,
+                                  dsch::TaskScheduler& sched,
+                                  const dc::DataNet* net,
+                                  const dc::ExperimentConfig& cfg) {
+  dc::DirectReadPolicy read(dfs, cfg.remote_read_penalty);
+  dc::NoFaults faults;
+  dc::AnalyticBackend timing;
+  return dc::SelectionRuntime(read, faults, timing)
+      .run(dfs, path, key, sched, net, cfg);
+}
+}  // namespace
 
 // ---- rebalance comparator ----
 
@@ -78,7 +95,7 @@ TEST(Rebalance, LocalitySelectionMigratesLargeFraction) {
   const auto ds = dc::make_movie_dataset(cfg, 96, 500);
   dsch::LocalityScheduler base(7);
   const auto sel =
-      dc::run_selection(*ds.dfs, ds.path, ds.hot_keys[0], base, nullptr, cfg);
+      run_selection(*ds.dfs, ds.path, ds.hot_keys[0], base, nullptr, cfg);
   const auto plan = dc::plan_rebalance(sel.node_filtered_bytes);
   EXPECT_GT(plan.migrated_fraction(), 0.20);
   EXPECT_GT(plan.nodes_touched, cfg.num_nodes / 2);
@@ -87,7 +104,7 @@ TEST(Rebalance, LocalitySelectionMigratesLargeFraction) {
   const dc::DataNet net(*ds.dfs, ds.path, {.alpha = 0.3});
   dsch::DataNetScheduler dn;
   const auto sel_dn =
-      dc::run_selection(*ds.dfs, ds.path, ds.hot_keys[0], dn, &net, cfg);
+      run_selection(*ds.dfs, ds.path, ds.hot_keys[0], dn, &net, cfg);
   const auto plan_dn = dc::plan_rebalance(sel_dn.node_filtered_bytes);
   EXPECT_LT(plan_dn.migrated_fraction(), 0.5 * plan.migrated_fraction());
 }

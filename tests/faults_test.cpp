@@ -1,20 +1,27 @@
 // Tests for the failure-handling layer: the FaultInjector's deterministic
-// plans, the scheduler's lost-node reassignment, and the fault-aware
-// selection harness (kill / corrupt / slow events mid-job) — including the
-// acceptance property that a faulted run's JobReport is bit-identical for
-// any engine thread count.
+// plans (kill / corrupt / slow / stall / transient-read), the scheduler's
+// lost-node reassignment, and the fault-aware SelectionRuntime — timeouts,
+// backoff re-dispatch, speculative execution, the post-fault fsck invariant,
+// and the acceptance property that a faulted run's JobReport is
+// bit-identical for any engine thread count and scheduler.
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 #include <set>
 
 #include "datanet/experiment.hpp"
+#include "datanet/selection_runtime.hpp"
 #include "dfs/fault_injector.hpp"
+#include "dfs/fsck.hpp"
 #include "dfs/mini_dfs.hpp"
 #include "graph/bipartite.hpp"
 #include "mapred/report_json.hpp"
+#include "scheduler/datanet_sched.hpp"
+#include "scheduler/flow_sched.hpp"
 #include "scheduler/locality.hpp"
+#include "scheduler/lpt.hpp"
 #include "scheduler/scheduler.hpp"
 
 namespace dc = datanet::core;
@@ -41,6 +48,32 @@ dg::BipartiteGraph baseline_graph(const dd::MiniDfs& dfs, const std::string& pat
   return dg::BipartiteGraph::from_dfs(
       dfs, path, [](std::size_t, dd::BlockId) { return 0; },
       /*keep_zero_weight=*/true);
+}
+
+// Clean-path runtime run (DirectRead + NoFaults + Analytic).
+dc::SelectionResult run_clean(const dd::MiniDfs& dfs, const std::string& path,
+                              const std::string& key,
+                              dsch::TaskScheduler& sched,
+                              const dc::ExperimentConfig& cfg) {
+  dc::DirectReadPolicy read(dfs, cfg.remote_read_penalty);
+  dc::NoFaults faults;
+  dc::AnalyticBackend timing;
+  return dc::SelectionRuntime(read, faults, timing)
+      .run(dfs, path, key, sched, nullptr, cfg);
+}
+
+// Fault-path runtime run (ChecksumRetry + InjectedFaults + Analytic).
+dc::SelectionResult run_faulted(dd::MiniDfs& dfs, const std::string& path,
+                                const std::string& key,
+                                dsch::TaskScheduler& sched,
+                                const dc::ExperimentConfig& cfg,
+                                dd::FaultInjector& injector,
+                                dc::AttemptOptions attempts = {}) {
+  dc::ChecksumRetryReadPolicy read(dfs, cfg.remote_read_penalty);
+  dc::InjectedFaults faults(injector);
+  dc::AnalyticBackend timing;
+  return dc::SelectionRuntime(read, faults, timing, attempts)
+      .run(dfs, path, key, sched, nullptr, cfg);
 }
 
 }  // namespace
@@ -148,13 +181,12 @@ TEST(FaultedRun, NoFaultsMatchesCleanRun) {
 
   dsch::LocalityScheduler clean_sched(7);
   const auto clean =
-      dc::run_selection(*ds.dfs, ds.path, key, clean_sched, nullptr, cfg);
+      run_clean(*ds.dfs, ds.path, key, clean_sched, cfg);
 
   dd::FaultInjector no_faults(*ds.dfs, {});
   dsch::LocalityScheduler faulted_sched(7);
-  const auto faulted = dc::run_selection_faulted(*ds.dfs, ds.path, key,
-                                                 faulted_sched, nullptr, cfg,
-                                                 no_faults);
+  const auto faulted = run_faulted(*ds.dfs, ds.path, key, faulted_sched, cfg,
+                                  no_faults);
   EXPECT_EQ(faulted.report.retries, 0u);
   EXPECT_EQ(faulted.report.lost_blocks, 0u);
   EXPECT_FALSE(faulted.report.degraded);
@@ -171,7 +203,7 @@ TEST(FaultedRun, KillNodeMidJobRetriesAndLosesNothing) {
 
   dsch::LocalityScheduler clean_sched(7);
   const auto clean =
-      dc::run_selection(*ds.dfs, ds.path, key, clean_sched, nullptr, cfg);
+      run_clean(*ds.dfs, ds.path, key, clean_sched, cfg);
 
   // Kill the node that runs block 0 — the first task to complete — after a
   // third of the run: its pending tasks are reassigned and its completed
@@ -181,9 +213,8 @@ TEST(FaultedRun, KillNodeMidJobRetriesAndLosesNothing) {
       *ds.dfs,
       {{.at_task = 8, .kind = dd::FaultKind::kKillNode, .node = victim}});
   dsch::LocalityScheduler faulted_sched(7);
-  const auto faulted = dc::run_selection_faulted(*ds.dfs, ds.path, key,
-                                                 faulted_sched, nullptr, cfg,
-                                                 faults);
+  const auto faulted = run_faulted(*ds.dfs, ds.path, key, faulted_sched, cfg,
+                                  faults);
   EXPECT_GT(faulted.report.retries, 0u);
   EXPECT_EQ(faulted.report.lost_blocks, 0u);
   EXPECT_FALSE(faulted.report.degraded);
@@ -224,8 +255,8 @@ TEST(FaultedRun, ReportIsBitIdenticalAcrossThreadCounts) {
           .node = static_cast<dd::NodeId>((victim + 1) % cfg.num_nodes),
           .speed_factor = 0.5}});
     dsch::LocalityScheduler sched(7);
-    const auto r = dc::run_selection_faulted(*ds.dfs, ds.path, ds.hot_keys[0],
-                                             sched, nullptr, cfg, faults);
+    const auto r = run_faulted(*ds.dfs, ds.path, ds.hot_keys[0], sched, cfg,
+                                faults);
     EXPECT_GT(r.report.retries, 0u);
     jsons.push_back(dm::report_to_json(r.report, /*include_output=*/true));
   }
@@ -239,7 +270,7 @@ TEST(FaultedRun, CorruptReplicaRetriesOnSurvivingCopy) {
 
   dsch::LocalityScheduler clean_sched(7);
   const auto clean =
-      dc::run_selection(*ds.dfs, ds.path, key, clean_sched, nullptr, cfg);
+      run_clean(*ds.dfs, ds.path, key, clean_sched, cfg);
 
   // Corrupt the copy on the exact node each of the first three blocks is
   // assigned to (the drain is deterministic, so precompute it), forcing the
@@ -264,9 +295,8 @@ TEST(FaultedRun, CorruptReplicaRetriesOnSurvivingCopy) {
 
   dd::FaultInjector faults(*ds.dfs, std::move(plan));
   dsch::LocalityScheduler faulted_sched(7);
-  const auto faulted = dc::run_selection_faulted(*ds.dfs, ds.path, key,
-                                                 faulted_sched, nullptr, cfg,
-                                                 faults);
+  const auto faulted = run_faulted(*ds.dfs, ds.path, key, faulted_sched, cfg,
+                                  faults);
   EXPECT_GE(faulted.report.retries, planned);
   EXPECT_EQ(faulted.report.lost_blocks, 0u);
   EXPECT_EQ(faulted.report.output, clean.report.output);
@@ -285,8 +315,7 @@ TEST(FaultedRun, MediaCorruptionLosesBlockButDegradesLoudly) {
                                       .kind = dd::FaultKind::kCorruptBlock,
                                       .block = victim}});
   dsch::LocalityScheduler sched(7);
-  const auto r = dc::run_selection_faulted(*ds.dfs, ds.path, key, sched,
-                                           nullptr, cfg, faults);
+  const auto r = run_faulted(*ds.dfs, ds.path, key, sched, cfg, faults);
   EXPECT_EQ(r.report.lost_blocks, 1u);
   EXPECT_TRUE(r.report.degraded);
   ASSERT_EQ(r.lost_block_ids.size(), 1u);
@@ -303,18 +332,207 @@ TEST(FaultedRun, SlowNodeStretchesSimulatedClock) {
 
   dsch::LocalityScheduler clean_sched(7);
   const auto clean =
-      dc::run_selection(*ds.dfs, ds.path, key, clean_sched, nullptr, cfg);
+      run_clean(*ds.dfs, ds.path, key, clean_sched, cfg);
 
   dd::FaultInjector faults(*ds.dfs, {{.at_task = 0,
                                       .kind = dd::FaultKind::kSlowNode,
                                       .node = 0,
                                       .speed_factor = 0.25}});
   dsch::LocalityScheduler faulted_sched(7);
-  const auto slow = dc::run_selection_faulted(*ds.dfs, ds.path, key,
-                                              faulted_sched, nullptr, cfg,
-                                              faults);
+  const auto slow = run_faulted(*ds.dfs, ds.path, key, faulted_sched, cfg,
+                                   faults);
   EXPECT_TRUE(faults.any_slowdown());
   EXPECT_DOUBLE_EQ(faults.node_speeds()[0], 0.25);
   EXPECT_EQ(slow.report.output, clean.report.output);  // timing-only fault
   EXPECT_GE(slow.report.total_seconds, clean.report.total_seconds);
+}
+
+// ---- straggler resilience (stall / transient / speculation) ----
+
+TEST(StragglerRun, StalledNodesTimeOutAndFinishWithinRetryCap) {
+  const auto cfg = small_cfg();
+  auto ds = dc::make_movie_dataset(cfg, 24, 150);
+  const auto& key = ds.hot_keys[0];
+
+  dsch::LocalityScheduler clean_sched(7);
+  const auto clean = run_clean(*ds.dfs, ds.path, key, clean_sched, cfg);
+
+  // Two nodes accept tasks and never answer, from the very first dispatch.
+  dd::FaultInjector faults(
+      *ds.dfs, {{.at_task = 0, .kind = dd::FaultKind::kStallNode, .node = 1},
+                {.at_task = 0, .kind = dd::FaultKind::kStallNode, .node = 4}});
+  dsch::LocalityScheduler sched(7);
+  const auto r = run_faulted(*ds.dfs, ds.path, key, sched, cfg, faults);
+
+  EXPECT_EQ(faults.stats().nodes_stalled, 2u);
+  // The run completes (no hang), nothing is lost, nothing is degraded: every
+  // parked attempt timed out and was re-dispatched within the retry cap.
+  EXPECT_GT(r.report.attempts.timeouts, 0u);
+  EXPECT_GT(r.report.attempts.redispatches, 0u);
+  EXPECT_EQ(r.report.attempts.degraded_tasks, 0u);
+  EXPECT_EQ(r.report.lost_blocks, 0u);
+  EXPECT_FALSE(r.report.degraded);
+  EXPECT_EQ(r.report.output, clean.report.output);
+  // Stalled nodes stay alive (distinguishable from a kill)...
+  EXPECT_TRUE(ds.dfs->is_active(1));
+  EXPECT_TRUE(ds.dfs->is_active(4));
+  // ...but end the run with none of the filtered data.
+  EXPECT_TRUE(r.node_local_data[1].empty());
+  EXPECT_TRUE(r.node_local_data[4].empty());
+}
+
+TEST(StragglerRun, SpeculationCountersFireUnderStall) {
+  const auto cfg = small_cfg();
+  auto ds = dc::make_movie_dataset(cfg, 24, 150);
+
+  // A generous timeout parks the stalled node's attempts long enough that
+  // the drain-phase speculation trigger fires before any deadline expires.
+  dc::AttemptOptions aopt;
+  aopt.timeout_ticks = 1000;
+  dd::FaultInjector faults(
+      *ds.dfs, {{.at_task = 0, .kind = dd::FaultKind::kStallNode, .node = 2}});
+  dsch::LocalityScheduler sched(7);
+  const auto r = run_faulted(*ds.dfs, ds.path, ds.hot_keys[0], sched, cfg,
+                             faults, aopt);
+  EXPECT_GT(r.report.attempts.speculative_launched, 0u);
+  EXPECT_GT(r.report.attempts.speculative_wins, 0u);
+  EXPECT_EQ(r.report.attempts.degraded_tasks, 0u);
+  EXPECT_FALSE(r.report.degraded);
+  // The analytic backend priced the duplicates with the engine's backup pass.
+  EXPECT_EQ(r.report.attempts.timeouts, 0u);  // nothing expired: spec won
+}
+
+TEST(StragglerRun, SpeculationOffStillCompletesViaTimeouts) {
+  const auto cfg = small_cfg();
+  auto ds = dc::make_movie_dataset(cfg, 24, 150);
+  dc::AttemptOptions aopt;
+  aopt.speculative = false;
+  dd::FaultInjector faults(
+      *ds.dfs, {{.at_task = 0, .kind = dd::FaultKind::kStallNode, .node = 2}});
+  dsch::LocalityScheduler sched(7);
+  const auto r = run_faulted(*ds.dfs, ds.path, ds.hot_keys[0], sched, cfg,
+                             faults, aopt);
+  EXPECT_EQ(r.report.attempts.speculative_launched, 0u);
+  EXPECT_GT(r.report.attempts.timeouts, 0u);
+  EXPECT_EQ(r.report.attempts.degraded_tasks, 0u);
+  EXPECT_FALSE(r.report.degraded);
+}
+
+TEST(StragglerRun, TransientReadErrorsConvergeWithZeroDegradation) {
+  const auto cfg = small_cfg();
+  auto ds = dc::make_movie_dataset(cfg, 24, 150);
+  const auto& key = ds.hot_keys[0];
+
+  dsch::LocalityScheduler clean_sched(7);
+  const auto clean = run_clean(*ds.dfs, ds.path, key, clean_sched, cfg);
+
+  const auto blocks = ds.dfs->blocks_of(ds.path);
+  dd::FaultInjector faults(
+      *ds.dfs,
+      {{.at_task = 0, .kind = dd::FaultKind::kTransientReadError,
+        .block = blocks[0], .fail_count = 2},
+       {.at_task = 0, .kind = dd::FaultKind::kTransientReadError,
+        .block = blocks[3], .fail_count = 2}});
+  dsch::LocalityScheduler sched(7);
+  const auto r = run_faulted(*ds.dfs, ds.path, key, sched, cfg, faults);
+
+  // Every armed failure was consumed, every retry eventually succeeded.
+  EXPECT_EQ(faults.stats().transient_failures_consumed, 4u);
+  EXPECT_EQ(r.report.attempts.transient_retries, 4u);
+  EXPECT_EQ(r.report.attempts.degraded_tasks, 0u);
+  EXPECT_EQ(r.report.lost_blocks, 0u);
+  EXPECT_FALSE(r.report.degraded);
+  EXPECT_EQ(r.report.output, clean.report.output);
+}
+
+TEST(StragglerRun, RetryCapDegradesLoudlyInsteadOfHanging) {
+  const auto cfg = small_cfg();
+  auto ds = dc::make_movie_dataset(cfg, 24, 150);
+  // More transient failures than the attempt cap allows: the task degrades.
+  dc::AttemptOptions aopt;
+  aopt.max_attempts = 3;
+  const auto blocks = ds.dfs->blocks_of(ds.path);
+  dd::FaultInjector faults(
+      *ds.dfs, {{.at_task = 0, .kind = dd::FaultKind::kTransientReadError,
+                 .block = blocks[0], .fail_count = 50}});
+  dsch::LocalityScheduler sched(7);
+  const auto r = run_faulted(*ds.dfs, ds.path, ds.hot_keys[0], sched, cfg,
+                             faults, aopt);
+  EXPECT_EQ(r.report.attempts.degraded_tasks, 1u);
+  EXPECT_TRUE(r.report.degraded);
+  // Degradation is bounded: the rest of the run is intact.
+  EXPECT_FALSE(r.report.output.empty());
+}
+
+TEST(StragglerRun, MixedPlanBitIdenticalAcrossSchedulersAndThreads) {
+  // One seeded kill+stall+transient plan; every scheduler must produce a
+  // bit-identical JSON report at 1 vs 4 engine threads.
+  const auto make_sched = [](int which) -> std::unique_ptr<dsch::TaskScheduler> {
+    switch (which) {
+      case 0: return std::make_unique<dsch::LocalityScheduler>(7);
+      case 1: return std::make_unique<dsch::DataNetScheduler>();
+      case 2: return std::make_unique<dsch::FlowScheduler>();
+      default: return std::make_unique<dsch::LptScheduler>();
+    }
+  };
+  for (int which = 0; which < 4; ++which) {
+    std::vector<std::string> jsons;
+    for (const std::uint32_t threads : {1u, 4u}) {
+      auto cfg = small_cfg();
+      cfg.execution_threads = threads;
+      auto ds = dc::make_movie_dataset(cfg, 24, 150);
+      const auto blocks = ds.dfs->blocks_of(ds.path);
+      dd::FaultInjector faults(
+          *ds.dfs,
+          {{.at_task = 0, .kind = dd::FaultKind::kTransientReadError,
+            .block = blocks[1], .fail_count = 2},
+           {.at_task = 3, .kind = dd::FaultKind::kStallNode, .node = 5},
+           {.at_task = 6, .kind = dd::FaultKind::kKillNode, .node = 3}});
+      auto sched = make_sched(which);
+      const auto r = run_faulted(*ds.dfs, ds.path, ds.hot_keys[0], *sched,
+                                 cfg, faults);
+      EXPECT_EQ(r.report.attempts.degraded_tasks, 0u) << "scheduler " << which;
+      jsons.push_back(dm::report_to_json(r.report, /*include_output=*/true));
+    }
+    EXPECT_EQ(jsons[0], jsons[1]) << "scheduler " << which;
+  }
+}
+
+// ---- post-fault DFS invariants (fsck) ----
+
+TEST(PostFaultFsck, CompletedKillRunLeavesNoMissingBlocks) {
+  const auto cfg = small_cfg();
+  auto ds = dc::make_movie_dataset(cfg, 24, 150);
+  dd::FaultInjector faults(
+      *ds.dfs, {{.at_task = 5, .kind = dd::FaultKind::kKillNode, .node = 2}});
+  dsch::LocalityScheduler sched(7);
+  const auto r = run_faulted(*ds.dfs, ds.path, ds.hot_keys[0], sched, cfg,
+                             faults);
+  const auto post = dd::check_post_fault_invariants(*ds.dfs);
+  EXPECT_TRUE(post.ok) << post.violation;
+  EXPECT_EQ(post.report.missing_blocks, 0u);
+  // The report surfaces the DFS health alongside the run's own counters.
+  EXPECT_EQ(r.report.under_replicated, post.report.under_replicated);
+  const auto json = dm::report_to_json(r.report, false);
+  EXPECT_NE(json.find("\"under_replicated\""), std::string::npos);
+  EXPECT_NE(json.find("\"attempts\""), std::string::npos);
+}
+
+TEST(PostFaultFsck, ReplicationOneMayLoseDataButStaysOk) {
+  auto cfg = small_cfg();
+  cfg.replication = 1;
+  auto ds = dc::make_movie_dataset(cfg, 24, 150);
+  dd::FaultInjector faults(
+      *ds.dfs, {{.at_task = 5, .kind = dd::FaultKind::kKillNode, .node = 2}});
+  dsch::LocalityScheduler sched(7);
+  const auto r = run_faulted(*ds.dfs, ds.path, ds.hot_keys[0], sched, cfg,
+                             faults);
+  const auto post = dd::check_post_fault_invariants(*ds.dfs);
+  // Single-replica data on a killed node is legitimately gone; the invariant
+  // helper allows it and the run reports the loss loudly instead of hanging.
+  EXPECT_TRUE(post.ok) << post.violation;
+  if (post.report.missing_blocks > 0) {
+    EXPECT_TRUE(r.report.degraded);
+    EXPECT_GT(r.report.lost_blocks + r.report.attempts.degraded_tasks, 0u);
+  }
 }

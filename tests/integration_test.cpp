@@ -13,6 +13,7 @@
 #include "apps/word_count.hpp"
 #include "datanet/datanet.hpp"
 #include "datanet/experiment.hpp"
+#include "datanet/selection_runtime.hpp"
 #include "scheduler/datanet_sched.hpp"
 #include "scheduler/flow_sched.hpp"
 #include "scheduler/locality.hpp"
@@ -34,6 +35,20 @@ dc::ExperimentConfig small_config() {
 
 std::vector<double> to_doubles(const std::vector<std::uint64_t>& v) {
   return {v.begin(), v.end()};
+}
+
+// Clean (no-fault, analytic-timing) selection through the runtime.
+dc::SelectionResult run_selection(const datanet::dfs::MiniDfs& dfs,
+                                  const std::string& path,
+                                  const std::string& key,
+                                  dsch::TaskScheduler& sched,
+                                  const dc::DataNet* net,
+                                  const dc::ExperimentConfig& cfg) {
+  dc::DirectReadPolicy read(dfs, cfg.remote_read_penalty);
+  dc::NoFaults faults;
+  dc::AnalyticBackend timing;
+  return dc::SelectionRuntime(read, faults, timing)
+      .run(dfs, path, key, sched, net, cfg);
 }
 
 }  // namespace
@@ -92,10 +107,10 @@ TEST(Integration, SelectionMaterializesExactSubdataset) {
 
   dsch::LocalityScheduler base(3);
   const auto sel_base =
-      dc::run_selection(*ds.dfs, ds.path, key, base, nullptr, cfg);
+      run_selection(*ds.dfs, ds.path, key, base, nullptr, cfg);
   const dc::DataNet net(*ds.dfs, ds.path, {.alpha = 0.3});
   dsch::DataNetScheduler dn;
-  const auto sel_dn = dc::run_selection(*ds.dfs, ds.path, key, dn, &net, cfg);
+  const auto sel_dn = run_selection(*ds.dfs, ds.path, key, dn, &net, cfg);
 
   const auto sum = [](const std::vector<std::uint64_t>& v) {
     return std::accumulate(v.begin(), v.end(), 0ull);
@@ -119,10 +134,10 @@ TEST(Integration, DataNetBalancesFilteredWorkload) {
 
   dsch::LocalityScheduler base(3);
   const auto sel_base =
-      dc::run_selection(*ds.dfs, ds.path, key, base, nullptr, cfg);
+      run_selection(*ds.dfs, ds.path, key, base, nullptr, cfg);
   const dc::DataNet net(*ds.dfs, ds.path, {.alpha = 0.3});
   dsch::DataNetScheduler dn;
-  const auto sel_dn = dc::run_selection(*ds.dfs, ds.path, key, dn, &net, cfg);
+  const auto sel_dn = run_selection(*ds.dfs, ds.path, key, dn, &net, cfg);
 
   const auto sb = datanet::stats::summarize(to_doubles(sel_base.node_filtered_bytes));
   const auto sd = datanet::stats::summarize(to_doubles(sel_dn.node_filtered_bytes));
@@ -138,10 +153,10 @@ TEST(Integration, DataNetScansFewerBlocks) {
   const auto& key = ds.hot_keys[10];
   dsch::LocalityScheduler base(3);
   const auto sel_base =
-      dc::run_selection(*ds.dfs, ds.path, key, base, nullptr, cfg);
+      run_selection(*ds.dfs, ds.path, key, base, nullptr, cfg);
   const dc::DataNet net(*ds.dfs, ds.path, {.alpha = 0.3});
   dsch::DataNetScheduler dn;
-  const auto sel_dn = dc::run_selection(*ds.dfs, ds.path, key, dn, &net, cfg);
+  const auto sel_dn = run_selection(*ds.dfs, ds.path, key, dn, &net, cfg);
   EXPECT_LT(sel_dn.blocks_scanned, sel_base.blocks_scanned);
 }
 
@@ -154,10 +169,10 @@ TEST(Integration, AnalysisOutputIndependentOfScheduler) {
 
   dsch::LocalityScheduler base(3);
   const auto sel_base =
-      dc::run_selection(*ds.dfs, ds.path, key, base, nullptr, cfg);
+      run_selection(*ds.dfs, ds.path, key, base, nullptr, cfg);
   const dc::DataNet net(*ds.dfs, ds.path, {.alpha = 0.3});
   dsch::DataNetScheduler dn;
-  const auto sel_dn = dc::run_selection(*ds.dfs, ds.path, key, dn, &net, cfg);
+  const auto sel_dn = run_selection(*ds.dfs, ds.path, key, dn, &net, cfg);
 
   const auto job = datanet::apps::make_word_count_job();
   const auto rb = dc::run_analysis(job, sel_base, cfg);
@@ -232,7 +247,7 @@ TEST(Integration, FlowSchedulerAlsoBalances) {
   const auto& key = ds.hot_keys[0];
   const dc::DataNet net(*ds.dfs, ds.path, {.alpha = 0.3});
   dsch::FlowScheduler flow;
-  const auto sel = dc::run_selection(*ds.dfs, ds.path, key, flow, &net, cfg);
+  const auto sel = run_selection(*ds.dfs, ds.path, key, flow, &net, cfg);
   const auto s = datanet::stats::summarize(to_doubles(sel.node_filtered_bytes));
   EXPECT_LT(s.coeff_variation(), 0.5);
 }
@@ -285,7 +300,7 @@ TEST(Integration, RunSelectionValidatesConfig) {
   bad.num_nodes = 4;  // dataset was built for 8 nodes
   dsch::LocalityScheduler sched(1);
   EXPECT_THROW(
-      dc::run_selection(*ds.dfs, ds.path, ds.hot_keys[0], sched, nullptr, bad),
+      run_selection(*ds.dfs, ds.path, ds.hot_keys[0], sched, nullptr, bad),
       std::invalid_argument);
 }
 

@@ -1,18 +1,21 @@
-// SelectionRuntime equivalence and policy-seam properties (the PR's two
-// invariants): a zero-fault runtime is byte-identical to the legacy
-// run_selection for every scheduler on both datasets, and an empty-plan
-// FaultPolicy never changes any report field. Plus unit coverage for the
-// shared split/filter kernels the runtime and run_analysis now share.
+// SelectionRuntime policy-seam properties: a zero-fault runtime is
+// deterministic (bit-identical across repeated runs) for every scheduler on
+// both datasets, an empty-plan FaultPolicy never changes any report field,
+// and reports are thread-count invariant. Plus unit coverage for the
+// AttemptTracker state machine and the shared split/filter kernels.
 
 #include <gtest/gtest.h>
 
 #include <memory>
 #include <numeric>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "datanet/experiment.hpp"
 #include "datanet/selection_runtime.hpp"
+#include "dfs/fault_injector.hpp"
 #include "mapred/report_json.hpp"
 #include "scheduler/datanet_sched.hpp"
 #include "scheduler/flow_sched.hpp"
@@ -77,26 +80,30 @@ dc::SelectionResult runtime_clean(const dc::StoredDataset& ds,
 
 }  // namespace
 
-// ---- golden equivalence: runtime vs legacy run_selection ----
+// ---- determinism: repeated runs are byte-identical per scheduler ----
 
-TEST(SelectionRuntime, MatchesLegacyOnMovieAllSchedulers) {
+TEST(SelectionRuntime, RepeatedRunsIdenticalOnMovieAllSchedulers) {
   const auto cfg = small_config();
   const auto ds = dc::make_movie_dataset(cfg, 48, 300);
   const dc::DataNet net(*ds.dfs, ds.path, {.alpha = 0.3});
   const std::string key = ds.hot_keys[0];
   for (const auto& sched : all_schedulers()) {
-    auto fresh = all_schedulers();  // legacy gets its own instances
+    auto fresh = all_schedulers();  // the rerun gets its own instances
     for (std::size_t i = 0; i < fresh.size(); ++i) {
       if (fresh[i]->name() != sched->name()) continue;
-      const auto legacy =
-          dc::run_selection(*ds.dfs, ds.path, key, *fresh[i], &net, cfg);
-      const auto now = runtime_clean(ds, key, *sched, &net, cfg);
-      expect_identical(now, legacy, std::string(sched->name()) + "/movie");
+      const auto first = runtime_clean(ds, key, *fresh[i], &net, cfg);
+      const auto again = runtime_clean(ds, key, *sched, &net, cfg);
+      expect_identical(again, first, std::string(sched->name()) + "/movie");
+      // Clean runs dispatch exactly one attempt per task, nothing else.
+      EXPECT_EQ(first.report.attempts.attempts, first.blocks_scanned);
+      EXPECT_EQ(first.report.attempts.timeouts, 0u);
+      EXPECT_EQ(first.report.attempts.redispatches, 0u);
+      EXPECT_EQ(first.report.attempts.speculative_launched, 0u);
     }
   }
 }
 
-TEST(SelectionRuntime, MatchesLegacyOnGithubBaselineAndNet) {
+TEST(SelectionRuntime, RepeatedRunsIdenticalOnGithubBaselineAndNet) {
   const auto cfg = small_config();
   const auto ds = dc::make_github_dataset(cfg, 32);
   const dc::DataNet net(*ds.dfs, ds.path, {.alpha = 0.6});
@@ -107,10 +114,9 @@ TEST(SelectionRuntime, MatchesLegacyOnGithubBaselineAndNet) {
       auto fresh = all_schedulers();
       for (std::size_t i = 0; i < fresh.size(); ++i) {
         if (fresh[i]->name() != sched->name()) continue;
-        const auto legacy =
-            dc::run_selection(*ds.dfs, ds.path, key, *fresh[i], net_ptr, cfg);
-        const auto now = runtime_clean(ds, key, *sched, net_ptr, cfg);
-        expect_identical(now, legacy,
+        const auto first = runtime_clean(ds, key, *fresh[i], net_ptr, cfg);
+        const auto again = runtime_clean(ds, key, *sched, net_ptr, cfg);
+        expect_identical(again, first,
                          std::string(sched->name()) +
                              (net_ptr ? "/github+net" : "/github-baseline"));
       }
@@ -127,15 +133,17 @@ TEST(SelectionRuntime, EmptyFaultPlanIsInvisible) {
   const std::string key = ds.hot_keys[0];
 
   dsch::LocalityScheduler clean_sched(7);
-  const auto clean =
-      dc::run_selection(*ds.dfs, ds.path, key, clean_sched, &net, cfg);
+  const auto clean = runtime_clean(ds, key, clean_sched, &net, cfg);
 
-  // Full fault machinery — checksum-retry reads, injected faults — but the
-  // plan is empty: every field must come out unchanged.
+  // Full fault machinery — checksum-retry reads, injected faults, attempt
+  // tracking — but the plan is empty: every field must come out unchanged.
   dfs::FaultInjector injector(*ds.dfs, {});
+  dc::ChecksumRetryReadPolicy read(*ds.dfs, cfg.remote_read_penalty);
+  dc::InjectedFaults faults(injector);
+  dc::AnalyticBackend timing;
   dsch::LocalityScheduler sched(7);
-  const auto faulted = dc::run_selection_faulted(*ds.dfs, ds.path, key, sched,
-                                                 &net, cfg, injector);
+  const auto faulted = dc::SelectionRuntime(read, faults, timing)
+                           .run(*ds.dfs, ds.path, key, sched, &net, cfg);
   expect_identical(faulted, clean, "empty-plan");
   EXPECT_EQ(faulted.report.retries, 0u);
   EXPECT_EQ(faulted.report.lost_blocks, 0u);
@@ -188,7 +196,7 @@ TEST(SelectionRuntime, ValidateRejectsImpossibleConfigs) {
 
 // ---- event backend plugs into the same runtime ----
 
-TEST(SelectionRuntime, EventBackendMatchesLegacySimulateSelection) {
+TEST(SelectionRuntime, EventBackendIsDeterministicAndFillsTiming) {
   const auto cfg = small_config();
   const auto ds = dc::make_movie_dataset(cfg, 48, 300);
   const dc::DataNet net(*ds.dfs, ds.path, {.alpha = 0.3});
@@ -196,24 +204,138 @@ TEST(SelectionRuntime, EventBackendMatchesLegacySimulateSelection) {
 
   dsim::SelectionSimOptions opt;
   opt.cluster.num_nodes = cfg.num_nodes;
-  dsch::DataNetScheduler legacy_sched;
-  const auto legacy =
-      dsim::simulate_selection(*ds.dfs, graph, legacy_sched, opt);
 
-  dsim::EventSimBackend backend(*ds.dfs, opt);
-  dc::DirectReadPolicy read(*ds.dfs, cfg.remote_read_penalty);
-  dc::NoFaults faults;
-  const dc::SelectionRuntime runtime(read, faults, backend);
-  dsch::DataNetScheduler sched;
-  const auto result = runtime.run_graph(*ds.dfs, graph, ds.hot_keys[0], sched,
-                                        cfg, /*materialize=*/false);
+  const auto run_once = [&] {
+    dsim::EventSimBackend backend(*ds.dfs, opt);
+    dc::DirectReadPolicy read(*ds.dfs, cfg.remote_read_penalty);
+    dc::NoFaults faults;
+    const dc::SelectionRuntime runtime(read, faults, backend);
+    dsch::DataNetScheduler sched;
+    auto result = runtime.run_graph(*ds.dfs, graph, ds.hot_keys[0], sched,
+                                    cfg, /*materialize=*/false);
+    return std::pair(std::move(result), backend.last_sim());
+  };
+  const auto [ra, sa] = run_once();
+  const auto [rb, sb] = run_once();
 
-  EXPECT_EQ(backend.last_sim().makespan, legacy.sim.makespan);
-  EXPECT_EQ(backend.last_sim().task_finish, legacy.sim.task_finish);
-  EXPECT_EQ(backend.last_sim().task_node, legacy.sim.task_node);
-  EXPECT_EQ(result.assignment.node_load, legacy.node_filtered_bytes);
-  EXPECT_EQ(result.report.total_seconds, legacy.sim.makespan);
-  EXPECT_EQ(result.report.map_phase_seconds, legacy.sim.makespan);
+  EXPECT_GT(sa.makespan, 0.0);
+  EXPECT_EQ(sa.makespan, sb.makespan);
+  EXPECT_EQ(sa.task_finish, sb.task_finish);
+  EXPECT_EQ(sa.task_node, sb.task_node);
+  EXPECT_EQ(ra.assignment.node_load, rb.assignment.node_load);
+  EXPECT_EQ(ra.report.total_seconds, sa.makespan);
+  EXPECT_EQ(ra.report.map_phase_seconds, sa.makespan);
+  // Clean event runs never speculate.
+  EXPECT_EQ(ra.report.attempts.speculative_launched, 0u);
+}
+
+// ---- AttemptTracker state machine ----
+
+TEST(AttemptTracker, BackoffIsExponentialAndCapped) {
+  dc::AttemptOptions opt;
+  opt.backoff_base_ticks = 2;
+  opt.backoff_cap_ticks = 12;
+  dc::AttemptTracker tracker(1, opt);
+  EXPECT_EQ(tracker.backoff_delay(1), 2u);
+  EXPECT_EQ(tracker.backoff_delay(2), 4u);
+  EXPECT_EQ(tracker.backoff_delay(3), 8u);
+  EXPECT_EQ(tracker.backoff_delay(4), 12u);   // capped
+  EXPECT_EQ(tracker.backoff_delay(400), 12u); // saturating shift, no overflow
+}
+
+TEST(AttemptTracker, TimeoutExpiryAndRedispatchLifecycle) {
+  dc::AttemptOptions opt;
+  opt.timeout_ticks = 4;
+  dc::AttemptTracker tracker(2, opt);
+  const auto a0 = tracker.dispatch(0, /*node=*/0);
+  const auto a1 = tracker.dispatch(1, /*node=*/1);
+  EXPECT_EQ(tracker.open_tasks(), 2u);
+
+  // Attempt 0 parks (stalled node); attempt 1 completes normally.
+  ASSERT_EQ(tracker.pop_ready(), a0);
+  tracker.mark_running(a0);
+  ASSERT_EQ(tracker.pop_ready(), a1);
+  tracker.mark_running(a1);
+  tracker.complete(a1);
+  EXPECT_EQ(tracker.open_tasks(), 1u);
+  EXPECT_FALSE(tracker.task_open(1));
+
+  // Nothing ready; the clock jumps to a0's deadline and it expires.
+  EXPECT_FALSE(tracker.pop_ready().has_value());
+  const auto next = tracker.next_event_tick();
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(*next, opt.timeout_ticks);
+  tracker.advance_to(*next);
+  const auto expired = tracker.expire_due();
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0], a0);
+  EXPECT_EQ(tracker.attempt(a0).state, dc::AttemptState::kTimedOut);
+  EXPECT_FALSE(tracker.has_live_attempt(0));
+  EXPECT_TRUE(tracker.task_open(0));
+
+  // Re-dispatch with backoff, complete, all counters consistent.
+  const auto a2 = tracker.dispatch(0, /*node=*/2, tracker.backoff_delay(1));
+  EXPECT_FALSE(tracker.pop_ready().has_value());  // still backing off
+  tracker.advance_to(*tracker.next_event_tick());
+  ASSERT_EQ(tracker.pop_ready(), a2);
+  tracker.mark_running(a2);
+  tracker.complete(a2);
+  EXPECT_EQ(tracker.open_tasks(), 0u);
+  EXPECT_EQ(tracker.stats().timeouts, 1u);
+  EXPECT_EQ(tracker.stats().redispatches, 1u);
+  EXPECT_EQ(tracker.stats().dispatched, 3u);
+}
+
+TEST(AttemptTracker, SpeculativeWinSupersedesRival) {
+  dc::AttemptTracker tracker(1, {});
+  const auto primary = tracker.dispatch(0, /*node=*/0);
+  ASSERT_EQ(tracker.pop_ready(), primary);
+  tracker.mark_running(primary);
+  const auto backup = tracker.dispatch(0, /*node=*/1, /*delay=*/0,
+                                       /*speculative=*/true,
+                                       /*counts_toward_cap=*/false);
+  EXPECT_TRUE(tracker.speculated(0));
+  EXPECT_EQ(tracker.live_attempts_of(0), 2u);
+  ASSERT_EQ(tracker.pop_ready(), backup);
+  tracker.mark_running(backup);
+  tracker.complete(backup);
+  EXPECT_EQ(tracker.attempt(backup).state, dc::AttemptState::kSucceeded);
+  EXPECT_EQ(tracker.attempt(primary).state, dc::AttemptState::kSuperseded);
+  EXPECT_EQ(tracker.stats().speculative_launched, 1u);
+  EXPECT_EQ(tracker.stats().speculative_wins, 1u);
+  EXPECT_EQ(tracker.open_tasks(), 0u);
+}
+
+TEST(AttemptTracker, AbandonDegradesAndReopenRestores) {
+  dc::AttemptTracker tracker(1, {});
+  const auto a = tracker.dispatch(0, 0);
+  ASSERT_EQ(tracker.pop_ready(), a);
+  tracker.mark_running(a);
+  tracker.abandon(0);
+  EXPECT_FALSE(tracker.task_open(0));
+  EXPECT_EQ(tracker.stats().degraded_tasks, 1u);
+
+  // A kill reaction can reopen a closed task for re-execution.
+  tracker.reopen(0);
+  EXPECT_TRUE(tracker.task_open(0));
+  const auto b = tracker.dispatch(0, 1, /*delay=*/0, /*speculative=*/false,
+                                  /*counts_toward_cap=*/false);
+  ASSERT_EQ(tracker.pop_ready(), b);
+  tracker.mark_running(b);
+  tracker.complete(b);
+  EXPECT_EQ(tracker.open_tasks(), 0u);
+}
+
+TEST(AttemptTracker, ValidateRejectsBadOptions) {
+  dc::AttemptOptions opt;
+  opt.timeout_ticks = 0;
+  EXPECT_THROW(opt.validate(), std::invalid_argument);
+  opt = {};
+  opt.max_attempts = 0;
+  EXPECT_THROW(opt.validate(), std::invalid_argument);
+  opt = {};
+  opt.backoff_cap_ticks = 0;
+  EXPECT_THROW(opt.validate(), std::invalid_argument);
 }
 
 // ---- shared kernels ----

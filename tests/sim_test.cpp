@@ -1,6 +1,7 @@
 // Tests for the discrete-event cluster simulator: event-queue ordering,
-// slot/disk/NIC semantics, pull scheduling, and agreement with hand-computed
-// timelines; plus the selection-phase bridge over real schedulers.
+// slot/disk/NIC semantics, pull scheduling, speculative execution, and
+// agreement with hand-computed timelines; plus the selection-phase bridge
+// (EventSimBackend inside the SelectionRuntime) over real schedulers.
 
 #include <gtest/gtest.h>
 
@@ -9,6 +10,7 @@
 
 #include "common/rng.hpp"
 #include "datanet/experiment.hpp"
+#include "datanet/selection_runtime.hpp"
 #include "scheduler/datanet_sched.hpp"
 #include "scheduler/locality.hpp"
 #include "sim/cluster_sim.hpp"
@@ -182,6 +184,67 @@ TEST(ClusterSim, UnservedTasksStayUnrun) {
   EXPECT_EQ(res.task_node[1], cfg.num_nodes);  // invalid marker
 }
 
+TEST(ClusterSim, SpeculationRescuesSlowNode) {
+  // Node 1 is 100x slower; its task would finish at t = 800. Node 0 drains
+  // its own queue by t = 2, goes idle, and launches a backup that wins at
+  // t = 10. The loser is cancelled and its slot frees at the win time.
+  dsim::SimConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.node.slots = 1;
+  cfg.node.disk_mbps = 1e9;  // negligible read time
+  cfg.speculative = true;
+  cfg.per_node = {cfg.node, cfg.node};
+  cfg.per_node[1].cpu_speed = 0.01;
+  dsim::ClusterSim sim(cfg);
+  const std::vector<dsim::SimTask> tasks{
+      {.input_bytes = 0, .cpu_seconds = 1.0, .remote = false},
+      {.input_bytes = 0, .cpu_seconds = 1.0, .remote = false},
+      {.input_bytes = 0, .cpu_seconds = 8.0, .remote = false}};
+  const auto res = sim.run(tasks, fixed_assignment({0, 0, 1}));
+  EXPECT_EQ(res.speculative_launched, 1u);
+  EXPECT_EQ(res.speculative_wins, 1u);
+  EXPECT_EQ(res.task_node[2], 0u);  // the backup's node won
+  EXPECT_DOUBLE_EQ(res.task_finish[2], 10.0);
+  EXPECT_DOUBLE_EQ(res.makespan, 10.0);
+  EXPECT_DOUBLE_EQ(res.node_finish[1], 10.0);  // loser freed at the win
+}
+
+TEST(ClusterSim, SpeculationOffLeavesStragglerUncontested) {
+  dsim::SimConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.node.slots = 1;
+  cfg.node.disk_mbps = 1e9;
+  cfg.per_node = {cfg.node, cfg.node};
+  cfg.per_node[1].cpu_speed = 0.01;
+  dsim::ClusterSim sim(cfg);
+  const std::vector<dsim::SimTask> tasks{
+      {.input_bytes = 0, .cpu_seconds = 1.0, .remote = false},
+      {.input_bytes = 0, .cpu_seconds = 1.0, .remote = false},
+      {.input_bytes = 0, .cpu_seconds = 8.0, .remote = false}};
+  const auto res = sim.run(tasks, fixed_assignment({0, 0, 1}));
+  EXPECT_EQ(res.speculative_launched, 0u);
+  EXPECT_EQ(res.task_node[2], 1u);
+  EXPECT_DOUBLE_EQ(res.makespan, 800.0);
+}
+
+TEST(ClusterSim, NoPointlessBackupsOnHomogeneousCluster) {
+  // A backup must beat the running attempt strictly; on equal nodes with
+  // equal tasks there is never a strictly earlier projected finish, so
+  // enabling speculation changes nothing.
+  dsim::SimConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.node.slots = 1;
+  cfg.node.disk_mbps = 1e9;
+  cfg.speculative = true;
+  dsim::ClusterSim sim(cfg);
+  const std::vector<dsim::SimTask> tasks(
+      2, {.input_bytes = 0, .cpu_seconds = 5.0, .remote = false});
+  const auto res = sim.run(tasks, fixed_assignment({0, 1}));
+  EXPECT_EQ(res.speculative_launched, 0u);
+  EXPECT_DOUBLE_EQ(res.task_finish[0], 5.0);
+  EXPECT_DOUBLE_EQ(res.task_finish[1], 5.0);
+}
+
 TEST(ClusterSim, RejectsBadConfigs) {
   dsim::SimConfig bad;
   bad.num_nodes = 0;
@@ -198,16 +261,36 @@ TEST(ClusterSim, RejectsBadConfigs) {
 
 namespace {
 struct SimFixture {
-  datanet::core::StoredDataset ds;
-  SimFixture()
-      : ds([] {
-          datanet::core::ExperimentConfig cfg;
-          cfg.num_nodes = 8;
-          cfg.block_size = 16 * 1024;
-          cfg.seed = 41;
-          return datanet::core::make_movie_dataset(cfg, 64, 300);
-        }()) {}
+  datanet::core::ExperimentConfig cfg = [] {
+    datanet::core::ExperimentConfig c;
+    c.num_nodes = 8;
+    c.block_size = 16 * 1024;
+    c.seed = 41;
+    return c;
+  }();
+  datanet::core::StoredDataset ds =
+      datanet::core::make_movie_dataset(cfg, 64, 300);
 };
+
+// Timing-only selection through the runtime's event backend: the modern
+// replacement for the old simulate_selection shim.
+struct SimSelection {
+  datanet::core::SelectionResult result;
+  dsim::SimResult sim;
+};
+
+SimSelection sim_selection(const SimFixture& f,
+                           const datanet::graph::BipartiteGraph& graph,
+                           datanet::scheduler::TaskScheduler& sched,
+                           const dsim::SelectionSimOptions& opt) {
+  dsim::EventSimBackend backend(*f.ds.dfs, opt);
+  datanet::core::DirectReadPolicy read(*f.ds.dfs, f.cfg.remote_read_penalty);
+  datanet::core::NoFaults faults;
+  const datanet::core::SelectionRuntime runtime(read, faults, backend);
+  auto result = runtime.run_graph(*f.ds.dfs, graph, "sim", sched, f.cfg,
+                                  /*materialize=*/false);
+  return {std::move(result), backend.last_sim()};
+}
 }  // namespace
 
 TEST(SelectionSim, AllBlocksExecuted) {
@@ -217,13 +300,16 @@ TEST(SelectionSim, AllBlocksExecuted) {
   datanet::scheduler::DataNetScheduler sched;
   dsim::SelectionSimOptions opt;
   opt.cluster.num_nodes = 8;
-  const auto report = dsim::simulate_selection(*f.ds.dfs, graph, sched, opt);
+  const auto report = sim_selection(f, graph, sched, opt);
   for (std::size_t j = 0; j < graph.num_blocks(); ++j) {
     EXPECT_GT(report.sim.task_finish[j], 0.0);
     EXPECT_LT(report.sim.task_node[j], 8u);
   }
-  const auto total = std::accumulate(report.node_filtered_bytes.begin(),
-                                     report.node_filtered_bytes.end(), 0ull);
+  // Timing-only runs don't materialize data; the scheduler's byte
+  // assignment still must cover every block's weight.
+  const auto total =
+      std::accumulate(report.result.assignment.node_load.begin(),
+                      report.result.assignment.node_load.end(), 0ull);
   EXPECT_EQ(total, graph.total_weight());
   EXPECT_GT(report.sim.makespan, 0.0);
 }
@@ -235,23 +321,20 @@ TEST(SelectionSim, DataNetBalancesUnderEventTiming) {
   dsim::SelectionSimOptions opt;
   opt.cluster.num_nodes = 8;
 
-  datanet::scheduler::LocalityScheduler base(7);
-  const auto rb = dsim::simulate_selection(
-      *f.ds.dfs, net.baseline_graph(), base, opt);
   // For byte-load comparison the baseline needs the true weights: reuse the
   // DataNet candidate graph for both schedulers.
   const auto graph = net.scheduling_graph(f.ds.hot_keys[0]);
-  datanet::scheduler::LocalityScheduler base2(7);
-  const auto r_loc = dsim::simulate_selection(*f.ds.dfs, graph, base2, opt);
+  datanet::scheduler::LocalityScheduler base(7);
+  const auto r_loc = sim_selection(f, graph, base, opt);
   datanet::scheduler::DataNetScheduler dn;
-  const auto r_dn = dsim::simulate_selection(*f.ds.dfs, graph, dn, opt);
+  const auto r_dn = sim_selection(f, graph, dn, opt);
 
   const auto cv = [](const std::vector<std::uint64_t>& v) {
     std::vector<double> d(v.begin(), v.end());
     return datanet::stats::summarize(d).coeff_variation();
   };
-  EXPECT_LT(cv(r_dn.node_filtered_bytes), cv(r_loc.node_filtered_bytes));
-  (void)rb;
+  EXPECT_LT(cv(r_dn.result.assignment.node_load),
+            cv(r_loc.result.assignment.node_load));
 }
 
 TEST(SelectionSim, MostReadsLocalWithLocalityScheduler) {
@@ -261,7 +344,7 @@ TEST(SelectionSim, MostReadsLocalWithLocalityScheduler) {
   datanet::scheduler::LocalityScheduler sched(7);
   dsim::SelectionSimOptions opt;
   opt.cluster.num_nodes = 8;
-  const auto report = dsim::simulate_selection(*f.ds.dfs, graph, sched, opt);
+  const auto report = sim_selection(f, graph, sched, opt);
   EXPECT_LT(report.sim.remote_reads, graph.num_blocks() / 3);
 }
 
@@ -272,8 +355,7 @@ TEST(SelectionSim, RejectsNodeMismatch) {
   datanet::scheduler::LocalityScheduler sched(7);
   dsim::SelectionSimOptions opt;
   opt.cluster.num_nodes = 4;  // dataset cluster is 8 nodes
-  EXPECT_THROW(dsim::simulate_selection(*f.ds.dfs, graph, sched, opt),
-               std::invalid_argument);
+  EXPECT_THROW(sim_selection(f, graph, sched, opt), std::invalid_argument);
 }
 
 // ---- full job simulation (map + shuffle + reduce) ----

@@ -1,9 +1,11 @@
 // Machine-readable benchmark report for CI and PR review: runs the Fig. 5
 // (movie, 256 blocks) selection under both schedulers through the
-// SelectionRuntime and the Fig. 7 shuffle comparison over the same filtered
-// data, and emits one JSON document with measured selection wall time (host
-// clock) plus the deterministic simulated report totals. Redirect to
-// BENCH_PR3.json via tools/bench_report.sh.
+// SelectionRuntime, the Fig. 7 shuffle comparison over the same filtered
+// data, and a straggler-tail experiment (stalled nodes + transient read
+// errors, timeout-only recovery vs speculation), and emits one JSON document
+// with measured selection wall time (host clock) plus the deterministic
+// simulated report totals. Redirect to BENCH_PR4.json via
+// tools/bench_report.sh.
 
 #include <chrono>
 #include <cstdio>
@@ -12,6 +14,7 @@
 #include "apps/topk_search.hpp"
 #include "apps/word_count.hpp"
 #include "datanet/selection_runtime.hpp"
+#include "dfs/fault_injector.hpp"
 #include "scheduler/datanet_sched.hpp"
 #include "scheduler/locality.hpp"
 #include "stats/descriptive.hpp"
@@ -82,7 +85,7 @@ void emit_selection(const char* name, const TimedSelection& t, bool last) {
 int main() {
   using namespace datanet;
   const auto cfg = paper_config();
-  const auto ds = core::make_movie_dataset(cfg, 256, 2000);
+  auto ds = core::make_movie_dataset(cfg, 256, 2000);
   const std::string key = ds.hot_keys[0];
   const core::DataNet net(*ds.dfs, ds.path, {.alpha = 0.3});
 
@@ -119,6 +122,72 @@ int main() {
   shuffle("WordCount", apps::make_word_count_job(), false);
   shuffle("TopKSearch", apps::make_topk_search_job("a stunning film", 10),
           true);
+  std::printf("  },\n");
+
+  // Straggler tail: two nodes stall immediately and two blocks throw
+  // transient read errors. Stalls and transients never touch DFS state, so
+  // the runs share the dataset; each gets a fresh injector. Everything here
+  // is simulated-clock deterministic.
+  const auto straggler = [&](bool speculative) {
+    const auto blocks = ds.dfs->blocks_of(ds.path);
+    std::vector<dfs::FaultEvent> plan;
+    plan.push_back(
+        {.at_task = 0, .kind = dfs::FaultKind::kStallNode, .node = 1});
+    plan.push_back(
+        {.at_task = 0, .kind = dfs::FaultKind::kStallNode, .node = 2});
+    // Armed before any read, on mid-file blocks the hot key is dense in.
+    plan.push_back({.at_task = 0,
+                    .kind = dfs::FaultKind::kTransientReadError,
+                    .block = blocks[blocks.size() / 2],
+                    .fail_count = 2});
+    plan.push_back({.at_task = 0,
+                    .kind = dfs::FaultKind::kTransientReadError,
+                    .block = blocks[blocks.size() / 2 + 1],
+                    .fail_count = 2});
+    dfs::FaultInjector injector(*ds.dfs, std::move(plan));
+    core::AttemptOptions aopt;
+    aopt.speculative = speculative;
+    // With the short default deadline, timeouts always beat the drain point
+    // and speculation never gets a turn; the speculative configuration uses
+    // a patient deadline so the duplicates race the stall instead.
+    if (speculative) aopt.timeout_ticks = 1000;
+    core::ChecksumRetryReadPolicy read(*ds.dfs, cfg.remote_read_penalty);
+    core::InjectedFaults faults(injector);
+    core::AnalyticBackend timing;
+    scheduler::DataNetScheduler sched;
+    return core::SelectionRuntime(read, faults, timing, aopt)
+        .run(*ds.dfs, ds.path, key, sched, &net, cfg);
+  };
+  const auto emit_attempts = [](const char* name,
+                                const core::SelectionResult& r, bool last) {
+    const auto& a = r.report.attempts;
+    std::printf(
+        "    \"%s\": {\n"
+        "      \"total_seconds\": %.6f,\n"
+        "      \"attempts\": %llu,\n"
+        "      \"timeouts\": %llu,\n"
+        "      \"transient_retries\": %llu,\n"
+        "      \"redispatches\": %llu,\n"
+        "      \"speculative_launched\": %llu,\n"
+        "      \"speculative_wins\": %llu,\n"
+        "      \"degraded_tasks\": %llu\n"
+        "    }%s\n",
+        name, r.report.total_seconds,
+        static_cast<unsigned long long>(a.attempts),
+        static_cast<unsigned long long>(a.timeouts),
+        static_cast<unsigned long long>(a.transient_retries),
+        static_cast<unsigned long long>(a.redispatches),
+        static_cast<unsigned long long>(a.speculative_launched),
+        static_cast<unsigned long long>(a.speculative_wins),
+        static_cast<unsigned long long>(a.degraded_tasks), last ? "" : ",");
+  };
+  const auto tail_timeout = straggler(/*speculative=*/false);
+  const auto tail_spec = straggler(/*speculative=*/true);
+  std::printf("  \"straggler_tail\": {\n");
+  std::printf("    \"clean_total_seconds\": %.6f,\n",
+              with.result.report.total_seconds);
+  emit_attempts("timeout_only", tail_timeout, false);
+  emit_attempts("speculation", tail_spec, true);
   std::printf("  }\n}\n");
   return 0;
 }

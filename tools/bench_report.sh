@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Build and run the machine-readable benchmark report, writing BENCH_PR3.json
+# Build and run the machine-readable benchmark report, writing BENCH_PR4.json
 # at the repo root: Fig. 5 selection wall time + simulated report totals for
-# both schedulers, and the Fig. 7 shuffle speedups, all through the
-# SelectionRuntime. Wall times depend on the host; the simulated totals are
-# bit-for-bit reproducible.
+# both schedulers, the Fig. 7 shuffle speedups, and the straggler-tail
+# attempt/timeout/speculation numbers, all through the SelectionRuntime.
+# Wall times depend on the host; the simulated totals are bit-for-bit
+# reproducible.
 #
 # Usage: tools/bench_report.sh [build-dir] (default: build)
 set -euo pipefail
@@ -14,6 +15,6 @@ build_dir="${repo_root}/${1:-build}"
 cmake -B "${build_dir}" -S "${repo_root}" >/dev/null
 cmake --build "${build_dir}" -j "$(nproc)" --target bench_report >/dev/null
 
-out="${repo_root}/BENCH_PR3.json"
+out="${repo_root}/BENCH_PR4.json"
 "${build_dir}/tools/bench_report" > "${out}"
 echo "wrote ${out}"

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Run the full tier-1 test suite under ThreadSanitizer.
+#
+# Configures a dedicated build tree (build-tsan/) with
+# -DDATANET_SANITIZE=thread, builds everything, and runs ctest. Used to
+# verify the parallel MapReduce engine and the SelectionRuntime's
+# thread-count-invariance claims: the straggler tests run the same faulted
+# selection at 1 and N engine threads, so a data race in the shuffle/reduce
+# or attempt bookkeeping shows up here.
+#
+# Usage: tools/tsan_tests.sh [extra ctest args...]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build-tsan"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DDATANET_SANITIZE=thread
+cmake --build "${build_dir}" -j "$(nproc)"
+
+# halt_on_error makes TSan reports fail the test instead of just printing.
+export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
+ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" "$@"
