@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <exception>
+#include <filesystem>
 
 #include "apps/distinct_users.hpp"
 #include "apps/histogram.hpp"
@@ -14,8 +15,11 @@
 #include "datanet/datanet.hpp"
 #include "datanet/experiment.hpp"
 #include "datanet/selection_runtime.hpp"
+#include "dfs/edit_log.hpp"
 #include "dfs/fault_injector.hpp"
+#include "dfs/fs_image.hpp"
 #include "dfs/fsck.hpp"
+#include "dfs/replication_monitor.hpp"
 #include "scheduler/datanet_sched.hpp"
 #include "scheduler/locality.hpp"
 #include "mapred/report_json.hpp"
@@ -400,6 +404,113 @@ int cmd_faults(const Args& args, std::ostream& out) {
   return 0;
 }
 
+int cmd_fsck(const Args& args, std::ostream& out) {
+  const auto file = args.get("in");
+  if (!file) return fail(out, "fsck requires --in FILE");
+  try {
+    const auto nodes = static_cast<std::uint32_t>(args.get_u64_or("nodes", 16));
+    dfs::DfsOptions dopt;
+    dopt.block_size = args.get_u64_or("block-size", 128 * 1024);
+    dopt.replication =
+        static_cast<std::uint32_t>(args.get_u64_or("replication", 3));
+    dopt.seed = args.get_u64_or("seed", 42);
+    dopt.inline_repair = false;  // healing flows through the monitor below
+
+    const std::string workdir = args.get_or(
+        "workdir",
+        (std::filesystem::temp_directory_path() / "datanet_fsck").string());
+    std::filesystem::create_directories(workdir);
+    const std::string journal_path = workdir + "/namenode.edits";
+    const std::string image_path = workdir + "/namenode.fsimage";
+
+    dfs::MiniDfs fs(dfs::ClusterTopology::flat(nodes), dopt);
+    dfs::EditLog journal(journal_path);
+    fs.attach_edit_log(&journal);
+    workload::LoadStats stats;
+    workload::ingest_file(fs, "/data", *file, &stats);
+    out << "ingested " << stats.loaded << " records into " << fs.num_blocks()
+        << " blocks (replication " << dopt.replication << ", " << nodes
+        << " nodes)\n\n";
+
+    // Checkpoint the clean namespace, then report what is on disk.
+    dfs::FsImage::save(fs, image_path);
+    const auto img = dfs::FsImage::inspect(image_path);
+    out << "checkpoint " << image_path << ": "
+        << common::format_bytes(img.file_bytes) << ", " << img.num_files
+        << " file(s), " << img.num_blocks << " blocks, " << img.active_nodes
+        << "/" << img.num_nodes << " nodes active, covers journal to offset "
+        << img.journal_covered << "\n";
+    const auto jr0 = dfs::EditLog::replay(journal_path);
+    out << "journal " << journal_path << ": " << jr0.records.size()
+        << " frames, " << common::format_bytes(jr0.valid_bytes) << " valid"
+        << (jr0.torn ? " (torn tail dropped)" : "") << "\n\n";
+
+    // Damage the cluster, journaling every mutation but repairing nothing.
+    auto injector = dfs::FaultInjector::random_plan(
+        fs, args.get_u64_or("fault-seed", 7), /*horizon_tasks=*/1,
+        static_cast<std::uint32_t>(args.get_u64_or("kill-nodes", 2)),
+        static_cast<std::uint32_t>(args.get_u64_or("corrupt-replicas", 4)));
+    injector.advance(~0ull);
+    const auto& fstats = injector.stats();
+    out << "fault plan fired: " << fstats.nodes_killed << " kill(s), "
+        << fstats.replicas_corrupted << " corrupt replica(s), "
+        << fstats.lost_blocks.size() << " block(s) lost outright\n";
+
+    dfs::ReplicationMonitor monitor(
+        fs, {.max_repairs_per_tick = static_cast<std::uint32_t>(
+                 args.get_u64_or("repair-rate", 4))});
+    monitor.scan();
+    const auto before = dfs::fsck(fs);
+    out << "fsck before healing: " << before.missing_blocks << " missing, "
+        << before.under_replicated << " under-replicated\n";
+    const auto queue = monitor.queue();
+    if (!queue.empty()) {
+      common::TextTable table({"block", "surviving", "target"});
+      const std::uint64_t top = args.get_u64_or("top", 10);
+      for (std::size_t i = 0; i < std::min<std::size_t>(top, queue.size());
+           ++i) {
+        table.add_row({std::to_string(queue[i].block),
+                       std::to_string(queue[i].surviving),
+                       std::to_string(queue[i].target)});
+      }
+      out << "healing queue (" << queue.size() << " pending, worst first):\n"
+          << table.to_string();
+    }
+
+    const auto ticks = monitor.drain();
+    const auto& m = monitor.stats();
+    const auto after = dfs::fsck(fs);
+    out << "\ndrained in " << ticks << " tick(s) at rate "
+        << args.get_u64_or("repair-rate", 4) << ": " << m.healed_blocks
+        << " healed, " << m.repairs << " replicas created, "
+        << m.scrubbed_replicas << " corrupt copies scrubbed, "
+        << m.unrepairable << " unrepairable, mttr " << m.mttr_ticks
+        << " tick(s), queue now " << monitor.queue().size() << "\n";
+    out << "fsck after healing: " << after.missing_blocks << " missing, "
+        << after.under_replicated << " under-replicated\n";
+
+    // Crash the NameNode and prove recover() rebuilds the same namespace
+    // from checkpoint + journal suffix.
+    const auto live_digest = fs.namespace_digest();
+    fs.crash_namenode();
+    dfs::RecoveryInfo info;
+    const auto recovered = dfs::MiniDfs::recover(image_path, journal_path, &info);
+    out << "\ncrash + recover: replayed " << info.replayed_frames
+        << " journal frame(s) past the checkpoint (" << info.skipped_frames
+        << " covered by it)";
+    if (info.torn) out << ", torn tail of " << info.dropped_bytes << " B dropped";
+    out << "\n";
+    if (recovered.namespace_digest() != live_digest) {
+      return fail(out, "recovered namespace digest mismatch");
+    }
+    out << "recovered namespace digest matches the pre-crash NameNode\n";
+  } catch (const std::exception& e) {
+    return fail(out, e.what());
+  }
+  warn_unused(args, out);
+  return 0;
+}
+
 int cmd_forecast(const Args& args, std::ostream& out) {
   const auto file = args.get("in");
   if (!file) return fail(out, "forecast requires --in FILE");
@@ -485,6 +596,9 @@ commands:
             [--kill-nodes K] [--stall-nodes S] [--transient-reads T]
             [--corrupt-replicas C] [--fault-seed S] [--timeout-ticks T]
             [--max-attempts A] [--no-speculation] [--json]
+  fsck      --in FILE [--nodes N] [--replication R] [--block-size BYTES]
+            [--kill-nodes K] [--corrupt-replicas C] [--fault-seed S]
+            [--repair-rate R] [--top K] [--workdir DIR]
   forecast  --in FILE --key SUBDATASET [--block-size BYTES]
 )";
 }
@@ -507,6 +621,7 @@ int run_cli(const std::vector<std::string>& argv, std::ostream& out) {
   if (command == "analyze") return cmd_analyze(*args, out);
   if (command == "simulate") return cmd_simulate(*args, out);
   if (command == "faults") return cmd_faults(*args, out);
+  if (command == "fsck") return cmd_fsck(*args, out);
   if (command == "forecast") return cmd_forecast(*args, out);
   out << "error: unknown command '" << command << "'\n" << usage();
   return 1;

@@ -10,6 +10,10 @@
 //   simulate  — event-driven selection timing on configurable hardware
 //   faults    — selection under an injected fault plan (kills, stalls,
 //               transient read errors) with the attempt/timeout report
+//   fsck      — NameNode durability walkthrough: checkpoint + journal status,
+//               a fault plan, the under-replication table and healing queue
+//               before/after a ReplicationMonitor drain, and a crash/recover
+//               round-trip verified by namespace digest
 //   forecast  — Section II-B imbalance forecast fitted from a log file
 
 #include <ostream>
@@ -27,6 +31,7 @@ int cmd_inspect(const Args& args, std::ostream& out);
 int cmd_analyze(const Args& args, std::ostream& out);
 int cmd_simulate(const Args& args, std::ostream& out);
 int cmd_faults(const Args& args, std::ostream& out);
+int cmd_fsck(const Args& args, std::ostream& out);
 int cmd_forecast(const Args& args, std::ostream& out);
 
 // Dispatch "generate|inspect|analyze --flags..." and handle help/unknown

@@ -34,6 +34,7 @@ StoredDataset make_dataset_shell(const ExperimentConfig& cfg,
   dopt.block_size = cfg.block_size;
   dopt.replication = cfg.replication;
   dopt.seed = cfg.seed;
+  dopt.inline_repair = cfg.inline_repair;
   ds.dfs = std::make_unique<dfs::MiniDfs>(
       dfs::ClusterTopology::flat(cfg.num_nodes), dopt);
   ds.path = std::move(path);

@@ -34,6 +34,10 @@ struct ExperimentConfig {
   // Worker threads for the engine's real execution (0 = hardware
   // concurrency). Reports are bit-identical for any value.
   std::uint32_t execution_threads = 0;
+  // Forwarded to DfsOptions::inline_repair: false defers re-replication to a
+  // background dfs::ReplicationMonitor instead of repairing inline at fault
+  // time (see SelectionRuntime::with_replication_monitor).
+  bool inline_repair = true;
 
   [[nodiscard]] double effective_time_scale() const {
     return time_scale > 0.0

@@ -5,6 +5,7 @@
 
 #include "apps/filter.hpp"
 #include "dfs/fsck.hpp"
+#include "dfs/replication_monitor.hpp"
 #include "workload/record.hpp"
 
 namespace datanet::core {
@@ -345,6 +346,10 @@ SelectionResult SelectionRuntime::run_graph(const dfs::MiniDfs& dfs,
         ++executed;
         react(faults_->advance(executed));
         handle_timeouts();
+        if (monitor_ != nullptr) {
+          monitor_->scan();
+          monitor_->tick();
+        }
         continue;
       }
 
@@ -373,6 +378,14 @@ SelectionResult SelectionRuntime::run_graph(const dfs::MiniDfs& dfs,
       ++executed;
       react(faults_->advance(executed));
       handle_timeouts();
+      if (monitor_ != nullptr) {
+        // Background healing rides the run's logical clock: one monitor tick
+        // per executed task, rate-limited inside tick(). The loop is
+        // single-threaded regardless of cfg.execution_threads, so healing is
+        // bit-identical across engine thread counts.
+        monitor_->scan();
+        monitor_->tick();
+      }
     }
 
     // Anything still open ran out of live attempts: degrade loudly rather
@@ -403,6 +416,10 @@ SelectionResult SelectionRuntime::run_graph(const dfs::MiniDfs& dfs,
     counters.degraded_tasks = s.degraded_tasks;
   }
 
+  // Let the healing queue converge once the selection stops generating new
+  // damage (also covers timing-only runs, where the loop above never ran).
+  if (monitor_ != nullptr) monitor_->drain();
+
   result.report = timing_->report(key, splits, cfg, faults_->node_speeds(),
                                   counters);
   result.report.retries = retries;
@@ -417,11 +434,18 @@ SelectionResult SelectionRuntime::run_graph(const dfs::MiniDfs& dfs,
   result.report.attempts.speculative_launched += counters.speculative_launched;
   result.report.attempts.speculative_wins += counters.speculative_wins;
   result.report.attempts.degraded_tasks += counters.degraded_tasks;
-  if (materialize) {
-    // Post-run DFS health: kills strand replicas; a completed faulted
-    // selection must never silently leave data missing (dfs::fsck's
-    // post-fault invariant, tested in faults_test.cpp).
-    result.report.under_replicated = dfs::fsck(dfs).under_replicated;
+  // Post-run DFS health, on clean and timing-only runs too: an
+  // under-replicated seed layout is visible without injecting a fault, and
+  // kills strand replicas until healing (inline or monitor) catches up.
+  result.report.under_replicated = dfs::fsck(dfs).under_replicated;
+  if (monitor_ != nullptr) {
+    const dfs::ReplicationMonitorStats& ms = monitor_->stats();
+    result.report.recovery.healed_blocks = ms.healed_blocks;
+    result.report.recovery.pending_repairs = ms.pending_repairs;
+    result.report.recovery.mttr_ticks = ms.mttr_ticks;
+    result.report.recovery.monitor_ticks = ms.ticks;
+    result.report.recovery.scrubbed_replicas = ms.scrubbed_replicas;
+    result.report.recovery.unrepairable = ms.unrepairable;
   }
   result.report.degraded = !result.lost_block_ids.empty() ||
                            result.report.attempts.degraded_tasks > 0;

@@ -44,6 +44,10 @@
 #include "datanet/experiment.hpp"
 #include "dfs/fault_injector.hpp"
 
+namespace datanet::dfs {
+class ReplicationMonitor;
+}
+
 namespace datanet::core {
 
 // ---- read policy ----
@@ -186,6 +190,18 @@ class SelectionRuntime {
     attempts_.validate();
   }
 
+  // Optional fourth seam: a background healing loop over the same DFS the
+  // run reads from. When wired in, the monitor scans + ticks once per
+  // executed task (its tick clock advances with the run), is drained after
+  // the selection finishes, and its counters land in report.recovery — via
+  // whichever TimingBackend produced the report. The monitor must outlive
+  // the runtime; pair it with DfsOptions::inline_repair = false so healing
+  // actually flows through the queue.
+  SelectionRuntime& with_replication_monitor(dfs::ReplicationMonitor& monitor) {
+    monitor_ = &monitor;
+    return *this;
+  }
+
   // Full pipeline: build the scheduling graph for `key` (DataNet prunes +
   // weights candidate blocks when `net` != nullptr; the content-blind
   // baseline scans everything with zero weights) and execute it.
@@ -211,6 +227,7 @@ class SelectionRuntime {
   FaultPolicy* faults_;
   TimingBackend* timing_;
   AttemptOptions attempts_;
+  dfs::ReplicationMonitor* monitor_ = nullptr;  // optional; non-owning
 };
 
 // ---- shared filtering kernel ----

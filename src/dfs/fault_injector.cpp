@@ -167,6 +167,12 @@ void FaultInjector::apply(const FaultEvent& event) {
       stats_.transient_failures_armed += event.fail_count;
       break;
     }
+    case FaultKind::kCrashNameNode: {
+      if (dfs_->edit_log() == nullptr) break;  // nothing durable to tear
+      dfs_->crash_namenode(event.journal_keep_bytes);
+      ++stats_.namenode_crashes;
+      break;
+    }
   }
 }
 

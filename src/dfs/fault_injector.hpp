@@ -27,6 +27,10 @@ enum class FaultKind : std::uint8_t {
                     // the straggler case, distinguishable from kKillNode
   kTransientReadError,  // the next `fail_count` reads of `block` fail before
                         // one succeeds (exercises timeout/backoff, not loss)
+  kCrashNameNode,   // kill the NameNode: seal the attached edit log, tearing
+                    // its tail down to `journal_keep_bytes` (kKeepAllBytes =
+                    // a clean death). No-op when no journal is attached, so
+                    // plans stay portable to non-durable runs.
 };
 
 struct FaultEvent {
@@ -37,6 +41,9 @@ struct FaultEvent {
   BlockId block = 0;  // kCorruptReplica / kCorruptBlock / kTransientReadError
   double speed_factor = 1.0;  // kSlowNode only; < 1 means slower
   std::uint32_t fail_count = 1;  // kTransientReadError only; reads that fail
+  // kCrashNameNode only: journal bytes surviving the crash (a torn final
+  // frame); MiniDfs::kKeepAllBytes keeps the whole durable tail.
+  std::uint64_t journal_keep_bytes = MiniDfs::kKeepAllBytes;
 
   // kCorruptReplica resolution: if `node` hosts `block` at fire time that
   // copy is corrupted; otherwise (re-replication may have moved copies since
@@ -52,6 +59,7 @@ struct FaultStats {
   std::uint64_t nodes_stalled = 0;
   std::uint64_t transient_failures_armed = 0;    // sum of fail_count fired
   std::uint64_t transient_failures_consumed = 0; // reads actually failed
+  std::uint64_t namenode_crashes = 0;            // kCrashNameNode fired
   // Blocks whose last replica died with a killed node (replication-1 loss).
   std::vector<BlockId> lost_blocks;
 };

@@ -51,6 +51,25 @@ FsckReport fsck(const MiniDfs& dfs) {
   return report;
 }
 
+std::vector<UnderReplicatedBlock> under_replicated_blocks(const MiniDfs& dfs) {
+  std::vector<UnderReplicatedBlock> out;
+  const auto target = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+      dfs.options().replication, dfs.num_active_nodes()));
+  for (BlockId id = 0; id < dfs.num_blocks(); ++id) {
+    const auto surviving =
+        static_cast<std::uint32_t>(dfs.block(id).replicas.size());
+    if (surviving > 0 && surviving < target) {
+      out.push_back({id, surviving, target});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const UnderReplicatedBlock& a, const UnderReplicatedBlock& b) {
+              if (a.surviving != b.surviving) return a.surviving < b.surviving;
+              return a.block < b.block;
+            });
+  return out;
+}
+
 PostFaultCheck check_post_fault_invariants(const MiniDfs& dfs) {
   PostFaultCheck check;
   check.report = fsck(dfs);

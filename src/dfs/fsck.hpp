@@ -29,6 +29,21 @@ struct FsckReport {
 // Inspect the replica map against the configured replication target.
 [[nodiscard]] FsckReport fsck(const MiniDfs& dfs);
 
+// One row of the under-replication table: a block with fewer replicas than
+// its effective target (min(configured replication, active nodes) — the same
+// rule fsck counts by, so draining this list leaves fsck clean).
+struct UnderReplicatedBlock {
+  BlockId block = 0;
+  std::uint32_t surviving = 0;  // current replica count
+  std::uint32_t target = 0;     // effective target
+};
+
+// All under-replicated blocks, most-damaged first (fewest surviving
+// replicas, block id as tiebreak) — the ReplicationMonitor's work queue
+// order and the CLI's table.
+[[nodiscard]] std::vector<UnderReplicatedBlock> under_replicated_blocks(
+    const MiniDfs& dfs);
+
 // Post-run invariant over a faulted DFS: a completed selection may leave
 // blocks under-replicated (kills strand replicas until re-replication
 // catches up), but data must never silently go missing — unless the cluster

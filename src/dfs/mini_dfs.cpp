@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/hash.hpp"
+#include "dfs/edit_log.hpp"
 
 namespace datanet::dfs {
 
@@ -67,6 +68,7 @@ MiniDfs::MiniDfs(ClusterTopology topology, DfsOptions options)
 FileWriter MiniDfs::create(std::string path) {
   if (files_.contains(path)) throw std::invalid_argument("file exists: " + path);
   files_.emplace(path, std::vector<BlockId>{});
+  log_edit({.op = EditOp::kCreateFile, .file = path});
   return FileWriter(this, std::move(path));
 }
 
@@ -96,6 +98,19 @@ BlockId MiniDfs::commit_block(const std::string& path, std::string data,
   blocks_.push_back(std::move(info));
   block_data_.push_back(std::move(data));
   block_verified_.push_back(kOk);  // checksum just computed from these bytes
+  if (journal_ != nullptr) {
+    const BlockInfo& b = blocks_.back();
+    // The journal carries the block bytes: MiniDfs keeps the one in-memory
+    // copy that stands in for the datanode plane, so a recovered NameNode
+    // must get them from the log (or the checkpoint) to serve reads.
+    log_edit({.op = EditOp::kAddBlock,
+              .file = b.file,
+              .block = b.id,
+              .num_records = b.num_records,
+              .checksum = b.checksum,
+              .replicas = b.replicas,
+              .data = block_data_.back()});
+  }
   return id;
 }
 
@@ -153,15 +168,20 @@ void MiniDfs::move_replica(BlockId id, NodeId from, NodeId to) {
   if (!node_active_[to]) {
     throw std::invalid_argument("move_replica: target node inactive");
   }
-  auto& reps = blocks_[id].replicas;
-  const auto it = std::find(reps.begin(), reps.end(), from);
-  if (it == reps.end()) {
+  const auto& reps = blocks_[id].replicas;
+  if (std::find(reps.begin(), reps.end(), from) == reps.end()) {
     throw std::invalid_argument("move_replica: source does not host block");
   }
   if (std::find(reps.begin(), reps.end(), to) != reps.end()) {
     throw std::invalid_argument("move_replica: target already hosts block");
   }
-  *it = to;
+  move_replica_impl(id, from, to);
+  log_edit({.op = EditOp::kMoveReplica, .block = id, .node = from, .node2 = to});
+}
+
+void MiniDfs::move_replica_impl(BlockId id, NodeId from, NodeId to) {
+  auto& reps = blocks_[id].replicas;
+  *std::find(reps.begin(), reps.end(), from) = to;
   auto& from_inv = node_blocks_[from];
   from_inv.erase(std::remove(from_inv.begin(), from_inv.end(), id),
                  from_inv.end());
@@ -173,18 +193,11 @@ void MiniDfs::move_replica(BlockId id, NodeId from, NodeId to) {
   }
 }
 
-std::vector<dfs::BlockId> MiniDfs::decommission(NodeId node) {
-  if (node >= node_active_.size()) {
-    throw std::out_of_range("decommission: bad node");
-  }
-  if (!node_active_[node]) return {};
+std::vector<BlockId> MiniDfs::drop_node(NodeId node) {
   node_active_[node] = false;
   --active_nodes_;
-
-  std::vector<BlockId> lost;
   const std::vector<BlockId> hosted = std::move(node_blocks_[node]);
   node_blocks_[node].clear();
-
   for (const BlockId id : hosted) {
     auto& reps = blocks_[id].replicas;
     reps.erase(std::remove(reps.begin(), reps.end(), node), reps.end());
@@ -194,22 +207,47 @@ std::vector<dfs::BlockId> MiniDfs::decommission(NodeId node) {
       marks.erase(std::remove(marks.begin(), marks.end(), node), marks.end());
       if (marks.empty()) corrupt_replicas_.erase(it);
     }
+  }
+  return hosted;
+}
+
+std::optional<NodeId> MiniDfs::pick_rereplication_target(
+    const std::vector<NodeId>& reps) {
+  std::vector<NodeId> candidates;
+  for (NodeId n = 0; n < topology_.num_nodes(); ++n) {
+    if (node_active_[n] &&
+        std::find(reps.begin(), reps.end(), n) == reps.end()) {
+      candidates.push_back(n);
+    }
+  }
+  if (candidates.empty()) return std::nullopt;
+  return candidates[placement_rng_.bounded(candidates.size())];
+}
+
+std::vector<BlockId> MiniDfs::decommission(NodeId node) {
+  if (node >= node_active_.size()) {
+    throw std::out_of_range("decommission: bad node");
+  }
+  if (!node_active_[node]) return {};
+  const std::vector<BlockId> hosted = drop_node(node);
+  // One kDecommission frame stands for the whole strip; inline repairs are
+  // journaled as explicit kAddReplica frames so replay never re-runs the
+  // placement RNG.
+  log_edit({.op = EditOp::kDecommission, .node = node});
+
+  std::vector<BlockId> lost;
+  for (const BlockId id : hosted) {
+    auto& reps = blocks_[id].replicas;
     if (reps.empty()) {
       lost.push_back(id);
       continue;  // no surviving copy to re-replicate from
     }
-    // Re-replicate onto an active node that does not already hold the block.
-    std::vector<NodeId> candidates;
-    for (NodeId n = 0; n < topology_.num_nodes(); ++n) {
-      if (node_active_[n] &&
-          std::find(reps.begin(), reps.end(), n) == reps.end()) {
-        candidates.push_back(n);
-      }
-    }
-    if (candidates.empty()) continue;  // under-replicated, but not lost
-    const NodeId target = candidates[placement_rng_.bounded(candidates.size())];
-    reps.push_back(target);
-    node_blocks_[target].push_back(id);
+    if (!options_.inline_repair) continue;  // ReplicationMonitor's job
+    const auto target = pick_rereplication_target(reps);
+    if (!target) continue;  // under-replicated, but not lost
+    reps.push_back(*target);
+    node_blocks_[*target].push_back(id);
+    log_edit({.op = EditOp::kAddReplica, .block = id, .node = *target});
   }
   return lost;
 }
@@ -272,16 +310,10 @@ std::string_view MiniDfs::read_replica(BlockId id, NodeId node) const {
   return read_block(id);  // verifies the logical bytes
 }
 
-bool MiniDfs::report_corrupt_replica(BlockId id, NodeId node) {
-  if (id >= blocks_.size()) {
-    throw std::out_of_range("report_corrupt_replica: bad block");
-  }
+bool MiniDfs::drop_replica(BlockId id, NodeId node) {
   auto& reps = blocks_[id].replicas;
   const auto it = std::find(reps.begin(), reps.end(), node);
-  if (it == reps.end()) {
-    throw std::invalid_argument("report_corrupt_replica: node does not host block");
-  }
-  // Drop the bad copy.
+  if (it == reps.end()) return false;
   reps.erase(it);
   auto& inv = node_blocks_[node];
   inv.erase(std::remove(inv.begin(), inv.end(), id), inv.end());
@@ -290,29 +322,173 @@ bool MiniDfs::report_corrupt_replica(BlockId id, NodeId node) {
     marks.erase(std::remove(marks.begin(), marks.end(), node), marks.end());
     if (marks.empty()) corrupt_replicas_.erase(mit);
   }
+  return true;
+}
+
+bool MiniDfs::report_corrupt_replica(BlockId id, NodeId node) {
+  if (id >= blocks_.size()) {
+    throw std::out_of_range("report_corrupt_replica: bad block");
+  }
+  if (!is_local(id, node)) {
+    throw std::invalid_argument("report_corrupt_replica: node does not host block");
+  }
+  // Drop the bad copy.
+  drop_replica(id, node);
+  log_edit({.op = EditOp::kRemoveReplica, .block = id, .node = node});
 
   // Media corruption of the logical bytes: no healthy source exists.
   if (!verify_block(id)) return false;
 
+  const auto& reps = blocks_[id].replicas;
   // A healthy, active source replica must remain to copy from.
   const bool have_source = std::any_of(
       reps.begin(), reps.end(), [&](NodeId n) { return replica_healthy(id, n); });
   if (!have_source) return false;
 
-  // Re-replicate onto an active node that does not already hold the block
-  // (same choice rule as decommission).
-  std::vector<NodeId> candidates;
-  for (NodeId n = 0; n < topology_.num_nodes(); ++n) {
-    if (node_active_[n] && std::find(reps.begin(), reps.end(), n) == reps.end()) {
-      candidates.push_back(n);
+  if (options_.inline_repair) {
+    // Re-replicate onto an active node that does not already hold the block
+    // (same choice rule as decommission).
+    if (const auto target = pick_rereplication_target(reps)) {
+      blocks_[id].replicas.push_back(*target);
+      node_blocks_[*target].push_back(id);
+      log_edit({.op = EditOp::kAddReplica, .block = id, .node = *target});
     }
   }
-  if (!candidates.empty()) {
-    const NodeId target = candidates[placement_rng_.bounded(candidates.size())];
-    reps.push_back(target);
-    node_blocks_[target].push_back(id);
-  }
   return true;
+}
+
+std::vector<NodeId> MiniDfs::corrupt_replica_marks(BlockId id) const {
+  if (id >= blocks_.size()) {
+    throw std::out_of_range("corrupt_replica_marks: bad block");
+  }
+  const auto it = corrupt_replicas_.find(id);
+  if (it == corrupt_replicas_.end()) return {};
+  std::vector<NodeId> marks = it->second;
+  std::sort(marks.begin(), marks.end());
+  return marks;
+}
+
+std::optional<NodeId> MiniDfs::repair_block(BlockId id) {
+  if (id >= blocks_.size()) throw std::out_of_range("repair_block: bad block");
+  auto& reps = blocks_[id].replicas;
+  const bool have_source = std::any_of(
+      reps.begin(), reps.end(), [&](NodeId n) { return replica_healthy(id, n); });
+  if (!have_source) return std::nullopt;
+  std::vector<bool> eligible(node_active_.size(), false);
+  std::uint32_t num_eligible = 0;
+  for (NodeId n = 0; n < topology_.num_nodes(); ++n) {
+    if (node_active_[n] &&
+        std::find(reps.begin(), reps.end(), n) == reps.end()) {
+      eligible[n] = true;
+      ++num_eligible;
+    }
+  }
+  if (num_eligible == 0) return std::nullopt;
+  const NodeId target = placement_->place(topology_, eligible, 1, placement_rng_)[0];
+  reps.push_back(target);
+  node_blocks_[target].push_back(id);
+  log_edit({.op = EditOp::kAddReplica, .block = id, .node = target});
+  return target;
+}
+
+// ---- crash recovery ----
+
+void MiniDfs::log_edit(const EditRecord& record) {
+  if (journal_ != nullptr) journal_->append(record);
+}
+
+void MiniDfs::crash_namenode(std::uint64_t journal_keep_bytes) {
+  if (journal_ == nullptr) {
+    throw std::logic_error("crash_namenode: no journal attached");
+  }
+  if (journal_keep_bytes == kKeepAllBytes) {
+    journal_->seal();
+  } else {
+    journal_->crash_truncate(journal_keep_bytes);
+  }
+  journal_ = nullptr;
+}
+
+void MiniDfs::apply_edit(const EditRecord& record) {
+  switch (record.op) {
+    case EditOp::kCreateFile:
+      if (!files_.contains(record.file)) {
+        files_.emplace(record.file, std::vector<BlockId>{});
+      }
+      break;
+    case EditOp::kAddBlock: {
+      if (record.block < blocks_.size()) break;  // already applied
+      if (record.block > blocks_.size()) {
+        throw std::runtime_error("apply_edit: block id gap in journal");
+      }
+      if (!files_.contains(record.file)) {
+        files_.emplace(record.file, std::vector<BlockId>{});
+      }
+      BlockInfo info;
+      info.id = record.block;
+      info.file = record.file;
+      info.index_in_file =
+          static_cast<std::uint32_t>(files_.at(record.file).size());
+      info.size_bytes = record.data.size();
+      info.num_records = record.num_records;
+      info.checksum = record.checksum;
+      info.replicas = record.replicas;
+      for (const NodeId n : info.replicas) node_blocks_[n].push_back(info.id);
+      total_bytes_ += info.size_bytes;
+      files_.at(record.file).push_back(info.id);
+      blocks_.push_back(std::move(info));
+      block_data_.push_back(record.data);
+      block_verified_.push_back(kUnknown);  // recompute honestly on read
+      break;
+    }
+    case EditOp::kDecommission:
+      if (node_active_[record.node]) drop_node(record.node);
+      break;
+    case EditOp::kRemoveReplica:
+      if (is_local(record.block, record.node)) {
+        drop_replica(record.block, record.node);
+      }
+      break;
+    case EditOp::kAddReplica:
+      if (!is_local(record.block, record.node)) {
+        blocks_[record.block].replicas.push_back(record.node);
+        node_blocks_[record.node].push_back(record.block);
+      }
+      break;
+    case EditOp::kMoveReplica:
+      if (is_local(record.block, record.node) &&
+          !is_local(record.block, record.node2)) {
+        move_replica_impl(record.block, record.node, record.node2);
+      }
+      break;
+  }
+}
+
+std::uint64_t MiniDfs::namespace_digest() const {
+  std::uint64_t h = common::hash_bytes("minidfs-namespace-v1");
+  std::vector<std::string> names = list_files();
+  std::sort(names.begin(), names.end());
+  h = common::hash_combine(h, names.size());
+  for (const std::string& name : names) {
+    h = common::hash_combine(h, common::hash_bytes(name));
+    for (const BlockId id : files_.at(name)) {
+      const BlockInfo& b = blocks_[id];
+      h = common::hash_combine(h, b.id);
+      h = common::hash_combine(h, b.index_in_file);
+      h = common::hash_combine(h, b.size_bytes);
+      h = common::hash_combine(h, b.num_records);
+      h = common::hash_combine(h, b.checksum);
+      std::vector<NodeId> reps = b.replicas;
+      std::sort(reps.begin(), reps.end());
+      h = common::hash_combine(h, reps.size());
+      for (const NodeId n : reps) h = common::hash_combine(h, n);
+      h = common::hash_combine(h, common::hash_bytes(block_data_[id]));
+    }
+  }
+  for (const bool active : node_active_) {
+    h = common::hash_combine(h, active ? 1 : 0);
+  }
+  return h;
 }
 
 }  // namespace datanet::dfs

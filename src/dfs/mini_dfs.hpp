@@ -52,9 +52,25 @@ struct DfsOptions {
   std::uint64_t block_size = 1ull << 20;  // scaled-down stand-in for 64 MB
   std::uint32_t replication = 3;
   std::uint64_t seed = 42;
+  // When true (the default), decommission and report_corrupt_replica
+  // re-replicate inline, one-shot, as they always have. When false the
+  // NameNode only records the damage and a ReplicationMonitor is expected to
+  // heal under-replication in the background (rate-limited, prioritized).
+  bool inline_repair = true;
 };
 
 class MiniDfs;
+class EditLog;
+struct EditRecord;
+class FsImage;
+
+// Outcome of MiniDfs::recover beyond the rebuilt namespace itself.
+struct RecoveryInfo {
+  std::uint64_t replayed_frames = 0;  // journal suffix frames applied
+  std::uint64_t skipped_frames = 0;   // frames already covered by the image
+  std::uint64_t dropped_bytes = 0;    // torn tail discarded by replay
+  bool torn = false;
+};
 
 // Append-only writer; blocks are sealed when a record would overflow the
 // block size (a record larger than a block gets a block of its own).
@@ -153,17 +169,77 @@ class MiniDfs {
   [[nodiscard]] std::string_view read_replica(BlockId id, NodeId node) const;
 
   // NameNode reaction to a client-reported checksum failure: drop the bad
-  // copy on `node` and re-replicate from a healthy replica onto an active
-  // node that does not already host the block. Returns true when a healthy
-  // replica remains afterwards; false means the block is unreadable (every
-  // copy bad — with replication 1 or corrupt_block).
+  // copy on `node` and (inline_repair only) re-replicate from a healthy
+  // replica onto an active node that does not already host the block.
+  // Returns true when a healthy replica remains afterwards; false means the
+  // block is unreadable (every copy bad — with replication 1 or
+  // corrupt_block).
   bool report_corrupt_replica(BlockId id, NodeId node);
+
+  // Copy of the marked-corrupt node list for `id`, sorted (empty when every
+  // copy is clean). Read by the ReplicationMonitor scrub pass and the CLI.
+  [[nodiscard]] std::vector<NodeId> corrupt_replica_marks(BlockId id) const;
+
+  // ---- crash recovery ----
+
+  // Attach a write-ahead journal; every namespace mutation from here on is
+  // appended (and flushed) before the in-memory state returns to the caller.
+  // Non-owning: `log` must outlive the attachment. Pass nullptr to detach.
+  void attach_edit_log(EditLog* log) noexcept { journal_ = log; }
+  [[nodiscard]] EditLog* edit_log() const noexcept { return journal_; }
+
+  static constexpr std::uint64_t kKeepAllBytes = ~0ull;
+  // Kill the NameNode process: seal the attached journal (optionally tearing
+  // its tail down to `journal_keep_bytes` — a crash mid-append) and detach
+  // it. The in-memory object stays readable so tests can compare the live
+  // namespace against what recover() rebuilds.
+  void crash_namenode(std::uint64_t journal_keep_bytes = kKeepAllBytes);
+
+  // Rebuild a NameNode from the last checkpoint plus the journal suffix:
+  // FsImage::load(image_path), then apply every intact journal frame past the
+  // offset the image covers. Torn tails are dropped, never thrown. The
+  // recovered instance uses RandomPlacement and a fresh placement RNG — the
+  // namespace is restored exactly, the RNG stream is not.
+  [[nodiscard]] static MiniDfs recover(const std::string& image_path,
+                                       const std::string& journal_path,
+                                       RecoveryInfo* info = nullptr);
+
+  // Order-insensitive digest of the durable namespace: files, block
+  // metadata + bytes, sorted replica sets, and the active-node mask.
+  // Corruption marks and verification memos are runtime health state and are
+  // deliberately excluded (they are rediscovered by scanning, not recovered).
+  [[nodiscard]] std::uint64_t namespace_digest() const;
+
+  // ---- background healing primitive ----
+
+  // Add one replica of `id` on an active non-hosting node chosen by the
+  // placement policy. Requires a healthy source copy. Returns the target
+  // node, or nullopt when the block has no healthy source or no eligible
+  // target (then it is unrepairable for now). Used by ReplicationMonitor.
+  std::optional<NodeId> repair_block(BlockId id);
 
  private:
   friend class FileWriter;
+  friend class FsImage;
   BlockId commit_block(const std::string& path, std::string data,
                        std::uint64_t num_records);
   [[nodiscard]] bool replica_marked_corrupt(BlockId id, NodeId node) const;
+  // Journal one record iff a journal is attached.
+  void log_edit(const EditRecord& record);
+  // Replay-side interpreter: idempotent application of one journal record
+  // (already-applied records are skipped, so checkpoint + full journal and
+  // checkpoint + suffix converge to the same namespace).
+  void apply_edit(const EditRecord& record);
+  // Deactivate `node` and drop every replica it held (no re-replication, no
+  // journaling); returns the blocks that were hosted there.
+  std::vector<BlockId> drop_node(NodeId node);
+  // Drop the copy of `id` on `node` (replica list, inventory, corruption
+  // mark); returns false when `node` does not host the block.
+  bool drop_replica(BlockId id, NodeId node);
+  // Shared inline-repair choice rule: uniform over active non-hosting nodes.
+  [[nodiscard]] std::optional<NodeId> pick_rereplication_target(
+      const std::vector<NodeId>& reps);
+  void move_replica_impl(BlockId id, NodeId from, NodeId to);
 
   ClusterTopology topology_;
   DfsOptions options_;
@@ -184,6 +260,7 @@ class MiniDfs {
   mutable std::vector<std::uint8_t> block_verified_;
   // (block -> nodes whose copy is marked bad); sparse, fault-injection only.
   std::unordered_map<BlockId, std::vector<NodeId>> corrupt_replicas_;
+  EditLog* journal_ = nullptr;  // non-owning; nullptr = no durability
 };
 
 }  // namespace datanet::dfs

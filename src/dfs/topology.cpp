@@ -22,4 +22,21 @@ ClusterTopology ClusterTopology::racked(std::uint32_t num_nodes,
   return t;
 }
 
+ClusterTopology ClusterTopology::from_rack_of(
+    const std::vector<RackId>& rack_of) {
+  if (rack_of.empty()) throw std::invalid_argument("topology: num_nodes == 0");
+  ClusterTopology t;
+  t.rack_of_ = rack_of;
+  for (NodeId n = 0; n < rack_of.size(); ++n) {
+    const RackId r = rack_of[n];
+    if (r >= t.racks_.size()) t.racks_.resize(r + 1);
+    t.racks_[r].push_back(n);
+  }
+  for (const auto& rack : t.racks_) {
+    if (rack.empty()) throw std::invalid_argument("topology: sparse rack ids");
+  }
+  t.num_racks_ = static_cast<std::uint32_t>(t.racks_.size());
+  return t;
+}
+
 }  // namespace datanet::dfs

@@ -21,6 +21,10 @@ class ClusterTopology {
   // Nodes split into consecutive racks of `nodes_per_rack` (last may be short).
   static ClusterTopology racked(std::uint32_t num_nodes, std::uint32_t nodes_per_rack);
 
+  // Rebuild from an explicit node->rack map (FsImage checkpoint load). Rack
+  // ids must be dense: every id in [0, max] must appear.
+  static ClusterTopology from_rack_of(const std::vector<RackId>& rack_of);
+
   [[nodiscard]] std::uint32_t num_nodes() const noexcept {
     return static_cast<std::uint32_t>(rack_of_.size());
   }

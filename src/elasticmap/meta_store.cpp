@@ -2,14 +2,26 @@
 
 #include <algorithm>
 #include <cstring>
+#include <filesystem>
 #include <stdexcept>
+
+#include "common/hash.hpp"
 
 namespace datanet::elasticmap {
 
 namespace {
 
 constexpr std::uint64_t kMagic = 0x44417441534e4554ULL;  // "DAtASNET"
-constexpr std::uint64_t kVersion = 1;
+// v1: no blob checksums. v2 appends a CRC32 to each index entry and is what
+// save() writes; both versions load.
+constexpr std::uint64_t kVersion = 2;
+
+std::uint64_t checked_version(std::uint64_t v) {
+  if (v != 1 && v != kVersion) {
+    throw MetaStoreCorruptError("MetaStore: bad version");
+  }
+  return v;
+}
 
 void put_u64(std::ofstream& f, std::uint64_t v) {
   char buf[8];
@@ -26,7 +38,7 @@ void put_f64(std::ofstream& f, double v) {
 std::uint64_t get_u64(std::istream& f) {
   char buf[8];
   f.read(buf, 8);
-  if (!f) throw std::runtime_error("MetaStore: truncated file");
+  if (!f) throw MetaStoreCorruptError("MetaStore: truncated file");
   std::uint64_t v = 0;
   for (int i = 0; i < 8; ++i) {
     v |= static_cast<std::uint64_t>(static_cast<unsigned char>(buf[i])) << (8 * i);
@@ -50,12 +62,15 @@ std::uint64_t bytes_remaining(std::istream& f) {
   f.seekg(0, std::ios::end);
   const auto end = f.tellg();
   f.seekg(pos);
-  if (pos < 0 || end < pos) throw std::runtime_error("MetaStore: truncated file");
+  if (pos < 0 || end < pos) throw MetaStoreCorruptError("MetaStore: truncated file");
   return static_cast<std::uint64_t>(end - pos);
 }
 
-// Per-entry index footprint: global_index + block_id + offset + length.
-constexpr std::uint64_t kIndexEntryBytes = 32;
+// Per-entry index footprint: global_index + block_id + offset + length,
+// plus a CRC32 (stored widened to u64) in v2.
+constexpr std::uint64_t index_entry_bytes(std::uint64_t version) {
+  return version >= 2 ? 40 : 32;
+}
 
 struct StoredEntry {
   std::uint64_t global_index;
@@ -67,31 +82,43 @@ struct StoredEntry {
 void write_store(const std::string& file_path, const std::string& dataset_path,
                  std::uint64_t raw_bytes, const BuildOptions& options,
                  const std::vector<StoredEntry>& entries) {
-  std::ofstream f(file_path, std::ios::binary | std::ios::trunc);
-  if (!f) throw std::runtime_error("MetaStore: cannot open " + file_path);
-  put_u64(f, kMagic);
-  put_u64(f, kVersion);
-  put_u64(f, raw_bytes);
-  put_f64(f, options.alpha);
-  put_f64(f, options.bloom_fpp);
-  put_u64(f, dataset_path.size());
-  f.write(dataset_path.data(), static_cast<std::streamsize>(dataset_path.size()));
-  put_u64(f, entries.size());
+  // Crash atomicity: build the file beside the target and rename over it, so
+  // the live store is never open for writing and a crash mid-save leaves the
+  // previous version intact.
+  const std::string tmp_path = file_path + ".tmp";
+  {
+    std::ofstream f(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!f) throw std::runtime_error("MetaStore: cannot open " + tmp_path);
+    put_u64(f, kMagic);
+    put_u64(f, kVersion);
+    put_u64(f, raw_bytes);
+    put_f64(f, options.alpha);
+    put_f64(f, options.bloom_fpp);
+    put_u64(f, dataset_path.size());
+    f.write(dataset_path.data(),
+            static_cast<std::streamsize>(dataset_path.size()));
+    put_u64(f, entries.size());
 
-  // Index: (global_index, block_id, offset, length) per entry. Offsets are
-  // relative to the end of the index.
-  std::uint64_t offset = 0;
-  for (const auto& e : entries) {
-    put_u64(f, e.global_index);
-    put_u64(f, e.block_id);
-    put_u64(f, offset);
-    put_u64(f, e.blob.size());
-    offset += e.blob.size();
+    // Index: (global_index, block_id, offset, length, crc32) per entry.
+    // Offsets are relative to the end of the index.
+    std::uint64_t offset = 0;
+    for (const auto& e : entries) {
+      put_u64(f, e.global_index);
+      put_u64(f, e.block_id);
+      put_u64(f, offset);
+      put_u64(f, e.blob.size());
+      put_u64(f, common::crc32(e.blob));
+      offset += e.blob.size();
+    }
+    for (const auto& e : entries) {
+      f.write(e.blob.data(), static_cast<std::streamsize>(e.blob.size()));
+    }
+    f.flush();
+    if (!f) throw std::runtime_error("MetaStore: write failed for " + tmp_path);
   }
-  for (const auto& e : entries) {
-    f.write(e.blob.data(), static_cast<std::streamsize>(e.blob.size()));
-  }
-  if (!f) throw std::runtime_error("MetaStore: write failed for " + file_path);
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, file_path, ec);
+  if (ec) throw std::runtime_error("MetaStore: rename failed for " + file_path);
 }
 
 struct StoreContents {
@@ -104,25 +131,26 @@ struct StoreContents {
 StoreContents read_store(const std::string& file_path) {
   std::ifstream f(file_path, std::ios::binary);
   if (!f) throw std::runtime_error("MetaStore: cannot open " + file_path);
-  if (get_u64(f) != kMagic) throw std::runtime_error("MetaStore: bad magic");
-  if (get_u64(f) != kVersion) throw std::runtime_error("MetaStore: bad version");
+  if (get_u64(f) != kMagic) throw MetaStoreCorruptError("MetaStore: bad magic");
+  const std::uint64_t version = checked_version(get_u64(f));
   StoreContents out;
   out.raw_bytes = get_u64(f);
   out.options.alpha = get_f64(f);
   out.options.bloom_fpp = get_f64(f);
   const std::uint64_t path_len = get_u64(f);
   if (path_len > bytes_remaining(f)) {
-    throw std::runtime_error("MetaStore: corrupt path length");
+    throw MetaStoreCorruptError("MetaStore: corrupt path length");
   }
   out.dataset_path.resize(path_len);
   f.read(out.dataset_path.data(), static_cast<std::streamsize>(path_len));
-  if (!f) throw std::runtime_error("MetaStore: truncated file");
+  if (!f) throw MetaStoreCorruptError("MetaStore: truncated file");
   const std::uint64_t n = get_u64(f);
-  if (n > bytes_remaining(f) / kIndexEntryBytes) {
-    throw std::runtime_error("MetaStore: corrupt entry count");
+  if (n > bytes_remaining(f) / index_entry_bytes(version)) {
+    throw MetaStoreCorruptError("MetaStore: corrupt entry count");
   }
   struct RawIdx {
     std::uint64_t global, bid, off, len;
+    std::uint32_t crc;
   };
   std::vector<RawIdx> idx(n);
   for (auto& e : idx) {
@@ -130,20 +158,24 @@ StoreContents read_store(const std::string& file_path) {
     e.bid = get_u64(f);
     e.off = get_u64(f);
     e.len = get_u64(f);
+    e.crc = version >= 2 ? static_cast<std::uint32_t>(get_u64(f)) : 0;
   }
   const auto blobs_begin = f.tellg();
   const std::uint64_t blob_region = bytes_remaining(f);
   out.entries.resize(n);
   for (std::uint64_t i = 0; i < n; ++i) {
     if (idx[i].len > blob_region || idx[i].off > blob_region - idx[i].len) {
-      throw std::runtime_error("MetaStore: corrupt blob range");
+      throw MetaStoreCorruptError("MetaStore: corrupt blob range");
     }
     out.entries[i].global_index = idx[i].global;
     out.entries[i].block_id = idx[i].bid;
     out.entries[i].blob.resize(idx[i].len);
     f.seekg(blobs_begin + static_cast<std::streamoff>(idx[i].off));
     f.read(out.entries[i].blob.data(), static_cast<std::streamsize>(idx[i].len));
-    if (!f) throw std::runtime_error("MetaStore: truncated blob");
+    if (!f) throw MetaStoreCorruptError("MetaStore: truncated blob");
+    if (version >= 2 && common::crc32(out.entries[i].blob) != idx[i].crc) {
+      throw MetaStoreCorruptError("MetaStore: blob checksum mismatch");
+    }
   }
   return out;
 }
@@ -159,7 +191,7 @@ ElasticMapArray assemble(StoreContents&& contents) {
   ids.reserve(contents.entries.size());
   for (std::uint64_t i = 0; i < contents.entries.size(); ++i) {
     if (contents.entries[i].global_index != i) {
-      throw std::runtime_error("MetaStore: missing block in store");
+      throw MetaStoreCorruptError("MetaStore: missing block in store");
     }
     metas.push_back(BlockMeta::deserialize(contents.entries[i].blob));
     ids.push_back(contents.entries[i].block_id);
@@ -193,21 +225,21 @@ ElasticMapArray MetaStore::load(const std::string& file_path) {
 MetaStore::Reader::Reader(const std::string& file_path)
     : file_(file_path, std::ios::binary) {
   if (!file_) throw std::runtime_error("MetaStore::Reader: cannot open " + file_path);
-  if (get_u64(file_) != kMagic) throw std::runtime_error("Reader: bad magic");
-  if (get_u64(file_) != kVersion) throw std::runtime_error("Reader: bad version");
+  if (get_u64(file_) != kMagic) throw MetaStoreCorruptError("Reader: bad magic");
+  version_ = checked_version(get_u64(file_));
   raw_bytes_ = get_u64(file_);
   (void)get_f64(file_);  // alpha
   (void)get_f64(file_);  // fpp
   const std::uint64_t path_len = get_u64(file_);
   if (path_len > bytes_remaining(file_)) {
-    throw std::runtime_error("Reader: corrupt path length");
+    throw MetaStoreCorruptError("Reader: corrupt path length");
   }
   dataset_path_.resize(path_len);
   file_.read(dataset_path_.data(), static_cast<std::streamsize>(path_len));
-  if (!file_) throw std::runtime_error("Reader: truncated file");
+  if (!file_) throw MetaStoreCorruptError("Reader: truncated file");
   const std::uint64_t n = get_u64(file_);
-  if (n > bytes_remaining(file_) / kIndexEntryBytes) {
-    throw std::runtime_error("Reader: corrupt entry count");
+  if (n > bytes_remaining(file_) / index_entry_bytes(version_)) {
+    throw MetaStoreCorruptError("Reader: corrupt entry count");
   }
   index_.resize(n);
   for (std::uint64_t i = 0; i < n; ++i) {
@@ -216,15 +248,16 @@ MetaStore::Reader::Reader(const std::string& file_path)
     e.block_id = get_u64(file_);
     e.offset = get_u64(file_);
     e.length = get_u64(file_);
+    e.crc = version_ >= 2 ? static_cast<std::uint32_t>(get_u64(file_)) : 0;
     // The lazy reader addresses blocks positionally, so it requires a full
     // (non-sharded) store whose entries are in global order.
-    if (global != i) throw std::runtime_error("Reader: store is sharded/unordered");
+    if (global != i) throw MetaStoreCorruptError("Reader: store is sharded/unordered");
   }
   blobs_begin_ = file_.tellg();
   const std::uint64_t blob_region = bytes_remaining(file_);
   for (const auto& e : index_) {
     if (e.length > blob_region || e.offset > blob_region - e.length) {
-      throw std::runtime_error("Reader: corrupt blob range");
+      throw MetaStoreCorruptError("Reader: corrupt blob range");
     }
   }
 }
@@ -235,7 +268,10 @@ BlockMeta MetaStore::Reader::load_block(std::uint64_t block_index) {
   std::string blob(e.length, '\0');
   file_.seekg(blobs_begin_ + static_cast<std::streamoff>(e.offset));
   file_.read(blob.data(), static_cast<std::streamsize>(e.length));
-  if (!file_) throw std::runtime_error("Reader: truncated blob");
+  if (!file_) throw MetaStoreCorruptError("Reader: truncated blob");
+  if (version_ >= 2 && common::crc32(blob) != e.crc) {
+    throw MetaStoreCorruptError("Reader: blob checksum mismatch");
+  }
   return BlockMeta::deserialize(blob);
 }
 

@@ -12,8 +12,15 @@
 //    (block i lives in shard i % S), modeling meta-data spread over
 //    multiple master machines.
 
+// Durability (format v2): every blob carries a CRC32 in its index entry, so
+// a bit-flipped store fails with MetaStoreCorruptError instead of feeding
+// garbage to BlockMeta::deserialize; writes go to `<path>.tmp` and rename
+// over the target, so a crash mid-save leaves the previous store intact.
+// v1 files (no CRCs) are still readable.
+
 #include <cstdint>
 #include <fstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -21,9 +28,17 @@
 
 namespace datanet::elasticmap {
 
+// A store file that is structurally invalid: bad magic/version, truncated,
+// out-of-bounds index, or a blob whose CRC32 no longer matches its index
+// entry. Derives from std::runtime_error so pre-v2 handlers keep working.
+class MetaStoreCorruptError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 class MetaStore {
  public:
-  // Write the full array to `file_path` (overwrites).
+  // Write the full array to `file_path` (crash-atomic: tmp file + rename).
   static void save(const ElasticMapArray& array, const std::string& file_path);
 
   // Read the whole file back into memory.
@@ -51,10 +66,12 @@ class MetaStore {
       std::uint64_t offset;
       std::uint64_t length;
       dfs::BlockId block_id;
+      std::uint32_t crc = 0;  // v2 stores; load_block verifies
     };
     std::ifstream file_;
     std::string dataset_path_;
     std::uint64_t raw_bytes_ = 0;
+    std::uint64_t version_ = 0;
     std::vector<Entry> index_;
     std::streamoff blobs_begin_ = 0;
   };

@@ -66,6 +66,19 @@ struct AttemptCounters {
   std::uint64_t degraded_tasks = 0;      // abandoned at the retry cap
 };
 
+// Background-healing counters exported by the ReplicationMonitor through the
+// SelectionRuntime (zero when no monitor is wired in). mttr_ticks is the sum
+// over healed blocks of (heal tick − first-observed tick) on the monitor's
+// own tick clock — mean time to repair is mttr_ticks / healed_blocks.
+struct RecoveryCounters {
+  std::uint64_t healed_blocks = 0;
+  std::uint64_t pending_repairs = 0;  // left unhealed when the run finished
+  std::uint64_t mttr_ticks = 0;
+  std::uint64_t monitor_ticks = 0;
+  std::uint64_t scrubbed_replicas = 0;  // marked-corrupt copies dropped
+  std::uint64_t unrepairable = 0;       // no healthy source / no target
+};
+
 struct JobReport {
   // Real output of the job (reduced key -> value), sorted by key.
   std::map<Key, Value> output;
@@ -103,6 +116,8 @@ struct JobReport {
   std::uint64_t under_replicated = 0;
   // Attempt/timeout/speculation counters (see AttemptCounters above).
   AttemptCounters attempts;
+  // Background-healing counters (see RecoveryCounters above).
+  RecoveryCounters recovery;
 
   // Counters.
   std::uint64_t input_records = 0;

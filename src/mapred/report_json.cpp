@@ -49,6 +49,15 @@ std::string report_to_json(const JobReport& report, bool include_output) {
   w.field("degraded_tasks", report.attempts.degraded_tasks);
   w.end_object();
 
+  w.key("recovery").begin_object();
+  w.field("healed_blocks", report.recovery.healed_blocks);
+  w.field("pending_repairs", report.recovery.pending_repairs);
+  w.field("mttr_ticks", report.recovery.mttr_ticks);
+  w.field("monitor_ticks", report.recovery.monitor_ticks);
+  w.field("scrubbed_replicas", report.recovery.scrubbed_replicas);
+  w.field("unrepairable", report.recovery.unrepairable);
+  w.end_object();
+
   w.key("counters").begin_object();
   for (const auto& [name, v] : report.counters) w.field(name, v);
   w.end_object();

@@ -264,6 +264,36 @@ TEST(Cli, FaultsRequiresKey) {
   EXPECT_NE(out.find("--key"), std::string::npos);
 }
 
+TEST(Cli, FsckCommandHealsAndRecovers) {
+  TempDir tmp;
+  const auto log = tmp.file("fsck.log");
+  std::string out;
+  ASSERT_EQ(run({"generate", "--out", log.c_str(), "--records", "8000",
+                 "--seed", "9"},
+                &out),
+            0);
+  const auto workdir = tmp.file("namenode");
+  ASSERT_EQ(run({"fsck", "--in", log.c_str(), "--workdir", workdir.c_str(),
+                 "--nodes", "8", "--kill-nodes", "1", "--corrupt-replicas",
+                 "2", "--repair-rate", "4"},
+                &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("checkpoint"), std::string::npos);
+  EXPECT_NE(out.find("journal"), std::string::npos);
+  EXPECT_NE(out.find("fault plan fired"), std::string::npos);
+  EXPECT_NE(out.find("fsck before healing"), std::string::npos);
+  EXPECT_NE(out.find("fsck after healing: 0 missing, 0 under-replicated"),
+            std::string::npos);
+  EXPECT_NE(out.find("recovered namespace digest matches"), std::string::npos);
+}
+
+TEST(Cli, FsckRequiresIn) {
+  std::string out;
+  EXPECT_EQ(run({"fsck"}, &out), 1);
+  EXPECT_NE(out.find("--in"), std::string::npos);
+}
+
 TEST(Cli, ForecastCommand) {
   TempDir tmp;
   const auto log = tmp.file("f.log");

@@ -1,20 +1,25 @@
 // Machine-readable benchmark report for CI and PR review: runs the Fig. 5
 // (movie, 256 blocks) selection under both schedulers through the
 // SelectionRuntime, the Fig. 7 shuffle comparison over the same filtered
-// data, and a straggler-tail experiment (stalled nodes + transient read
-// errors, timeout-only recovery vs speculation), and emits one JSON document
-// with measured selection wall time (host clock) plus the deterministic
-// simulated report totals. Redirect to BENCH_PR4.json via
-// tools/bench_report.sh.
+// data, a straggler-tail experiment (stalled nodes + transient read errors,
+// timeout-only recovery vs speculation), and an MTTR experiment (node kills
+// healed by the background ReplicationMonitor at a sweep of repair rates),
+// and emits one JSON document with measured selection wall time (host clock)
+// plus the deterministic simulated report totals. Redirect to BENCH_PR5.json
+// via tools/bench_report.sh.
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <iterator>
 #include <string>
 
 #include "apps/topk_search.hpp"
 #include "apps/word_count.hpp"
 #include "datanet/selection_runtime.hpp"
 #include "dfs/fault_injector.hpp"
+#include "dfs/fsck.hpp"
+#include "dfs/replication_monitor.hpp"
 #include "scheduler/datanet_sched.hpp"
 #include "scheduler/locality.hpp"
 #include "stats/descriptive.hpp"
@@ -188,6 +193,43 @@ int main() {
               with.result.report.total_seconds);
   emit_attempts("timeout_only", tail_timeout, false);
   emit_attempts("speculation", tail_spec, true);
+  std::printf("  },\n");
+
+  // MTTR: kill 4 of 32 nodes on a deferred-repair cluster, then let the
+  // background ReplicationMonitor drain the backlog at increasing repair
+  // rates. The damage is identical per rate (same dataset seed, same kills),
+  // so ticks-to-heal and the summed/mean MTTR isolate the rate limit.
+  std::printf("  \"mttr_by_repair_rate\": {\n");
+  const std::uint32_t rates[] = {1, 2, 4, 8, 16};
+  for (std::size_t i = 0; i < std::size(rates); ++i) {
+    auto mcfg = paper_config();
+    mcfg.inline_repair = false;
+    auto mds = core::make_movie_dataset(mcfg, 64, 2000);
+    for (const dfs::NodeId n : {3u, 11u, 19u, 27u}) {
+      (void)mds.dfs->decommission(n);
+    }
+    const auto damaged = dfs::fsck(*mds.dfs).under_replicated;
+    dfs::ReplicationMonitor monitor(*mds.dfs,
+                                    {.max_repairs_per_tick = rates[i]});
+    const auto ticks = monitor.drain();
+    const auto& ms = monitor.stats();
+    const bool clean = dfs::fsck(*mds.dfs).healthy();
+    std::printf(
+        "    \"rate_%u\": {\"under_replicated\": %llu, "
+        "\"ticks_to_heal\": %llu, \"healed_blocks\": %llu, "
+        "\"repairs\": %llu, \"mttr_ticks\": %llu, "
+        "\"mean_mttr_ticks\": %.4f, \"fsck_clean\": %s}%s\n",
+        rates[i], static_cast<unsigned long long>(damaged),
+        static_cast<unsigned long long>(ticks),
+        static_cast<unsigned long long>(ms.healed_blocks),
+        static_cast<unsigned long long>(ms.repairs),
+        static_cast<unsigned long long>(ms.mttr_ticks),
+        ms.healed_blocks == 0
+            ? 0.0
+            : static_cast<double>(ms.mttr_ticks) /
+                  static_cast<double>(ms.healed_blocks),
+        clean ? "true" : "false", i + 1 == std::size(rates) ? "" : ",");
+  }
   std::printf("  }\n}\n");
   return 0;
 }

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Build and run the machine-readable benchmark report, writing BENCH_PR4.json
+# Build and run the machine-readable benchmark report, writing BENCH_PR5.json
 # at the repo root: Fig. 5 selection wall time + simulated report totals for
-# both schedulers, the Fig. 7 shuffle speedups, and the straggler-tail
-# attempt/timeout/speculation numbers, all through the SelectionRuntime.
+# both schedulers, the Fig. 7 shuffle speedups, the straggler-tail
+# attempt/timeout/speculation numbers, and the ReplicationMonitor MTTR sweep
+# over repair rates, all through the SelectionRuntime.
 # Wall times depend on the host; the simulated totals are bit-for-bit
 # reproducible.
 #
@@ -15,6 +16,6 @@ build_dir="${repo_root}/${1:-build}"
 cmake -B "${build_dir}" -S "${repo_root}" >/dev/null
 cmake --build "${build_dir}" -j "$(nproc)" --target bench_report >/dev/null
 
-out="${repo_root}/BENCH_PR4.json"
+out="${repo_root}/BENCH_PR5.json"
 "${build_dir}/tools/bench_report" > "${out}"
 echo "wrote ${out}"
