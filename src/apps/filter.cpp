@@ -1,6 +1,7 @@
 #include "apps/filter.hpp"
 
 #include <charconv>
+#include <cstdint>
 #include <memory>
 
 namespace datanet::apps {
@@ -13,15 +14,24 @@ class FilterStatsMapper final : public mapred::Mapper {
 
   void map(const workload::RecordView& record, mapred::Emitter& out) override {
     if (!target_.empty() && record.key != target_) {
-      out.count("records_filtered_out");
+      ++filtered_out_;
       return;
     }
-    out.count("records_matched");
+    ++matched_;
     out.emit(std::string(record.key), std::to_string(record.encoded_size()));
+  }
+
+  // Counter totals are flushed once per task, not bumped per record — this
+  // mapper runs over the whole raw input on the selection hot path.
+  void finish(mapred::Emitter& out) override {
+    if (filtered_out_ > 0) out.count("records_filtered_out", filtered_out_);
+    if (matched_ > 0) out.count("records_matched", matched_);
   }
 
  private:
   std::string target_;
+  std::uint64_t filtered_out_ = 0;
+  std::uint64_t matched_ = 0;
 };
 
 class SumReducer final : public mapred::Reducer {

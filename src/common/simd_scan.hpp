@@ -1,0 +1,60 @@
+#pragma once
+// Vectorized record-line scanning for the selection hot loop. The scanner
+// walks newline-separated data in 64-byte stripes, building '\n' and '\t'
+// bitmasks with SIMD compares (AVX2 when the CPU has it, SSE2 as the x86-64
+// baseline) and iterating set bits — so per-line work is bit arithmetic, not
+// two memchr calls per ~80-byte line. A portable scalar kernel is the
+// reference implementation: every kernel must produce byte-identical
+// callback sequences on any input (tests/hotpath_test.cpp fuzzes every
+// alignment offset and degenerate shape).
+//
+// The kernel is chosen once per process (runtime CPU dispatch). Building
+// with -DDATANET_FORCE_SCALAR=ON pins the scalar kernel so CI can cover the
+// portable path on any machine.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace datanet::common {
+
+enum class ScanKernel : std::uint8_t { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
+
+// The kernel the dispatcher selected for this process (cached after the
+// first call). kScalar everywhere off x86-64 or under DATANET_FORCE_SCALAR.
+[[nodiscard]] ScanKernel active_scan_kernel() noexcept;
+
+// True when `kernel` can run on this build + CPU (kScalar always can).
+[[nodiscard]] bool scan_kernel_available(ScanKernel kernel) noexcept;
+
+[[nodiscard]] const char* scan_kernel_name(ScanKernel kernel) noexcept;
+
+// Plain-function sinks keep the kernels out of the header; candidate lines
+// are rare (sub-dataset selectivity), so the indirect call is off the
+// per-byte path.
+using LineSink = void (*)(void* ctx, std::string_view line);
+
+// Invoke `sink` for every line of `data` whose key field — the bytes between
+// the first and second '\t' — equals `key` exactly. Lines are split on '\n'
+// (the final line needs no trailing newline); lines without two tabs around
+// a key-sized field never match. Byte-compatible with the scalar loop
+//   tab = line.find('\t'); rest = line.substr(tab + 1);
+//   rest.size() > key.size() && rest[key.size()] == '\t' &&
+//   rest.compare(0, key.size(), key) == 0
+// for every input, including empty lines and embedded partial prefixes.
+void scan_key_lines(std::string_view data, std::string_view key, void* ctx,
+                    LineSink sink);
+
+// Same, on an explicit kernel (equivalence tests and the kernel bench).
+// Throws std::invalid_argument when the kernel is unavailable here.
+void scan_key_lines(std::string_view data, std::string_view key, void* ctx,
+                    LineSink sink, ScanKernel kernel);
+
+// Invoke `sink` for every non-empty line of `data` (split on '\n', final
+// line included without one). The vectorized sibling of the scalar
+// find('\n') loop; used by the decode-all reference filter.
+void scan_lines(std::string_view data, void* ctx, LineSink sink);
+void scan_lines(std::string_view data, void* ctx, LineSink sink,
+                ScanKernel kernel);
+
+}  // namespace datanet::common

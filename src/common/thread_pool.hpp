@@ -49,6 +49,9 @@ class ThreadPool {
 // chunk, not per index), so fine-grained loops don't pay one queue round
 // trip per element. grain == 0 picks a chunk size that yields a few chunks
 // per worker for load balancing; grain == 1 recovers per-index submission.
+// When the whole range fits in one chunk — or the pool has a single worker,
+// so no two chunks could ever overlap — there is nothing to balance, and the
+// loop runs inline on the caller: no queue round trips, no wakeups, no wait.
 template <typename Fn>
 void parallel_for(ThreadPool& pool, std::size_t n, Fn&& fn,
                   std::size_t grain = 0) {
@@ -56,6 +59,10 @@ void parallel_for(ThreadPool& pool, std::size_t n, Fn&& fn,
   if (grain == 0) {
     const std::size_t target_chunks = 4 * pool.size();
     grain = std::max<std::size_t>(1, (n + target_chunks - 1) / target_chunks);
+  }
+  if (n <= grain || pool.size() <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
   }
   for (std::size_t begin = 0; begin < n; begin += grain) {
     const std::size_t end = std::min(n, begin + grain);

@@ -181,6 +181,8 @@ MiniDfs FsImage::load(const std::string& path) {
       dfs.files_.emplace(std::move(name), std::move(ids));
     }
     if (!c.exhausted()) throw FsImageError("FsImage: trailing bytes in " + path);
+    // Blocks were loaded behind the incremental counter's back.
+    dfs.recount_under_replicated();
     return dfs;
   } catch (const std::runtime_error& e) {
     // Bounds failures inside wire::Cursor surface as the generic truncation

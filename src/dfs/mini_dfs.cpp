@@ -98,6 +98,7 @@ BlockId MiniDfs::commit_block(const std::string& path, std::string data,
   blocks_.push_back(std::move(info));
   block_data_.push_back(std::move(data));
   block_verified_.push_back(kOk);  // checksum just computed from these bytes
+  replicas_changed(id);
   if (journal_ != nullptr) {
     const BlockInfo& b = blocks_.back();
     // The journal carries the block bytes: MiniDfs keeps the one in-memory
@@ -191,6 +192,7 @@ void MiniDfs::move_replica_impl(BlockId id, NodeId from, NodeId to) {
     auto& marks = corrupt_replicas_[id];
     std::replace(marks.begin(), marks.end(), from, to);
   }
+  ++mutation_epoch_;  // replica count unchanged, placement not
 }
 
 std::vector<BlockId> MiniDfs::drop_node(NodeId node) {
@@ -208,6 +210,9 @@ std::vector<BlockId> MiniDfs::drop_node(NodeId node) {
       if (marks.empty()) corrupt_replicas_.erase(it);
     }
   }
+  // active_nodes_ moved: the under-replication threshold shifted for every
+  // block, so the incremental count must be rebuilt.
+  recount_under_replicated();
   return hosted;
 }
 
@@ -245,11 +250,38 @@ std::vector<BlockId> MiniDfs::decommission(NodeId node) {
     if (!options_.inline_repair) continue;  // ReplicationMonitor's job
     const auto target = pick_rereplication_target(reps);
     if (!target) continue;  // under-replicated, but not lost
+    replicas_changing(id);
     reps.push_back(*target);
     node_blocks_[*target].push_back(id);
+    replicas_changed(id);
     log_edit({.op = EditOp::kAddReplica, .block = id, .node = *target});
   }
   return lost;
+}
+
+// ---- under-replication accounting ----
+
+bool MiniDfs::is_under_replicated(BlockId id) const {
+  const std::size_t n = blocks_[id].replicas.size();
+  return n > 0 &&
+         n < std::min<std::size_t>(options_.replication, active_nodes_);
+}
+
+void MiniDfs::replicas_changing(BlockId id) {
+  if (is_under_replicated(id)) --under_replicated_;
+}
+
+void MiniDfs::replicas_changed(BlockId id) {
+  if (is_under_replicated(id)) ++under_replicated_;
+  ++mutation_epoch_;
+}
+
+void MiniDfs::recount_under_replicated() {
+  under_replicated_ = 0;
+  for (BlockId id = 0; id < blocks_.size(); ++id) {
+    if (is_under_replicated(id)) ++under_replicated_;
+  }
+  ++mutation_epoch_;
 }
 
 // ---- checksums & corruption ----
@@ -260,6 +292,7 @@ void MiniDfs::corrupt_block(BlockId id) {
   if (data.empty()) return;  // nothing to corrupt
   data[data.size() / 2] = static_cast<char>(data[data.size() / 2] ^ 0x40);
   block_verified_[id] = kUnknown;  // next read recomputes and fails
+  ++mutation_epoch_;               // health changed; scrubbers must re-look
 }
 
 void MiniDfs::corrupt_replica(BlockId id, NodeId node) {
@@ -270,6 +303,7 @@ void MiniDfs::corrupt_replica(BlockId id, NodeId node) {
   auto& marks = corrupt_replicas_[id];
   if (std::find(marks.begin(), marks.end(), node) == marks.end()) {
     marks.push_back(node);
+    ++mutation_epoch_;  // health changed; scrubbers must re-look
   }
 }
 
@@ -314,6 +348,7 @@ bool MiniDfs::drop_replica(BlockId id, NodeId node) {
   auto& reps = blocks_[id].replicas;
   const auto it = std::find(reps.begin(), reps.end(), node);
   if (it == reps.end()) return false;
+  replicas_changing(id);
   reps.erase(it);
   auto& inv = node_blocks_[node];
   inv.erase(std::remove(inv.begin(), inv.end(), id), inv.end());
@@ -322,6 +357,7 @@ bool MiniDfs::drop_replica(BlockId id, NodeId node) {
     marks.erase(std::remove(marks.begin(), marks.end(), node), marks.end());
     if (marks.empty()) corrupt_replicas_.erase(mit);
   }
+  replicas_changed(id);
   return true;
 }
 
@@ -349,8 +385,10 @@ bool MiniDfs::report_corrupt_replica(BlockId id, NodeId node) {
     // Re-replicate onto an active node that does not already hold the block
     // (same choice rule as decommission).
     if (const auto target = pick_rereplication_target(reps)) {
+      replicas_changing(id);
       blocks_[id].replicas.push_back(*target);
       node_blocks_[*target].push_back(id);
+      replicas_changed(id);
       log_edit({.op = EditOp::kAddReplica, .block = id, .node = *target});
     }
   }
@@ -385,8 +423,10 @@ std::optional<NodeId> MiniDfs::repair_block(BlockId id) {
   }
   if (num_eligible == 0) return std::nullopt;
   const NodeId target = placement_->place(topology_, eligible, 1, placement_rng_)[0];
+  replicas_changing(id);
   reps.push_back(target);
   node_blocks_[target].push_back(id);
+  replicas_changed(id);
   log_edit({.op = EditOp::kAddReplica, .block = id, .node = target});
   return target;
 }
@@ -439,6 +479,7 @@ void MiniDfs::apply_edit(const EditRecord& record) {
       blocks_.push_back(std::move(info));
       block_data_.push_back(record.data);
       block_verified_.push_back(kUnknown);  // recompute honestly on read
+      replicas_changed(record.block);
       break;
     }
     case EditOp::kDecommission:
@@ -451,8 +492,10 @@ void MiniDfs::apply_edit(const EditRecord& record) {
       break;
     case EditOp::kAddReplica:
       if (!is_local(record.block, record.node)) {
+        replicas_changing(record.block);
         blocks_[record.block].replicas.push_back(record.node);
         node_blocks_[record.node].push_back(record.block);
+        replicas_changed(record.block);
       }
       break;
     case EditOp::kMoveReplica:

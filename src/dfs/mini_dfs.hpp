@@ -140,6 +140,22 @@ class MiniDfs {
     return active_nodes_;
   }
 
+  // O(1) count of under-replicated blocks, maintained incrementally at every
+  // replica-set mutation. Matches dfs::fsck exactly: a block counts iff
+  // 0 < replicas < min(target replication, active nodes) — so post-run
+  // health reporting never rescans the namespace.
+  [[nodiscard]] std::uint64_t under_replicated_count() const noexcept {
+    return under_replicated_;
+  }
+
+  // Monotone counter bumped by every mutation that can change replica
+  // placement or health (commits, drops, repairs, moves, corruption marks).
+  // ReplicationMonitor::scan compares it against the epoch of its last full
+  // scan to skip whole-namespace rescans when nothing changed.
+  [[nodiscard]] std::uint64_t mutation_epoch() const noexcept {
+    return mutation_epoch_;
+  }
+
   // Relocate one replica of `id` from `from` to `to` (balancer primitive).
   // Throws unless `from` hosts the block, `to` is an active node that does
   // not already host it. A corrupt source copy stays corrupt after the move.
@@ -240,6 +256,13 @@ class MiniDfs {
   [[nodiscard]] std::optional<NodeId> pick_rereplication_target(
       const std::vector<NodeId>& reps);
   void move_replica_impl(BlockId id, NodeId from, NodeId to);
+  // Incremental under-replication accounting: bracket every replica-set
+  // change with changing (before) / changed (after); recount when the
+  // active-node count moves (the threshold shifts for every block at once).
+  [[nodiscard]] bool is_under_replicated(BlockId id) const;
+  void replicas_changing(BlockId id);
+  void replicas_changed(BlockId id);
+  void recount_under_replicated();
 
   ClusterTopology topology_;
   DfsOptions options_;
@@ -253,6 +276,8 @@ class MiniDfs {
   std::vector<bool> node_active_;
   std::uint32_t active_nodes_ = 0;
   std::uint64_t total_bytes_ = 0;
+  std::uint64_t under_replicated_ = 0;
+  std::uint64_t mutation_epoch_ = 0;
 
   // Verification memo per block: 0 = unknown, 1 = ok, 2 = bad. Reset to
   // unknown by corrupt_block so the next read recomputes honestly.

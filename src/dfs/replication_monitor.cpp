@@ -15,6 +15,14 @@ ReplicationMonitor::ReplicationMonitor(MiniDfs& dfs,
 std::uint64_t ReplicationMonitor::scan() {
   ++stats_.scans;
 
+  // Pay-as-you-go: every actionable scrub or repair mutates the DFS and
+  // bumps its mutation epoch, so an unchanged epoch proves this scan would
+  // rebuild exactly the queue it left behind last time. Idle monitors (clean
+  // runs, converged drains) stop paying O(blocks) per tick.
+  if (scanned_ && dfs_.mutation_epoch() == scanned_epoch_) {
+    return queue_.size();
+  }
+
   // Scrub pass: a copy marked corrupt is dropped as soon as a healthy
   // sibling exists to re-replicate from — that moves the block into the
   // under-replication view below, where the rate-limited queue heals it.
@@ -43,6 +51,8 @@ std::uint64_t ReplicationMonitor::scan() {
     (void)inserted;
   }
   stats_.pending_repairs = queue_.size();
+  scanned_epoch_ = dfs_.mutation_epoch();
+  scanned_ = true;
   return queue_.size();
 }
 
@@ -60,8 +70,11 @@ std::uint64_t ReplicationMonitor::tick() {
     if (!target_node) {
       // No healthy source or no eligible target right now; drop it rather
       // than spin — the next scan re-queues it if the situation changes.
+      // The drop changed the queue without touching the DFS, so the next
+      // scan must run in full to preserve the historical re-queue cadence.
       ++stats_.unrepairable;
       observed_at_.erase(item.block);
+      scanned_ = false;
       continue;
     }
     ++repaired;

@@ -79,6 +79,10 @@ class ReplicationMonitor {
   ReplicationMonitorStats stats_;
   std::vector<PendingRepair> queue_;                       // repair order
   std::unordered_map<BlockId, std::uint64_t> observed_at_;  // first-seen tick
+  // DFS mutation epoch as of the last full scan; when it hasn't moved, the
+  // scrub/rebuild pass would reproduce the queue verbatim and is skipped.
+  std::uint64_t scanned_epoch_ = 0;
+  bool scanned_ = false;
 };
 
 }  // namespace datanet::dfs

@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <memory>
+#include <optional>
 #include <queue>
 #include <stdexcept>
 #include <unordered_map>
 
+#include "common/arena.hpp"
 #include "common/hash.hpp"
 #include "common/thread_pool.hpp"
 
@@ -103,24 +106,30 @@ namespace {
 // hash per pair serves both partitioning and grouping.
 constexpr std::uint64_t kPartitionSeed = 0x9e3779b9;
 
-// Collects emitted pairs in order; partitions lazily afterwards. Named
-// counters accumulate into a per-task map merged by the engine.
+// The flat counter list lives on Emitter (the base count() bumps it without
+// a virtual dispatch); the std::map materializes only when the engine
+// merges tasks into the report.
+using CounterList = Emitter::CounterList;
+
+// Collects emitted pairs in order into the task's arena; partitions lazily
+// afterwards. Wires the base-class counter sink to its own list.
 class VectorEmitter final : public Emitter {
  public:
+  explicit VectorEmitter(common::Arena& arena)
+      : pairs_(common::ArenaAllocator<std::pair<Key, Value>>(arena)) {
+    counters_ = &counter_list_;
+  }
   void emit(Key key, Value value) override {
     pairs_.emplace_back(std::move(key), std::move(value));
   }
-  void count(std::string_view counter, std::uint64_t delta) override {
-    counters_[std::string(counter)] += delta;
+  [[nodiscard]] common::ArenaVector<std::pair<Key, Value>>& pairs() {
+    return pairs_;
   }
-  [[nodiscard]] std::vector<std::pair<Key, Value>>& pairs() { return pairs_; }
-  [[nodiscard]] std::map<std::string, std::uint64_t>& counters() {
-    return counters_;
-  }
+  [[nodiscard]] CounterList& counters() { return counter_list_; }
 
  private:
-  std::vector<std::pair<Key, Value>> pairs_;
-  std::map<std::string, std::uint64_t> counters_;
+  common::ArenaVector<std::pair<Key, Value>> pairs_;
+  CounterList counter_list_;
 };
 
 // A map-output pair with its partition hash computed once and carried along
@@ -131,8 +140,11 @@ struct HashedPair {
   Value value;
 };
 
-std::vector<HashedPair> hash_pairs(std::vector<std::pair<Key, Value>> pairs) {
-  std::vector<HashedPair> out;
+template <class PairVec>
+common::ArenaVector<HashedPair> hash_pairs(PairVec pairs,
+                                           common::Arena& arena) {
+  common::ArenaVector<HashedPair> out{
+      common::ArenaAllocator<HashedPair>(arena)};
   out.reserve(pairs.size());
   for (auto& [key, value] : pairs) {
     const std::uint64_t h = common::hash_bytes(key, kPartitionSeed);
@@ -148,16 +160,17 @@ std::vector<HashedPair> hash_pairs(std::vector<std::pair<Key, Value>> pairs) {
 // stable sort keeps values in emission order within a key; which key the
 // reducer sees first is hash order, but every consumer of reducer output
 // (JobReport.output, counters) is order-insensitive. Counter emissions are
-// merged into `counters` when provided.
-std::vector<std::pair<Key, Value>> reduce_pairs(
-    Reducer& reducer, std::vector<HashedPair> pairs,
-    std::map<std::string, std::uint64_t>* counters = nullptr) {
+// merged into `counters` when provided. Output lives in `arena`.
+template <class HashedVec>
+common::ArenaVector<std::pair<Key, Value>> reduce_pairs(
+    Reducer& reducer, HashedVec pairs, common::Arena& arena,
+    CounterList* counters = nullptr) {
   std::stable_sort(pairs.begin(), pairs.end(),
                    [](const HashedPair& a, const HashedPair& b) {
                      if (a.hash != b.hash) return a.hash < b.hash;
                      return a.key < b.key;
                    });
-  VectorEmitter out;
+  VectorEmitter out(arena);
   std::size_t i = 0;
   std::vector<Value> values;
   while (i < pairs.size()) {
@@ -172,18 +185,31 @@ std::vector<std::pair<Key, Value>> reduce_pairs(
     i = j;
   }
   if (counters) {
-    for (const auto& [name, v] : out.counters()) (*counters)[name] += v;
+    for (auto& [name, v] : out.counters()) {
+      bool found = false;
+      for (auto& [cname, total] : *counters) {
+        if (cname == name) {
+          total += v;
+          found = true;
+          break;
+        }
+      }
+      if (!found) counters->emplace_back(std::move(name), v);
+    }
   }
   return std::move(out.pairs());
 }
 
 struct TaskResult {
+  // The task's scratch arena backs `partitions` and everything that fed it;
+  // declared first so the vectors die before their memory does.
+  std::unique_ptr<common::Arena> arena;
   // Post-combiner map output, already split into one vector per reducer
   // (index = hash % R) — the serial global partition loop is gone.
-  std::vector<std::vector<HashedPair>> partitions;
+  std::vector<common::ArenaVector<HashedPair>> partitions;
   std::vector<std::uint64_t> partition_bytes;  // per reducer, this task only
   std::uint64_t pair_count = 0;
-  std::map<std::string, std::uint64_t> counters;
+  CounterList counters;
   std::uint64_t records = 0;
   std::uint64_t skipped = 0;
 };
@@ -244,8 +270,11 @@ JobReport Engine::run(const Job& job, const std::vector<InputSplit>& splits) con
       pool, splits.size(),
       [&](std::size_t t) {
         const InputSplit& split = splits[t];
+        TaskResult& r = results[t];
+        r.arena = std::make_unique<common::Arena>();
+        common::Arena& arena = *r.arena;
         auto mapper = job.mapper_factory();
-        VectorEmitter emitter;
+        VectorEmitter emitter(arena);
         std::uint64_t records = 0;
         const std::uint64_t skipped = workload::for_each_record(
             split.data, [&](const workload::RecordView& rv) {
@@ -253,17 +282,21 @@ JobReport Engine::run(const Job& job, const std::vector<InputSplit>& splits) con
               ++records;
             });
         mapper->finish(emitter);
-        TaskResult& r = results[t];
         r.records = records;
         r.skipped = skipped;
         r.counters = std::move(emitter.counters());
-        auto hashed = hash_pairs(std::move(emitter.pairs()));
+        auto hashed = hash_pairs(std::move(emitter.pairs()), arena);
         if (job.combiner_factory) {
           auto combiner = job.combiner_factory();
-          hashed = hash_pairs(reduce_pairs(*combiner, std::move(hashed)));
+          hashed =
+              hash_pairs(reduce_pairs(*combiner, std::move(hashed), arena),
+                         arena);
         }
         r.pair_count = hashed.size();
-        r.partitions.resize(R);
+        r.partitions.reserve(R);
+        for (std::uint32_t p = 0; p < R; ++p) {
+          r.partitions.emplace_back(common::ArenaAllocator<HashedPair>(arena));
+        }
         r.partition_bytes.assign(R, 0);
         for (auto& hp : hashed) {
           const auto p = static_cast<std::uint32_t>(hp.hash % R);
@@ -328,20 +361,27 @@ JobReport Engine::run(const Job& job, const std::vector<InputSplit>& splits) con
     report.input_bytes += splits[t].data.size();
     report.map_output_pairs += results[t].pair_count;
     for (const auto& [name, v] : results[t].counters) {
-      report.counters[name] += v;
+      report.counters[name] += v;  // report.counters is a map: order-free
     }
   }
   // Each reducer's partition is the concatenation of every task's slice in
   // task order — the same order the old serial partition loop produced.
-  // Partitions are independent, so the gather runs on the pool.
-  std::vector<std::vector<HashedPair>> partitions(R);
+  // Partitions are independent, so the gather runs on the pool; each gets
+  // its own arena (shared with its reduce below — arenas are single-thread).
+  std::vector<std::unique_ptr<common::Arena>> reduce_arenas(R);
+  for (std::uint32_t p = 0; p < R; ++p) {
+    reduce_arenas[p] = std::make_unique<common::Arena>();
+  }
+  std::vector<std::optional<common::ArenaVector<HashedPair>>> partitions(R);
   std::vector<std::uint64_t> partition_bytes(R, 0);
   common::parallel_for(pool, R, [&](std::size_t p) {
+    auto& part = partitions[p].emplace(
+        common::ArenaAllocator<HashedPair>(*reduce_arenas[p]));
     std::size_t total = 0;
     for (const auto& r : results) total += r.partitions[p].size();
-    partitions[p].reserve(total);
+    part.reserve(total);
     for (auto& r : results) {
-      for (auto& hp : r.partitions[p]) partitions[p].push_back(std::move(hp));
+      for (auto& hp : r.partitions[p]) part.push_back(std::move(hp));
       partition_bytes[p] += r.partition_bytes[p];
     }
   });
@@ -366,16 +406,17 @@ JobReport Engine::run(const Job& job, const std::vector<InputSplit>& splits) con
   // Each partition groups and reduces independently on the pool into
   // per-partition buffers; the merge below runs serially in partition order,
   // so output and counters are identical to the serial path.
-  std::vector<std::vector<std::pair<Key, Value>>> reduced(R);
-  std::vector<std::map<std::string, std::uint64_t>> reduce_counters(R);
+  std::vector<std::optional<common::ArenaVector<std::pair<Key, Value>>>>
+      reduced(R);
+  std::vector<CounterList> reduce_counters(R);
   common::parallel_for(pool, R, [&](std::size_t p) {
     auto reducer = job.reducer_factory();
-    reduced[p] =
-        reduce_pairs(*reducer, std::move(partitions[p]), &reduce_counters[p]);
+    reduced[p] = reduce_pairs(*reducer, std::move(*partitions[p]),
+                              *reduce_arenas[p], &reduce_counters[p]);
   });
   report.reduce_task_seconds.resize(R);
   for (std::uint32_t p = 0; p < R; ++p) {
-    for (auto& kv : reduced[p]) report.output.insert(std::move(kv));
+    for (auto& kv : *reduced[p]) report.output.insert(std::move(kv));
     for (const auto& [name, v] : reduce_counters[p]) report.counters[name] += v;
     report.reduce_task_seconds[p] =
         job.config.cost.reduce_seconds(partition_bytes[p]);

@@ -11,6 +11,8 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "workload/record.hpp"
 
@@ -21,16 +23,33 @@ using Value = std::string;
 
 class Emitter {
  public:
+  // Named counters as a flat (name, total) list: mappers count per record,
+  // so the accumulate path must not allocate for an existing name — lookup
+  // is a string_view compare against a handful of entries.
+  using CounterList = std::vector<std::pair<std::string, std::uint64_t>>;
+
   virtual ~Emitter() = default;
   virtual void emit(Key key, Value value) = 0;
 
   // Hadoop-style named counters: accumulated per task and merged into the
   // JobReport. Counting is side-channel telemetry — it never affects
-  // output. Default implementation drops counts (combiner contexts).
-  virtual void count(std::string_view counter, std::uint64_t delta = 1) {
-    (void)counter;
-    (void)delta;
+  // output. Non-virtual on purpose: this runs once per record, so the bump
+  // must cost a predictable branch + short memcmp, not a dispatch. Emitters
+  // that sink counters point `counters_` at their list; contexts that drop
+  // counts (the default) leave it null.
+  void count(std::string_view counter, std::uint64_t delta = 1) {
+    if (counters_ == nullptr) return;
+    for (auto& [name, total] : *counters_) {
+      if (name == counter) {
+        total += delta;
+        return;
+      }
+    }
+    counters_->emplace_back(std::string(counter), delta);
   }
+
+ protected:
+  CounterList* counters_ = nullptr;
 };
 
 class Mapper {

@@ -1,0 +1,457 @@
+// PR 6 hot-path coverage: SIMD-vs-scalar scan equivalence fuzzing (every
+// alignment offset 0..63, empty lines, partial key prefixes, missing final
+// newline), Arena/ArenaAllocator unit tests, the armed-vs-unarmed
+// bookkeeping fast path producing bit-identical SelectionResults across all
+// schedulers and thread counts, the O(1) under-replication counter against
+// fsck after every mutation kind, the ReplicationMonitor's epoch-gated scan
+// skip, and parallel_for's inline small-range fast path.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <random>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/arena.hpp"
+#include "common/simd_scan.hpp"
+#include "common/thread_pool.hpp"
+#include "datanet/experiment.hpp"
+#include "datanet/selection_runtime.hpp"
+#include "dfs/fault_injector.hpp"
+#include "dfs/fs_image.hpp"
+#include "dfs/fsck.hpp"
+#include "dfs/replication_monitor.hpp"
+#include "mapred/report_json.hpp"
+#include "scheduler/datanet_sched.hpp"
+#include "scheduler/flow_sched.hpp"
+#include "scheduler/locality.hpp"
+#include "scheduler/lpt.hpp"
+
+namespace dc = datanet::core;
+namespace dco = datanet::common;
+namespace dfs = datanet::dfs;
+namespace dm = datanet::mapred;
+namespace dsch = datanet::scheduler;
+
+namespace {
+
+std::vector<dco::ScanKernel> available_kernels() {
+  std::vector<dco::ScanKernel> v;
+  for (const auto k : {dco::ScanKernel::kScalar, dco::ScanKernel::kSse2,
+                       dco::ScanKernel::kAvx2}) {
+    if (dco::scan_kernel_available(k)) v.push_back(k);
+  }
+  return v;
+}
+
+// Independent reference for scan_key_lines: the exact pre-SIMD predicate,
+// written with std::string_view primitives only.
+std::vector<std::string> reference_key_lines(std::string_view data,
+                                             std::string_view key) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start < data.size()) {
+    std::size_t end = data.find('\n', start);
+    if (end == std::string_view::npos) end = data.size();
+    const std::string_view line = data.substr(start, end - start);
+    if (!line.empty()) {
+      const std::size_t tab = line.find('\t');
+      if (tab != std::string_view::npos) {
+        const std::string_view rest = line.substr(tab + 1);
+        if (rest.size() > key.size() && rest[key.size()] == '\t' &&
+            rest.compare(0, key.size(), key) == 0) {
+          out.emplace_back(line);
+        }
+      }
+    }
+    start = end + 1;
+  }
+  return out;
+}
+
+std::vector<std::string> reference_lines(std::string_view data) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start < data.size()) {
+    std::size_t end = data.find('\n', start);
+    if (end == std::string_view::npos) end = data.size();
+    if (end != start) out.emplace_back(data.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+struct Collect {
+  std::vector<std::string> lines;
+  static void sink(void* ctx, std::string_view line) {
+    static_cast<Collect*>(ctx)->lines.emplace_back(line);
+  }
+};
+
+std::vector<std::string> kernel_key_lines(std::string_view data,
+                                          std::string_view key,
+                                          dco::ScanKernel kernel) {
+  Collect c;
+  dco::scan_key_lines(data, key, &c, &Collect::sink, kernel);
+  return std::move(c.lines);
+}
+
+std::vector<std::string> kernel_lines(std::string_view data,
+                                      dco::ScanKernel kernel) {
+  Collect c;
+  dco::scan_lines(data, &c, &Collect::sink, kernel);
+  return std::move(c.lines);
+}
+
+// Every kernel must reproduce the reference callback sequence on `corpus`
+// viewed at every alignment offset 0..63 (the SIMD stripes see the same
+// bytes at every phase of the 64-byte window).
+void expect_equivalent_at_all_alignments(const std::string& corpus,
+                                         const std::string& key,
+                                         const std::string& label) {
+  std::vector<char> buf(corpus.size() + 64);
+  for (std::size_t off = 0; off < 64; ++off) {
+    std::memcpy(buf.data() + off, corpus.data(), corpus.size());
+    const std::string_view view(buf.data() + off, corpus.size());
+    const auto want_key = reference_key_lines(view, key);
+    const auto want_all = reference_lines(view);
+    for (const auto kernel : available_kernels()) {
+      EXPECT_EQ(kernel_key_lines(view, key, kernel), want_key)
+          << label << " key-scan kernel=" << dco::scan_kernel_name(kernel)
+          << " offset=" << off;
+      EXPECT_EQ(kernel_lines(view, kernel), want_all)
+          << label << " line-scan kernel=" << dco::scan_kernel_name(kernel)
+          << " offset=" << off;
+    }
+  }
+}
+
+dc::ExperimentConfig small_config() {
+  dc::ExperimentConfig cfg;
+  cfg.num_nodes = 8;
+  cfg.block_size = 16 * 1024;
+  cfg.seed = 5;
+  return cfg;
+}
+
+std::vector<std::unique_ptr<dsch::TaskScheduler>> all_schedulers() {
+  std::vector<std::unique_ptr<dsch::TaskScheduler>> v;
+  v.push_back(std::make_unique<dsch::LocalityScheduler>(7));
+  v.push_back(std::make_unique<dsch::LptScheduler>());
+  v.push_back(std::make_unique<dsch::DataNetScheduler>());
+  v.push_back(std::make_unique<dsch::FlowScheduler>());
+  return v;
+}
+
+void expect_identical(const dc::SelectionResult& a, const dc::SelectionResult& b,
+                      const std::string& label) {
+  EXPECT_EQ(a.assignment.block_to_node, b.assignment.block_to_node) << label;
+  EXPECT_EQ(a.node_local_data, b.node_local_data) << label;
+  EXPECT_EQ(a.node_filtered_bytes, b.node_filtered_bytes) << label;
+  EXPECT_EQ(a.blocks_scanned, b.blocks_scanned) << label;
+  EXPECT_EQ(a.lost_block_ids, b.lost_block_ids) << label;
+  EXPECT_EQ(dm::report_to_json(a.report, /*include_output=*/true),
+            dm::report_to_json(b.report, /*include_output=*/true))
+      << label;
+}
+
+}  // namespace
+
+// ---- SIMD-vs-scalar equivalence ----
+
+TEST(SimdScan, DegenerateShapesAllKernelsAllAlignments) {
+  const std::string key = "movie_1";
+  const std::string shapes[] = {
+      "",                                  // empty input
+      "\n\n\n",                            // only empty lines
+      "no tabs at all",                    // no newline terminator, no tab
+      "1\tmovie_1\tpayload",               // match without trailing newline
+      "1\tmovie_1\t",                      // empty payload still matches
+      "1\tmovie_1",                        // no payload tab: not a candidate
+      "1\tmovie_12\tx\n2\tmovie_1\ty\n",   // partial-prefix neighbor
+      "1\tmovie_\tx\n\n3\tmovie_1\tz",     // short field, blank line, tail
+      "movie_1\tmovie_1\tx\n",             // key also in the timestamp slot
+      "\t\t\n\t\tmovie_1\t\n",             // empty fields everywhere
+      std::string(200, 'a') + "\t" + key + "\t" + std::string(300, 'b'),
+  };
+  for (const auto& shape : shapes) {
+    expect_equivalent_at_all_alignments(shape, key, "shape");
+  }
+}
+
+TEST(SimdScan, FuzzRandomCorporaAllKernelsAllAlignments) {
+  std::mt19937_64 rng(20160807);
+  const std::string keys[] = {"k", "movie_1", "a_rather_long_key_name"};
+  for (int round = 0; round < 6; ++round) {
+    const std::string& key = keys[round % 3];
+    std::string corpus;
+    std::uniform_int_distribution<int> line_kind(0, 5);
+    std::uniform_int_distribution<int> len(0, 40);
+    std::uniform_int_distribution<int> ch('a', 'z');
+    for (int line = 0; line < 120; ++line) {
+      switch (line_kind(rng)) {
+        case 0:  // well-formed matching record
+          corpus += std::to_string(line) + "\t" + key + "\tp";
+          break;
+        case 1: {  // well-formed non-matching record
+          corpus += std::to_string(line) + "\t" + key;
+          corpus += static_cast<char>(ch(rng));  // key is a strict prefix
+          corpus += "\tp";
+          break;
+        }
+        case 2:  // truncated key field
+          corpus += "9\t" + key.substr(0, key.size() / 2) + "\tp";
+          break;
+        case 3:  // random junk, maybe tab-free
+          for (int i = len(rng); i > 0; --i) {
+            corpus += static_cast<char>(ch(rng));
+          }
+          break;
+        case 4:  // empty line
+          break;
+        case 5:  // tabs only
+          corpus += "\t\t\t";
+          break;
+      }
+      corpus += '\n';
+    }
+    if (round % 2 == 0) corpus.pop_back();  // exercise the unterminated tail
+    expect_equivalent_at_all_alignments(corpus, key, "fuzz round " +
+                                                         std::to_string(round));
+  }
+}
+
+TEST(SimdScan, FilterLinesMatchesDecodeAllReferenceOnEveryKernel) {
+  // filter_lines (candidate pre-scan + decode) must keep exactly the lines
+  // the decode-every-line reference keeps, on every kernel.
+  std::string corpus;
+  for (int i = 0; i < 500; ++i) {
+    corpus += std::to_string(1000 + i) + "\tkey_" + std::to_string(i % 7) +
+              "\tpayload " + std::to_string(i) + "\n";
+  }
+  corpus += "not a record\n123\tkey_3\n";  // malformed tails
+  const std::string key = "key_3";
+  std::string want;
+  const auto want_bytes = dc::filter_lines_decode_all(corpus, key, want);
+  for (const auto kernel : available_kernels()) {
+    std::string got;
+    const auto got_bytes = dc::filter_lines(corpus, key, got, kernel);
+    EXPECT_EQ(got, want) << dco::scan_kernel_name(kernel);
+    EXPECT_EQ(got_bytes, want_bytes) << dco::scan_kernel_name(kernel);
+  }
+}
+
+TEST(SimdScan, DispatcherAndAvailability) {
+  EXPECT_TRUE(dco::scan_kernel_available(dco::ScanKernel::kScalar));
+  EXPECT_TRUE(dco::scan_kernel_available(dco::active_scan_kernel()));
+  // An explicitly-requested unavailable kernel throws instead of silently
+  // falling back (the bench must never mislabel a series).
+  for (const auto k : {dco::ScanKernel::kSse2, dco::ScanKernel::kAvx2}) {
+    if (dco::scan_kernel_available(k)) continue;
+    Collect c;
+    EXPECT_THROW(dco::scan_lines("x\n", &c, &Collect::sink, k),
+                 std::invalid_argument);
+  }
+}
+
+// ---- Arena ----
+
+TEST(Arena, AlignmentAndDistinctPointers) {
+  dco::Arena arena;
+  auto* a = arena.allocate(1, 1);
+  auto* b = arena.allocate(8, 8);
+  auto* c = arena.allocate(3, 64);
+  EXPECT_NE(a, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(c) % 64, 0u);
+  // Zero-byte requests still yield distinct pointers.
+  EXPECT_NE(arena.allocate(0, 1), arena.allocate(0, 1));
+  EXPECT_GT(arena.bytes_used(), 0u);
+  EXPECT_GE(arena.bytes_reserved(), arena.bytes_used());
+}
+
+TEST(Arena, ResetRetainsChunksAndReusesMemory) {
+  dco::Arena arena(1024);
+  void* first = arena.allocate(100, 8);
+  for (int i = 0; i < 50; ++i) (void)arena.allocate(100, 8);
+  const auto reserved = arena.bytes_reserved();
+  arena.reset();
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  EXPECT_EQ(arena.bytes_reserved(), reserved);  // chunks retained
+  EXPECT_EQ(arena.allocate(100, 8), first);     // bump pointer rewound
+}
+
+TEST(Arena, LargeObjectFallbackFreedOnReset) {
+  dco::Arena arena(1024);
+  (void)arena.allocate(16, 8);
+  const auto small_reserved = arena.bytes_reserved();
+  auto* big = arena.allocate(1 << 20, 64);
+  EXPECT_NE(big, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(big) % 64, 0u);
+  EXPECT_GE(arena.bytes_reserved(), small_reserved + (1u << 20));
+  std::memset(big, 0xab, 1 << 20);  // the block must really be ours
+  arena.reset();
+  // Dedicated large blocks are released; normal chunks stay.
+  EXPECT_LT(arena.bytes_reserved(), 1u << 20);
+}
+
+TEST(Arena, ArenaVectorGrowsCorrectly) {
+  dco::Arena arena;
+  dco::ArenaVector<int> v{dco::ArenaAllocator<int>(arena)};
+  for (int i = 0; i < 10000; ++i) v.push_back(i);
+  ASSERT_EQ(v.size(), 10000u);
+  for (int i = 0; i < 10000; ++i) ASSERT_EQ(v[i], i);
+  dco::ArenaVector<std::string> s{dco::ArenaAllocator<std::string>(arena)};
+  for (int i = 0; i < 100; ++i) {
+    s.push_back("value_" + std::to_string(i) + std::string(i, 'x'));
+  }
+  EXPECT_EQ(s[99], "value_99" + std::string(99, 'x'));
+}
+
+// ---- armed vs unarmed fast path ----
+
+TEST(HotPath, ArmedAndUnarmedReportsBitIdenticalAllSchedulersAllThreads) {
+  auto cfg = small_config();
+  const auto ds = dc::make_movie_dataset(cfg, 48, 300);
+  const dc::DataNet net(*ds.dfs, ds.path, {.alpha = 0.3});
+  const std::string key = ds.hot_keys[0];
+  for (const std::uint32_t threads : {1u, 4u}) {
+    cfg.execution_threads = threads;
+    for (const auto& sched : all_schedulers()) {
+      auto fresh = all_schedulers();
+      for (auto& other : fresh) {
+        if (other->name() != sched->name()) continue;
+        dc::DirectReadPolicy read(*ds.dfs, cfg.remote_read_penalty);
+        dc::AnalyticBackend timing;
+        dc::NoFaults none;  // unarmed: the bookkeeping-free fast path
+        const auto unarmed = dc::SelectionRuntime(read, none, timing)
+                                 .run(*ds.dfs, ds.path, key, *sched, &net, cfg);
+        dfs::FaultInjector injector(*ds.dfs, {});  // empty plan, still armed
+        dc::InjectedFaults armed_policy(injector);
+        const auto armed =
+            dc::SelectionRuntime(read, armed_policy, timing)
+                .run(*ds.dfs, ds.path, key, *other, &net, cfg);
+        expect_identical(unarmed, armed,
+                         std::string(sched->name()) + "/threads=" +
+                             std::to_string(threads));
+      }
+    }
+  }
+}
+
+TEST(HotPath, ArmedFlagDefaults) {
+  dc::NoFaults none;
+  EXPECT_FALSE(none.armed());
+  auto cfg = small_config();
+  const auto ds = dc::make_movie_dataset(cfg, 8, 50);
+  dfs::FaultInjector injector(*ds.dfs, {});
+  dc::InjectedFaults injected(injector);
+  EXPECT_TRUE(injected.armed());  // custom policies must opt in to skipping
+}
+
+// ---- O(1) under-replication counter vs fsck ----
+
+namespace {
+void expect_counter_matches_fsck(const dfs::MiniDfs& d, const char* where) {
+  EXPECT_EQ(d.under_replicated_count(), dfs::fsck(d).under_replicated)
+      << where;
+}
+}  // namespace
+
+TEST(HotPath, UnderReplicatedCounterTracksFsckThroughMutations) {
+  auto cfg = small_config();
+  cfg.inline_repair = false;
+  const auto ds = dc::make_movie_dataset(cfg, 24, 200);
+  auto& d = *ds.dfs;
+  expect_counter_matches_fsck(d, "fresh dataset");
+  const auto epoch0 = d.mutation_epoch();
+
+  (void)d.decommission(1);
+  expect_counter_matches_fsck(d, "after decommission");
+  EXPECT_GT(d.under_replicated_count(), 0u);
+  EXPECT_GT(d.mutation_epoch(), epoch0);
+
+  const auto& blocks = d.blocks_of(ds.path);
+  d.corrupt_replica(blocks[0], d.block(blocks[0]).replicas[0]);
+  (void)d.report_corrupt_replica(blocks[0], d.block(blocks[0]).replicas[0]);
+  expect_counter_matches_fsck(d, "after corrupt+report");
+
+  d.corrupt_replica(blocks[1], d.block(blocks[1]).replicas[0]);
+  (void)d.report_corrupt_replica(blocks[1], d.block(blocks[1]).replicas[0]);
+  expect_counter_matches_fsck(d, "after second corrupt+report");
+
+  while (d.under_replicated_count() > 0) {
+    bool progressed = false;
+    for (dfs::BlockId id = 0; id < d.num_blocks(); ++id) {
+      if (d.repair_block(id)) progressed = true;
+    }
+    expect_counter_matches_fsck(d, "after repair sweep");
+    if (!progressed) break;
+  }
+
+  (void)d.decommission(3);  // threshold shift: active_nodes moved
+  expect_counter_matches_fsck(d, "after second decommission");
+}
+
+TEST(HotPath, UnderReplicatedCounterSurvivesFsImageRoundTrip) {
+  auto cfg = small_config();
+  cfg.inline_repair = false;
+  const auto ds = dc::make_movie_dataset(cfg, 16, 100);
+  (void)ds.dfs->decommission(2);
+  const std::string path = ::testing::TempDir() + "/hotpath_fsimage.bin";
+  dfs::FsImage::save(*ds.dfs, path);
+  const auto loaded = dfs::FsImage::load(path);
+  EXPECT_EQ(loaded.under_replicated_count(),
+            dfs::fsck(loaded).under_replicated);
+  EXPECT_EQ(loaded.under_replicated_count(), ds.dfs->under_replicated_count());
+}
+
+// ---- ReplicationMonitor epoch gate ----
+
+TEST(HotPath, MonitorScanSkipsWhenEpochUnchanged) {
+  auto cfg = small_config();
+  cfg.inline_repair = false;
+  const auto ds = dc::make_movie_dataset(cfg, 16, 100);
+  (void)ds.dfs->decommission(1);
+  dfs::ReplicationMonitor monitor(*ds.dfs, {.max_repairs_per_tick = 2});
+  const auto depth1 = monitor.scan();
+  const auto queue1 = monitor.queue();
+  // No DFS mutation in between: the skip path must hand back the same queue.
+  const auto depth2 = monitor.scan();
+  EXPECT_EQ(depth1, depth2);
+  const auto queue2 = monitor.queue();
+  ASSERT_EQ(queue1.size(), queue2.size());
+  for (std::size_t i = 0; i < queue1.size(); ++i) {
+    EXPECT_EQ(queue1[i].block, queue2[i].block);
+    EXPECT_EQ(queue1[i].surviving, queue2[i].surviving);
+  }
+  EXPECT_EQ(monitor.stats().scans, 2u);
+  // Converge and verify the gate never left damage behind.
+  (void)monitor.drain();
+  EXPECT_TRUE(dfs::fsck(*ds.dfs).healthy());
+  EXPECT_EQ(ds.dfs->under_replicated_count(), 0u);
+}
+
+// ---- parallel_for inline fast path ----
+
+TEST(HotPath, ParallelForRunsSmallRangesInlineAndCoversAllIndices) {
+  dco::ThreadPool pool(4);
+  const auto caller = std::this_thread::get_id();
+  // n <= grain: runs on the caller, no pool round trip.
+  std::vector<std::thread::id> who(3);
+  dco::parallel_for(pool, 3, [&](std::size_t i) {
+    who[i] = std::this_thread::get_id();
+  }, /*grain=*/8);
+  for (const auto& id : who) EXPECT_EQ(id, caller);
+  // Large range still covers every index exactly once.
+  std::vector<int> hits(10000, 0);
+  dco::parallel_for(pool, hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const int h : hits) ASSERT_EQ(h, 1);
+  // Degenerate empty range is a no-op.
+  dco::parallel_for(pool, 0, [&](std::size_t) { FAIL(); });
+}

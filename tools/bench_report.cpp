@@ -4,10 +4,13 @@
 // data, a straggler-tail experiment (stalled nodes + transient read errors,
 // timeout-only recovery vs speculation), and an MTTR experiment (node kills
 // healed by the background ReplicationMonitor at a sweep of repair rates),
+// a hot-path section (scan-kernel throughput, armed-vs-unarmed bookkeeping
+// cost, engine thread sweep — PR 6's optimizations, see bench_hotpath),
 // and emits one JSON document with measured selection wall time (host clock)
-// plus the deterministic simulated report totals. Redirect to BENCH_PR5.json
+// plus the deterministic simulated report totals. Redirect to BENCH_PR6.json
 // via tools/bench_report.sh.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -16,10 +19,12 @@
 
 #include "apps/topk_search.hpp"
 #include "apps/word_count.hpp"
+#include "common/simd_scan.hpp"
 #include "datanet/selection_runtime.hpp"
 #include "dfs/fault_injector.hpp"
 #include "dfs/fsck.hpp"
 #include "dfs/replication_monitor.hpp"
+#include "mapred/report_json.hpp"
 #include "scheduler/datanet_sched.hpp"
 #include "scheduler/locality.hpp"
 #include "stats/descriptive.hpp"
@@ -50,12 +55,33 @@ TimedSelection timed_selection(const datanet::core::StoredDataset& ds,
   datanet::core::NoFaults faults;
   datanet::core::AnalyticBackend timing;
   const datanet::core::SelectionRuntime runtime(read, faults, timing);
-  const auto t0 = std::chrono::steady_clock::now();
-  TimedSelection t{runtime.run(*ds.dfs, ds.path, key, sched, net, cfg), 0.0};
-  t.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
+  // Best-of-3 wall clock (the run itself is deterministic, so repeats are
+  // free of state effects; the min damps shared-host scheduler noise).
+  TimedSelection t;
+  t.wall_seconds = 1e100;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    t.result = runtime.run(*ds.dfs, ds.path, key, sched, net, cfg);
+    t.wall_seconds = std::min(
+        t.wall_seconds,
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count());
+  }
   return t;
+}
+
+// Best-of-N wall clock: smooths host scheduler noise better than one shot.
+template <typename Fn>
+double best_of(int reps, Fn&& fn) {
+  double best = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    best = std::min(
+        best, std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                  .count());
+  }
+  return best;
 }
 
 double max_over_mean(const std::vector<std::uint64_t>& v) {
@@ -230,6 +256,81 @@ int main() {
                   static_cast<double>(ms.healed_blocks),
         clean ? "true" : "false", i + 1 == std::size(rates) ? "" : ",");
   }
+  std::printf("  },\n");
+
+  // Hot path (PR 6): scan-kernel throughput over the movie corpus, the
+  // armed-vs-unarmed bookkeeping delta on a clean selection (with a report
+  // byte-equality check), and the engine thread sweep. Wall-clock values;
+  // `reports_identical` is the only deterministic field.
+  std::printf("  \"hotpath\": {\n");
+  const auto& blocks = ds.dfs->blocks_of(ds.path);
+  std::uint64_t corpus_bytes = 0;
+  for (const dfs::BlockId b : blocks) {
+    corpus_bytes += ds.dfs->read_block(b).size();
+  }
+  const double corpus_mib = static_cast<double>(corpus_bytes) / (1 << 20);
+  std::printf("    \"active_kernel\": \"%s\",\n",
+              common::scan_kernel_name(common::active_scan_kernel()));
+  std::printf("    \"filter_mib_per_s\": {");
+  const common::ScanKernel kernels[] = {common::ScanKernel::kScalar,
+                                        common::ScanKernel::kSse2,
+                                        common::ScanKernel::kAvx2};
+  bool first = true;
+  for (const auto kernel : kernels) {
+    if (!common::scan_kernel_available(kernel)) continue;
+    const double secs = best_of(5, [&] {
+      std::string out;
+      for (const dfs::BlockId b : blocks) {
+        out.clear();
+        (void)core::filter_lines(ds.dfs->read_block(b), key, out, kernel);
+      }
+    });
+    std::printf("%s\"%s\": %.1f", first ? "" : ", ",
+                common::scan_kernel_name(kernel), corpus_mib / secs);
+    first = false;
+  }
+  std::printf("},\n");
+  scheduler::DataNetScheduler hp_sched;
+  core::SelectionResult unarmed_result;
+  const double unarmed_secs = best_of(3, [&] {
+    core::DirectReadPolicy read(*ds.dfs, cfg.remote_read_penalty);
+    core::NoFaults faults;
+    core::AnalyticBackend timing;
+    unarmed_result = core::SelectionRuntime(read, faults, timing)
+                         .run(*ds.dfs, ds.path, key, hp_sched, &net, cfg);
+  });
+  core::SelectionResult armed_result;
+  const double armed_secs = best_of(3, [&] {
+    dfs::FaultInjector injector(*ds.dfs, {});  // empty plan, still armed
+    core::DirectReadPolicy read(*ds.dfs, cfg.remote_read_penalty);
+    core::InjectedFaults faults(injector);
+    core::AnalyticBackend timing;
+    armed_result = core::SelectionRuntime(read, faults, timing)
+                       .run(*ds.dfs, ds.path, key, hp_sched, &net, cfg);
+  });
+  const bool identical =
+      mapred::report_to_json(unarmed_result.report, true) ==
+          mapred::report_to_json(armed_result.report, true) &&
+      unarmed_result.node_local_data == armed_result.node_local_data;
+  std::printf("    \"armed_wall_seconds\": %.6f,\n", armed_secs);
+  std::printf("    \"unarmed_wall_seconds\": %.6f,\n", unarmed_secs);
+  std::printf("    \"reports_identical\": %s,\n", identical ? "true" : "false");
+  std::printf("    \"thread_sweep_wall_seconds\": {");
+  first = true;
+  for (const std::uint32_t threads : {1u, 2u, 4u, 8u}) {
+    auto tcfg = cfg;
+    tcfg.execution_threads = threads;
+    const double secs = best_of(3, [&] {
+      core::DirectReadPolicy read(*ds.dfs, cfg.remote_read_penalty);
+      core::NoFaults faults;
+      core::AnalyticBackend timing;
+      (void)core::SelectionRuntime(read, faults, timing)
+          .run(*ds.dfs, ds.path, key, hp_sched, &net, tcfg);
+    });
+    std::printf("%s\"%u\": %.6f", first ? "" : ", ", threads, secs);
+    first = false;
+  }
+  std::printf("}\n");
   std::printf("  }\n}\n");
   return 0;
 }
