@@ -1,0 +1,140 @@
+// datanetd serving-path bench (PR 7): an in-process Server on loopback, N
+// tenant threads each driving its own connection with a mostly-hot-key
+// query mix, reporting aggregate qps and client-observed p50/p99 latency.
+// The acceptance bar is >= 1000 qps on loopback; the wire round trip, frame
+// CRC, admission, DRR dispatch, cached-ElasticMap selection, and reply
+// serialization are all on the measured path. Wall numbers are
+// host-dependent; digests are checked against an in-process golden run so
+// the bench also proves the served results are the right ones. The
+// machine-readable twin is the "server" section of tools/bench_report
+// (-> BENCH_PR7.json).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "server/client.hpp"
+#include "server/server.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+namespace srv = datanet::server;
+
+struct TenantRun {
+  std::vector<double> latency_micros;
+  std::uint64_t ok = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t errors = 0;
+};
+
+double percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  std::sort(sorted.begin(), sorted.end());
+  const auto idx = static_cast<std::size_t>(p * (sorted.size() - 1));
+  return sorted[idx];
+}
+
+}  // namespace
+
+int main() {
+  using namespace datanet;
+  benchutil::print_header(
+      "datanetd loopback serving path: qps and client-observed latency",
+      "frame + admission + DRR + cached-ElasticMap selection per query");
+
+  srv::ServerOptions opts;
+  opts.workers = 4;
+  opts.default_limits = {.max_queue = 256, .max_inflight = 16, .weight = 1};
+  opts.cfg.num_nodes = 16;
+  opts.cfg.block_size = 64 * 1024;
+  opts.cfg.replication = 3;
+  opts.cfg.seed = 42;
+  opts.dataset_blocks = 32;
+  srv::Server server(opts);
+  server.start();
+
+  const auto& hot = server.dataset().hot_keys;
+  constexpr int kTenants = 4;
+  constexpr int kQueriesPerTenant = 250;
+
+  // Golden digests from the in-process path: the served numbers must match.
+  std::vector<std::uint64_t> golden;
+  for (const auto& key : hot) {
+    srv::QueryRequest req;
+    req.tenant = "golden";
+    req.key = key;
+    const auto out = srv::local_query(opts, req);
+    golden.push_back(out.ok ? out.reply.digest : 0);
+  }
+
+  std::vector<TenantRun> runs(kTenants);
+  const auto t0 = Clock::now();
+  {
+    std::vector<std::thread> tenants;
+    tenants.reserve(kTenants);
+    for (int t = 0; t < kTenants; ++t) {
+      tenants.emplace_back([&, t] {
+        TenantRun& run = runs[t];
+        run.latency_micros.reserve(kQueriesPerTenant);
+        srv::Client client(server.port());
+        std::mt19937_64 rng(1000 + t);
+        std::uniform_int_distribution<int> pct(0, 99);
+        std::uniform_int_distribution<std::size_t> spread(0, hot.size() - 1);
+        for (int q = 0; q < kQueriesPerTenant; ++q) {
+          // 80% hottest key (cache-warm), 20% spread across the hot set.
+          const std::size_t ki = pct(rng) < 80 ? 0 : spread(rng);
+          srv::QueryRequest req;
+          req.tenant = "tenant_" + std::to_string(t);
+          req.key = hot[ki];
+          const auto q0 = Clock::now();
+          const auto result = client.query(req);
+          const double micros =
+              std::chrono::duration<double, std::micro>(Clock::now() - q0)
+                  .count();
+          if (result.ok() && result.reply.digest == golden[ki]) {
+            ++run.ok;
+            run.latency_micros.push_back(micros);
+          } else if (result.status == srv::ClientResult::Status::kRejected) {
+            ++run.rejected;
+          } else {
+            ++run.errors;  // transport error OR wrong digest
+          }
+        }
+      });
+    }
+    for (auto& t : tenants) t.join();
+  }
+  const double wall =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  server.stop();
+
+  std::vector<double> all;
+  std::uint64_t ok = 0, rejected = 0, errors = 0;
+  for (const auto& run : runs) {
+    all.insert(all.end(), run.latency_micros.begin(),
+               run.latency_micros.end());
+    ok += run.ok;
+    rejected += run.rejected;
+    errors += run.errors;
+  }
+  const double qps = wall > 0 ? static_cast<double>(ok) / wall : 0.0;
+
+  std::printf("tenants=%d queries_per_tenant=%d workers=%u\n", kTenants,
+              kQueriesPerTenant, opts.workers);
+  std::printf("ok=%llu rejected=%llu errors=%llu wall_s=%.3f\n",
+              static_cast<unsigned long long>(ok),
+              static_cast<unsigned long long>(rejected),
+              static_cast<unsigned long long>(errors), wall);
+  std::printf("qps=%.0f  p50_us=%.0f  p99_us=%.0f\n", qps,
+              percentile(all, 0.50), percentile(all, 0.99));
+  std::printf("%s (target: >= 1000 qps, zero errors)\n",
+              qps >= 1000.0 && errors == 0 ? "PASS" : "MISS");
+  return errors == 0 ? 0 : 1;
+}

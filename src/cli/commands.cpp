@@ -600,6 +600,12 @@ commands:
             [--kill-nodes K] [--corrupt-replicas C] [--fault-seed S]
             [--repair-rate R] [--top K] [--workdir DIR]
   forecast  --in FILE --key SUBDATASET [--block-size BYTES]
+  serve     [--port P] [--port-file FILE] [--workers W] [--max-queue Q]
+            [--max-inflight I] [--max-connections C] [--nodes N]
+            [--block-size BYTES] [--replication R] [--seed S] [--blocks B]
+  query     --port P --key SUBDATASET [--tenant T] [--scheduler
+            datanet|locality|lpt|maxflow] [--baseline] [--count N] [--json]
+            [--shutdown] | --local --key SUBDATASET [dataset-shape flags]
 )";
 }
 
@@ -623,6 +629,8 @@ int run_cli(const std::vector<std::string>& argv, std::ostream& out) {
   if (command == "faults") return cmd_faults(*args, out);
   if (command == "fsck") return cmd_fsck(*args, out);
   if (command == "forecast") return cmd_forecast(*args, out);
+  if (command == "serve") return cmd_serve(*args, out);
+  if (command == "query") return cmd_query(*args, out);
   out << "error: unknown command '" << command << "'\n" << usage();
   return 1;
 }

@@ -15,6 +15,10 @@
 //               before/after a ReplicationMonitor drain, and a crash/recover
 //               round-trip verified by namespace digest
 //   forecast  — Section II-B imbalance forecast fitted from a log file
+//   serve     — run datanetd: the always-on multi-tenant selection service
+//               over a deterministic hosted dataset (loopback TCP)
+//   query     — datanetd client: submit selection queries, verify digests
+//               in-process with --local, or stop a daemon with --shutdown
 
 #include <ostream>
 #include <string>
@@ -33,6 +37,8 @@ int cmd_simulate(const Args& args, std::ostream& out);
 int cmd_faults(const Args& args, std::ostream& out);
 int cmd_fsck(const Args& args, std::ostream& out);
 int cmd_forecast(const Args& args, std::ostream& out);
+int cmd_serve(const Args& args, std::ostream& out);
+int cmd_query(const Args& args, std::ostream& out);
 
 // Dispatch "generate|inspect|analyze --flags..." and handle help/unknown
 // commands. `argv` excludes the program name.

@@ -1,0 +1,152 @@
+// The datanetd serving pair: `serve` runs the always-on multi-tenant
+// selection daemon over a deterministic hosted dataset, `query` is the
+// client (with an in-process --local mode that recomputes the golden digest
+// for the same dataset shape — the CI smoke test compares the two).
+
+#include <fstream>
+#include <iostream>
+
+#include "cli/commands.hpp"
+#include "server/client.hpp"
+#include "server/server.hpp"
+
+namespace datanet::cli {
+
+namespace {
+
+int fail(std::ostream& out, const std::string& message) {
+  out << "error: " << message << "\n";
+  return 1;
+}
+
+int warn_unused(const Args& args, std::ostream& out) {
+  for (const auto& flag : args.unused_flags()) {
+    out << "warning: unknown flag --" << flag << " ignored\n";
+  }
+  return 0;
+}
+
+// Dataset-shape flags shared by serve and query --local; both sides must
+// agree on these for the digest contract to hold.
+server::ServerOptions shape_options(const Args& args) {
+  server::ServerOptions opts;
+  opts.cfg.num_nodes =
+      static_cast<std::uint32_t>(args.get_u64_or("nodes", 16));
+  opts.cfg.block_size = args.get_u64_or("block-size", 128 * 1024);
+  opts.cfg.replication =
+      static_cast<std::uint32_t>(args.get_u64_or("replication", 3));
+  opts.cfg.seed = args.get_u64_or("seed", 42);
+  opts.dataset_blocks = args.get_u64_or("blocks", 64);
+  return opts;
+}
+
+void print_reply(std::ostream& out, const server::QueryReply& r, bool json) {
+  if (json) {
+    out << "{\"digest\": " << r.digest
+        << ", \"matched_bytes\": " << r.matched_bytes
+        << ", \"blocks_scanned\": " << r.blocks_scanned
+        << ", \"service_micros\": " << r.service_micros
+        << ", \"queue_micros\": " << r.queue_micros << "}\n";
+  } else {
+    out << "digest=" << r.digest << " matched_bytes=" << r.matched_bytes
+        << " blocks_scanned=" << r.blocks_scanned
+        << " service_us=" << r.service_micros
+        << " queue_us=" << r.queue_micros << "\n";
+  }
+}
+
+}  // namespace
+
+int cmd_serve(const Args& args, std::ostream& out) {
+  server::ServerOptions opts = shape_options(args);
+  opts.port = static_cast<std::uint16_t>(args.get_u64_or("port", 0));
+  opts.workers = static_cast<std::uint32_t>(args.get_u64_or("workers", 2));
+  opts.max_connections =
+      static_cast<std::uint32_t>(args.get_u64_or("max-connections", 64));
+  opts.default_limits.max_queue = args.get_u64_or("max-queue", 64);
+  opts.default_limits.max_inflight = args.get_u64_or("max-inflight", 4);
+  const std::string port_file = args.get_or("port-file", "");
+  warn_unused(args, out);
+
+  try {
+    server::Server srv(opts);
+    srv.start();
+    out << "datanetd listening on 127.0.0.1:" << srv.port() << "\n";
+    out.flush();
+    if (!port_file.empty()) {
+      // Written after the listener is live, so a script polling the file
+      // can connect as soon as it appears.
+      std::ofstream f(port_file, std::ios::trunc);
+      f << srv.port() << "\n";
+    }
+    srv.wait();
+    srv.stop();
+    const auto cache = srv.cache().stats();
+    out << "datanetd: served " << srv.queries_served()
+        << " queries; metadata cache hits=" << cache.hits
+        << " revalidations=" << cache.revalidations
+        << " rebuilds=" << cache.rebuilds << "\n";
+    return 0;
+  } catch (const std::exception& e) {
+    return fail(out, e.what());
+  }
+}
+
+int cmd_query(const Args& args, std::ostream& out) {
+  const server::ServerOptions shape = shape_options(args);
+  server::QueryRequest request;
+  request.tenant = args.get_or("tenant", "default");
+  request.key = args.get_or("key", "");
+  request.scheduler = args.get_or("scheduler", "datanet");
+  request.use_datanet_meta = !args.has("baseline");
+  const bool local = args.has("local");
+  const bool do_shutdown = args.has("shutdown");
+  const bool json = args.has("json");
+  const std::uint64_t count = args.get_u64_or("count", 1);
+  const auto port = args.get_u64("port");
+  warn_unused(args, out);
+
+  if (local) {
+    if (request.key.empty()) return fail(out, "--key is required");
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const server::QueryOutcome outcome = server::local_query(shape, request);
+      if (!outcome.ok) return fail(out, outcome.error);
+      print_reply(out, outcome.reply, json);
+    }
+    return 0;
+  }
+  if (!port.has_value()) {
+    return fail(out, "--port is required (or use --local)");
+  }
+  try {
+    server::Client client(static_cast<std::uint16_t>(*port));
+    if (!request.key.empty()) {
+      for (std::uint64_t i = 0; i < count; ++i) {
+        const server::ClientResult result = client.query(request);
+        switch (result.status) {
+          case server::ClientResult::Status::kOk:
+            print_reply(out, result.reply, json);
+            break;
+          case server::ClientResult::Status::kRejected:
+            out << "rejected: "
+                << server::reject_reason_name(result.rejection.reason) << " ("
+                << result.rejection.detail << ")\n";
+            return 2;
+          case server::ClientResult::Status::kError:
+            return fail(out, "server error: " + result.error);
+        }
+      }
+    } else if (!do_shutdown) {
+      return fail(out, "--key is required (or --shutdown)");
+    }
+    if (do_shutdown) {
+      client.shutdown_server();
+      out << "server shutdown acknowledged\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    return fail(out, e.what());
+  }
+}
+
+}  // namespace datanet::cli

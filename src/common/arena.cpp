@@ -1,6 +1,8 @@
 #include "common/arena.hpp"
 
 #include <cstdint>
+#include <limits>
+#include <new>
 
 namespace datanet::common {
 
@@ -17,6 +19,13 @@ Arena::Arena(std::size_t chunk_bytes)
 
 void* Arena::allocate(std::size_t bytes, std::size_t align) {
   if (bytes == 0) bytes = 1;
+  // Over-aligned requests are legal for any power-of-two `align`: both paths
+  // align_up the *absolute* address, so the alignof(max_align_t) guarantee of
+  // new[] is irrelevant — the padding comes out of the block itself
+  // (tests/hotpath_test.cpp sweeps align 1..128 on both paths).
+  if (bytes > std::numeric_limits<std::size_t>::max() - align) {
+    throw std::bad_alloc{};  // bytes + align would wrap below
+  }
   if (bytes + align > next_chunk_bytes_ / 2) {
     // Dedicated block: chunk growth stays geometric and a rare huge request
     // never strands the tail of the active chunk.

@@ -27,7 +27,8 @@ void scan_key_lines_scalar(std::string_view data, std::string_view key,
   while (start < data.size()) {
     std::size_t end = data.find('\n', start);
     if (end == std::string_view::npos) end = data.size();
-    const std::string_view line = data.substr(start, end - start);
+    std::string_view line = data.substr(start, end - start);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
     const std::size_t tab = line.find('\t');
     if (tab != std::string_view::npos) {
       const std::string_view rest = line.substr(tab + 1);
@@ -45,7 +46,9 @@ void scan_lines_scalar(std::string_view data, void* ctx, LineSink sink) {
   while (start < data.size()) {
     std::size_t end = data.find('\n', start);
     if (end == std::string_view::npos) end = data.size();
-    if (end > start) sink(ctx, data.substr(start, end - start));
+    std::string_view line = data.substr(start, end - start);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (!line.empty()) sink(ctx, line);
     start = end + 1;
   }
 }
@@ -123,6 +126,13 @@ inline std::uint64_t clear_through(std::uint64_t m, std::size_t k) {
   return k >= 63 ? 0 : m & ~((std::uint64_t{1} << (k + 1)) - 1);
 }
 
+// CRLF contract shared by every kernel: one trailing '\r' per line is not
+// part of the line. `end` is the newline offset (or n at end-of-data).
+inline std::size_t strip_cr(const char* base, std::size_t cur,
+                            std::size_t end) {
+  return (end > cur && base[end - 1] == '\r') ? end - 1 : end;
+}
+
 // The shared candidate test, byte-identical to the scalar reference: the
 // line's key field (first tab exclusive to second tab exclusive) == key.
 // `tab` is the absolute offset of the line's first tab, kNoTab when none.
@@ -169,6 +179,7 @@ void walk_masked(std::string_view data, std::string_view key, void* ctx,
       while (nl) {
         const std::size_t bit = static_cast<std::size_t>(std::countr_zero(nl));
         const std::size_t end = wbase + bit;
+        const std::size_t stripped = strip_cr(base, cur, end);
         if (kWantKey) {
           if (tab == kNoTab) {
             const std::uint64_t before =
@@ -177,11 +188,11 @@ void walk_masked(std::string_view data, std::string_view key, void* ctx,
               tab = wbase + static_cast<std::size_t>(std::countr_zero(before));
             }
           }
-          emit_if_candidate(base, cur, end, tab, key, ctx, sink);
+          emit_if_candidate(base, cur, stripped, tab, key, ctx, sink);
           tb = clear_through(tb, bit);
           tab = kNoTab;
-        } else if (end > cur) {
-          sink(ctx, std::string_view(base + cur, end - cur));
+        } else if (stripped > cur) {
+          sink(ctx, std::string_view(base + cur, stripped - cur));
         }
         nl &= nl - 1;
         cur = end + 1;
@@ -193,10 +204,11 @@ void walk_masked(std::string_view data, std::string_view key, void* ctx,
     chunk += covered;
   }
   if (cur < n) {
+    const std::size_t stripped = strip_cr(base, cur, n);
     if (kWantKey) {
-      emit_if_candidate(base, cur, n, tab, key, ctx, sink);
-    } else {
-      sink(ctx, std::string_view(base + cur, n - cur));
+      emit_if_candidate(base, cur, stripped, tab, key, ctx, sink);
+    } else if (stripped > cur) {
+      sink(ctx, std::string_view(base + cur, stripped - cur));
     }
   }
 }

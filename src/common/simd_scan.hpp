@@ -36,8 +36,12 @@ using LineSink = void (*)(void* ctx, std::string_view line);
 
 // Invoke `sink` for every line of `data` whose key field — the bytes between
 // the first and second '\t' — equals `key` exactly. Lines are split on '\n'
-// (the final line needs no trailing newline); lines without two tabs around
-// a key-sized field never match. Byte-compatible with the scalar loop
+// (the final line needs no trailing newline); a line carrying a CRLF
+// terminator has exactly one trailing '\r' stripped before matching and
+// emission, so Windows-style records never leak '\r' into their last field.
+// Lines without two tabs around a key-sized field never match.
+// Byte-compatible with the scalar loop
+//   if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
 //   tab = line.find('\t'); rest = line.substr(tab + 1);
 //   rest.size() > key.size() && rest[key.size()] == '\t' &&
 //   rest.compare(0, key.size(), key) == 0
@@ -51,8 +55,10 @@ void scan_key_lines(std::string_view data, std::string_view key, void* ctx,
                     LineSink sink, ScanKernel kernel);
 
 // Invoke `sink` for every non-empty line of `data` (split on '\n', final
-// line included without one). The vectorized sibling of the scalar
-// find('\n') loop; used by the decode-all reference filter.
+// line included without one). One trailing '\r' per line is stripped before
+// the empty test, so "\r\n" blank lines are skipped like "\n" ones. The
+// vectorized sibling of the scalar find('\n') loop; used by the decode-all
+// reference filter.
 void scan_lines(std::string_view data, void* ctx, LineSink sink);
 void scan_lines(std::string_view data, void* ctx, LineSink sink,
                 ScanKernel kernel);

@@ -22,10 +22,12 @@ graph::BipartiteGraph DataNet::scheduling_graph(std::string_view key) const {
   std::vector<graph::BlockVertex> blocks;
   blocks.reserve(shares.size());
   for (const auto& share : shares) {
+    // Snapshot: scheduling-graph builds race background healing when the
+    // server runs jobs against a live ReplicationMonitor.
     blocks.push_back(graph::BlockVertex{
         .block_id = share.block_id,
         .weight = share.estimated_bytes,
-        .hosts = dfs_->block(share.block_id).replicas});
+        .hosts = dfs_->replicas_snapshot(share.block_id)});
   }
   return graph::BipartiteGraph(dfs_->topology().num_nodes(), std::move(blocks));
 }
@@ -45,7 +47,7 @@ graph::BipartiteGraph DataNet::scheduling_graph(
     const dfs::BlockId bid = meta_.block_id(b);
     blocks.push_back(graph::BlockVertex{.block_id = bid,
                                         .weight = weight[b],
-                                        .hosts = dfs_->block(bid).replicas});
+                                        .hosts = dfs_->replicas_snapshot(bid)});
   }
   return graph::BipartiteGraph(dfs_->topology().num_nodes(), std::move(blocks));
 }

@@ -25,7 +25,11 @@ mapred::EngineOptions engine_options(const ExperimentConfig& cfg) {
 
 ReplicaRead DirectReadPolicy::read(dfs::BlockId block, dfs::NodeId node) {
   ReplicaRead r;
-  r.data = dfs_->read_block(block);
+  // Pinned zero-copy read: the view survives concurrent healing for as long
+  // as the caller holds r.pin (run_graph keeps it until after the report).
+  dfs::PinnedRead pinned = dfs_->read_block_pinned(block);
+  r.data = pinned.data;
+  r.pin = std::move(pinned.pin);
   r.charged_bytes = dfs_->is_local(block, node)
                         ? r.data.size()
                         : static_cast<std::uint64_t>(
@@ -42,7 +46,7 @@ ReplicaRead ChecksumRetryReadPolicy::read(dfs::BlockId block,
   std::vector<dfs::NodeId> sources;
   if (dfs_->is_local(block, node)) sources.push_back(node);
   {
-    std::vector<dfs::NodeId> others = dfs_->block(block).replicas;
+    std::vector<dfs::NodeId> others = dfs_->replicas_snapshot(block);
     std::sort(others.begin(), others.end());
     for (const dfs::NodeId s : others) {
       if (s != node) sources.push_back(s);
@@ -53,7 +57,9 @@ ReplicaRead ChecksumRetryReadPolicy::read(dfs::BlockId block,
     r.charged_bytes += static_cast<std::uint64_t>(
         static_cast<double>(bytes) * (remote ? 1.0 + penalty_ : 1.0));
     if (dfs_->replica_healthy(block, src)) {
-      r.data = dfs_->read_replica(block, src);
+      dfs::PinnedRead pinned = dfs_->read_replica_pinned(block, src);
+      r.data = pinned.data;
+      r.pin = std::move(pinned.pin);
       r.ok = true;
       return r;
     }
@@ -111,6 +117,25 @@ mapred::JobReport AnalyticBackend::report(
   return engine.run(filter_job, splits);
 }
 
+// ---- cost-only timing backend ----
+
+scheduler::AssignmentRecord CostOnlyBackend::assign(
+    scheduler::TaskScheduler& sched, const graph::BipartiteGraph& graph,
+    const std::vector<std::uint64_t>& block_bytes) {
+  // Identical pull order to AnalyticBackend: the assignment (and therefore
+  // the materialized selection) matches the analytic run bit-for-bit.
+  return scheduler::pull_assign(
+      sched, graph, block_bytes,
+      {.order = scheduler::PullOptions::Order::kRoundRobin});
+}
+
+mapred::JobReport CostOnlyBackend::report(
+    const std::string&, const std::vector<mapred::InputSplit>&,
+    const ExperimentConfig&, const std::vector<double>&,
+    const mapred::AttemptCounters&) {
+  return {};  // no engine pass; run_graph merges loop counters afterwards
+}
+
 // ---- the runtime ----
 
 SelectionResult SelectionRuntime::run(const dfs::MiniDfs& dfs,
@@ -158,6 +183,11 @@ SelectionResult SelectionRuntime::run_graph(const dfs::MiniDfs& dfs,
   std::vector<mapred::InputSplit> splits;
   std::uint64_t retries = 0;
   mapred::AttemptCounters counters;
+  // One pin slot per task, held at function scope: splits (and task_data in
+  // the tracked loop) are string_views into pinned DFS bytes, and the timing
+  // backend's report() below is their last consumer — so the pins must
+  // outlive it. Re-executions overwrite a task's slot, releasing the old pin.
+  std::vector<dfs::BlockPin> task_pins(num_tasks);
 
   // Pay-as-you-go bookkeeping: with no fault policy armed and no monitor
   // attached, nothing in the tracked loop below can ever fire — every task
@@ -181,7 +211,8 @@ SelectionResult SelectionRuntime::run_graph(const dfs::MiniDfs& dfs,
     for (std::size_t j = 0; j < num_tasks; ++j) {
       const dfs::NodeId node = result.assignment.block_to_node[j];
       const dfs::BlockId bid = graph.block(j).block_id;
-      const ReplicaRead read = read_->read(bid, node);
+      ReplicaRead read = read_->read(bid, node);
+      task_pins[j] = std::move(read.pin);
       retries += read.failed_attempts;
       if (!read.ok) {
         result.lost_block_ids.push_back(bid);
@@ -386,7 +417,8 @@ SelectionResult SelectionRuntime::run_graph(const dfs::MiniDfs& dfs,
         continue;
       }
 
-      const ReplicaRead read = read_->read(bid, node);
+      ReplicaRead read = read_->read(bid, node);
+      task_pins[j] = std::move(read.pin);
       task_charge[j] += read.charged_bytes;
       retries += read.failed_attempts;
       if (!read.ok) {

@@ -44,6 +44,7 @@
 #include "datanet/attempt_tracker.hpp"
 #include "datanet/experiment.hpp"
 #include "dfs/fault_injector.hpp"
+#include "dfs/mini_dfs.hpp"
 
 namespace datanet::dfs {
 class ReplicationMonitor;
@@ -54,8 +55,13 @@ namespace datanet::core {
 // ---- read policy ----
 
 // Outcome of one task's read, including every failed attempt made.
+// Move-only: `pin` keeps the DFS bytes behind `data` immovable/unmutated, so
+// the zero-copy view stays valid while background healing mutates the
+// namespace (the PR 6 lifetime hazard). run_graph holds every task's pin
+// until after the timing report, which is the last consumer of the views.
 struct ReplicaRead {
-  std::string_view data;              // valid iff ok
+  std::string_view data;              // valid iff ok, for the pin's lifetime
+  dfs::BlockPin pin;                  // guards `data` against the mutator
   std::uint64_t charged_bytes = 0;    // simulated cost of all attempts
   std::uint64_t failed_attempts = 0;  // checksum failures before success/loss
   bool ok = false;                    // false = no healthy copy remains
@@ -175,6 +181,25 @@ class TimingBackend {
 // speculation-timing implementation) prices them; clean runs keep the exact
 // non-speculative timings.
 class AnalyticBackend final : public TimingBackend {
+ public:
+  [[nodiscard]] scheduler::AssignmentRecord assign(
+      scheduler::TaskScheduler& sched, const graph::BipartiteGraph& graph,
+      const std::vector<std::uint64_t>& block_bytes) override;
+  [[nodiscard]] mapred::JobReport report(
+      const std::string& key, const std::vector<mapred::InputSplit>& splits,
+      const ExperimentConfig& cfg, const std::vector<double>& node_speeds,
+      const mapred::AttemptCounters& attempts) override;
+};
+
+// Same fair round-robin assignment as AnalyticBackend, but report() prices
+// nothing: it returns an empty JobReport instead of re-running the filter
+// job through the engine. The selection OUTPUT is unaffected — node-local
+// buffers and filtered-bytes come from the runtime's materialize loop, which
+// is backend-independent — so callers that only need the selected bytes
+// (the datanetd serving path) skip the whole engine cost-model pass and pay
+// scan cost per query. Attempt/recovery counters still land in the report
+// via run_graph's post-merge.
+class CostOnlyBackend final : public TimingBackend {
  public:
   [[nodiscard]] scheduler::AssignmentRecord assign(
       scheduler::TaskScheduler& sched, const graph::BipartiteGraph& graph,

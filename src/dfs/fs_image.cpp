@@ -146,8 +146,6 @@ MiniDfs FsImage::load(const std::string& path) {
     }
 
     const std::uint64_t num_blocks = c.u64();
-    dfs.blocks_.reserve(num_blocks);
-    dfs.block_data_.reserve(num_blocks);
     for (std::uint64_t i = 0; i < num_blocks; ++i) {
       BlockInfo b;
       b.id = c.u64();
@@ -170,7 +168,7 @@ MiniDfs FsImage::load(const std::string& path) {
       dfs.total_bytes_ += b.size_bytes;
       dfs.blocks_.push_back(std::move(b));
       dfs.block_data_.push_back(std::move(data));
-      dfs.block_verified_.push_back(0);  // kUnknown: recompute on read
+      dfs.push_block_runtime_state(MiniDfs::kUnknown);  // recompute on read
     }
 
     for (auto& [name, ids] : file_table) {

@@ -1,13 +1,22 @@
 #include "dfs/mini_dfs.hpp"
 
 #include <algorithm>
+#include <mutex>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "common/hash.hpp"
 #include "dfs/edit_log.hpp"
 
 namespace datanet::dfs {
+
+// Locking discipline (see the contract in mini_dfs.hpp): public readers take
+// a shared lock on cs_->mu and delegate to *_unlocked helpers; public
+// mutators take a unique lock. Private helpers never lock — they are only
+// reached with the appropriate lock already held (or from single-threaded
+// recovery). shared_mutex is non-reentrant, so public methods must not call
+// other locking public methods.
 
 FileWriter::FileWriter(MiniDfs* dfs, std::string path)
     : dfs_(dfs), path_(std::move(path)) {}
@@ -65,15 +74,26 @@ MiniDfs::MiniDfs(ClusterTopology topology, DfsOptions options,
 MiniDfs::MiniDfs(ClusterTopology topology, DfsOptions options)
     : MiniDfs(std::move(topology), options, std::make_unique<RandomPlacement>()) {}
 
+void MiniDfs::push_block_runtime_state(std::uint8_t verified) {
+  cs_->verified.emplace_back(verified);
+  cs_->pins.emplace_back(0);
+}
+
 FileWriter MiniDfs::create(std::string path) {
-  if (files_.contains(path)) throw std::invalid_argument("file exists: " + path);
-  files_.emplace(path, std::vector<BlockId>{});
-  log_edit({.op = EditOp::kCreateFile, .file = path});
+  {
+    std::unique_lock lock(cs_->mu);
+    if (files_.contains(path)) {
+      throw std::invalid_argument("file exists: " + path);
+    }
+    files_.emplace(path, std::vector<BlockId>{});
+    log_edit({.op = EditOp::kCreateFile, .file = path});
+  }
   return FileWriter(this, std::move(path));
 }
 
 BlockId MiniDfs::commit_block(const std::string& path, std::string data,
                               std::uint64_t num_records) {
+  std::unique_lock lock(cs_->mu);
   if (active_nodes_ == 0) {
     throw std::runtime_error("MiniDfs: no active nodes to place a block on");
   }
@@ -97,7 +117,7 @@ BlockId MiniDfs::commit_block(const std::string& path, std::string data,
   files_.at(path).push_back(id);
   blocks_.push_back(std::move(info));
   block_data_.push_back(std::move(data));
-  block_verified_.push_back(kOk);  // checksum just computed from these bytes
+  push_block_runtime_state(kOk);  // checksum just computed from these bytes
   replicas_changed(id);
   if (journal_ != nullptr) {
     const BlockInfo& b = blocks_.back();
@@ -116,52 +136,105 @@ BlockId MiniDfs::commit_block(const std::string& path, std::string data,
 }
 
 bool MiniDfs::exists(std::string_view path) const {
+  std::shared_lock lock(cs_->mu);
   return files_.contains(std::string(path));
 }
 
 const std::vector<BlockId>& MiniDfs::blocks_of(std::string_view path) const {
+  std::shared_lock lock(cs_->mu);
   const auto it = files_.find(std::string(path));
   if (it == files_.end()) throw std::out_of_range("no such file: " + std::string(path));
   return it->second;
 }
 
 const BlockInfo& MiniDfs::block(BlockId id) const {
+  std::shared_lock lock(cs_->mu);
   if (id >= blocks_.size()) throw std::out_of_range("bad block id");
   return blocks_[id];
 }
 
-std::string_view MiniDfs::read_block(BlockId id) const {
+std::string_view MiniDfs::read_block_unlocked(BlockId id) const {
   if (id >= block_data_.size()) throw std::out_of_range("bad block id");
-  if (!verify_block(id)) {
+  if (!verify_block_unlocked(id)) {
     throw BlockCorruptError(id, "read_block: checksum mismatch on block " +
                                     std::to_string(id));
   }
   return block_data_[id];
 }
 
+std::string_view MiniDfs::read_block(BlockId id) const {
+  std::shared_lock lock(cs_->mu);
+  return read_block_unlocked(id);
+}
+
+PinnedRead MiniDfs::read_block_pinned(BlockId id) const {
+  std::shared_lock lock(cs_->mu);
+  const std::string_view data = read_block_unlocked(id);
+  // The shared lock orders this increment against any mutator: a mutator
+  // that could invalidate the bytes takes the unique lock first and then
+  // waits for the count to drain, so relaxed suffices here (the release is
+  // on the unpin side).
+  cs_->pins[id].fetch_add(1, std::memory_order_relaxed);
+  return {data, BlockPin(&cs_->pins[id])};
+}
+
+PinnedRead MiniDfs::read_replica_pinned(BlockId id, NodeId node) const {
+  std::shared_lock lock(cs_->mu);
+  if (id >= block_data_.size()) {
+    throw std::out_of_range("read_replica: bad block");
+  }
+  if (!is_local_unlocked(id, node)) {
+    throw std::invalid_argument("read_replica: node does not host block");
+  }
+  if (replica_marked_corrupt(id, node)) {
+    throw BlockCorruptError(id, "read_replica: corrupt copy of block " +
+                                    std::to_string(id) + " on node " +
+                                    std::to_string(node));
+  }
+  const std::string_view data = read_block_unlocked(id);
+  cs_->pins[id].fetch_add(1, std::memory_order_relaxed);
+  return {data, BlockPin(&cs_->pins[id])};
+}
+
+std::vector<NodeId> MiniDfs::replicas_snapshot(BlockId id) const {
+  std::shared_lock lock(cs_->mu);
+  if (id >= blocks_.size()) throw std::out_of_range("bad block id");
+  return blocks_[id].replicas;
+}
+
 const std::vector<BlockId>& MiniDfs::blocks_on(NodeId node) const {
+  std::shared_lock lock(cs_->mu);
   if (node >= node_blocks_.size()) throw std::out_of_range("bad node id");
   return node_blocks_[node];
 }
 
 std::vector<std::string> MiniDfs::list_files() const {
+  std::shared_lock lock(cs_->mu);
   std::vector<std::string> names;
   names.reserve(files_.size());
   for (const auto& [name, _] : files_) names.push_back(name);
   return names;
 }
 
-bool MiniDfs::is_local(BlockId id, NodeId node) const {
-  const auto& reps = block(id).replicas;
+bool MiniDfs::is_local_unlocked(BlockId id, NodeId node) const {
+  if (id >= blocks_.size()) throw std::out_of_range("bad block id");
+  const auto& reps = blocks_[id].replicas;
   return std::find(reps.begin(), reps.end(), node) != reps.end();
 }
 
+bool MiniDfs::is_local(BlockId id, NodeId node) const {
+  std::shared_lock lock(cs_->mu);
+  return is_local_unlocked(id, node);
+}
+
 bool MiniDfs::is_active(NodeId node) const {
+  std::shared_lock lock(cs_->mu);
   if (node >= node_active_.size()) throw std::out_of_range("is_active: bad node");
   return node_active_[node];
 }
 
 void MiniDfs::move_replica(BlockId id, NodeId from, NodeId to) {
+  std::unique_lock lock(cs_->mu);
   if (id >= blocks_.size()) throw std::out_of_range("move_replica: bad block");
   if (from >= node_blocks_.size() || to >= node_blocks_.size()) {
     throw std::out_of_range("move_replica: bad node");
@@ -192,7 +265,8 @@ void MiniDfs::move_replica_impl(BlockId id, NodeId from, NodeId to) {
     auto& marks = corrupt_replicas_[id];
     std::replace(marks.begin(), marks.end(), from, to);
   }
-  ++mutation_epoch_;  // replica count unchanged, placement not
+  // Replica count unchanged, placement not.
+  cs_->mutation_epoch.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::vector<BlockId> MiniDfs::drop_node(NodeId node) {
@@ -230,6 +304,7 @@ std::optional<NodeId> MiniDfs::pick_rereplication_target(
 }
 
 std::vector<BlockId> MiniDfs::decommission(NodeId node) {
+  std::unique_lock lock(cs_->mu);
   if (node >= node_active_.size()) {
     throw std::out_of_range("decommission: bad node");
   }
@@ -268,52 +343,79 @@ bool MiniDfs::is_under_replicated(BlockId id) const {
 }
 
 void MiniDfs::replicas_changing(BlockId id) {
-  if (is_under_replicated(id)) --under_replicated_;
+  if (is_under_replicated(id)) {
+    cs_->under_replicated.fetch_sub(1, std::memory_order_relaxed);
+  }
 }
 
 void MiniDfs::replicas_changed(BlockId id) {
-  if (is_under_replicated(id)) ++under_replicated_;
-  ++mutation_epoch_;
+  if (is_under_replicated(id)) {
+    cs_->under_replicated.fetch_add(1, std::memory_order_relaxed);
+  }
+  cs_->mutation_epoch.fetch_add(1, std::memory_order_relaxed);
 }
 
 void MiniDfs::recount_under_replicated() {
-  under_replicated_ = 0;
+  std::uint64_t count = 0;
   for (BlockId id = 0; id < blocks_.size(); ++id) {
-    if (is_under_replicated(id)) ++under_replicated_;
+    if (is_under_replicated(id)) ++count;
   }
-  ++mutation_epoch_;
+  cs_->under_replicated.store(count, std::memory_order_relaxed);
+  cs_->mutation_epoch.fetch_add(1, std::memory_order_relaxed);
 }
 
 // ---- checksums & corruption ----
 
 void MiniDfs::corrupt_block(BlockId id) {
+  std::unique_lock lock(cs_->mu);
   if (id >= block_data_.size()) throw std::out_of_range("corrupt_block: bad block");
   auto& data = block_data_[id];
   if (data.empty()) return;  // nothing to corrupt
+  // The one post-commit byte mutation in the system: wait out every pinned
+  // zero-copy reader first. New pins need the shared lock (which we hold
+  // uniquely), so the count can only fall; unpinning is lock-free, so this
+  // wait cannot deadlock against readers.
+  while (cs_->pins[id].load(std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
+  }
   data[data.size() / 2] = static_cast<char>(data[data.size() / 2] ^ 0x40);
-  block_verified_[id] = kUnknown;  // next read recomputes and fails
-  ++mutation_epoch_;               // health changed; scrubbers must re-look
+  // Next read recomputes and fails.
+  cs_->verified[id].store(kUnknown, std::memory_order_release);
+  // Health changed; scrubbers must re-look.
+  cs_->mutation_epoch.fetch_add(1, std::memory_order_relaxed);
 }
 
 void MiniDfs::corrupt_replica(BlockId id, NodeId node) {
+  std::unique_lock lock(cs_->mu);
   if (id >= blocks_.size()) throw std::out_of_range("corrupt_replica: bad block");
-  if (!is_local(id, node)) {
+  if (!is_local_unlocked(id, node)) {
     throw std::invalid_argument("corrupt_replica: node does not host block");
   }
   auto& marks = corrupt_replicas_[id];
   if (std::find(marks.begin(), marks.end(), node) == marks.end()) {
     marks.push_back(node);
-    ++mutation_epoch_;  // health changed; scrubbers must re-look
+    // Health changed; scrubbers must re-look.
+    cs_->mutation_epoch.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
-bool MiniDfs::verify_block(BlockId id) const {
+bool MiniDfs::verify_block_unlocked(BlockId id) const {
   if (id >= block_data_.size()) throw std::out_of_range("verify_block: bad block");
-  if (block_verified_[id] == kUnknown) {
-    block_verified_[id] =
-        common::crc32(block_data_[id]) == blocks_[id].checksum ? kOk : kBad;
+  auto& memo = cs_->verified[id];
+  std::uint8_t v = memo.load(std::memory_order_acquire);
+  if (v == kUnknown) {
+    // Concurrent readers may race the recompute; they derive the same value
+    // from the same bytes (byte flips require the unique lock), so the
+    // last-writer-wins store is benign.
+    v = common::crc32(block_data_[id]) == blocks_[id].checksum ? kOk : kBad;
+    memo.store(v, std::memory_order_release);
   }
-  return block_verified_[id] == kOk;
+  return v == kOk;
+}
+
+bool MiniDfs::verify_block(BlockId id) const {
+  std::shared_lock lock(cs_->mu);
+  return verify_block_unlocked(id);
 }
 
 bool MiniDfs::replica_marked_corrupt(BlockId id, NodeId node) const {
@@ -322,18 +424,26 @@ bool MiniDfs::replica_marked_corrupt(BlockId id, NodeId node) const {
   return std::find(it->second.begin(), it->second.end(), node) != it->second.end();
 }
 
-bool MiniDfs::replica_healthy(BlockId id, NodeId node) const {
+bool MiniDfs::replica_healthy_unlocked(BlockId id, NodeId node) const {
   if (id >= blocks_.size()) throw std::out_of_range("replica_healthy: bad block");
   if (node >= node_active_.size()) {
     throw std::out_of_range("replica_healthy: bad node");
   }
-  return node_active_[node] && is_local(id, node) &&
-         !replica_marked_corrupt(id, node) && verify_block(id);
+  return node_active_[node] && is_local_unlocked(id, node) &&
+         !replica_marked_corrupt(id, node) && verify_block_unlocked(id);
+}
+
+bool MiniDfs::replica_healthy(BlockId id, NodeId node) const {
+  std::shared_lock lock(cs_->mu);
+  return replica_healthy_unlocked(id, node);
 }
 
 std::string_view MiniDfs::read_replica(BlockId id, NodeId node) const {
-  if (id >= block_data_.size()) throw std::out_of_range("read_replica: bad block");
-  if (!is_local(id, node)) {
+  std::shared_lock lock(cs_->mu);
+  if (id >= block_data_.size()) {
+    throw std::out_of_range("read_replica: bad block");
+  }
+  if (!is_local_unlocked(id, node)) {
     throw std::invalid_argument("read_replica: node does not host block");
   }
   if (replica_marked_corrupt(id, node)) {
@@ -341,7 +451,7 @@ std::string_view MiniDfs::read_replica(BlockId id, NodeId node) const {
                                     std::to_string(id) + " on node " +
                                     std::to_string(node));
   }
-  return read_block(id);  // verifies the logical bytes
+  return read_block_unlocked(id);  // verifies the logical bytes
 }
 
 bool MiniDfs::drop_replica(BlockId id, NodeId node) {
@@ -362,10 +472,11 @@ bool MiniDfs::drop_replica(BlockId id, NodeId node) {
 }
 
 bool MiniDfs::report_corrupt_replica(BlockId id, NodeId node) {
+  std::unique_lock lock(cs_->mu);
   if (id >= blocks_.size()) {
     throw std::out_of_range("report_corrupt_replica: bad block");
   }
-  if (!is_local(id, node)) {
+  if (!is_local_unlocked(id, node)) {
     throw std::invalid_argument("report_corrupt_replica: node does not host block");
   }
   // Drop the bad copy.
@@ -373,12 +484,13 @@ bool MiniDfs::report_corrupt_replica(BlockId id, NodeId node) {
   log_edit({.op = EditOp::kRemoveReplica, .block = id, .node = node});
 
   // Media corruption of the logical bytes: no healthy source exists.
-  if (!verify_block(id)) return false;
+  if (!verify_block_unlocked(id)) return false;
 
   const auto& reps = blocks_[id].replicas;
   // A healthy, active source replica must remain to copy from.
-  const bool have_source = std::any_of(
-      reps.begin(), reps.end(), [&](NodeId n) { return replica_healthy(id, n); });
+  const bool have_source =
+      std::any_of(reps.begin(), reps.end(),
+                  [&](NodeId n) { return replica_healthy_unlocked(id, n); });
   if (!have_source) return false;
 
   if (options_.inline_repair) {
@@ -396,6 +508,7 @@ bool MiniDfs::report_corrupt_replica(BlockId id, NodeId node) {
 }
 
 std::vector<NodeId> MiniDfs::corrupt_replica_marks(BlockId id) const {
+  std::shared_lock lock(cs_->mu);
   if (id >= blocks_.size()) {
     throw std::out_of_range("corrupt_replica_marks: bad block");
   }
@@ -407,10 +520,12 @@ std::vector<NodeId> MiniDfs::corrupt_replica_marks(BlockId id) const {
 }
 
 std::optional<NodeId> MiniDfs::repair_block(BlockId id) {
+  std::unique_lock lock(cs_->mu);
   if (id >= blocks_.size()) throw std::out_of_range("repair_block: bad block");
   auto& reps = blocks_[id].replicas;
-  const bool have_source = std::any_of(
-      reps.begin(), reps.end(), [&](NodeId n) { return replica_healthy(id, n); });
+  const bool have_source =
+      std::any_of(reps.begin(), reps.end(),
+                  [&](NodeId n) { return replica_healthy_unlocked(id, n); });
   if (!have_source) return std::nullopt;
   std::vector<bool> eligible(node_active_.size(), false);
   std::uint32_t num_eligible = 0;
@@ -438,6 +553,7 @@ void MiniDfs::log_edit(const EditRecord& record) {
 }
 
 void MiniDfs::crash_namenode(std::uint64_t journal_keep_bytes) {
+  std::unique_lock lock(cs_->mu);
   if (journal_ == nullptr) {
     throw std::logic_error("crash_namenode: no journal attached");
   }
@@ -450,6 +566,9 @@ void MiniDfs::crash_namenode(std::uint64_t journal_keep_bytes) {
 }
 
 void MiniDfs::apply_edit(const EditRecord& record) {
+  // Recovery-time only: the instance under reconstruction is owned by one
+  // thread, so no locking — but the shared unlocked helpers keep behaviour
+  // identical to the live mutation paths.
   switch (record.op) {
     case EditOp::kCreateFile:
       if (!files_.contains(record.file)) {
@@ -478,7 +597,7 @@ void MiniDfs::apply_edit(const EditRecord& record) {
       files_.at(record.file).push_back(info.id);
       blocks_.push_back(std::move(info));
       block_data_.push_back(record.data);
-      block_verified_.push_back(kUnknown);  // recompute honestly on read
+      push_block_runtime_state(kUnknown);  // recompute honestly on read
       replicas_changed(record.block);
       break;
     }
@@ -486,12 +605,12 @@ void MiniDfs::apply_edit(const EditRecord& record) {
       if (node_active_[record.node]) drop_node(record.node);
       break;
     case EditOp::kRemoveReplica:
-      if (is_local(record.block, record.node)) {
+      if (is_local_unlocked(record.block, record.node)) {
         drop_replica(record.block, record.node);
       }
       break;
     case EditOp::kAddReplica:
-      if (!is_local(record.block, record.node)) {
+      if (!is_local_unlocked(record.block, record.node)) {
         replicas_changing(record.block);
         blocks_[record.block].replicas.push_back(record.node);
         node_blocks_[record.node].push_back(record.block);
@@ -499,8 +618,8 @@ void MiniDfs::apply_edit(const EditRecord& record) {
       }
       break;
     case EditOp::kMoveReplica:
-      if (is_local(record.block, record.node) &&
-          !is_local(record.block, record.node2)) {
+      if (is_local_unlocked(record.block, record.node) &&
+          !is_local_unlocked(record.block, record.node2)) {
         move_replica_impl(record.block, record.node, record.node2);
       }
       break;
@@ -508,8 +627,11 @@ void MiniDfs::apply_edit(const EditRecord& record) {
 }
 
 std::uint64_t MiniDfs::namespace_digest() const {
+  std::shared_lock lock(cs_->mu);
   std::uint64_t h = common::hash_bytes("minidfs-namespace-v1");
-  std::vector<std::string> names = list_files();
+  std::vector<std::string> names;
+  names.reserve(files_.size());
+  for (const auto& [name, _] : files_) names.push_back(name);
   std::sort(names.begin(), names.end());
   h = common::hash_combine(h, names.size());
   for (const std::string& name : names) {

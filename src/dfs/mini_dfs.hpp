@@ -11,14 +11,33 @@
 // BlockCorruptError on checksum failure, and report_corrupt_replica models
 // the NameNode dropping a bad copy and re-replicating from a healthy one.
 // corrupt_block / corrupt_replica are the test/fault-injection hooks.
+//
+// Concurrency contract (single mutator, many readers): one external mutator
+// thread at a time (writers, fault hooks, ReplicationMonitor healing) may run
+// against any number of concurrent reader threads. Namespace metadata is
+// guarded by an internal shared_mutex; committed block BYTES never move
+// (deque storage) and are mutated only by corrupt_block, which waits for
+// outstanding read pins to drain first. Reader threads racing a mutator must
+//   - read bytes through read_block_pinned / read_replica_pinned (the view
+//     stays valid for the pin's lifetime), and
+//   - take replica sets via replicas_snapshot (by value), not
+//     block(id).replicas.
+// Reference-returning accessors (block, blocks_of, blocks_on, read_block)
+// hand out references that are only stable on the mutator thread or while
+// the namespace is quiescent — the single-threaded idiom every offline
+// builder, bench and test keeps using unchanged.
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <stdexcept>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -63,6 +82,49 @@ class MiniDfs;
 class EditLog;
 struct EditRecord;
 class FsImage;
+
+// RAII read pin on one block. While any pin is held, that block's bytes are
+// neither mutated nor relocated, so zero-copy string_views into them stay
+// valid even while a mutator thread heals, drops replicas, or tries to
+// corrupt the block concurrently (corrupt_block blocks until pins drain).
+// Move-only; releasing is lock-free, so pin holders can never deadlock a
+// waiting mutator. A default-constructed pin holds nothing.
+class BlockPin {
+ public:
+  BlockPin() noexcept = default;
+  BlockPin(BlockPin&& other) noexcept
+      : count_(std::exchange(other.count_, nullptr)) {}
+  BlockPin& operator=(BlockPin&& other) noexcept {
+    if (this != &other) {
+      release();
+      count_ = std::exchange(other.count_, nullptr);
+    }
+    return *this;
+  }
+  BlockPin(const BlockPin&) = delete;
+  BlockPin& operator=(const BlockPin&) = delete;
+  ~BlockPin() { release(); }
+
+  [[nodiscard]] bool holds() const noexcept { return count_ != nullptr; }
+  void release() noexcept {
+    if (count_ != nullptr) {
+      count_->fetch_sub(1, std::memory_order_release);
+      count_ = nullptr;
+    }
+  }
+
+ private:
+  friend class MiniDfs;
+  explicit BlockPin(std::atomic<std::uint32_t>* count) noexcept
+      : count_(count) {}
+  std::atomic<std::uint32_t>* count_ = nullptr;  // stable: deque element
+};
+
+// A pinned zero-copy read: `data` is valid exactly as long as `pin` is held.
+struct PinnedRead {
+  std::string_view data;
+  BlockPin pin;
+};
 
 // Outcome of MiniDfs::recover beyond the rebuilt namespace itself.
 struct RecoveryInfo {
@@ -117,6 +179,20 @@ class MiniDfs {
   [[nodiscard]] std::string_view read_block(BlockId id) const;
   [[nodiscard]] const std::vector<BlockId>& blocks_on(NodeId node) const;
 
+  // ---- concurrent-reader API (see the contract in the file comment) ----
+
+  // Pinned zero-copy reads: same semantics and errors as read_block /
+  // read_replica, but the returned view is guaranteed valid for the pin's
+  // lifetime even while the mutator thread runs. The concurrent selection
+  // path (datanetd jobs racing background healing) reads through these.
+  [[nodiscard]] PinnedRead read_block_pinned(BlockId id) const;
+  [[nodiscard]] PinnedRead read_replica_pinned(BlockId id, NodeId node) const;
+
+  // By-value copy of block(id).replicas, taken under the namespace lock —
+  // the form of replica lookup that is safe against concurrent healing
+  // (graph builders use this when jobs run against a live mutator).
+  [[nodiscard]] std::vector<NodeId> replicas_snapshot(BlockId id) const;
+
   [[nodiscard]] const ClusterTopology& topology() const noexcept { return topology_; }
   [[nodiscard]] const DfsOptions& options() const noexcept { return options_; }
   [[nodiscard]] std::uint64_t num_blocks() const noexcept { return blocks_.size(); }
@@ -143,17 +219,20 @@ class MiniDfs {
   // O(1) count of under-replicated blocks, maintained incrementally at every
   // replica-set mutation. Matches dfs::fsck exactly: a block counts iff
   // 0 < replicas < min(target replication, active nodes) — so post-run
-  // health reporting never rescans the namespace.
+  // health reporting never rescans the namespace. Atomic: job reports read
+  // it from reader threads while the monitor heals.
   [[nodiscard]] std::uint64_t under_replicated_count() const noexcept {
-    return under_replicated_;
+    return cs_->under_replicated.load(std::memory_order_relaxed);
   }
 
   // Monotone counter bumped by every mutation that can change replica
   // placement or health (commits, drops, repairs, moves, corruption marks).
   // ReplicationMonitor::scan compares it against the epoch of its last full
-  // scan to skip whole-namespace rescans when nothing changed.
+  // scan to skip whole-namespace rescans when nothing changed; the server's
+  // dataset cache uses it for epoch-based invalidation. Atomic for the same
+  // reader-vs-mutator reason as under_replicated_count.
   [[nodiscard]] std::uint64_t mutation_epoch() const noexcept {
-    return mutation_epoch_;
+    return cs_->mutation_epoch.load(std::memory_order_relaxed);
   }
 
   // Relocate one replica of `id` from `from` to `to` (balancer primitive).
@@ -237,9 +316,36 @@ class MiniDfs {
  private:
   friend class FileWriter;
   friend class FsImage;
+
+  // Verification memo per block: 0 = unknown, 1 = ok, 2 = bad. Reset to
+  // unknown by corrupt_block so the next read recomputes honestly.
+  enum : std::uint8_t { kUnknown = 0, kOk = 1, kBad = 2 };
+
+  // Cross-thread state. Boxed so MiniDfs stays movable (FsImage::load and
+  // recover return by value); the box itself is never null and never moves
+  // while readers run, so BlockPin can point straight at a pin counter.
+  struct ConcurrencyState {
+    // Readers take shared, the mutator takes unique. Public methods lock and
+    // delegate to *_unlocked private helpers (shared_mutex is non-reentrant).
+    mutable std::shared_mutex mu;
+    // Per-block memos/pins live in deques: elements never move on growth, so
+    // lock-free access through raw pointers/references stays valid.
+    mutable std::deque<std::atomic<std::uint8_t>> verified;
+    mutable std::deque<std::atomic<std::uint32_t>> pins;
+    std::atomic<std::uint64_t> under_replicated{0};
+    std::atomic<std::uint64_t> mutation_epoch{0};
+  };
+
   BlockId commit_block(const std::string& path, std::string data,
                        std::uint64_t num_records);
   [[nodiscard]] bool replica_marked_corrupt(BlockId id, NodeId node) const;
+  [[nodiscard]] bool is_local_unlocked(BlockId id, NodeId node) const;
+  [[nodiscard]] bool verify_block_unlocked(BlockId id) const;
+  [[nodiscard]] bool replica_healthy_unlocked(BlockId id, NodeId node) const;
+  [[nodiscard]] std::string_view read_block_unlocked(BlockId id) const;
+  // Grow the per-block runtime state (verify memo + pin counter) in step
+  // with blocks_/block_data_; every block-adding path must call this.
+  void push_block_runtime_state(std::uint8_t verified);
   // Journal one record iff a journal is attached.
   void log_edit(const EditRecord& record);
   // Replay-side interpreter: idempotent application of one journal record
@@ -269,20 +375,18 @@ class MiniDfs {
   std::unique_ptr<PlacementPolicy> placement_;
   common::Rng placement_rng_;
 
-  std::vector<BlockInfo> blocks_;             // BlockId == index
-  std::vector<std::string> block_data_;       // BlockId -> bytes (one copy)
+  // blocks_ and block_data_ are deques so committed BlockInfo records and
+  // block bytes never relocate on namespace growth — the anchor for every
+  // zero-copy view and pin handed out to concurrent readers.
+  std::deque<BlockInfo> blocks_;        // BlockId == index
+  std::deque<std::string> block_data_;  // BlockId -> bytes (one copy)
   std::unordered_map<std::string, std::vector<BlockId>> files_;
   std::vector<std::vector<BlockId>> node_blocks_;  // node -> hosted blocks
   std::vector<bool> node_active_;
   std::uint32_t active_nodes_ = 0;
   std::uint64_t total_bytes_ = 0;
-  std::uint64_t under_replicated_ = 0;
-  std::uint64_t mutation_epoch_ = 0;
-
-  // Verification memo per block: 0 = unknown, 1 = ok, 2 = bad. Reset to
-  // unknown by corrupt_block so the next read recomputes honestly.
-  enum : std::uint8_t { kUnknown = 0, kOk = 1, kBad = 2 };
-  mutable std::vector<std::uint8_t> block_verified_;
+  std::unique_ptr<ConcurrencyState> cs_ =
+      std::make_unique<ConcurrencyState>();
   // (block -> nodes whose copy is marked bad); sparse, fault-injection only.
   std::unordered_map<BlockId, std::vector<NodeId>> corrupt_replicas_;
   EditLog* journal_ = nullptr;  // non-owning; nullptr = no durability

@@ -46,9 +46,12 @@ class BipartiteGraph {
     for (std::size_t i = 0; i < ids.size(); ++i) {
       const std::uint64_t w = weight_of(i, ids[i]);
       if (w == 0 && !keep_zero_weight) continue;
+      // Snapshot, not reference: graph building may race background healing
+      // (datanetd jobs vs ReplicationMonitor), and the replica vector
+      // mutates under repair.
       blocks.push_back(BlockVertex{.block_id = ids[i],
                                    .weight = w,
-                                   .hosts = dfs.block(ids[i]).replicas});
+                                   .hosts = dfs.replicas_snapshot(ids[i])});
     }
     return BipartiteGraph(dfs.topology().num_nodes(), std::move(blocks));
   }

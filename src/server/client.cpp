@@ -1,0 +1,50 @@
+#include "server/client.hpp"
+
+namespace datanet::server {
+
+Client::Client(std::uint16_t port) : fd_(connect_loopback(port)) {}
+
+std::string Client::round_trip(const std::string& payload) {
+  write_all(fd_, frame(payload));
+  const auto header_bytes = read_exact(fd_, kFrameHeaderBytes);
+  if (!header_bytes.has_value()) {
+    throw SocketError("datanetd client: connection closed before reply");
+  }
+  const FrameHeader header = decode_frame_header(*header_bytes);
+  const auto reply = read_exact(fd_, header.payload_len);
+  if (!reply.has_value()) {
+    throw SocketError("datanetd client: connection closed mid-reply");
+  }
+  check_frame_payload(header, *reply);
+  return *reply;
+}
+
+ClientResult Client::query(const QueryRequest& request) {
+  const std::string payload = round_trip(encode_query(request));
+  ClientResult result;
+  switch (peek_type(payload)) {
+    case MsgType::kQueryOk:
+      result.status = ClientResult::Status::kOk;
+      result.reply = decode_query_ok(payload);
+      return result;
+    case MsgType::kRejected:
+      result.status = ClientResult::Status::kRejected;
+      result.rejection = decode_rejected(payload);
+      return result;
+    case MsgType::kError:
+      result.status = ClientResult::Status::kError;
+      result.error = decode_error(payload);
+      return result;
+    default:
+      throw ProtocolError("datanetd client: unexpected reply type");
+  }
+}
+
+void Client::shutdown_server() {
+  const std::string payload = round_trip(encode_shutdown());
+  if (peek_type(payload) != MsgType::kShutdownOk) {
+    throw ProtocolError("datanetd client: shutdown not acknowledged");
+  }
+}
+
+}  // namespace datanet::server

@@ -1,0 +1,44 @@
+#pragma once
+// Blocking datanetd client: one loopback TCP connection, strict
+// request-response framing. Used by `datanet query`, the end-to-end tests
+// and bench_server; thread-compatible (one Client per thread), not
+// thread-safe.
+
+#include <cstdint>
+#include <string>
+
+#include "server/protocol.hpp"
+#include "server/socket_io.hpp"
+
+namespace datanet::server {
+
+// A decoded server response of any kind.
+struct ClientResult {
+  enum class Status : std::uint8_t { kOk, kRejected, kError };
+  Status status = Status::kError;
+  QueryReply reply;      // valid when kOk
+  Rejection rejection;   // valid when kRejected
+  std::string error;     // valid when kError
+  [[nodiscard]] bool ok() const noexcept { return status == Status::kOk; }
+};
+
+class Client {
+ public:
+  // Connects immediately; throws SocketError when nothing listens.
+  explicit Client(std::uint16_t port);
+
+  // Round-trip one query. Throws SocketError / ProtocolError on transport
+  // failures; admission rejections and execution errors come back as a
+  // ClientResult, not an exception — they are protocol results.
+  [[nodiscard]] ClientResult query(const QueryRequest& request);
+
+  // Ask the server to drain and exit; returns once the ack arrives.
+  void shutdown_server();
+
+ private:
+  [[nodiscard]] std::string round_trip(const std::string& payload);
+
+  Fd fd_;
+};
+
+}  // namespace datanet::server

@@ -1,0 +1,51 @@
+#include "server/dataset_cache.hpp"
+
+namespace datanet::server {
+
+std::shared_ptr<const core::DataNet> DatasetCache::get(
+    const dfs::MiniDfs& dfs, const std::string& path) {
+  std::lock_guard lock(mu_);
+  const std::uint64_t epoch = dfs.mutation_epoch();
+  auto it = entries_.find(path);
+  if (it != entries_.end()) {
+    Entry& e = it->second;
+    if (e.epoch == epoch) {
+      ++stats_.hits;
+      return e.net;
+    }
+    // Epoch moved: distinguish replica churn (healing / balancing — block
+    // bytes and membership unchanged, ElasticMap still exact) from growth
+    // or recreation of the file.
+    if (dfs.blocks_of(path).size() == e.num_blocks) {
+      e.epoch = epoch;
+      ++stats_.revalidations;
+      return e.net;
+    }
+    entries_.erase(it);
+  }
+  auto net = std::make_shared<const core::DataNet>(dfs, path);
+  // Cache under the PRE-build epoch (read before the scan): if a mutator
+  // ran while we scanned, the next get() sees a moved epoch and re-checks
+  // instead of trusting a build that may have raced it.
+  // num_blocks is the count the build actually covered (not a fresh
+  // namespace lookup), so a growth racing the build cannot produce an
+  // entry whose count matches the new namespace by accident.
+  entries_.emplace(path, Entry{.net = net,
+                               .epoch = epoch,
+                               .num_blocks = static_cast<std::size_t>(
+                                   net->meta().num_blocks())});
+  ++stats_.rebuilds;
+  return net;
+}
+
+void DatasetCache::invalidate(const std::string& path) {
+  std::lock_guard lock(mu_);
+  entries_.erase(path);
+}
+
+DatasetCache::Stats DatasetCache::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+}  // namespace datanet::server

@@ -1,0 +1,137 @@
+#pragma once
+// Multi-tenant admission control + deficit-round-robin fair dispatch for
+// datanetd. Each tenant owns a bounded FIFO of pending selection jobs and a
+// bounded in-flight count; submission is rejected with a TYPED reason the
+// moment a bound would be exceeded (backpressure at the door, never an
+// unbounded queue), and dispatch order between tenants is deficit round
+// robin weighted by TenantLimits::weight — a flooding tenant can fill only
+// its own queue, and a light tenant's occasional job is dispatched within
+// one DRR rotation regardless of how deep the flooder's backlog is
+// (tests/server_test.cpp pins the exact bound).
+//
+// The dispatcher is deliberately free of any socket or runtime knowledge:
+// submit() is called from connection-handler threads, next()/try_next() from
+// selection workers, and the whole policy is testable single-threaded —
+// with one worker draining it, the dispatch order is a pure function of the
+// submission sequence (determinism test).
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "server/protocol.hpp"
+
+namespace datanet::server {
+
+struct TenantLimits {
+  // Pending jobs the tenant may queue. 0 = queueless tenant: a job is
+  // admitted only if an in-flight slot is free right now (rejections then
+  // surface as kTooManyInflight instead of kQueueFull).
+  std::size_t max_queue = 64;
+  // Jobs of this tenant that may be executing concurrently.
+  std::size_t max_inflight = 4;
+  // DRR weight: dispatches per rotation relative to weight-1 tenants.
+  std::uint32_t weight = 1;
+};
+
+// One admitted unit of work. `ticket` is a process-unique admission sequence
+// number (also the FIFO order within a tenant); the opaque payload is
+// whatever the caller needs to complete the job (datanetd stores the parsed
+// request + reply rendezvous outside the dispatcher, keyed by ticket).
+struct DispatchJob {
+  std::uint64_t ticket = 0;
+  std::string tenant;
+  QueryRequest request;
+};
+
+enum class SubmitStatus : std::uint8_t {
+  kAccepted = 0,
+  kQueueFull = 1,       // tenant queue at max_queue
+  kTooManyInflight = 2, // queueless tenant with all in-flight slots busy
+  kStopped = 3,         // dispatcher is draining
+};
+
+struct TenantStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected_queue_full = 0;
+  std::uint64_t rejected_inflight = 0;
+  std::uint64_t dispatched = 0;
+  std::uint64_t completed = 0;
+};
+
+class FairDispatcher {
+ public:
+  // Tenants not registered explicitly are created on first submit with
+  // `default_limits`.
+  explicit FairDispatcher(TenantLimits default_limits = {})
+      : default_limits_(default_limits) {}
+
+  // Pre-register a tenant with its own limits; no-op if already known
+  // (limits are fixed at first sight, matching a config-file model).
+  void register_tenant(const std::string& tenant, TenantLimits limits);
+
+  // Admission: bound check + enqueue. O(log tenants).
+  SubmitStatus submit(const std::string& tenant, QueryRequest request,
+                      std::uint64_t* ticket_out = nullptr);
+
+  // Non-blocking DRR dispatch: the next job whose tenant has a free
+  // in-flight slot, or nullopt when nothing is eligible.
+  std::optional<DispatchJob> try_next();
+
+  // Blocking variant for worker threads: waits until a job is eligible or
+  // stop() is called (then returns nullopt once the queues are empty).
+  std::optional<DispatchJob> next();
+
+  // Worker callback when a dispatched job finishes; frees the in-flight
+  // slot, which may make the tenant's queued work eligible again.
+  void complete(const std::string& tenant);
+
+  // Stop admitting; next() drains remaining queued jobs then returns
+  // nullopt. (Drain keeps the CI smoke deterministic: every accepted query
+  // is answered even when shutdown races the last submissions.)
+  void stop();
+
+  [[nodiscard]] bool stopped() const;
+  [[nodiscard]] std::size_t queued() const;       // across all tenants
+  [[nodiscard]] std::size_t inflight() const;     // across all tenants
+  [[nodiscard]] TenantStats tenant_stats(const std::string& tenant) const;
+  [[nodiscard]] std::vector<std::string> tenants() const;
+
+ private:
+  struct Tenant {
+    TenantLimits limits;
+    std::deque<DispatchJob> queue;
+    std::size_t inflight = 0;
+    std::uint64_t deficit = 0;  // DRR credit, in units of kJobCost
+    TenantStats stats;
+  };
+
+  // Uniform job cost: DRR with per-visit quantum weight*kJobCost gives a
+  // weight-w tenant w consecutive dispatches per rotation.
+  static constexpr std::uint64_t kJobCost = 1;
+
+  Tenant& tenant_locked(const std::string& name);
+  [[nodiscard]] std::optional<DispatchJob> pick_locked();
+  [[nodiscard]] bool eligible_locked(const Tenant& t) const;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  TenantLimits default_limits_;
+  std::map<std::string, Tenant> tenants_;
+  // DRR rotation order = registration order; rr_ points at the tenant the
+  // next pick starts from.
+  std::vector<std::string> order_;
+  std::size_t rr_ = 0;
+  std::uint64_t next_ticket_ = 1;
+  std::size_t queued_total_ = 0;
+  std::size_t inflight_total_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace datanet::server

@@ -1,0 +1,108 @@
+#pragma once
+// datanetd wire protocol: length-prefixed CRC32-checked frames carrying one
+// message each, built on the same dfs::wire little-endian primitives as the
+// EditLog / FsImage persistence plane. A frame is
+//
+//   [u32 magic "DNQ1"][u32 payload_len][u32 crc32(payload)][payload]
+//
+// and a payload is one tag byte (MsgType) followed by the message fields.
+// Both sides validate magic, bound the length, and verify the CRC before
+// touching the payload, so a torn or corrupted stream surfaces as a typed
+// ProtocolError instead of a malformed parse or an attacker-sized
+// allocation — the same discipline as dfs::wire::Cursor.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace datanet::server {
+
+class ProtocolError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+constexpr std::uint32_t kFrameMagic = 0x31514e44u;  // "DNQ1" little-endian
+constexpr std::size_t kFrameHeaderBytes = 12;
+// Queries and replies are small; anything bigger than this is a corrupt
+// length field, not a legitimate message.
+constexpr std::uint32_t kMaxPayloadBytes = 1u << 20;
+
+enum class MsgType : std::uint8_t {
+  kQuery = 1,       // client -> server: run one selection
+  kQueryOk = 2,     // server -> client: selection digest + counters
+  kRejected = 3,    // server -> client: typed admission/parse rejection
+  kError = 4,       // server -> client: internal failure executing the query
+  kShutdown = 5,    // client -> server: drain and exit
+  kShutdownOk = 6,  // server -> client: shutdown acknowledged
+};
+
+enum class RejectReason : std::uint8_t {
+  kBadRequest = 1,      // unparseable / unknown scheduler / empty key
+  kQueueFull = 2,       // tenant's bounded queue is at capacity
+  kTooManyInflight = 3, // queueless tenant already at its in-flight cap
+  kShuttingDown = 4,    // server is draining
+};
+
+[[nodiscard]] std::string_view reject_reason_name(RejectReason r);
+
+// One sub-dataset selection request, the wire-shaped subset of
+// core::ExperimentConfig the server lets a tenant choose per query.
+struct QueryRequest {
+  std::string tenant;            // admission-control identity
+  std::string key;               // sub-dataset key to select
+  std::string scheduler = "datanet";  // datanet | locality | lpt | maxflow
+  bool use_datanet_meta = true;  // false = content-blind baseline graph
+};
+
+struct QueryReply {
+  std::uint64_t digest = 0;         // selection_digest over node-local data
+  std::uint64_t matched_bytes = 0;  // total filtered bytes
+  std::uint64_t blocks_scanned = 0;
+  std::uint64_t service_micros = 0;  // execution time, excluding queue wait
+  std::uint64_t queue_micros = 0;    // admission -> dispatch wait
+};
+
+struct Rejection {
+  RejectReason reason = RejectReason::kBadRequest;
+  std::string detail;
+};
+
+// ---- frame layer ----
+
+// Wrap a payload into a single framed buffer ready to write to the socket.
+[[nodiscard]] std::string frame(std::string_view payload);
+
+struct FrameHeader {
+  std::uint32_t payload_len = 0;
+  std::uint32_t crc = 0;
+};
+
+// Parse + validate the fixed 12-byte header (magic, bounded length).
+[[nodiscard]] FrameHeader decode_frame_header(std::string_view header);
+
+// Verify a received payload against its header CRC.
+void check_frame_payload(const FrameHeader& header, std::string_view payload);
+
+// ---- message layer ----
+
+[[nodiscard]] std::string encode_query(const QueryRequest& q);
+[[nodiscard]] std::string encode_query_ok(const QueryReply& r);
+[[nodiscard]] std::string encode_rejected(const Rejection& r);
+[[nodiscard]] std::string encode_error(std::string_view what);
+[[nodiscard]] std::string encode_shutdown();
+[[nodiscard]] std::string encode_shutdown_ok();
+
+// First byte of a validated payload; throws ProtocolError on empty payloads
+// or tags outside the MsgType range.
+[[nodiscard]] MsgType peek_type(std::string_view payload);
+
+// Each decoder checks the tag and consumes the whole payload (trailing bytes
+// are a protocol error, same as FsImage::load).
+[[nodiscard]] QueryRequest decode_query(std::string_view payload);
+[[nodiscard]] QueryReply decode_query_ok(std::string_view payload);
+[[nodiscard]] Rejection decode_rejected(std::string_view payload);
+[[nodiscard]] std::string decode_error(std::string_view payload);
+
+}  // namespace datanet::server

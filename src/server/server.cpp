@@ -1,0 +1,358 @@
+#include "server/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <sys/socket.h>
+
+#include "common/hash.hpp"
+#include "scheduler/datanet_sched.hpp"
+#include "scheduler/flow_sched.hpp"
+#include "scheduler/locality.hpp"
+#include "scheduler/lpt.hpp"
+
+namespace datanet::server {
+
+namespace {
+
+std::uint64_t now_micros() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+std::uint64_t selection_digest(const core::SelectionResult& r) {
+  // Chain, not XOR: node identity and order are part of the result (the
+  // same bytes landing on a different node is a different selection).
+  std::uint64_t h = common::hash_bytes("datanetd-selection");
+  for (const std::string& node_data : r.node_local_data) {
+    h = common::hash_combine(h, common::hash_bytes(node_data));
+  }
+  return h;
+}
+
+std::unique_ptr<scheduler::TaskScheduler> make_scheduler(
+    const std::string& name, std::uint64_t seed) {
+  if (name == "datanet") return std::make_unique<scheduler::DataNetScheduler>();
+  if (name == "locality") {
+    return std::make_unique<scheduler::LocalityScheduler>(seed);
+  }
+  if (name == "lpt") return std::make_unique<scheduler::LptScheduler>();
+  if (name == "maxflow") return std::make_unique<scheduler::FlowScheduler>();
+  return nullptr;
+}
+
+QueryOutcome execute_query(const dfs::MiniDfs& dfs, const std::string& path,
+                           const core::DataNet* net,
+                           const QueryRequest& request,
+                           const core::ExperimentConfig& cfg) {
+  QueryOutcome out;
+  const auto sched = make_scheduler(request.scheduler, cfg.seed);
+  if (sched == nullptr) {
+    out.error = "unknown scheduler '" + request.scheduler + "'";
+    return out;
+  }
+  try {
+    core::DirectReadPolicy read(dfs, cfg.remote_read_penalty);
+    core::NoFaults faults;
+    core::CostOnlyBackend timing;
+    const core::SelectionRuntime runtime(read, faults, timing);
+    // Serving config: one engine thread per query — parallelism comes from
+    // the worker pool, not from each query fanning out.
+    core::ExperimentConfig qcfg = cfg;
+    qcfg.execution_threads = 1;
+    const std::uint64_t t0 = now_micros();
+    const core::SelectionResult result =
+        runtime.run(dfs, path, request.key, *sched, net, qcfg);
+    out.reply.service_micros = now_micros() - t0;
+    out.reply.digest = selection_digest(result);
+    out.reply.blocks_scanned = result.blocks_scanned;
+    for (const std::uint64_t b : result.node_filtered_bytes) {
+      out.reply.matched_bytes += b;
+    }
+    out.ok = true;
+  } catch (const std::exception& e) {
+    out.error = e.what();
+  }
+  return out;
+}
+
+QueryOutcome local_query(const ServerOptions& opts,
+                         const QueryRequest& request) {
+  const core::StoredDataset ds =
+      core::make_movie_dataset(opts.cfg, opts.dataset_blocks);
+  const core::DataNet net(*ds.dfs, ds.path);
+  return execute_query(*ds.dfs, ds.path,
+                       request.use_datanet_meta ? &net : nullptr, request,
+                       opts.cfg);
+}
+
+Server::Server(ServerOptions opts)
+    : opts_(opts),
+      dataset_(core::make_movie_dataset(opts_.cfg, opts_.dataset_blocks)),
+      dispatcher_(opts_.default_limits) {
+  auto [fd, port] = listen_loopback(opts_.port);
+  listener_ = std::move(fd);
+  port_ = port;
+}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  if (started_.exchange(true)) return;
+  for (std::uint32_t i = 0; i < std::max(1u, opts_.workers); ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::request_stop() {
+  {
+    std::lock_guard lock(stop_mu_);
+    stop_requested_ = true;
+  }
+  stop_cv_.notify_all();
+}
+
+void Server::wait() {
+  std::unique_lock lock(stop_mu_);
+  stop_cv_.wait(lock, [this] { return stop_requested_; });
+}
+
+void Server::stop() {
+  request_stop();
+  std::lock_guard teardown(teardown_mu_);
+  if (torn_down_) return;
+  torn_down_ = true;
+
+  // 1. No new connections; the accept loop exits on the shutdown listener.
+  if (listener_.valid()) ::shutdown(listener_.get(), SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // 2. No new admissions; workers drain every accepted job, publish its
+  //    outcome, then exit.
+  dispatcher_.stop();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+
+  // 3. Wait until every accepted query's reply has been written (handlers
+  //    consume outcomes and answer on still-open sockets) — the drain
+  //    guarantee — then unblock handlers idling in recv() by shutting
+  //    their sockets, and join them all.
+  {
+    std::unique_lock lock(pending_mu_);
+    pending_cv_.wait(lock, [this] { return awaiting_replies_ == 0; });
+  }
+  std::vector<Handler> handlers;
+  {
+    std::lock_guard lock(handlers_mu_);
+    handlers.swap(handlers_);
+  }
+  for (Handler& h : handlers) {
+    if (h.socket->valid()) ::shutdown(h.socket->get(), SHUT_RDWR);
+  }
+  for (Handler& h : handlers) {
+    if (h.thread.joinable()) h.thread.join();
+  }
+  listener_.reset();
+}
+
+void Server::reap_finished_handlers() {
+  std::lock_guard lock(handlers_mu_);
+  std::erase_if(handlers_, [](Handler& h) {
+    if (!h.finished->load(std::memory_order_acquire)) return false;
+    if (h.thread.joinable()) h.thread.join();
+    return true;
+  });
+}
+
+void Server::accept_loop() {
+  for (;;) {
+    auto client = accept_client(listener_);
+    if (!client.has_value()) return;  // listener shut down
+    reap_finished_handlers();
+    if (live_handlers_.load(std::memory_order_relaxed) >=
+        opts_.max_connections) {
+      // Connection-level backpressure: refuse before spawning a handler.
+      try {
+        write_all(*client,
+                  frame(encode_rejected({RejectReason::kShuttingDown,
+                                         "connection limit reached"})));
+      } catch (const SocketError&) {
+      }
+      continue;
+    }
+    Handler h;
+    h.socket = std::make_shared<Fd>(std::move(*client));
+    h.finished = std::make_shared<std::atomic<bool>>(false);
+    live_handlers_.fetch_add(1, std::memory_order_relaxed);
+    h.thread = std::thread(
+        [this, socket = h.socket, finished = h.finished] {
+          handle_connection(socket);
+          // The Handler entry keeps the Fd alive until it is reaped; send
+          // the FIN now so the peer sees EOF as soon as the exchange ends
+          // (shutdown, not close — stop() may also shut this fd down, and
+          // shutdown never races with fd reuse).
+          if (socket->valid()) ::shutdown(socket->get(), SHUT_RDWR);
+          finished->store(true, std::memory_order_release);
+          live_handlers_.fetch_sub(1, std::memory_order_relaxed);
+        });
+    std::lock_guard lock(handlers_mu_);
+    handlers_.push_back(std::move(h));
+  }
+}
+
+void Server::handle_connection(const std::shared_ptr<Fd>& socket) {
+  const Fd& fd = *socket;
+  // One request-response at a time per connection; a protocol error is
+  // answered (best effort) and the connection dropped.
+  try {
+    for (;;) {
+      const auto header_bytes = read_exact(fd, kFrameHeaderBytes);
+      if (!header_bytes.has_value()) return;  // clean EOF
+      const FrameHeader header = decode_frame_header(*header_bytes);
+      const auto payload = read_exact(fd, header.payload_len);
+      if (!payload.has_value()) return;
+      check_frame_payload(header, *payload);
+
+      const MsgType type = peek_type(*payload);
+      if (type == MsgType::kShutdown) {
+        write_all(fd, frame(encode_shutdown_ok()));
+        // Wake wait(); the owning thread (cmd_serve, a test) performs the
+        // actual teardown — stop() joins this very handler, so the handler
+        // cannot run it itself.
+        request_stop();
+        return;
+      }
+      if (type != MsgType::kQuery) {
+        write_all(fd, frame(encode_rejected(
+                          {RejectReason::kBadRequest,
+                           "only query/shutdown messages are accepted"})));
+        continue;
+      }
+
+      QueryRequest request;
+      try {
+        request = decode_query(*payload);
+      } catch (const ProtocolError& e) {
+        write_all(fd,
+                  frame(encode_rejected({RejectReason::kBadRequest, e.what()})));
+        continue;
+      }
+      if (request.key.empty() || request.tenant.empty()) {
+        write_all(fd, frame(encode_rejected({RejectReason::kBadRequest,
+                                             "tenant and key are required"})));
+        continue;
+      }
+      if (make_scheduler(request.scheduler, opts_.cfg.seed) == nullptr) {
+        write_all(fd, frame(encode_rejected(
+                          {RejectReason::kBadRequest,
+                           "unknown scheduler '" + request.scheduler + "'"})));
+        continue;
+      }
+
+      const std::uint64_t submitted_at = now_micros();
+      std::uint64_t ticket = 0;
+      SubmitStatus status = SubmitStatus::kStopped;
+      {
+        // Count the pending reply BEFORE submitting: once the dispatcher
+        // has the job, stop() must not shut this socket until the reply is
+        // out (the drain guarantee in stop() step 3).
+        std::lock_guard lock(pending_mu_);
+        status = dispatcher_.submit(request.tenant, request, &ticket);
+        if (status == SubmitStatus::kAccepted) ++awaiting_replies_;
+      }
+      switch (status) {
+        case SubmitStatus::kQueueFull:
+          write_all(fd, frame(encode_rejected({RejectReason::kQueueFull,
+                                               "tenant queue is full"})));
+          continue;
+        case SubmitStatus::kTooManyInflight:
+          write_all(fd,
+                    frame(encode_rejected({RejectReason::kTooManyInflight,
+                                           "tenant in-flight cap reached"})));
+          continue;
+        case SubmitStatus::kStopped:
+          write_all(fd, frame(encode_rejected({RejectReason::kShuttingDown,
+                                               "server is draining"})));
+          continue;
+        case SubmitStatus::kAccepted:
+          break;
+      }
+
+      // Wait for a worker to publish this ticket's outcome, answer, and
+      // only then release the drain count — even when the write fails.
+      QueryOutcome outcome;
+      {
+        std::unique_lock lock(pending_mu_);
+        pending_cv_.wait(lock, [&] { return finished_.contains(ticket); });
+        outcome = std::move(finished_.at(ticket));
+        finished_.erase(ticket);
+      }
+      try {
+        if (outcome.ok) {
+          const std::uint64_t total = now_micros() - submitted_at;
+          outcome.reply.queue_micros =
+              total > outcome.reply.service_micros
+                  ? total - outcome.reply.service_micros
+                  : 0;
+          write_all(fd, frame(encode_query_ok(outcome.reply)));
+          queries_served_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          write_all(fd, frame(encode_error(outcome.error)));
+        }
+      } catch (...) {
+        std::lock_guard lock(pending_mu_);
+        --awaiting_replies_;
+        pending_cv_.notify_all();
+        throw;
+      }
+      {
+        std::lock_guard lock(pending_mu_);
+        --awaiting_replies_;
+      }
+      pending_cv_.notify_all();
+    }
+  } catch (const ProtocolError& e) {
+    try {
+      write_all(fd, frame(encode_rejected({RejectReason::kBadRequest,
+                                           e.what()})));
+    } catch (const SocketError&) {
+    }
+  } catch (const SocketError&) {
+    // Peer went away; nothing to answer.
+  }
+}
+
+void Server::worker_loop() {
+  for (;;) {
+    auto job = dispatcher_.next();
+    if (!job.has_value()) return;  // stopped and drained
+    QueryOutcome outcome;
+    try {
+      const core::DataNet* net = nullptr;
+      std::shared_ptr<const core::DataNet> cached;
+      if (job->request.use_datanet_meta) {
+        cached = cache_.get(*dataset_.dfs, dataset_.path);
+        net = cached.get();
+      }
+      outcome = execute_query(*dataset_.dfs, dataset_.path, net, job->request,
+                              opts_.cfg);
+    } catch (const std::exception& e) {
+      outcome.ok = false;
+      outcome.error = e.what();
+    }
+    dispatcher_.complete(job->tenant);
+    {
+      std::lock_guard lock(pending_mu_);
+      finished_.emplace(job->ticket, std::move(outcome));
+    }
+    pending_cv_.notify_all();
+  }
+}
+
+}  // namespace datanet::server

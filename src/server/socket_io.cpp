@@ -1,0 +1,125 @@
+#include "server/socket_io.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace datanet::server {
+
+namespace {
+
+[[noreturn]] void fail(const char* what) {
+  throw SocketError(std::string("datanetd socket: ") + what + ": " +
+                    std::strerror(errno));
+}
+
+}  // namespace
+
+Fd& Fd::operator=(Fd&& other) noexcept {
+  if (this != &other) {
+    reset();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+void Fd::reset() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::pair<Fd, std::uint16_t> listen_loopback(std::uint16_t port, int backlog) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) fail("socket");
+  const int one = 1;
+  (void)::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    fail("bind");
+  }
+  if (::listen(fd.get(), backlog) != 0) fail("listen");
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    fail("getsockname");
+  }
+  return {std::move(fd), ntohs(addr.sin_port)};
+}
+
+std::optional<Fd> accept_client(const Fd& listener) {
+  for (;;) {
+    const int fd = ::accept(listener.get(), nullptr, nullptr);
+    if (fd >= 0) {
+      // Query/reply is strictly request-response; Nagle only adds latency.
+      const int one = 1;
+      (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return Fd(fd);
+    }
+    if (errno == EINTR) continue;
+    // The listener was closed/shut down by stop(); treat every other error
+    // the same way — the accept loop has nothing better to do than exit.
+    return std::nullopt;
+  }
+}
+
+Fd connect_loopback(std::uint16_t port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) fail("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  for (;;) {
+    if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      break;
+    }
+    if (errno == EINTR) continue;
+    fail("connect");
+  }
+  const int one = 1;
+  (void)::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+void write_all(const Fd& fd, std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd.get(), data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("send");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+std::optional<std::string> read_exact(const Fd& fd, std::size_t n) {
+  std::string out(n, '\0');
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t got = ::recv(fd.get(), out.data() + off, n - off, 0);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      fail("recv");
+    }
+    if (got == 0) {
+      if (off == 0) return std::nullopt;  // clean EOF between messages
+      throw SocketError("datanetd socket: EOF mid-message");
+    }
+    off += static_cast<std::size_t>(got);
+  }
+  return out;
+}
+
+}  // namespace datanet::server

@@ -1,0 +1,61 @@
+#pragma once
+// Minimal blocking POSIX socket plumbing shared by the datanetd listener and
+// the client library: an owning fd wrapper plus exact-length framed reads and
+// writes over loopback TCP. Deliberately tiny — no readiness loop, no
+// non-blocking mode; datanetd's concurrency comes from its handler threads,
+// not from multiplexed IO.
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace datanet::server {
+
+class SocketError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Owning file descriptor (move-only).
+class Fd {
+ public:
+  Fd() noexcept = default;
+  explicit Fd(int fd) noexcept : fd_(fd) {}
+  Fd(Fd&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  Fd& operator=(Fd&& other) noexcept;
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  ~Fd() { reset(); }
+
+  [[nodiscard]] int get() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  void reset() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+// Listener bound to 127.0.0.1:`port` (0 = ephemeral); returns the fd and the
+// actual port. Throws SocketError.
+[[nodiscard]] std::pair<Fd, std::uint16_t> listen_loopback(std::uint16_t port,
+                                                           int backlog = 64);
+
+// Blocking accept; nullopt when the listener was shut down/closed.
+[[nodiscard]] std::optional<Fd> accept_client(const Fd& listener);
+
+// Blocking connect to 127.0.0.1:`port`. Throws SocketError.
+[[nodiscard]] Fd connect_loopback(std::uint16_t port);
+
+// Write all of `data` (retrying short writes / EINTR). Throws SocketError.
+void write_all(const Fd& fd, std::string_view data);
+
+// Read exactly `n` bytes into a string. Returns nullopt on clean EOF at a
+// message boundary (0 bytes read); throws SocketError on mid-message EOF or
+// socket errors.
+[[nodiscard]] std::optional<std::string> read_exact(const Fd& fd,
+                                                    std::size_t n);
+
+}  // namespace datanet::server

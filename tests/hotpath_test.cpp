@@ -58,7 +58,8 @@ std::vector<std::string> reference_key_lines(std::string_view data,
   while (start < data.size()) {
     std::size_t end = data.find('\n', start);
     if (end == std::string_view::npos) end = data.size();
-    const std::string_view line = data.substr(start, end - start);
+    std::string_view line = data.substr(start, end - start);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
     if (!line.empty()) {
       const std::size_t tab = line.find('\t');
       if (tab != std::string_view::npos) {
@@ -80,7 +81,9 @@ std::vector<std::string> reference_lines(std::string_view data) {
   while (start < data.size()) {
     std::size_t end = data.find('\n', start);
     if (end == std::string_view::npos) end = data.size();
-    if (end != start) out.emplace_back(data.substr(start, end - start));
+    std::string_view line = data.substr(start, end - start);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (!line.empty()) out.emplace_back(line);
     start = end + 1;
   }
   return out;
@@ -184,6 +187,28 @@ TEST(SimdScan, DegenerateShapesAllKernelsAllAlignments) {
   }
 }
 
+TEST(SimdScan, CrlfShapesAllKernelsAllAlignments) {
+  // PR 7 scan-edge fix: Windows-style records must match and must not leak
+  // '\r' into the emitted line; exactly ONE trailing '\r' is stripped, and
+  // only at end of line.
+  const std::string key = "movie_1";
+  const std::string shapes[] = {
+      "1\tmovie_1\tp\r\n",                  // plain CRLF record
+      "1\tmovie_1\tp\r",                    // CR tail, no newline
+      "\r\n\r\n\r\n",                       // only blank CRLF lines
+      "\r",                                 // lone CR is a blank line
+      "1\tmovie_1\tp\r\r\n",                // only ONE '\r' stripped
+      "1\tmovie_1\r\tp\n",                  // CR mid-line stays put
+      "1\tmovie_1\t\r\n",                   // empty payload, CRLF
+      "1\tmovie_1\tp\r\n2\tmovie_1\tq\n",   // mixed terminators
+      "1\tmovie_12\tx\r\n2\tmovie_1\ty\r",  // prefix neighbor + CR tail
+      std::string("9\t") + key + "\t" + std::string(300, 'b') + "\r\n",
+  };
+  for (const auto& shape : shapes) {
+    expect_equivalent_at_all_alignments(shape, key, "crlf shape");
+  }
+}
+
 TEST(SimdScan, FuzzRandomCorporaAllKernelsAllAlignments) {
   std::mt19937_64 rng(20160807);
   const std::string keys[] = {"k", "movie_1", "a_rather_long_key_name"};
@@ -218,6 +243,9 @@ TEST(SimdScan, FuzzRandomCorporaAllKernelsAllAlignments) {
           corpus += "\t\t\t";
           break;
       }
+      // A third of the lines end Windows-style; kernels must treat "\r\n"
+      // and "\n" terminators identically.
+      if (line_kind(rng) < 2) corpus += '\r';
       corpus += '\n';
     }
     if (round % 2 == 0) corpus.pop_back();  // exercise the unterminated tail
@@ -273,6 +301,27 @@ TEST(Arena, AlignmentAndDistinctPointers) {
   EXPECT_NE(arena.allocate(0, 1), arena.allocate(0, 1));
   EXPECT_GT(arena.bytes_used(), 0u);
   EXPECT_GE(arena.bytes_reserved(), arena.bytes_used());
+}
+
+TEST(Arena, EveryPowerOfTwoAlignmentUpTo128OnBothPaths) {
+  // PR 7 hardening: over-aligned requests must come back aligned on BOTH
+  // allocation paths — the bump-pointer chunk path and the dedicated
+  // large-object path — even when preceded by odd-sized allocations that
+  // leave the bump pointer misaligned.
+  dco::Arena arena(4096);
+  for (std::size_t align = 1; align <= 128; align *= 2) {
+    (void)arena.allocate(1, 1);  // wedge the bump pointer off-alignment
+    void* small = arena.allocate(24, align);
+    ASSERT_NE(small, nullptr) << "align=" << align;
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(small) % align, 0u)
+        << "chunk path align=" << align;
+    std::memset(small, 0x5a, 24);
+    void* large = arena.allocate(64 * 1024, align);  // > chunk: own block
+    ASSERT_NE(large, nullptr) << "align=" << align;
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(large) % align, 0u)
+        << "large path align=" << align;
+    std::memset(large, 0xa5, 64 * 1024);
+  }
 }
 
 TEST(Arena, ResetRetainsChunksAndReusesMemory) {
@@ -454,4 +503,44 @@ TEST(HotPath, ParallelForRunsSmallRangesInlineAndCoversAllIndices) {
   for (const int h : hits) ASSERT_EQ(h, 1);
   // Degenerate empty range is a no-op.
   dco::parallel_for(pool, 0, [&](std::size_t) { FAIL(); });
+}
+
+// ---- zero-copy pin lifetime (PR 7 bugfix regression) ----
+
+TEST(HotPath, HealWaitsForPinnedReaderAndViewStaysStable) {
+  // The PR 6 zero-copy reads handed out string_views into block storage with
+  // no lifetime guard; a concurrent corrupt_block could rewrite the bytes
+  // under a reader mid-scan. The fix pins the block: corrupt_block must
+  // park until the pin drops, and the pinned view's bytes must not move.
+  dfs::DfsOptions o;
+  o.block_size = 1024;
+  o.replication = 2;
+  o.seed = 42;
+  dfs::MiniDfs fs(dfs::ClusterTopology::flat(4), o);
+  auto w = fs.create("/pinned");
+  w.append("100\tk\t" + std::string(400, 'x'));
+  w.close();
+  const auto b = fs.blocks_of("/pinned")[0];
+
+  dfs::PinnedRead read = fs.read_block_pinned(b);
+  const std::string before(read.data);
+  ASSERT_FALSE(before.empty());
+
+  std::atomic<bool> heal_done{false};
+  std::thread healer([&] {
+    fs.corrupt_block(b);  // must block until the pin is released
+    heal_done.store(true, std::memory_order_release);
+  });
+  // Give the healer ample time to (incorrectly) charge through the pin.
+  for (int i = 0; i < 50; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ASSERT_FALSE(heal_done.load(std::memory_order_acquire))
+        << "corrupt_block proceeded while a reader held a pin";
+    ASSERT_EQ(std::string_view(read.data), std::string_view(before))
+        << "pinned view mutated under the reader";
+  }
+  read.pin.release();  // reader done: the mutator may now proceed
+  healer.join();
+  EXPECT_TRUE(heal_done.load(std::memory_order_acquire));
+  EXPECT_FALSE(fs.verify_block(b));  // the corruption really landed
 }

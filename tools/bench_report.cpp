@@ -7,15 +7,20 @@
 // a hot-path section (scan-kernel throughput, armed-vs-unarmed bookkeeping
 // cost, engine thread sweep — PR 6's optimizations, see bench_hotpath),
 // and emits one JSON document with measured selection wall time (host clock)
-// plus the deterministic simulated report totals. Redirect to BENCH_PR6.json
+// a server section (datanetd loopback qps + latency percentiles with served
+// digests checked against golden in-process runs — PR 7, see bench_server),
+// plus the deterministic simulated report totals. Redirect to BENCH_PR7.json
 // via tools/bench_report.sh.
 
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <atomic>
 #include <iterator>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "apps/topk_search.hpp"
 #include "apps/word_count.hpp"
@@ -27,6 +32,8 @@
 #include "mapred/report_json.hpp"
 #include "scheduler/datanet_sched.hpp"
 #include "scheduler/locality.hpp"
+#include "server/client.hpp"
+#include "server/server.hpp"
 #include "stats/descriptive.hpp"
 
 namespace {
@@ -331,6 +338,85 @@ int main() {
     first = false;
   }
   std::printf("}\n");
+  std::printf("  },\n");
+
+  // Server (PR 7): the datanetd loopback serving path — qps and
+  // client-observed latency percentiles with every served digest checked
+  // against the in-process golden run (see bench_server for the
+  // human-readable twin). Wall-clock values; digests_verified is the
+  // deterministic field.
+  std::printf("  \"server\": {\n");
+  {
+    server::ServerOptions sopts;
+    sopts.workers = 4;
+    sopts.default_limits = {.max_queue = 256, .max_inflight = 16, .weight = 1};
+    sopts.cfg.num_nodes = 16;
+    sopts.cfg.block_size = 64 * 1024;
+    sopts.cfg.replication = 3;
+    sopts.cfg.seed = 42;
+    sopts.dataset_blocks = 32;
+    server::Server srv(sopts);
+    srv.start();
+    const auto& hot = srv.dataset().hot_keys;
+    std::vector<std::uint64_t> golden;
+    for (const auto& hkey : hot) {
+      server::QueryRequest req;
+      req.tenant = "golden";
+      req.key = hkey;
+      const auto out = server::local_query(sopts, req);
+      golden.push_back(out.ok ? out.reply.digest : 0);
+    }
+    constexpr int kTenants = 4;
+    constexpr int kPerTenant = 200;
+    std::vector<std::vector<double>> lat(kTenants);
+    std::atomic<std::uint64_t> ok{0}, mismatched{0};
+    const auto t0 = std::chrono::steady_clock::now();
+    {
+      std::vector<std::thread> tenants;
+      for (int t = 0; t < kTenants; ++t) {
+        tenants.emplace_back([&, t] {
+          server::Client client(srv.port());
+          for (int q = 0; q < kPerTenant; ++q) {
+            const std::size_t ki = q % 5 == 0 ? (q / 5) % hot.size() : 0;
+            server::QueryRequest req;
+            req.tenant = "tenant_" + std::to_string(t);
+            req.key = hot[ki];
+            const auto q0 = std::chrono::steady_clock::now();
+            const auto result = client.query(req);
+            lat[t].push_back(std::chrono::duration<double, std::micro>(
+                                 std::chrono::steady_clock::now() - q0)
+                                 .count());
+            if (result.ok() && result.reply.digest == golden[ki]) {
+              ok.fetch_add(1, std::memory_order_relaxed);
+            } else {
+              mismatched.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        });
+      }
+      for (auto& t : tenants) t.join();
+    }
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+    srv.stop();
+    std::vector<double> all;
+    for (auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+    std::sort(all.begin(), all.end());
+    const auto pct = [&](double p) {
+      return all.empty()
+                 ? 0.0
+                 : all[static_cast<std::size_t>(p * (all.size() - 1))];
+    };
+    std::printf("    \"tenants\": %d,\n", kTenants);
+    std::printf("    \"queries\": %d,\n", kTenants * kPerTenant);
+    std::printf("    \"qps\": %.0f,\n",
+                wall > 0 ? static_cast<double>(ok.load()) / wall : 0.0);
+    std::printf("    \"p50_micros\": %.0f,\n", pct(0.50));
+    std::printf("    \"p99_micros\": %.0f,\n", pct(0.99));
+    std::printf("    \"digests_verified\": %s\n",
+                mismatched.load() == 0 ? "true" : "false");
+  }
   std::printf("  }\n}\n");
   return 0;
 }

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
-# Build and run the machine-readable benchmark report, writing BENCH_PR6.json
+# Build and run the machine-readable benchmark report, writing BENCH_PR7.json
 # at the repo root: Fig. 5 selection wall time + simulated report totals for
 # both schedulers, the Fig. 7 shuffle speedups, the straggler-tail
 # attempt/timeout/speculation numbers, and the ReplicationMonitor MTTR sweep
-# over repair rates, plus the PR 6 hot-path section (scan-kernel throughput,
-# armed-vs-unarmed bookkeeping delta, engine thread sweep).
+# over repair rates, the PR 6 hot-path section (scan-kernel throughput,
+# armed-vs-unarmed bookkeeping delta, engine thread sweep), and the PR 7
+# server section (datanetd loopback qps + latency percentiles, digests
+# checked against golden in-process runs).
 # Wall times depend on the host; the simulated totals are bit-for-bit
 # reproducible.
 #
@@ -17,6 +19,6 @@ build_dir="${repo_root}/${1:-build}"
 cmake -B "${build_dir}" -S "${repo_root}" >/dev/null
 cmake --build "${build_dir}" -j "$(nproc)" --target bench_report >/dev/null
 
-out="${repo_root}/BENCH_PR6.json"
+out="${repo_root}/BENCH_PR7.json"
 "${build_dir}/tools/bench_report" > "${out}"
 echo "wrote ${out}"
