@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <exception>
 #include <filesystem>
+#include <span>
 
 #include "apps/distinct_users.hpp"
 #include "apps/histogram.hpp"
@@ -19,6 +20,7 @@
 #include "dfs/fault_injector.hpp"
 #include "dfs/fs_image.hpp"
 #include "dfs/fsck.hpp"
+#include "dfs/meta_plane.hpp"
 #include "dfs/replication_monitor.hpp"
 #include "scheduler/datanet_sched.hpp"
 #include "scheduler/locality.hpp"
@@ -404,9 +406,132 @@ int cmd_faults(const Args& args, std::ostream& out) {
   return 0;
 }
 
+namespace {
+
+// fsck --meta-shards M (M > 1): exercise the sharded metadata plane end to
+// end — spread the input across part files so every shard owns namespace,
+// journal per shard, kill one shard, show the others keep serving, recover
+// the victim from its own checkpoint + journal suffix, then plane-wide fsck.
+int fsck_plane(const Args& args, std::ostream& out) {
+  const auto file = args.get("in");
+  int rc = 0;
+  try {
+    const auto nodes = static_cast<std::uint32_t>(args.get_u64_or("nodes", 16));
+    dfs::MetaPlaneOptions popt;
+    popt.num_shards =
+        static_cast<std::uint32_t>(args.get_u64_or("meta-shards", 1));
+    popt.dfs.block_size = args.get_u64_or("block-size", 128 * 1024);
+    popt.dfs.replication =
+        static_cast<std::uint32_t>(args.get_u64_or("replication", 3));
+    popt.dfs.seed = args.get_u64_or("seed", 42);
+    dfs::MetaPlane plane(dfs::ClusterTopology::flat(nodes), popt);
+
+    const std::string workdir = args.get_or(
+        "workdir",
+        (std::filesystem::temp_directory_path() / "datanet_fsck_plane")
+            .string());
+    std::filesystem::create_directories(workdir);
+
+    workload::LoadStats stats;
+    const auto records = workload::load_records(*file, &stats);
+    if (records.empty()) return fail(out, "no valid records in " + *file);
+
+    // A file lives wholly on its owning shard, so split the input into
+    // several part files to populate namespace across shards.
+    const std::uint64_t parts = std::clamp<std::uint64_t>(
+        args.get_u64_or("files", 2ull * popt.num_shards), 1, records.size());
+    const std::span<const workload::Record> all(records);
+    const std::uint64_t base = records.size() / parts;
+    const std::uint64_t extra = records.size() % parts;
+    std::uint64_t off = 0;
+    for (std::uint64_t p = 0; p < parts; ++p) {
+      const std::uint64_t len = base + (p < extra ? 1 : 0);
+      const std::string path = "/data/part-" + std::to_string(p);
+      workload::ingest(plane.dfs_for(path), path, all.subspan(off, len));
+      off += len;
+    }
+    out << "ingested " << records.size() << " records as " << parts
+        << " part file(s) across " << plane.num_shards()
+        << " metadata shards (" << stats.skipped << " malformed skipped)\n";
+
+    // Checkpoint everything, then land one late file on the victim shard so
+    // its recovery has a journal suffix to replay past the checkpoint.
+    plane.attach_journals(workdir);
+    const auto victim = static_cast<std::uint32_t>(
+        args.get_u64_or("crash-shard", 0) % plane.num_shards());
+    std::string late_path;
+    for (std::uint32_t n = 0; late_path.empty(); ++n) {
+      std::string cand = "/data/late-" + std::to_string(n);
+      if (plane.shard_of(cand) == victim) late_path = std::move(cand);
+    }
+    const auto tail =
+        all.subspan(records.size() - std::min<std::size_t>(records.size(), 64));
+    workload::ingest(plane.dfs_for(late_path), late_path, tail);
+
+    common::TextTable table({"shard", "files", "blocks", "epoch", "journal"});
+    for (std::uint32_t s = 0; s < plane.num_shards(); ++s) {
+      table.add_row({std::to_string(s),
+                     std::to_string(plane.dfs(s).list_files().size()),
+                     std::to_string(plane.dfs(s).num_blocks()),
+                     std::to_string(plane.shard_epoch(s)),
+                     plane.journal_path(s)});
+    }
+    out << table.to_string();
+
+    // Kill the victim; every other shard must keep serving while it is down,
+    // and touching the victim must fail with the typed shard error.
+    const auto want = plane.dfs(victim).namespace_digest();
+    plane.crash_shard(victim);
+    for (std::uint32_t s = 0; s < plane.num_shards(); ++s) {
+      if (s == victim) continue;
+      (void)plane.dfs(s).namespace_digest();  // throws if not serving
+    }
+    bool typed_unavailable = false;
+    try {
+      (void)plane.dfs(victim);
+    } catch (const dfs::ShardUnavailableError&) {
+      typed_unavailable = true;
+    }
+    out << "\ncrashed shard " << victim << "; " << (plane.num_shards() - 1)
+        << " other shard(s) still serving\n";
+    if (!typed_unavailable) {
+      out << "error: crashed shard did not raise ShardUnavailableError\n";
+      rc = 1;
+    }
+
+    const auto info = plane.recover_shard(victim);
+    out << "recovered shard " << victim << ": replayed "
+        << info.replayed_frames << " journal frame(s) past its checkpoint ("
+        << info.skipped_frames << " covered by it)";
+    if (info.torn) out << ", torn tail of " << info.dropped_bytes << " B dropped";
+    out << "\n";
+    if (plane.dfs(victim).namespace_digest() != want) {
+      return fail(out, "recovered shard digest mismatch");
+    }
+    out << "recovered shard digest matches its pre-crash namespace\n";
+
+    const auto report = dfs::fsck(plane);
+    out << "plane fsck: " << report.combined.total_blocks << " blocks, "
+        << report.combined.missing_blocks << " missing, "
+        << report.combined.under_replicated << " under-replicated across "
+        << plane.num_shards() << " shard(s)\n";
+    if (!report.healthy()) {
+      return fail(out, "plane fsck reports an unhealthy namespace");
+    }
+  } catch (const std::exception& e) {
+    return fail(out, e.what());
+  }
+  warn_unused(args, out);
+  return rc;
+}
+
+}  // namespace
+
 int cmd_fsck(const Args& args, std::ostream& out) {
   const auto file = args.get("in");
   if (!file) return fail(out, "fsck requires --in FILE");
+  if (args.get_u64_or("meta-shards", 1) > 1) return fsck_plane(args, out);
+  int rc = 0;
   try {
     const auto nodes = static_cast<std::uint32_t>(args.get_u64_or("nodes", 16));
     dfs::DfsOptions dopt;
@@ -444,6 +569,10 @@ int cmd_fsck(const Args& args, std::ostream& out) {
     out << "journal " << journal_path << ": " << jr0.records.size()
         << " frames, " << common::format_bytes(jr0.valid_bytes) << " valid"
         << (jr0.torn ? " (torn tail dropped)" : "") << "\n\n";
+    if (jr0.torn) {
+      out << "error: journal has a torn tail before any fault was injected\n";
+      rc = 1;
+    }
 
     // Damage the cluster, journaling every mutation but repairing nothing.
     auto injector = dfs::FaultInjector::random_plan(
@@ -488,6 +617,16 @@ int cmd_fsck(const Args& args, std::ostream& out) {
         << " tick(s), queue now " << monitor.queue().size() << "\n";
     out << "fsck after healing: " << after.missing_blocks << " missing, "
         << after.under_replicated << " under-replicated\n";
+    // `unrepairable` alone is transient (a later scan may re-queue and heal
+    // the block); the exit gate is the post-drain namespace state.
+    if (after.missing_blocks > 0 || after.under_replicated > 0) {
+      out << "error: namespace is not healthy after healing";
+      if (m.unrepairable > 0) {
+        out << " (" << m.unrepairable << " repair(s) dropped as unrepairable)";
+      }
+      out << "\n";
+      rc = 1;
+    }
 
     // Crash the NameNode and prove recover() rebuilds the same namespace
     // from checkpoint + journal suffix.
@@ -508,7 +647,7 @@ int cmd_fsck(const Args& args, std::ostream& out) {
     return fail(out, e.what());
   }
   warn_unused(args, out);
-  return 0;
+  return rc;
 }
 
 int cmd_forecast(const Args& args, std::ostream& out) {
@@ -599,13 +738,19 @@ commands:
   fsck      --in FILE [--nodes N] [--replication R] [--block-size BYTES]
             [--kill-nodes K] [--corrupt-replicas C] [--fault-seed S]
             [--repair-rate R] [--top K] [--workdir DIR]
+            [--meta-shards M [--files F] [--crash-shard K]]
+            (exits non-zero on unrepairable blocks, journal corruption,
+             checkpoint errors, or digest mismatch; --meta-shards M > 1 runs
+             the sharded-plane kill-one-shard drill instead)
   forecast  --in FILE --key SUBDATASET [--block-size BYTES]
   serve     [--port P] [--port-file FILE] [--workers W] [--max-queue Q]
-            [--max-inflight I] [--max-connections C] [--nodes N]
-            [--block-size BYTES] [--replication R] [--seed S] [--blocks B]
+            [--max-inflight I] [--max-connections C] [--meta-shards M]
+            [--nodes N] [--block-size BYTES] [--replication R] [--seed S]
+            [--blocks B]
   query     --port P --key SUBDATASET [--tenant T] [--scheduler
             datanet|locality|lpt|maxflow] [--baseline] [--count N] [--json]
-            [--shutdown] | --local --key SUBDATASET [dataset-shape flags]
+            [--stats] [--shutdown]
+            | --local --key SUBDATASET [dataset-shape flags]
 )";
 }
 

@@ -55,6 +55,41 @@ void print_reply(std::ostream& out, const server::QueryReply& r, bool json) {
   }
 }
 
+void print_stats(std::ostream& out, const server::ServerStats& s, bool json) {
+  if (json) {
+    out << "{\"queries_served\": " << s.queries_served
+        << ", \"meta_shards\": " << s.meta_shards
+        << ", \"cache\": {\"hits\": " << s.cache_hits
+        << ", \"revalidations\": " << s.cache_revalidations
+        << ", \"rebuilds\": " << s.cache_rebuilds << "}, \"tenants\": [";
+    for (std::size_t i = 0; i < s.tenants.size(); ++i) {
+      const server::TenantMeter& t = s.tenants[i];
+      out << (i > 0 ? ", " : "") << "{\"tenant\": \"" << t.tenant << "\""
+          << ", \"submitted\": " << t.submitted
+          << ", \"accepted\": " << t.accepted
+          << ", \"rejected_queue_full\": " << t.rejected_queue_full
+          << ", \"rejected_inflight\": " << t.rejected_inflight
+          << ", \"dispatched\": " << t.dispatched
+          << ", \"completed\": " << t.completed
+          << ", \"queue_wait_micros\": " << t.queue_wait_micros << "}";
+    }
+    out << "]}\n";
+  } else {
+    out << "queries_served=" << s.queries_served
+        << " meta_shards=" << s.meta_shards << " cache_hits=" << s.cache_hits
+        << " cache_revalidations=" << s.cache_revalidations
+        << " cache_rebuilds=" << s.cache_rebuilds << "\n";
+    for (const server::TenantMeter& t : s.tenants) {
+      out << "tenant " << t.tenant << ": submitted=" << t.submitted
+          << " accepted=" << t.accepted
+          << " rejected_queue_full=" << t.rejected_queue_full
+          << " rejected_inflight=" << t.rejected_inflight
+          << " dispatched=" << t.dispatched << " completed=" << t.completed
+          << " queue_wait_us=" << t.queue_wait_micros << "\n";
+    }
+  }
+}
+
 }  // namespace
 
 int cmd_serve(const Args& args, std::ostream& out) {
@@ -65,13 +100,18 @@ int cmd_serve(const Args& args, std::ostream& out) {
       static_cast<std::uint32_t>(args.get_u64_or("max-connections", 64));
   opts.default_limits.max_queue = args.get_u64_or("max-queue", 64);
   opts.default_limits.max_inflight = args.get_u64_or("max-inflight", 4);
+  // Shard count is serve-side only: it never changes placement (see
+  // ServerOptions::meta_shards), so query --local needs no matching flag.
+  opts.meta_shards =
+      static_cast<std::uint32_t>(args.get_u64_or("meta-shards", 1));
   const std::string port_file = args.get_or("port-file", "");
   warn_unused(args, out);
 
   try {
     server::Server srv(opts);
     srv.start();
-    out << "datanetd listening on 127.0.0.1:" << srv.port() << "\n";
+    out << "datanetd listening on 127.0.0.1:" << srv.port() << " ("
+        << srv.plane().num_shards() << " metadata shard(s))\n";
     out.flush();
     if (!port_file.empty()) {
       // Written after the listener is live, so a script polling the file
@@ -101,6 +141,7 @@ int cmd_query(const Args& args, std::ostream& out) {
   request.use_datanet_meta = !args.has("baseline");
   const bool local = args.has("local");
   const bool do_shutdown = args.has("shutdown");
+  const bool do_stats = args.has("stats");
   const bool json = args.has("json");
   const std::uint64_t count = args.get_u64_or("count", 1);
   const auto port = args.get_u64("port");
@@ -117,6 +158,9 @@ int cmd_query(const Args& args, std::ostream& out) {
   }
   if (!port.has_value()) {
     return fail(out, "--port is required (or use --local)");
+  }
+  if (request.key.empty() && !do_shutdown && !do_stats) {
+    return fail(out, "--key is required (or --stats/--shutdown)");
   }
   try {
     server::Client client(static_cast<std::uint16_t>(*port));
@@ -136,8 +180,9 @@ int cmd_query(const Args& args, std::ostream& out) {
             return fail(out, "server error: " + result.error);
         }
       }
-    } else if (!do_shutdown) {
-      return fail(out, "--key is required (or --shutdown)");
+    }
+    if (do_stats) {
+      print_stats(out, client.stats(), json);
     }
     if (do_shutdown) {
       client.shutdown_server();

@@ -30,13 +30,8 @@ StoredDataset make_dataset_shell(const ExperimentConfig& cfg,
                                  std::string path) {
   cfg.validate();
   StoredDataset ds;
-  dfs::DfsOptions dopt;
-  dopt.block_size = cfg.block_size;
-  dopt.replication = cfg.replication;
-  dopt.seed = cfg.seed;
-  dopt.inline_repair = cfg.inline_repair;
   ds.dfs = std::make_unique<dfs::MiniDfs>(
-      dfs::ClusterTopology::flat(cfg.num_nodes), dopt);
+      dfs::ClusterTopology::flat(cfg.num_nodes), make_dfs_options(cfg));
   ds.path = std::move(path);
   return ds;
 }
@@ -72,23 +67,44 @@ void ExperimentConfig::validate() const {
   }
 }
 
-StoredDataset make_movie_dataset(const ExperimentConfig& cfg,
-                                 std::uint64_t num_blocks,
-                                 std::uint64_t num_movies) {
-  StoredDataset ds = make_dataset_shell(cfg, "/data/movies.log");
+dfs::DfsOptions make_dfs_options(const ExperimentConfig& cfg) {
+  dfs::DfsOptions dopt;
+  dopt.block_size = cfg.block_size;
+  dopt.replication = cfg.replication;
+  dopt.seed = cfg.seed;
+  dopt.inline_repair = cfg.inline_repair;
+  return dopt;
+}
 
+IngestedDataset ingest_movie_dataset(dfs::MiniDfs& dfs, const std::string& path,
+                                     const ExperimentConfig& cfg,
+                                     std::uint64_t num_blocks,
+                                     std::uint64_t num_movies) {
+  cfg.validate();
   workload::MovieGenOptions gopt;
   gopt.num_movies = num_movies;
   gopt.num_records = records_for_blocks(cfg, num_blocks, kAvgMovieRecordBytes);
   gopt.seed = cfg.seed * 7919 + 13;
   const workload::MovieLogGenerator gen(gopt);
   const auto records = gen.generate();
-  workload::ingest(*ds.dfs, ds.path, records);
+  workload::ingest(dfs, path, records);
 
-  ds.truth = std::make_unique<workload::GroundTruth>(*ds.dfs, ds.path);
+  IngestedDataset out;
+  out.truth = std::make_unique<workload::GroundTruth>(dfs, path);
   for (std::uint64_t r = 0; r < std::min<std::uint64_t>(num_movies, 16); ++r) {
-    ds.hot_keys.push_back(gen.movie_key(r));
+    out.hot_keys.push_back(gen.movie_key(r));
   }
+  return out;
+}
+
+StoredDataset make_movie_dataset(const ExperimentConfig& cfg,
+                                 std::uint64_t num_blocks,
+                                 std::uint64_t num_movies) {
+  StoredDataset ds = make_dataset_shell(cfg, "/data/movies.log");
+  IngestedDataset in =
+      ingest_movie_dataset(*ds.dfs, ds.path, cfg, num_blocks, num_movies);
+  ds.truth = std::move(in.truth);
+  ds.hot_keys = std::move(in.hot_keys);
   return ds;
 }
 

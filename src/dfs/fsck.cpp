@@ -51,6 +51,51 @@ FsckReport fsck(const MiniDfs& dfs) {
   return report;
 }
 
+PlaneFsckReport fsck(const MetaPlane& plane) {
+  PlaneFsckReport out;
+  out.shards.reserve(plane.num_shards());
+  for (std::uint32_t s = 0; s < plane.num_shards(); ++s) {
+    out.shards.push_back(fsck(plane.dfs(s)));  // throws while crashed
+  }
+
+  FsckReport& c = out.combined;
+  for (const FsckReport& r : out.shards) {
+    c.total_blocks += r.total_blocks;
+    c.healthy_blocks += r.healthy_blocks;
+    c.under_replicated += r.under_replicated;
+    c.missing_blocks += r.missing_blocks;
+    c.over_replicated += r.over_replicated;
+    if (c.node_block_counts.size() < r.node_block_counts.size()) {
+      c.node_block_counts.resize(r.node_block_counts.size(), 0);
+    }
+    for (std::size_t n = 0; n < r.node_block_counts.size(); ++n) {
+      c.node_block_counts[n] += r.node_block_counts[n];
+    }
+  }
+
+  // Balance cv over the summed loads, counting nodes active on shard 0
+  // (every shard shares the topology and the active mask only diverges under
+  // per-shard faults; the roll-up is a capacity view, not a health gate).
+  const MiniDfs& ref = plane.dfs(0);
+  double sum = 0.0, count = 0.0;
+  for (NodeId n = 0; n < c.node_block_counts.size(); ++n) {
+    if (!ref.is_active(n)) continue;
+    sum += static_cast<double>(c.node_block_counts[n]);
+    count += 1.0;
+  }
+  if (count > 0.0 && sum > 0.0) {
+    const double mean = sum / count;
+    double ss = 0.0;
+    for (NodeId n = 0; n < c.node_block_counts.size(); ++n) {
+      if (!ref.is_active(n)) continue;
+      const double d = static_cast<double>(c.node_block_counts[n]) - mean;
+      ss += d * d;
+    }
+    c.replica_balance_cv = std::sqrt(ss / count) / mean;
+  }
+  return out;
+}
+
 std::vector<UnderReplicatedBlock> under_replicated_blocks(const MiniDfs& dfs) {
   std::vector<UnderReplicatedBlock> out;
   const auto target = static_cast<std::uint32_t>(std::min<std::uint64_t>(

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "dfs/meta_plane.hpp"
 #include "dfs/mini_dfs.hpp"
 
 namespace datanet::dfs {
@@ -28,6 +29,21 @@ struct FsckReport {
 
 // Inspect the replica map against the configured replication target.
 [[nodiscard]] FsckReport fsck(const MiniDfs& dfs);
+
+// Plane-wide fsck: every shard inspected independently (a shard is a full
+// NameNode with its own replica map), plus a combined roll-up whose counts
+// are summed, node loads added element-wise, and balance cv recomputed over
+// the summed per-node loads. healthy() == every shard healthy. Throws
+// ShardUnavailableError while any shard is crashed — recover first, then
+// audit (fsck over a half-dead plane would under-count damage).
+struct PlaneFsckReport {
+  std::vector<FsckReport> shards;  // index == shard id
+  FsckReport combined;
+
+  [[nodiscard]] bool healthy() const { return combined.healthy(); }
+};
+
+[[nodiscard]] PlaneFsckReport fsck(const MetaPlane& plane);
 
 // One row of the under-replication table: a block with fewer replicas than
 // its effective target (min(configured replication, active nodes) — the same

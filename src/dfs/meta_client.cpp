@@ -1,0 +1,79 @@
+#include "dfs/meta_client.hpp"
+
+#include <stdexcept>
+
+namespace datanet::dfs {
+
+ClientMetaCache::ClientMetaCache(const MetaPlane& plane,
+                                 ClientCacheOptions options)
+    : plane_(&plane), options_(options) {}
+
+void ClientMetaCache::fetch(const std::string& path, Entry& e) {
+  e.shard = plane_->shard_of(path);
+  const MiniDfs& owner = plane_->dfs(e.shard);
+  // Snapshot the epoch BEFORE reading the bundle: if a mutation races the
+  // fetch the bundle is at least as fresh as the recorded epoch, so the next
+  // revalidation refetches rather than trusting a torn snapshot.
+  e.epoch = owner.mutation_epoch();
+  e.blocks = owner.blocks_of(path);
+  e.replicas.clear();
+  e.replicas.reserve(e.blocks.size());
+  for (const BlockId id : e.blocks) {
+    e.replicas.emplace(id, owner.replicas_snapshot(id));
+  }
+  e.lease_until = now_ + options_.lease_ticks;
+  ++stats_.refetches;
+}
+
+ClientMetaCache::Entry& ClientMetaCache::resolve(const std::string& path) {
+  auto [it, inserted] = entries_.try_emplace(path);
+  Entry& e = it->second;
+  if (inserted) {
+    fetch(path, e);
+    return e;
+  }
+  if (options_.lease_ticks > 0 && now_ < e.lease_until) {
+    ++stats_.lease_hits;  // lease contract: no shard contact at all
+    return e;
+  }
+  if (plane_->dfs(e.shard).mutation_epoch() == e.epoch) {
+    e.lease_until = now_ + options_.lease_ticks;
+    ++stats_.renewals;
+    return e;
+  }
+  fetch(path, e);
+  return e;
+}
+
+const std::vector<BlockId>& ClientMetaCache::blocks_of(
+    const std::string& path) {
+  return resolve(path).blocks;
+}
+
+const std::vector<NodeId>& ClientMetaCache::replicas(const std::string& path,
+                                                     BlockId id) {
+  Entry& e = resolve(path);
+  auto it = e.replicas.find(id);
+  if (it == e.replicas.end()) {
+    // The cached bundle predates this block (the file grew): refetch once.
+    fetch(path, e);
+    it = e.replicas.find(id);
+    if (it == e.replicas.end()) {
+      throw std::invalid_argument("ClientMetaCache: block " +
+                                  std::to_string(id) + " is not part of " +
+                                  path);
+    }
+  }
+  return it->second;
+}
+
+void ClientMetaCache::invalidate(const std::string& path) {
+  if (entries_.erase(path) > 0) ++stats_.invalidations;
+}
+
+void ClientMetaCache::invalidate_all() {
+  stats_.invalidations += entries_.size();
+  entries_.clear();
+}
+
+}  // namespace datanet::dfs

@@ -1,0 +1,98 @@
+#pragma once
+// dfs::ClientMetaCache — a lease-based client-side cache over a MetaPlane.
+// Clients resolve file metadata (block lists, replica locations) constantly;
+// round-tripping to a metadata shard for every resolution is the load the
+// plane exists to shed. The cache holds a per-file metadata bundle under a
+// time-bounded lease:
+//
+//   - Within the lease term the bundle is served with NO shard contact at
+//     all — not even an epoch read. That is the lease contract: bounded
+//     staleness in exchange for zero metadata-plane load on the hot path.
+//   - At lease expiry the bundle is revalidated against the OWNING shard's
+//     mutation epoch only. Unchanged epoch -> cheap renewal (one atomic
+//     read); moved epoch -> refetch from the shard.
+//   - A client that mutates the namespace (or learns of a mutation) calls
+//     invalidate(path) for explicit invalidation — the next access refetches
+//     regardless of the remaining lease term.
+//
+// Because epochs are per shard, churn on one shard never invalidates or
+// revalidates bundles owned by another. Time is virtual (tick()), matching
+// the repo's ReplicationMonitor discipline — callers advance it; tests and
+// the bench drive it deterministically.
+//
+// Not thread-safe: one cache per client thread (it models client-local
+// state, like an HDFS client's block-location cache).
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dfs/meta_plane.hpp"
+
+namespace datanet::dfs {
+
+struct ClientCacheOptions {
+  // Lease term in ticks. 0 disables leasing: every access revalidates
+  // against the shard epoch (the PR 7 dataset-cache discipline).
+  std::uint64_t lease_ticks = 16;
+};
+
+struct ClientCacheStats {
+  std::uint64_t lease_hits = 0;     // served within the lease, no shard contact
+  std::uint64_t renewals = 0;       // expired, epoch unchanged: lease renewed
+  std::uint64_t refetches = 0;      // cold miss or epoch moved: refetched
+  std::uint64_t invalidations = 0;  // explicit invalidate() dropped an entry
+};
+
+class ClientMetaCache {
+ public:
+  explicit ClientMetaCache(const MetaPlane& plane,
+                           ClientCacheOptions options = {});
+
+  void tick(std::uint64_t ticks = 1) noexcept { now_ += ticks; }
+  [[nodiscard]] std::uint64_t now() const noexcept { return now_; }
+
+  // Block list of `path` under the lease discipline. Throws what the owning
+  // shard throws (ShardUnavailableError, unknown path) on refetch; a valid
+  // lease keeps serving even while the owning shard is crashed.
+  [[nodiscard]] const std::vector<BlockId>& blocks_of(const std::string& path);
+
+  // Replica locations of one block of `path`. A block unknown to the cached
+  // bundle (the file grew) forces a refetch before failing.
+  [[nodiscard]] const std::vector<NodeId>& replicas(const std::string& path,
+                                                    BlockId id);
+
+  // Explicit invalidation on namespace mutation.
+  void invalidate(const std::string& path);
+  void invalidate_all();
+
+  [[nodiscard]] const ClientCacheStats& stats() const noexcept {
+    return stats_;
+  }
+  [[nodiscard]] std::uint64_t entries() const noexcept {
+    return entries_.size();
+  }
+
+ private:
+  struct Entry {
+    std::uint32_t shard = 0;
+    std::uint64_t epoch = 0;        // owning shard's epoch at validation
+    std::uint64_t lease_until = 0;  // first tick the lease is NOT valid
+    std::vector<BlockId> blocks;
+    std::unordered_map<BlockId, std::vector<NodeId>> replicas;
+  };
+
+  // Fetch a fresh bundle from the owning shard into `e`.
+  void fetch(const std::string& path, Entry& e);
+  // The lease/epoch discipline: returns a bundle valid to serve from.
+  Entry& resolve(const std::string& path);
+
+  const MetaPlane* plane_;
+  ClientCacheOptions options_;
+  std::unordered_map<std::string, Entry> entries_;
+  ClientCacheStats stats_;
+  std::uint64_t now_ = 0;
+};
+
+}  // namespace datanet::dfs

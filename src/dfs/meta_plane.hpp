@@ -1,0 +1,157 @@
+#pragma once
+// dfs::MetaPlane — the sharded metadata plane. The namespace is partitioned
+// across N metadata shards by consistent hashing over file paths (HashRing):
+// a file's blocks all live on its owning shard, so per-file operations touch
+// exactly one shard and BlockIds stay shard-local. Every shard is a full
+// NameNode (a MiniDfs) with its OWN EditLog/FsImage pair, so checkpointing,
+// crash, and recovery are per-shard: one shard can be killed (the PR 5
+// kCrashNameNode seam) and rebuilt from its own image + journal suffix while
+// the other shards keep serving.
+//
+// Determinism: every shard is constructed over the same topology with the
+// SAME DfsOptions (including the placement seed). A dataset ingested into a
+// fresh plane therefore gets byte-identical block placement regardless of
+// which shard owns it — which is what keeps fig5/fig8 selection digests
+// byte-identical between a plain MiniDfs and a plane at ANY shard count, not
+// just shard count 1 (each file is the first file of its owning shard's RNG
+// stream, exactly as it is the first file of a fresh MiniDfs).
+//
+// Epochs: mutation_epoch generalizes for free — each shard's MiniDfs keeps
+// its own counter, exposed as shard_epoch(k). Replica churn on one shard no
+// longer advances the epochs other shards' cached metadata was validated
+// against; the server's dataset cache and the lease-based ClientMetaCache
+// both key on the owning shard's epoch only.
+//
+// Concurrency: routing state (the ring) is immutable after construction.
+// Each shard inherits MiniDfs's single-mutator/many-readers contract
+// independently. crash_shard/recover_shard/checkpoint are mutator-side calls;
+// readers of OTHER shards are unaffected, readers of the crashed shard must
+// have drained (the plane refuses access to a crashed shard with a typed
+// ShardUnavailableError until recover_shard brings it back).
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dfs/edit_log.hpp"
+#include "dfs/hash_ring.hpp"
+#include "dfs/mini_dfs.hpp"
+
+namespace datanet::dfs {
+
+// Thrown when an operation routes to a shard that is crashed and not yet
+// recovered. Callers that can degrade (serve other shards, retry later)
+// catch this; everything else propagates it as a hard error.
+class ShardUnavailableError : public std::runtime_error {
+ public:
+  ShardUnavailableError(std::uint32_t shard, std::string what)
+      : std::runtime_error(std::move(what)), shard_id(shard) {}
+  std::uint32_t shard_id;
+};
+
+struct MetaPlaneOptions {
+  std::uint32_t num_shards = 1;
+  std::uint32_t vnodes_per_shard = 64;
+  std::uint64_t ring_seed = 0;
+  // Shared by every shard — same seed on purpose (see file comment).
+  DfsOptions dfs;
+};
+
+class MetaPlane {
+ public:
+  MetaPlane(ClusterTopology topology, MetaPlaneOptions options);
+
+  [[nodiscard]] std::uint32_t num_shards() const noexcept {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+  [[nodiscard]] const HashRing& ring() const noexcept { return ring_; }
+  [[nodiscard]] const MetaPlaneOptions& options() const noexcept {
+    return options_;
+  }
+
+  // ---- routing ----
+
+  [[nodiscard]] std::uint32_t shard_of(std::string_view path) const noexcept {
+    return ring_.shard_of_path(path);
+  }
+
+  // Shard accessors throw std::out_of_range on a bad id and
+  // ShardUnavailableError while the shard is crashed.
+  [[nodiscard]] MiniDfs& dfs(std::uint32_t shard);
+  [[nodiscard]] const MiniDfs& dfs(std::uint32_t shard) const;
+  [[nodiscard]] MiniDfs& dfs_for(std::string_view path);
+  [[nodiscard]] const MiniDfs& dfs_for(std::string_view path) const;
+
+  // ---- namespace operations (routed to the owning shard) ----
+
+  [[nodiscard]] FileWriter create(std::string path);
+  [[nodiscard]] bool exists(std::string_view path) const;
+  // Union over all shards, sorted (shards enumerate independently).
+  [[nodiscard]] std::vector<std::string> list_files() const;
+  [[nodiscard]] std::uint64_t total_blocks() const;
+  [[nodiscard]] std::uint64_t under_replicated_count() const;
+
+  // Per-shard mutation epoch (the generalized mutation_epoch).
+  [[nodiscard]] std::uint64_t shard_epoch(std::uint32_t shard) const;
+  [[nodiscard]] std::vector<std::uint64_t> shard_epochs() const;
+
+  // ---- per-shard durability ----
+
+  // Attach one write-ahead journal per shard under `workdir`
+  // ("<workdir>/shard<k>.edits") and write an initial checkpoint per shard
+  // ("<workdir>/shard<k>.fsimage"), so every shard has a consistent
+  // image/journal pair from the moment durability is on — recover_shard is
+  // legal at any later point.
+  void attach_journals(const std::string& workdir);
+  [[nodiscard]] bool journals_attached() const noexcept { return attached_; }
+  [[nodiscard]] const std::string& journal_path(std::uint32_t shard) const;
+  [[nodiscard]] const std::string& image_path(std::uint32_t shard) const;
+
+  // Checkpoint one shard (crash-atomic; records the shard journal's current
+  // offset). Throws std::logic_error before attach_journals and
+  // ShardUnavailableError while crashed.
+  void checkpoint_shard(std::uint32_t shard);
+  void checkpoint_all();
+
+  // Kill one shard's NameNode: seal (optionally tear) its journal and mark
+  // the shard unavailable. Other shards are untouched.
+  void crash_shard(std::uint32_t shard,
+                   std::uint64_t journal_keep_bytes = MiniDfs::kKeepAllBytes);
+  [[nodiscard]] bool shard_crashed(std::uint32_t shard) const;
+  [[nodiscard]] std::uint32_t crashed_shards() const noexcept;
+
+  // Rebuild a crashed shard from its own FsImage + EditLog suffix, attach a
+  // fresh journal, and re-checkpoint so the pair is consistent going
+  // forward. Returns replay accounting. Throws std::logic_error unless the
+  // shard is crashed.
+  RecoveryInfo recover_shard(std::uint32_t shard);
+
+  // Order-sensitive chain over per-shard namespace digests (shard order is
+  // part of the identity: the same files on different shards differ).
+  // Requires every shard live.
+  [[nodiscard]] std::uint64_t namespace_digest() const;
+
+ private:
+  struct Shard {
+    std::unique_ptr<MiniDfs> dfs;
+    std::unique_ptr<EditLog> journal;
+    std::string journal_path;
+    std::string image_path;
+    bool crashed = false;
+  };
+
+  [[nodiscard]] Shard& shard_at(std::uint32_t shard);
+  [[nodiscard]] const Shard& shard_at(std::uint32_t shard) const;
+  [[nodiscard]] Shard& live_shard(std::uint32_t shard);
+  [[nodiscard]] const Shard& live_shard(std::uint32_t shard) const;
+
+  MetaPlaneOptions options_;
+  HashRing ring_;
+  std::vector<Shard> shards_;
+  bool attached_ = false;
+};
+
+}  // namespace datanet::dfs

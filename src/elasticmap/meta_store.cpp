@@ -78,10 +78,12 @@ struct StoredEntry {
   std::string blob;
 };
 
-// Write one store file holding the given (already serialized) entries.
+// Write one store file holding the given (already serialized) entries, in
+// the requested format version (v1 drops the per-entry CRC32).
 void write_store(const std::string& file_path, const std::string& dataset_path,
                  std::uint64_t raw_bytes, const BuildOptions& options,
-                 const std::vector<StoredEntry>& entries) {
+                 const std::vector<StoredEntry>& entries,
+                 std::uint64_t version = kVersion) {
   // Crash atomicity: build the file beside the target and rename over it, so
   // the live store is never open for writing and a crash mid-save leaves the
   // previous version intact.
@@ -90,7 +92,7 @@ void write_store(const std::string& file_path, const std::string& dataset_path,
     std::ofstream f(tmp_path, std::ios::binary | std::ios::trunc);
     if (!f) throw std::runtime_error("MetaStore: cannot open " + tmp_path);
     put_u64(f, kMagic);
-    put_u64(f, kVersion);
+    put_u64(f, checked_version(version));
     put_u64(f, raw_bytes);
     put_f64(f, options.alpha);
     put_f64(f, options.bloom_fpp);
@@ -107,7 +109,7 @@ void write_store(const std::string& file_path, const std::string& dataset_path,
       put_u64(f, e.block_id);
       put_u64(f, offset);
       put_u64(f, e.blob.size());
-      put_u64(f, common::crc32(e.blob));
+      if (version >= 2) put_u64(f, common::crc32(e.blob));
       offset += e.blob.size();
     }
     for (const auto& e : entries) {
@@ -222,6 +224,12 @@ ElasticMapArray MetaStore::load(const std::string& file_path) {
   return assemble(read_store(file_path));
 }
 
+void MetaStore::rewrite_as_v1(const std::string& file_path) {
+  auto contents = read_store(file_path);  // verifies CRCs before dropping them
+  write_store(file_path, contents.dataset_path, contents.raw_bytes,
+              contents.options, contents.entries, /*version=*/1);
+}
+
 MetaStore::Reader::Reader(const std::string& file_path)
     : file_(file_path, std::ios::binary) {
   if (!file_) throw std::runtime_error("MetaStore::Reader: cannot open " + file_path);
@@ -296,6 +304,20 @@ void ShardedMetaStore::save(const ElasticMapArray& array, const std::string& pre
     }
     write_store(shard_file(prefix, s), array.path(), array.raw_bytes(),
                 array.options(), shard_entries);
+  }
+}
+
+void ShardedMetaStore::save(const ElasticMapArray& array,
+                            const std::string& prefix,
+                            const dfs::HashRing& ring) {
+  auto all = serialize_all(array);
+  std::vector<std::vector<StoredEntry>> per_shard(ring.num_shards());
+  for (auto& e : all) {
+    per_shard[ring.shard_of_block(e.block_id)].push_back(std::move(e));
+  }
+  for (std::uint32_t s = 0; s < ring.num_shards(); ++s) {
+    write_store(shard_file(prefix, s), array.path(), array.raw_bytes(),
+                array.options(), per_shard[s]);
   }
 }
 

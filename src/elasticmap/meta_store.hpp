@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "dfs/hash_ring.hpp"
 #include "elasticmap/elastic_map.hpp"
 
 namespace datanet::elasticmap {
@@ -43,6 +44,12 @@ class MetaStore {
 
   // Read the whole file back into memory.
   static ElasticMapArray load(const std::string& file_path);
+
+  // Downgrade a store file in place to format v1 (32-byte index entries, no
+  // per-blob CRCs) — the compat escape hatch for tooling that still speaks
+  // v1, and the fixture generator for mixed-format load tests. Lossless for
+  // the metadata itself; only the checksums are dropped.
+  static void rewrite_as_v1(const std::string& file_path);
 
   // Lazy access: header and index in memory, block metas read on demand.
   class Reader {
@@ -82,6 +89,15 @@ class ShardedMetaStore {
   // Writes `num_shards` files "<prefix>.shard<k>"; block i -> shard i % S.
   static void save(const ElasticMapArray& array, const std::string& prefix,
                    std::uint32_t num_shards);
+
+  // Ring-partitioned layout: block i -> ring.shard_of_block(block_id(i)),
+  // the placement the sharded metadata plane uses so a store shard lives
+  // with the metadata shard that owns its blocks. A shard owning no blocks
+  // still gets a (valid, empty) file, so load() never depends on which
+  // shards happened to win blocks. Reassemble with load(prefix,
+  // ring.num_shards()) — loading is placement-agnostic.
+  static void save(const ElasticMapArray& array, const std::string& prefix,
+                   const dfs::HashRing& ring);
 
   // Reassemble the full array from the shard files.
   static ElasticMapArray load(const std::string& prefix, std::uint32_t num_shards);

@@ -40,6 +40,11 @@ ClientResult Client::query(const QueryRequest& request) {
   }
 }
 
+ServerStats Client::stats() {
+  const std::string payload = round_trip(encode_stats());
+  return decode_stats_ok(payload);
+}
+
 void Client::shutdown_server() {
   const std::string payload = round_trip(encode_shutdown());
   if (peek_type(payload) != MsgType::kShutdownOk) {

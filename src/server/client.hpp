@@ -32,6 +32,10 @@ class Client {
   // ClientResult, not an exception — they are protocol results.
   [[nodiscard]] ClientResult query(const QueryRequest& request);
 
+  // Fetch the server's metering snapshot (queries served, cache counters,
+  // plane shard count, per-tenant meters). Throws on transport failures.
+  [[nodiscard]] ServerStats stats();
+
   // Ask the server to drain and exit; returns once the ack arrives.
   void shutdown_server();
 

@@ -38,6 +38,13 @@ std::shared_ptr<const core::DataNet> DatasetCache::get(
   return net;
 }
 
+std::shared_ptr<const core::DataNet> DatasetCache::get(
+    const dfs::MetaPlane& plane, const std::string& path) {
+  // Routing IS the re-key: the entry's epoch is read from (and compared
+  // against) the owning shard alone.
+  return get(plane.dfs_for(path), path);
+}
+
 void DatasetCache::invalidate(const std::string& path) {
   std::lock_guard lock(mu_);
   entries_.erase(path);

@@ -28,6 +28,7 @@
 #include <string>
 
 #include "datanet/datanet.hpp"
+#include "dfs/meta_plane.hpp"
 #include "dfs/mini_dfs.hpp"
 
 namespace datanet::server {
@@ -51,6 +52,14 @@ class DatasetCache {
   // concurrent builds impossible.
   [[nodiscard]] std::shared_ptr<const core::DataNet> get(
       const dfs::MiniDfs& dfs, const std::string& path);
+
+  // Sharded-plane variant: the entry is validated against the OWNING
+  // shard's epoch only (the plane generalizes mutation_epoch per shard), so
+  // replica churn on one shard never invalidates or revalidates cached
+  // DataNets whose blocks live on another. Throws ShardUnavailableError
+  // while the owning shard is crashed.
+  [[nodiscard]] std::shared_ptr<const core::DataNet> get(
+      const dfs::MetaPlane& plane, const std::string& path);
 
   void invalidate(const std::string& path);
   [[nodiscard]] Stats stats() const;

@@ -1,8 +1,20 @@
 #include "server/dispatcher.hpp"
 
+#include <chrono>
 #include <utility>
 
 namespace datanet::server {
+
+namespace {
+
+std::uint64_t now_micros() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
 
 void FairDispatcher::register_tenant(const std::string& tenant,
                                      TenantLimits limits) {
@@ -43,7 +55,8 @@ SubmitStatus FairDispatcher::submit(const std::string& tenant,
   }
   DispatchJob job{.ticket = next_ticket_++,
                   .tenant = tenant,
-                  .request = std::move(request)};
+                  .request = std::move(request),
+                  .submitted_micros = now_micros()};
   if (ticket_out != nullptr) *ticket_out = job.ticket;
   t.queue.push_back(std::move(job));
   ++t.stats.accepted;
@@ -78,6 +91,10 @@ std::optional<DispatchJob> FairDispatcher::pick_locked() {
     t.queue.pop_front();
     ++t.inflight;
     ++t.stats.dispatched;
+    const std::uint64_t now = now_micros();
+    if (now > job.submitted_micros) {
+      t.stats.queue_wait_micros += now - job.submitted_micros;
+    }
     --queued_total_;
     ++inflight_total_;
     if (t.deficit < kJobCost || !eligible_locked(t)) {

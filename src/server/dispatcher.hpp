@@ -47,6 +47,9 @@ struct DispatchJob {
   std::uint64_t ticket = 0;
   std::string tenant;
   QueryRequest request;
+  // Host-clock stamp taken at admission; dispatch accumulates the delta
+  // into the tenant's queue_wait_micros meter.
+  std::uint64_t submitted_micros = 0;
 };
 
 enum class SubmitStatus : std::uint8_t {
@@ -63,6 +66,10 @@ struct TenantStats {
   std::uint64_t rejected_inflight = 0;
   std::uint64_t dispatched = 0;
   std::uint64_t completed = 0;
+  // Total admission->dispatch wait across this tenant's dispatched jobs
+  // (host clock, micros) — the per-tenant metering the stats wire message
+  // serves; divide by `dispatched` for the mean wait.
+  std::uint64_t queue_wait_micros = 0;
 };
 
 class FairDispatcher {

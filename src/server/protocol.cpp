@@ -118,13 +118,36 @@ std::string encode_shutdown() { return tagged(MsgType::kShutdown); }
 
 std::string encode_shutdown_ok() { return tagged(MsgType::kShutdownOk); }
 
+std::string encode_stats() { return tagged(MsgType::kStats); }
+
+std::string encode_stats_ok(const ServerStats& s) {
+  std::string out = tagged(MsgType::kStatsOk);
+  wire::put_u64(out, s.queries_served);
+  wire::put_u64(out, s.cache_hits);
+  wire::put_u64(out, s.cache_revalidations);
+  wire::put_u64(out, s.cache_rebuilds);
+  wire::put_u32(out, s.meta_shards);
+  wire::put_u32(out, static_cast<std::uint32_t>(s.tenants.size()));
+  for (const TenantMeter& t : s.tenants) {
+    wire::put_bytes(out, t.tenant);
+    wire::put_u64(out, t.submitted);
+    wire::put_u64(out, t.accepted);
+    wire::put_u64(out, t.rejected_queue_full);
+    wire::put_u64(out, t.rejected_inflight);
+    wire::put_u64(out, t.dispatched);
+    wire::put_u64(out, t.completed);
+    wire::put_u64(out, t.queue_wait_micros);
+  }
+  return out;
+}
+
 MsgType peek_type(std::string_view payload) {
   if (payload.empty()) {
     throw ProtocolError("datanetd protocol: empty payload");
   }
   const auto tag = static_cast<std::uint8_t>(payload[0]);
   if (tag < static_cast<std::uint8_t>(MsgType::kQuery) ||
-      tag > static_cast<std::uint8_t>(MsgType::kShutdownOk)) {
+      tag > static_cast<std::uint8_t>(MsgType::kStatsOk)) {
     throw ProtocolError("datanetd protocol: unknown message tag");
   }
   return static_cast<MsgType>(tag);
@@ -180,6 +203,41 @@ Rejection decode_rejected(std::string_view payload) {
     r.detail = c.bytes();
     expect_drained(c);
     return r;
+  } catch (const ProtocolError&) {
+    throw;
+  } catch (const std::runtime_error& e) {
+    throw ProtocolError(std::string("datanetd protocol: ") + e.what());
+  }
+}
+
+ServerStats decode_stats_ok(std::string_view payload) {
+  try {
+    wire::Cursor c = open(payload, MsgType::kStatsOk);
+    ServerStats s;
+    s.queries_served = c.u64();
+    s.cache_hits = c.u64();
+    s.cache_revalidations = c.u64();
+    s.cache_rebuilds = c.u64();
+    s.meta_shards = c.u32();
+    const std::uint32_t n = c.u32();
+    // Each row is at least 2 bytes of name length + 7 counters; an n that
+    // cannot fit in the remaining payload is a corrupt count, not a row list.
+    if (n > c.remaining()) {
+      throw ProtocolError("datanetd protocol: corrupt tenant count");
+    }
+    s.tenants.resize(n);
+    for (TenantMeter& t : s.tenants) {
+      t.tenant = c.bytes();
+      t.submitted = c.u64();
+      t.accepted = c.u64();
+      t.rejected_queue_full = c.u64();
+      t.rejected_inflight = c.u64();
+      t.dispatched = c.u64();
+      t.completed = c.u64();
+      t.queue_wait_micros = c.u64();
+    }
+    expect_drained(c);
+    return s;
   } catch (const ProtocolError&) {
     throw;
   } catch (const std::runtime_error& e) {

@@ -15,6 +15,7 @@
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace datanet::server {
 
@@ -36,6 +37,8 @@ enum class MsgType : std::uint8_t {
   kError = 4,       // server -> client: internal failure executing the query
   kShutdown = 5,    // client -> server: drain and exit
   kShutdownOk = 6,  // server -> client: shutdown acknowledged
+  kStats = 7,       // client -> server: per-tenant metering snapshot
+  kStatsOk = 8,     // server -> client: the snapshot
 };
 
 enum class RejectReason : std::uint8_t {
@@ -69,6 +72,30 @@ struct Rejection {
   std::string detail;
 };
 
+// Per-tenant metering row in a stats snapshot — the wire shape of the
+// dispatcher's TenantStats (kept field-flat here so the protocol stays free
+// of dispatcher knowledge).
+struct TenantMeter {
+  std::string tenant;
+  std::uint64_t submitted = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected_queue_full = 0;
+  std::uint64_t rejected_inflight = 0;
+  std::uint64_t dispatched = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t queue_wait_micros = 0;  // total admission -> dispatch wait
+};
+
+// Server-wide snapshot answered to a kStats request.
+struct ServerStats {
+  std::uint64_t queries_served = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_revalidations = 0;
+  std::uint64_t cache_rebuilds = 0;
+  std::uint32_t meta_shards = 1;  // metadata plane shard count
+  std::vector<TenantMeter> tenants;  // dispatcher registration order
+};
+
 // ---- frame layer ----
 
 // Wrap a payload into a single framed buffer ready to write to the socket.
@@ -93,6 +120,8 @@ void check_frame_payload(const FrameHeader& header, std::string_view payload);
 [[nodiscard]] std::string encode_error(std::string_view what);
 [[nodiscard]] std::string encode_shutdown();
 [[nodiscard]] std::string encode_shutdown_ok();
+[[nodiscard]] std::string encode_stats();
+[[nodiscard]] std::string encode_stats_ok(const ServerStats& s);
 
 // First byte of a validated payload; throws ProtocolError on empty payloads
 // or tags outside the MsgType range.
@@ -104,5 +133,6 @@ void check_frame_payload(const FrameHeader& header, std::string_view payload);
 [[nodiscard]] QueryReply decode_query_ok(std::string_view payload);
 [[nodiscard]] Rejection decode_rejected(std::string_view payload);
 [[nodiscard]] std::string decode_error(std::string_view payload);
+[[nodiscard]] ServerStats decode_stats_ok(std::string_view payload);
 
 }  // namespace datanet::server

@@ -21,6 +21,14 @@ std::uint64_t now_micros() {
           .count());
 }
 
+dfs::MetaPlane make_plane(const ServerOptions& opts) {
+  opts.cfg.validate();
+  dfs::MetaPlaneOptions popt;
+  popt.num_shards = std::max(1u, opts.meta_shards);
+  popt.dfs = core::make_dfs_options(opts.cfg);
+  return {dfs::ClusterTopology::flat(opts.cfg.num_nodes), popt};
+}
+
 }  // namespace
 
 std::uint64_t selection_digest(const core::SelectionResult& r) {
@@ -91,8 +99,16 @@ QueryOutcome local_query(const ServerOptions& opts,
 
 Server::Server(ServerOptions opts)
     : opts_(opts),
-      dataset_(core::make_movie_dataset(opts_.cfg, opts_.dataset_blocks)),
+      plane_(make_plane(opts_)),
       dispatcher_(opts_.default_limits) {
+  dataset_.path = "/data/movies.log";
+  // Same generation as make_movie_dataset and same per-shard DfsOptions, so
+  // the served dataset's placement is byte-identical to a `--local` build
+  // at any shard count (the digest contract).
+  auto ingested = core::ingest_movie_dataset(plane_.dfs_for(dataset_.path),
+                                             dataset_.path, opts_.cfg,
+                                             opts_.dataset_blocks);
+  dataset_.hot_keys = std::move(ingested.hot_keys);
   auto [fd, port] = listen_loopback(opts_.port);
   listener_ = std::move(fd);
   port_ = port;
@@ -228,10 +244,14 @@ void Server::handle_connection(const std::shared_ptr<Fd>& socket) {
         request_stop();
         return;
       }
+      if (type == MsgType::kStats) {
+        write_all(fd, frame(encode_stats_ok(snapshot_stats())));
+        continue;
+      }
       if (type != MsgType::kQuery) {
         write_all(fd, frame(encode_rejected(
                           {RejectReason::kBadRequest,
-                           "only query/shutdown messages are accepted"})));
+                           "only query/stats/shutdown messages are accepted"})));
         continue;
       }
 
@@ -328,19 +348,42 @@ void Server::handle_connection(const std::shared_ptr<Fd>& socket) {
   }
 }
 
+ServerStats Server::snapshot_stats() const {
+  ServerStats s;
+  s.queries_served = queries_served_.load(std::memory_order_relaxed);
+  const DatasetCache::Stats cs = cache_.stats();
+  s.cache_hits = cs.hits;
+  s.cache_revalidations = cs.revalidations;
+  s.cache_rebuilds = cs.rebuilds;
+  s.meta_shards = plane_.num_shards();
+  for (const std::string& name : dispatcher_.tenants()) {
+    const TenantStats ts = dispatcher_.tenant_stats(name);
+    s.tenants.push_back({.tenant = name,
+                         .submitted = ts.submitted,
+                         .accepted = ts.accepted,
+                         .rejected_queue_full = ts.rejected_queue_full,
+                         .rejected_inflight = ts.rejected_inflight,
+                         .dispatched = ts.dispatched,
+                         .completed = ts.completed,
+                         .queue_wait_micros = ts.queue_wait_micros});
+  }
+  return s;
+}
+
 void Server::worker_loop() {
   for (;;) {
     auto job = dispatcher_.next();
     if (!job.has_value()) return;  // stopped and drained
     QueryOutcome outcome;
     try {
+      const dfs::MiniDfs& shard = plane_.dfs_for(dataset_.path);
       const core::DataNet* net = nullptr;
       std::shared_ptr<const core::DataNet> cached;
       if (job->request.use_datanet_meta) {
-        cached = cache_.get(*dataset_.dfs, dataset_.path);
+        cached = cache_.get(plane_, dataset_.path);
         net = cached.get();
       }
-      outcome = execute_query(*dataset_.dfs, dataset_.path, net, job->request,
+      outcome = execute_query(shard, dataset_.path, net, job->request,
                               opts_.cfg);
     } catch (const std::exception& e) {
       outcome.ok = false;

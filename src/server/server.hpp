@@ -13,11 +13,14 @@
 //   (DirectReadPolicy + NoFaults + CostOnlyBackend) over the process-wide
 //   DatasetCache -> framed reply.
 //
-// Queries run as READERS of the hosted MiniDfs (pinned zero-copy block
-// reads, snapshot replica sets), so one external mutator — a healing
+// The dataset's namespace lives on a dfs::MetaPlane (ServerOptions::
+// meta_shards); queries route to the shard owning the hosted path and run
+// as READERS of that shard's MiniDfs (pinned zero-copy block reads,
+// snapshot replica sets), so one external mutator — a healing
 // ReplicationMonitor, a balancer, a fault hook in tests — may run
-// concurrently under the MiniDfs single-mutator contract, and the epoch
-// check in DatasetCache keeps the served metadata honest across that churn.
+// concurrently under the MiniDfs single-mutator contract, and the owning
+// shard's epoch check in DatasetCache keeps the served metadata honest
+// across that churn without caring about churn on other shards.
 //
 // Shutdown contract: a kShutdown frame (or any thread calling stop())
 // stops admission, DRAINS every already-accepted query — each gets its
@@ -57,6 +60,19 @@ struct ServerOptions {
   // config locally gets byte-identical data — the digest contract.
   core::ExperimentConfig cfg;
   std::uint64_t dataset_blocks = 64;
+  // Metadata plane shard count. Every shard shares cfg's placement seed, so
+  // the hosted dataset's placement — and therefore every served digest — is
+  // byte-identical at ANY shard count (dfs/meta_plane.hpp's determinism
+  // note); sharding changes which shard's epoch invalidates the cache, not
+  // what is served.
+  std::uint32_t meta_shards = 1;
+};
+
+// What the server knows about its hosted dataset beyond the metadata plane
+// itself (the plane owns the namespace; this is the serving-side residue).
+struct HostedDataset {
+  std::string path;
+  std::vector<std::string> hot_keys;  // hottest sub-dataset keys first
 };
 
 // Outcome of executing one query (shared by the daemon path and the
@@ -111,12 +127,17 @@ class Server {
   void wait();
 
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
-  [[nodiscard]] const core::StoredDataset& dataset() const noexcept {
+  [[nodiscard]] const HostedDataset& dataset() const noexcept {
     return dataset_;
   }
-  // Mutator-side access for the single external mutator the MiniDfs
-  // contract allows (healing monitor, fault hooks in tests).
-  [[nodiscard]] dfs::MiniDfs& dfs() noexcept { return *dataset_.dfs; }
+  // The sharded metadata plane hosting the dataset's namespace.
+  [[nodiscard]] dfs::MetaPlane& plane() noexcept { return plane_; }
+  [[nodiscard]] const dfs::MetaPlane& plane() const noexcept { return plane_; }
+  // Mutator-side access to the shard owning the hosted dataset, for the
+  // single external mutator the MiniDfs contract allows (healing monitor,
+  // fault hooks in tests). Throws ShardUnavailableError while that shard is
+  // crashed.
+  [[nodiscard]] dfs::MiniDfs& dfs() { return plane_.dfs_for(dataset_.path); }
 
   [[nodiscard]] FairDispatcher& dispatcher() noexcept { return dispatcher_; }
   [[nodiscard]] const DatasetCache& cache() const noexcept { return cache_; }
@@ -131,6 +152,9 @@ class Server {
     std::shared_ptr<std::atomic<bool>> finished;
   };
 
+  // Assemble the kStatsOk snapshot (counters + per-tenant meters).
+  [[nodiscard]] ServerStats snapshot_stats() const;
+
   void accept_loop();
   void handle_connection(const std::shared_ptr<Fd>& socket);
   void worker_loop();
@@ -139,7 +163,8 @@ class Server {
   void request_stop();
 
   ServerOptions opts_;
-  core::StoredDataset dataset_;
+  dfs::MetaPlane plane_;
+  HostedDataset dataset_;
   FairDispatcher dispatcher_;
   DatasetCache cache_;
 

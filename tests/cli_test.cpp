@@ -350,3 +350,53 @@ TEST(Cli, AnalyzeJsonOutput) {
   EXPECT_NE(out.find("\"total_seconds\":"), std::string::npos);
   EXPECT_NE(out.find("\"input_records\":"), std::string::npos);
 }
+
+TEST(Cli, FsckExitsNonZeroWhenDataIsLost) {
+  TempDir tmp;
+  const auto log = tmp.file("loss.log");
+  std::string out;
+  ASSERT_EQ(run({"generate", "--out", log.c_str(), "--records", "8000",
+                 "--seed", "9"},
+                &out),
+            0);
+  // Replication 1: killing nodes loses blocks outright, and the healer has
+  // no surviving source — the run must exit non-zero, not report success.
+  EXPECT_EQ(run({"fsck", "--in", log.c_str(), "--workdir",
+                 tmp.file("loss-nn").c_str(), "--nodes", "8", "--replication",
+                 "1", "--kill-nodes", "2", "--corrupt-replicas", "0",
+                 "--repair-rate", "4"},
+                &out),
+            1)
+      << out;
+  EXPECT_NE(out.find("not healthy after healing"), std::string::npos);
+}
+
+TEST(Cli, FsckShardedPlaneKillsAndRecoversOneShard) {
+  TempDir tmp;
+  const auto log = tmp.file("plane.log");
+  std::string out;
+  ASSERT_EQ(run({"generate", "--out", log.c_str(), "--records", "6000",
+                 "--seed", "4"},
+                &out),
+            0);
+  ASSERT_EQ(run({"fsck", "--in", log.c_str(), "--meta-shards", "4",
+                 "--workdir", tmp.file("plane-nn").c_str(), "--nodes", "8"},
+                &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("4 metadata shards"), std::string::npos);
+  EXPECT_NE(out.find("other shard(s) still serving"), std::string::npos);
+  EXPECT_NE(out.find("recovered shard digest matches"), std::string::npos);
+  EXPECT_NE(out.find("plane fsck:"), std::string::npos);
+  EXPECT_EQ(out.find("error:"), std::string::npos);
+}
+
+TEST(Cli, QueryStatsRequiresPortButNotKey) {
+  std::string out;
+  // --stats is a valid action without --key, but still needs a server.
+  EXPECT_EQ(run({"query", "--stats"}, &out), 1);
+  EXPECT_NE(out.find("--port"), std::string::npos);
+  // Neither key nor an action: the error names the alternatives.
+  EXPECT_EQ(run({"query", "--port", "1"}, &out), 1);
+  EXPECT_NE(out.find("--stats/--shutdown"), std::string::npos);
+}

@@ -581,3 +581,93 @@ TEST(ServerEndToEnd, ShutdownMessageDrainsAndStops) {
   // The listener is gone: new connections fail.
   EXPECT_THROW((void)srv::connect_loopback(server.port()), srv::SocketError);
 }
+
+// ---- stats / metering ----
+
+TEST(ServerProtocol, StatsRoundTrip) {
+  EXPECT_EQ(srv::peek_type(srv::encode_stats()), srv::MsgType::kStats);
+
+  srv::ServerStats s;
+  s.queries_served = 42;
+  s.cache_hits = 40;
+  s.cache_revalidations = 1;
+  s.cache_rebuilds = 1;
+  s.meta_shards = 4;
+  srv::TenantMeter a;
+  a.tenant = "alice";
+  a.submitted = 30;
+  a.accepted = 28;
+  a.rejected_queue_full = 2;
+  a.dispatched = 28;
+  a.completed = 28;
+  a.queue_wait_micros = 12345;
+  srv::TenantMeter b;
+  b.tenant = "bob";
+  b.submitted = 14;
+  b.accepted = 14;
+  b.rejected_inflight = 0;
+  b.dispatched = 14;
+  b.completed = 13;
+  s.tenants = {a, b};
+
+  const auto decoded = srv::decode_stats_ok(srv::encode_stats_ok(s));
+  EXPECT_EQ(decoded.queries_served, 42u);
+  EXPECT_EQ(decoded.meta_shards, 4u);
+  EXPECT_EQ(decoded.cache_hits, 40u);
+  ASSERT_EQ(decoded.tenants.size(), 2u);
+  EXPECT_EQ(decoded.tenants[0].tenant, "alice");
+  EXPECT_EQ(decoded.tenants[0].rejected_queue_full, 2u);
+  EXPECT_EQ(decoded.tenants[0].queue_wait_micros, 12345u);
+  EXPECT_EQ(decoded.tenants[1].tenant, "bob");
+  EXPECT_EQ(decoded.tenants[1].completed, 13u);
+
+  // Truncation and a hostile tenant count both fail typed.
+  const auto payload = srv::encode_stats_ok(s);
+  EXPECT_THROW(srv::decode_stats_ok(payload.substr(0, payload.size() - 3)),
+               srv::ProtocolError);
+  auto hostile = payload;
+  hostile[38] = '\xff';  // inside the tenant-count word (offset 37..40)
+  EXPECT_THROW(srv::decode_stats_ok(hostile), srv::ProtocolError);
+}
+
+TEST(ServerEndToEnd, StatsMeterTenantsAcrossShardedPlane) {
+  srv::ServerOptions opts = small_server();
+  opts.meta_shards = 4;
+  srv::Server server(opts);
+  server.start();
+  EXPECT_EQ(server.plane().num_shards(), 4u);
+  srv::Client client(server.port());
+
+  const auto& hot = server.dataset().hot_keys;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(client.query(query_for("alice", hot[0])).ok());
+  }
+  ASSERT_TRUE(client.query(query_for("bob", hot[1])).ok());
+  // Served digests stay golden at shard count 4 — sharding must not change
+  // placement (the serve --meta-shards determinism contract).
+  const srv::QueryRequest q = query_for("alice", hot[0]);
+  const auto served = client.query(q);
+  const auto golden = srv::local_query(opts, q);
+  ASSERT_TRUE(served.ok() && golden.ok);
+  EXPECT_EQ(served.reply.digest, golden.reply.digest);
+
+  const srv::ServerStats stats = client.stats();
+  EXPECT_EQ(stats.queries_served, 5u);
+  EXPECT_EQ(stats.meta_shards, 4u);
+  ASSERT_EQ(stats.tenants.size(), 2u);
+  const auto* alice = &stats.tenants[0];
+  const auto* bob = &stats.tenants[1];
+  if (alice->tenant != "alice") std::swap(alice, bob);
+  EXPECT_EQ(alice->tenant, "alice");
+  EXPECT_EQ(alice->submitted, 4u);
+  EXPECT_EQ(alice->accepted, 4u);
+  EXPECT_EQ(alice->dispatched, 4u);
+  EXPECT_EQ(alice->completed, 4u);
+  EXPECT_EQ(bob->submitted, 1u);
+  EXPECT_EQ(bob->completed, 1u);
+  EXPECT_EQ(alice->rejected_queue_full + alice->rejected_inflight, 0u);
+
+  // The stats message is read-only: it does not count as a served query.
+  EXPECT_EQ(client.stats().queries_served, 5u);
+  server.stop();
+}

@@ -9,14 +9,18 @@
 // and emits one JSON document with measured selection wall time (host clock)
 // a server section (datanetd loopback qps + latency percentiles with served
 // digests checked against golden in-process runs — PR 7, see bench_server),
-// plus the deterministic simulated report totals. Redirect to BENCH_PR7.json
-// via tools/bench_report.sh.
+// a metadata section (ring lookup throughput, shard balance and
+// kill-one-shard recovery wall over a 1/4/16 shard sweep, client lease-cache
+// hit rate — PR 8's sharded metadata plane), plus the deterministic
+// simulated report totals. Redirect to BENCH_PR8.json via
+// tools/bench_report.sh.
 
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <atomic>
+#include <filesystem>
 #include <iterator>
 #include <string>
 #include <thread>
@@ -28,6 +32,9 @@
 #include "datanet/selection_runtime.hpp"
 #include "dfs/fault_injector.hpp"
 #include "dfs/fsck.hpp"
+#include "dfs/hash_ring.hpp"
+#include "dfs/meta_client.hpp"
+#include "dfs/meta_plane.hpp"
 #include "dfs/replication_monitor.hpp"
 #include "mapred/report_json.hpp"
 #include "scheduler/datanet_sched.hpp"
@@ -416,6 +423,121 @@ int main() {
     std::printf("    \"p99_micros\": %.0f,\n", pct(0.99));
     std::printf("    \"digests_verified\": %s\n",
                 mismatched.load() == 0 ? "true" : "false");
+  }
+  std::printf("  },\n");
+
+  // Metadata plane (PR 8): pure ring routing throughput, a 1/4/16 shard
+  // sweep (per-shard block balance, kill-one-shard recovery wall time), the
+  // client lease-cache hit rate, and placement_identical — the deterministic
+  // field: the same file must get byte-identical placement at every shard
+  // count (the digest contract behind serve --meta-shards).
+  std::printf("  \"metadata\": {\n");
+  {
+    dfs::DfsOptions dopt;
+    dopt.block_size = 16 * 1024;
+    dopt.replication = 3;
+    dopt.seed = 42;
+
+    const dfs::HashRing ring16(16);
+    std::uint64_t sink = 0;
+    constexpr std::uint64_t kLookups = 2'000'000;
+    const double ring_secs = best_of(3, [&] {
+      for (std::uint64_t i = 0; i < kLookups; ++i) {
+        sink += ring16.shard_of_block(i);
+      }
+    });
+    static volatile std::uint64_t guard;
+    guard = sink;
+    (void)guard;
+    std::printf("    \"ring_lookups_per_sec\": %.0f,\n",
+                ring_secs > 0 ? static_cast<double>(kLookups) / ring_secs
+                              : 0.0);
+
+    const auto bench_dir =
+        std::filesystem::temp_directory_path() / "datanet_bench_meta";
+    constexpr std::uint32_t kFiles = 64;
+    const auto write_bench_file = [](dfs::MetaPlane& plane,
+                                     const std::string& path) {
+      auto w = plane.create(path);
+      for (int r = 0; r < 24; ++r) {
+        w.append("bench-record-" + std::to_string(r) + "-payload-xxxxxxxx");
+      }
+      w.close();
+    };
+
+    std::vector<dfs::NodeId> placement1;  // first block of /bench/f0 at S=1
+    bool identical = true;
+    std::printf("    \"shard_sweep\": {\n");
+    const std::uint32_t sweep[] = {1, 4, 16};
+    for (std::size_t si = 0; si < 3; ++si) {
+      dfs::MetaPlaneOptions popt;
+      popt.num_shards = sweep[si];
+      popt.dfs = dopt;
+      dfs::MetaPlane plane(dfs::ClusterTopology::flat(16), popt);
+      for (std::uint32_t f = 0; f < kFiles; ++f) {
+        write_bench_file(plane, "/bench/f" + std::to_string(f));
+      }
+      const auto& first = plane.dfs_for("/bench/f0");
+      const auto probe =
+          first.replicas_snapshot(first.blocks_of("/bench/f0").front());
+      if (si == 0) {
+        placement1 = probe;
+      } else if (probe != placement1) {
+        identical = false;
+      }
+
+      std::vector<std::uint64_t> blocks;
+      for (std::uint32_t s = 0; s < plane.num_shards(); ++s) {
+        blocks.push_back(plane.dfs(s).num_blocks());
+      }
+
+      std::filesystem::remove_all(bench_dir);
+      std::filesystem::create_directories(bench_dir);
+      plane.attach_journals(bench_dir.string());
+      write_bench_file(plane, "/bench/late");  // journal suffix to replay
+      const std::uint32_t victim = plane.shard_of("/bench/late");
+      const auto t0 = std::chrono::steady_clock::now();
+      plane.crash_shard(victim);
+      (void)plane.recover_shard(victim);
+      const double recover_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - t0)
+              .count();
+      std::printf(
+          "      \"%u\": {\"files\": %u, \"blocks_max_over_mean\": %.4f, "
+          "\"recover_one_shard_ms\": %.3f}%s\n",
+          sweep[si], kFiles + 1, max_over_mean(blocks), recover_ms,
+          si + 1 < 3 ? "," : "");
+    }
+    std::printf("    },\n");
+    std::filesystem::remove_all(bench_dir);
+    std::printf("    \"placement_identical\": %s,\n",
+                identical ? "true" : "false");
+
+    // Lease hit rate: 16 hot files over a 4-shard plane, one access per file
+    // per tick, 16-tick leases — the steady-state mix of lease hits vs
+    // renewals vs refetches a long-lived client sees.
+    dfs::MetaPlaneOptions popt;
+    popt.num_shards = 4;
+    popt.dfs = dopt;
+    dfs::MetaPlane plane(dfs::ClusterTopology::flat(16), popt);
+    std::vector<std::string> hot;
+    for (std::uint32_t f = 0; f < 16; ++f) {
+      hot.push_back("/bench/f" + std::to_string(f));
+      write_bench_file(plane, hot.back());
+    }
+    dfs::ClientMetaCache cache(plane, {.lease_ticks = 16});
+    for (int t = 0; t < 512; ++t) {
+      for (const auto& path : hot) (void)cache.blocks_of(path);
+      cache.tick();
+    }
+    const auto& cs = cache.stats();
+    const double accesses =
+        static_cast<double>(cs.lease_hits + cs.renewals + cs.refetches);
+    std::printf("    \"lease_accesses\": %.0f,\n", accesses);
+    std::printf("    \"lease_hit_rate\": %.4f\n",
+                accesses > 0 ? static_cast<double>(cs.lease_hits) / accesses
+                             : 0.0);
   }
   std::printf("  }\n}\n");
   return 0;

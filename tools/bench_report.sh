@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
-# Build and run the machine-readable benchmark report, writing BENCH_PR7.json
+# Build and run the machine-readable benchmark report, writing BENCH_PR8.json
 # at the repo root: Fig. 5 selection wall time + simulated report totals for
 # both schedulers, the Fig. 7 shuffle speedups, the straggler-tail
 # attempt/timeout/speculation numbers, and the ReplicationMonitor MTTR sweep
 # over repair rates, the PR 6 hot-path section (scan-kernel throughput,
-# armed-vs-unarmed bookkeeping delta, engine thread sweep), and the PR 7
+# armed-vs-unarmed bookkeeping delta, engine thread sweep), the PR 7
 # server section (datanetd loopback qps + latency percentiles, digests
-# checked against golden in-process runs).
+# checked against golden in-process runs), and the PR 8 metadata section
+# (ring lookup throughput, shard balance + kill-one-shard recovery over a
+# 1/4/16 shard sweep, placement determinism, client lease-cache hit rate).
 # Wall times depend on the host; the simulated totals are bit-for-bit
 # reproducible.
 #
@@ -19,6 +21,6 @@ build_dir="${repo_root}/${1:-build}"
 cmake -B "${build_dir}" -S "${repo_root}" >/dev/null
 cmake --build "${build_dir}" -j "$(nproc)" --target bench_report >/dev/null
 
-out="${repo_root}/BENCH_PR7.json"
+out="${repo_root}/BENCH_PR8.json"
 "${build_dir}/tools/bench_report" > "${out}"
 echo "wrote ${out}"
