@@ -8,6 +8,7 @@
 
 #include "cli/commands.hpp"
 #include "server/client.hpp"
+#include "server/resilient_client.hpp"
 #include "server/server.hpp"
 
 namespace datanet::cli {
@@ -46,12 +47,14 @@ void print_reply(std::ostream& out, const server::QueryReply& r, bool json) {
         << ", \"matched_bytes\": " << r.matched_bytes
         << ", \"blocks_scanned\": " << r.blocks_scanned
         << ", \"service_micros\": " << r.service_micros
-        << ", \"queue_micros\": " << r.queue_micros << "}\n";
+        << ", \"queue_micros\": " << r.queue_micros
+        << ", \"degraded\": " << (r.degraded ? "true" : "false") << "}\n";
   } else {
     out << "digest=" << r.digest << " matched_bytes=" << r.matched_bytes
         << " blocks_scanned=" << r.blocks_scanned
         << " service_us=" << r.service_micros
-        << " queue_us=" << r.queue_micros << "\n";
+        << " queue_us=" << r.queue_micros
+        << (r.degraded ? " degraded=1" : "") << "\n";
   }
 }
 
@@ -59,6 +62,9 @@ void print_stats(std::ostream& out, const server::ServerStats& s, bool json) {
   if (json) {
     out << "{\"queries_served\": " << s.queries_served
         << ", \"meta_shards\": " << s.meta_shards
+        << ", \"degraded_served\": " << s.degraded_served
+        << ", \"deadline_shed\": " << s.deadline_shed
+        << ", \"circuit_rejected\": " << s.circuit_rejected
         << ", \"cache\": {\"hits\": " << s.cache_hits
         << ", \"revalidations\": " << s.cache_revalidations
         << ", \"rebuilds\": " << s.cache_rebuilds << "}, \"tenants\": [";
@@ -76,7 +82,11 @@ void print_stats(std::ostream& out, const server::ServerStats& s, bool json) {
     out << "]}\n";
   } else {
     out << "queries_served=" << s.queries_served
-        << " meta_shards=" << s.meta_shards << " cache_hits=" << s.cache_hits
+        << " meta_shards=" << s.meta_shards
+        << " degraded_served=" << s.degraded_served
+        << " deadline_shed=" << s.deadline_shed
+        << " circuit_rejected=" << s.circuit_rejected
+        << " cache_hits=" << s.cache_hits
         << " cache_revalidations=" << s.cache_revalidations
         << " cache_rebuilds=" << s.cache_rebuilds << "\n";
     for (const server::TenantMeter& t : s.tenants) {
@@ -104,6 +114,12 @@ int cmd_serve(const Args& args, std::ostream& out) {
   // ServerOptions::meta_shards), so query --local needs no matching flag.
   opts.meta_shards =
       static_cast<std::uint32_t>(args.get_u64_or("meta-shards", 1));
+  opts.io_timeout_ms =
+      static_cast<std::uint32_t>(args.get_u64_or("io-timeout-ms", 10'000));
+  opts.breaker.failure_threshold = static_cast<std::uint32_t>(
+      args.get_u64_or("breaker-threshold", 0));  // 0 = breaker off
+  opts.breaker.probe_interval =
+      static_cast<std::uint32_t>(args.get_u64_or("breaker-probe", 4));
   const std::string port_file = args.get_or("port-file", "");
   warn_unused(args, out);
 
@@ -139,6 +155,14 @@ int cmd_query(const Args& args, std::ostream& out) {
   request.key = args.get_or("key", "");
   request.scheduler = args.get_or("scheduler", "datanet");
   request.use_datanet_meta = !args.has("baseline");
+  request.deadline_ms =
+      static_cast<std::uint32_t>(args.get_u64_or("deadline-ms", 0));
+  server::RetryPolicy retry;
+  retry.max_attempts =
+      static_cast<std::uint32_t>(args.get_u64_or("retries", 3));
+  retry.timeout_ms =
+      static_cast<std::uint32_t>(args.get_u64_or("timeout-ms", 2'000));
+  retry.seed = args.get_u64_or("retry-seed", 0);
   const bool local = args.has("local");
   const bool do_shutdown = args.has("shutdown");
   const bool do_stats = args.has("stats");
@@ -163,7 +187,10 @@ int cmd_query(const Args& args, std::ostream& out) {
     return fail(out, "--key is required (or --stats/--shutdown)");
   }
   try {
-    server::Client client(static_cast<std::uint16_t>(*port));
+    // ResilientClient: transport failures (reset, truncation, stall, corrupt
+    // frame) retry on a fresh connection under --retries/--timeout-ms;
+    // typed server answers come back as results.
+    server::ResilientClient client(static_cast<std::uint16_t>(*port), retry);
     if (!request.key.empty()) {
       for (std::uint64_t i = 0; i < count; ++i) {
         const server::ClientResult result = client.query(request);

@@ -8,6 +8,13 @@ DataNet::DataNet(const dfs::MiniDfs& dfs, std::string path,
       path_(std::move(path)),
       meta_(elasticmap::ElasticMapArray::build(dfs, path_, options)) {}
 
+DataNet::DataNet(std::shared_ptr<const dfs::MiniDfs> dfs, std::string path,
+                 elasticmap::BuildOptions options)
+    : keep_alive_(std::move(dfs)),
+      dfs_(keep_alive_.get()),
+      path_(std::move(path)),
+      meta_(elasticmap::ElasticMapArray::build(*dfs_, path_, options)) {}
+
 std::vector<elasticmap::BlockShare> DataNet::distribution(
     std::string_view key) const {
   return meta_.distribution(workload::subdataset_id(key));

@@ -22,7 +22,16 @@ namespace datanet::core {
 class DataNet {
  public:
   // Builds the ElasticMap for `path` in a single scan (Section III-B).
+  // The caller guarantees `dfs` outlives this DataNet: scheduling_graph
+  // resolves replica placements through it at query time.
   DataNet(const dfs::MiniDfs& dfs, std::string path,
+          elasticmap::BuildOptions options = {});
+
+  // Shared-ownership variant for long-lived bundles (datanetd's dataset
+  // cache): the DataNet itself keeps the source MiniDfs alive, so a bundle
+  // handed to an in-flight query stays valid even after the owning shard is
+  // swapped for a recovered instance and the cache entry is rebuilt.
+  DataNet(std::shared_ptr<const dfs::MiniDfs> dfs, std::string path,
           elasticmap::BuildOptions options = {});
 
   [[nodiscard]] const elasticmap::ElasticMapArray& meta() const noexcept {
@@ -57,6 +66,7 @@ class DataNet {
   [[nodiscard]] graph::BipartiteGraph baseline_graph() const;
 
  private:
+  std::shared_ptr<const dfs::MiniDfs> keep_alive_;  // null for the ref ctor
   const dfs::MiniDfs* dfs_;
   std::string path_;
   elasticmap::ElasticMapArray meta_;

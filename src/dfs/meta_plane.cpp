@@ -14,7 +14,7 @@ MetaPlane::MetaPlane(ClusterTopology topology, MetaPlaneOptions options)
   shards_.reserve(options_.num_shards);
   for (std::uint32_t s = 0; s < options_.num_shards; ++s) {
     Shard sh;
-    sh.dfs = std::make_unique<MiniDfs>(topology, options_.dfs);
+    sh.dfs = std::make_shared<MiniDfs>(topology, options_.dfs);
     shards_.push_back(std::move(sh));
   }
 }
@@ -58,6 +58,11 @@ MiniDfs& MetaPlane::dfs_for(std::string_view path) {
 
 const MiniDfs& MetaPlane::dfs_for(std::string_view path) const {
   return dfs(shard_of(path));
+}
+
+std::shared_ptr<const MiniDfs> MetaPlane::dfs_snapshot(
+    std::uint32_t shard) const {
+  return shard_at(shard).dfs;
 }
 
 FileWriter MetaPlane::create(std::string path) {
@@ -167,8 +172,10 @@ RecoveryInfo MetaPlane::recover_shard(std::uint32_t shard) {
   RecoveryInfo info;
   // Replay image + journal suffix FIRST — only then open a fresh journal
   // (the EditLog constructor truncates), attach it, and checkpoint so the
-  // recovered shard's image/journal pair is consistent going forward.
-  auto recovered = std::make_unique<MiniDfs>(
+  // recovered shard's image/journal pair is consistent going forward. The
+  // old MiniDfs stays alive for any dfs_snapshot holders still finishing a
+  // degraded read; the swap only redirects future routing.
+  auto recovered = std::make_shared<MiniDfs>(
       MiniDfs::recover(sh.image_path, sh.journal_path, &info));
   sh.dfs = std::move(recovered);
   sh.journal = std::make_unique<EditLog>(sh.journal_path);

@@ -85,6 +85,17 @@ class MetaPlane {
   [[nodiscard]] MiniDfs& dfs_for(std::string_view path);
   [[nodiscard]] const MiniDfs& dfs_for(std::string_view path) const;
 
+  // Degraded-mode access (PR 9): the shard's current in-memory state, with
+  // NO crashed check. crash_shard kills the NameNode service (seals the
+  // journal, refuses mutators and routed reads) but the block BYTES survive
+  // — datanodes don't die with the NameNode — so a server that cached the
+  // shard's metadata can keep answering read-only queries from this
+  // snapshot. Returned as a shared_ptr: recover_shard swaps in a rebuilt
+  // MiniDfs, and holders of the pre-crash snapshot must outlive that swap
+  // safely. Callers MUST NOT mutate through this while the shard is down.
+  [[nodiscard]] std::shared_ptr<const MiniDfs> dfs_snapshot(
+      std::uint32_t shard) const;
+
   // ---- namespace operations (routed to the owning shard) ----
 
   [[nodiscard]] FileWriter create(std::string path);
@@ -136,7 +147,9 @@ class MetaPlane {
 
  private:
   struct Shard {
-    std::unique_ptr<MiniDfs> dfs;
+    // shared_ptr, not unique_ptr: dfs_snapshot hands out read-only refs
+    // that must survive the recover_shard swap (degraded serving).
+    std::shared_ptr<MiniDfs> dfs;
     std::unique_ptr<EditLog> journal;
     std::string journal_path;
     std::string image_path;

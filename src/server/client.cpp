@@ -2,16 +2,21 @@
 
 namespace datanet::server {
 
-Client::Client(std::uint16_t port) : fd_(connect_loopback(port)) {}
+Client::Client(std::uint16_t port, std::uint32_t io_timeout_ms)
+    : fd_(connect_loopback(port)), io_timeout_ms_(io_timeout_ms) {}
 
 std::string Client::round_trip(const std::string& payload) {
-  write_all(fd_, frame(payload));
-  const auto header_bytes = read_exact(fd_, kFrameHeaderBytes);
+  write_all(fd_, frame(payload), io_timeout_ms_);
+  // decode_frame_header is the hostile-server guard: it rejects a bad magic
+  // and a length beyond kMaxPayloadBytes with a typed ProtocolError, so a
+  // malicious or corrupt header can neither make the client allocate
+  // unbounded memory nor block reading gigabytes that never come.
+  const auto header_bytes = read_exact(fd_, kFrameHeaderBytes, io_timeout_ms_);
   if (!header_bytes.has_value()) {
     throw SocketError("datanetd client: connection closed before reply");
   }
   const FrameHeader header = decode_frame_header(*header_bytes);
-  const auto reply = read_exact(fd_, header.payload_len);
+  const auto reply = read_exact(fd_, header.payload_len, io_timeout_ms_);
   if (!reply.has_value()) {
     throw SocketError("datanetd client: connection closed mid-reply");
   }

@@ -25,7 +25,13 @@ struct ClientResult {
 class Client {
  public:
   // Connects immediately; throws SocketError when nothing listens.
-  explicit Client(std::uint16_t port);
+  // io_timeout_ms bounds every socket wait of a round-trip (request write,
+  // reply header, reply payload) as an IDLE timeout — a stalled server trips
+  // SocketTimeoutError instead of hanging the caller forever. Unlike the
+  // server handler, the wait for the FIRST reply byte is also bounded: the
+  // client just sent a request, so silence IS the failure. 0 = block forever
+  // (legacy behaviour).
+  explicit Client(std::uint16_t port, std::uint32_t io_timeout_ms = 0);
 
   // Round-trip one query. Throws SocketError / ProtocolError on transport
   // failures; admission rejections and execution errors come back as a
@@ -43,6 +49,7 @@ class Client {
   [[nodiscard]] std::string round_trip(const std::string& payload);
 
   Fd fd_;
+  std::uint32_t io_timeout_ms_ = 0;
 };
 
 }  // namespace datanet::server

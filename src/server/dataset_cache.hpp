@@ -57,9 +57,21 @@ class DatasetCache {
   // shard's epoch only (the plane generalizes mutation_epoch per shard), so
   // replica churn on one shard never invalidates or revalidates cached
   // DataNets whose blocks live on another. Throws ShardUnavailableError
-  // while the owning shard is crashed.
+  // while the owning shard is crashed. The entry pins the shard's MiniDfs
+  // instance, so a bundle handed out here (including later via get_stale)
+  // stays valid across a recover_shard swap; the first get() after the
+  // swap sees a new instance and rebuilds.
   [[nodiscard]] std::shared_ptr<const core::DataNet> get(
       const dfs::MetaPlane& plane, const std::string& path);
+
+  // Degraded-mode read (PR 9): the last successfully built bundle for
+  // `path`, WITHOUT epoch validation — the owning shard may be down, so
+  // there is nothing to validate against. nullptr when no bundle was ever
+  // built (a cold cache cannot serve degraded). The snapshot is immutable
+  // and epoch-tagged, so when the shard comes back the normal get() path
+  // revalidates or rebuilds as usual.
+  [[nodiscard]] std::shared_ptr<const core::DataNet> get_stale(
+      const std::string& path) const;
 
   void invalidate(const std::string& path);
   [[nodiscard]] Stats stats() const;
@@ -67,9 +79,21 @@ class DatasetCache {
  private:
   struct Entry {
     std::shared_ptr<const core::DataNet> net;
+    // The instance identity the entry was built against. Epoch comparison
+    // is only meaningful within one MiniDfs instance, so a different
+    // address at the same path (recover_shard swapped in a rebuilt shard)
+    // means rebuild, never revalidate. Plane-built entries use DataNet's
+    // shared-ownership constructor, so `net` itself keeps that instance
+    // alive for every holder — including degraded queries still in flight
+    // after the entry has been replaced.
+    const dfs::MiniDfs* src = nullptr;
     std::uint64_t epoch = 0;
     std::size_t num_blocks = 0;
   };
+
+  [[nodiscard]] std::shared_ptr<const core::DataNet> get_impl(
+      const dfs::MiniDfs& dfs, const std::string& path,
+      std::shared_ptr<const dfs::MiniDfs> pin);
 
   mutable std::mutex mu_;
   std::map<std::string, Entry> entries_;

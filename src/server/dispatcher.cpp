@@ -40,6 +40,19 @@ SubmitStatus FairDispatcher::submit(const std::string& tenant,
   if (stopped_) return SubmitStatus::kStopped;
   Tenant& t = tenant_locked(tenant);
   ++t.stats.submitted;
+  if (t.breaker_open) {
+    // Half-open discipline, count-based: every probe_interval-th blocked
+    // submission is admitted to test whether the tenant's queries succeed
+    // again (its success closes the breaker via record_outcome); the rest
+    // are shed with the typed kCircuitOpen status.
+    ++t.blocked_since_open;
+    const bool probe = breaker_.probe_interval != 0 &&
+                       t.blocked_since_open % breaker_.probe_interval == 0;
+    if (!probe) {
+      ++t.stats.rejected_circuit;
+      return SubmitStatus::kCircuitOpen;
+    }
+  }
   if (t.limits.max_queue == 0) {
     // Queueless tenant: admission IS dispatch eligibility. The job still
     // passes through the queue (workers pull, they are not pushed to), but
@@ -130,6 +143,31 @@ void FairDispatcher::complete(const std::string& tenant) {
   // A freed slot can unblock both queued work of this tenant and a worker
   // parked in next(); stop() drains also wake on it.
   cv_.notify_all();
+}
+
+void FairDispatcher::record_outcome(const std::string& tenant, bool success) {
+  std::lock_guard lock(mu_);
+  if (breaker_.failure_threshold == 0) return;  // breaker disabled
+  const auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return;
+  Tenant& t = it->second;
+  if (success) {
+    t.consecutive_failures = 0;
+    t.breaker_open = false;
+    t.blocked_since_open = 0;
+    return;
+  }
+  if (++t.consecutive_failures >= breaker_.failure_threshold &&
+      !t.breaker_open) {
+    t.breaker_open = true;
+    t.blocked_since_open = 0;
+  }
+}
+
+bool FairDispatcher::breaker_open(const std::string& tenant) const {
+  std::lock_guard lock(mu_);
+  const auto it = tenants_.find(tenant);
+  return it != tenants_.end() && it->second.breaker_open;
 }
 
 void FairDispatcher::stop() {

@@ -39,6 +39,19 @@ struct TenantLimits {
   std::uint32_t weight = 1;
 };
 
+// Per-tenant consecutive-failure circuit breaker (PR 9). A tenant whose
+// queries keep failing at execution (worker-side errors or shard-unavailable
+// sheds, NOT admission rejections) is load-shed at the door with a typed
+// kCircuitOpen rejection instead of burning worker time on doomed work. The
+// breaker is count-based, not clock-based, so its behaviour is a pure
+// function of the outcome sequence (deterministic tests): it OPENS after
+// `failure_threshold` consecutive failures, admits every `probe_interval`-th
+// blocked submission as a half-open probe, and CLOSES on the first success.
+struct BreakerPolicy {
+  std::uint32_t failure_threshold = 0;  // 0 disables the breaker
+  std::uint32_t probe_interval = 4;     // every Nth blocked submit probes
+};
+
 // One admitted unit of work. `ticket` is a process-unique admission sequence
 // number (also the FIFO order within a tenant); the opaque payload is
 // whatever the caller needs to complete the job (datanetd stores the parsed
@@ -57,6 +70,7 @@ enum class SubmitStatus : std::uint8_t {
   kQueueFull = 1,       // tenant queue at max_queue
   kTooManyInflight = 2, // queueless tenant with all in-flight slots busy
   kStopped = 3,         // dispatcher is draining
+  kCircuitOpen = 4,     // tenant's failure circuit breaker is open
 };
 
 struct TenantStats {
@@ -64,6 +78,7 @@ struct TenantStats {
   std::uint64_t accepted = 0;
   std::uint64_t rejected_queue_full = 0;
   std::uint64_t rejected_inflight = 0;
+  std::uint64_t rejected_circuit = 0;  // breaker-open load sheds
   std::uint64_t dispatched = 0;
   std::uint64_t completed = 0;
   // Total admission->dispatch wait across this tenant's dispatched jobs
@@ -75,9 +90,10 @@ struct TenantStats {
 class FairDispatcher {
  public:
   // Tenants not registered explicitly are created on first submit with
-  // `default_limits`.
-  explicit FairDispatcher(TenantLimits default_limits = {})
-      : default_limits_(default_limits) {}
+  // `default_limits`. The breaker policy applies to every tenant.
+  explicit FairDispatcher(TenantLimits default_limits = {},
+                          BreakerPolicy breaker = {})
+      : default_limits_(default_limits), breaker_(breaker) {}
 
   // Pre-register a tenant with its own limits; no-op if already known
   // (limits are fixed at first sight, matching a config-file model).
@@ -99,6 +115,13 @@ class FairDispatcher {
   // slot, which may make the tenant's queued work eligible again.
   void complete(const std::string& tenant);
 
+  // Worker callback with the job's EXECUTION outcome, feeding the circuit
+  // breaker: `success` is any answered query (ok or degraded); failures are
+  // execution errors and shard-unavailable sheds. Call after complete();
+  // no-op for unknown tenants or when the breaker is disabled.
+  void record_outcome(const std::string& tenant, bool success);
+  [[nodiscard]] bool breaker_open(const std::string& tenant) const;
+
   // Stop admitting; next() drains remaining queued jobs then returns
   // nullopt. (Drain keeps the CI smoke deterministic: every accepted query
   // is answered even when shutdown races the last submissions.)
@@ -117,6 +140,10 @@ class FairDispatcher {
     std::size_t inflight = 0;
     std::uint64_t deficit = 0;  // DRR credit, in units of kJobCost
     TenantStats stats;
+    // Circuit-breaker state (see BreakerPolicy).
+    std::uint32_t consecutive_failures = 0;
+    bool breaker_open = false;
+    std::uint64_t blocked_since_open = 0;  // counts toward the next probe
   };
 
   // Uniform job cost: DRR with per-visit quantum weight*kJobCost gives a
@@ -130,6 +157,7 @@ class FairDispatcher {
   mutable std::mutex mu_;
   std::condition_variable cv_;
   TenantLimits default_limits_;
+  BreakerPolicy breaker_;
   std::map<std::string, Tenant> tenants_;
   // DRR rotation order = registration order; rr_ points at the tenant the
   // next pick starts from.

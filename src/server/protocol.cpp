@@ -13,6 +13,9 @@ std::string_view reject_reason_name(RejectReason r) {
     case RejectReason::kQueueFull: return "queue_full";
     case RejectReason::kTooManyInflight: return "too_many_inflight";
     case RejectReason::kShuttingDown: return "shutting_down";
+    case RejectReason::kDeadlineExceeded: return "deadline_exceeded";
+    case RejectReason::kCircuitOpen: return "circuit_open";
+    case RejectReason::kShardUnavailable: return "shard_unavailable";
   }
   return "unknown";
 }
@@ -88,6 +91,7 @@ std::string encode_query(const QueryRequest& q) {
   wire::put_bytes(out, q.key);
   wire::put_bytes(out, q.scheduler);
   out.push_back(q.use_datanet_meta ? 1 : 0);
+  wire::put_u32(out, q.deadline_ms);  // v2 suffix
   return out;
 }
 
@@ -98,6 +102,7 @@ std::string encode_query_ok(const QueryReply& r) {
   wire::put_u64(out, r.blocks_scanned);
   wire::put_u64(out, r.service_micros);
   wire::put_u64(out, r.queue_micros);
+  out.push_back(r.degraded ? 1 : 0);  // v2 suffix
   return out;
 }
 
@@ -126,6 +131,9 @@ std::string encode_stats_ok(const ServerStats& s) {
   wire::put_u64(out, s.cache_hits);
   wire::put_u64(out, s.cache_revalidations);
   wire::put_u64(out, s.cache_rebuilds);
+  wire::put_u64(out, s.degraded_served);
+  wire::put_u64(out, s.deadline_shed);
+  wire::put_u64(out, s.circuit_rejected);
   wire::put_u32(out, s.meta_shards);
   wire::put_u32(out, static_cast<std::uint32_t>(s.tenants.size()));
   for (const TenantMeter& t : s.tenants) {
@@ -161,6 +169,9 @@ QueryRequest decode_query(std::string_view payload) {
     q.key = c.bytes();
     q.scheduler = c.bytes();
     q.use_datanet_meta = c.u8() != 0;
+    // v1 payloads end here; v2 appends the deadline budget (back-compat
+    // decode — the wire version bump without a flag day).
+    if (!c.exhausted()) q.deadline_ms = c.u32();
     expect_drained(c);
     return q;
   } catch (const ProtocolError&) {
@@ -181,6 +192,8 @@ QueryReply decode_query_ok(std::string_view payload) {
     r.blocks_scanned = c.u64();
     r.service_micros = c.u64();
     r.queue_micros = c.u64();
+    // v1 payloads end here; v2 appends the degraded flag.
+    if (!c.exhausted()) r.degraded = c.u8() != 0;
     expect_drained(c);
     return r;
   } catch (const ProtocolError&) {
@@ -196,7 +209,7 @@ Rejection decode_rejected(std::string_view payload) {
     Rejection r;
     const std::uint8_t reason = c.u8();
     if (reason < static_cast<std::uint8_t>(RejectReason::kBadRequest) ||
-        reason > static_cast<std::uint8_t>(RejectReason::kShuttingDown)) {
+        reason > static_cast<std::uint8_t>(RejectReason::kShardUnavailable)) {
       throw ProtocolError("datanetd protocol: unknown reject reason");
     }
     r.reason = static_cast<RejectReason>(reason);
@@ -218,6 +231,9 @@ ServerStats decode_stats_ok(std::string_view payload) {
     s.cache_hits = c.u64();
     s.cache_revalidations = c.u64();
     s.cache_rebuilds = c.u64();
+    s.degraded_served = c.u64();
+    s.deadline_shed = c.u64();
+    s.circuit_rejected = c.u64();
     s.meta_shards = c.u32();
     const std::uint32_t n = c.u32();
     // Each row is at least 2 bytes of name length + 7 counters; an n that

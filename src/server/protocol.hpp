@@ -30,6 +30,13 @@ constexpr std::size_t kFrameHeaderBytes = 12;
 // length field, not a legitimate message.
 constexpr std::uint32_t kMaxPayloadBytes = 1u << 20;
 
+// Message-layer version. v2 (PR 9) appends a deadline budget to kQuery and a
+// degraded flag to kQueryOk. The frame magic is unchanged; v2 decoders accept
+// v1 payloads (the appended fields default off), so an old client can talk to
+// a new server and vice versa — the back-compat contract the round-trip
+// tests pin.
+constexpr std::uint32_t kWireVersion = 2;
+
 enum class MsgType : std::uint8_t {
   kQuery = 1,       // client -> server: run one selection
   kQueryOk = 2,     // server -> client: selection digest + counters
@@ -42,10 +49,13 @@ enum class MsgType : std::uint8_t {
 };
 
 enum class RejectReason : std::uint8_t {
-  kBadRequest = 1,      // unparseable / unknown scheduler / empty key
-  kQueueFull = 2,       // tenant's bounded queue is at capacity
-  kTooManyInflight = 3, // queueless tenant already at its in-flight cap
-  kShuttingDown = 4,    // server is draining
+  kBadRequest = 1,        // unparseable / unknown scheduler / empty key
+  kQueueFull = 2,         // tenant's bounded queue is at capacity
+  kTooManyInflight = 3,   // queueless tenant already at its in-flight cap
+  kShuttingDown = 4,      // server is draining
+  kDeadlineExceeded = 5,  // queued past the query's deadline budget; shed
+  kCircuitOpen = 6,       // tenant's failure circuit breaker is open
+  kShardUnavailable = 7,  // owning metadata shard down, no cached bundle
 };
 
 [[nodiscard]] std::string_view reject_reason_name(RejectReason r);
@@ -57,6 +67,10 @@ struct QueryRequest {
   std::string key;               // sub-dataset key to select
   std::string scheduler = "datanet";  // datanet | locality | lpt | maxflow
   bool use_datanet_meta = true;  // false = content-blind baseline graph
+  // Deadline budget in milliseconds, measured from admission (v2; 0 = no
+  // deadline). A worker picking the job up after the budget elapsed sheds it
+  // with a typed kDeadlineExceeded rejection instead of doing stale work.
+  std::uint32_t deadline_ms = 0;
 };
 
 struct QueryReply {
@@ -65,6 +79,10 @@ struct QueryReply {
   std::uint64_t blocks_scanned = 0;
   std::uint64_t service_micros = 0;  // execution time, excluding queue wait
   std::uint64_t queue_micros = 0;    // admission -> dispatch wait
+  // v2: true when the reply was computed in degraded mode — the owning
+  // metadata shard was down and the server answered from its epoch-cached
+  // bundle (last validated DataNet + last-known block placement).
+  bool degraded = false;
 };
 
 struct Rejection {
@@ -92,6 +110,12 @@ struct ServerStats {
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_revalidations = 0;
   std::uint64_t cache_rebuilds = 0;
+  // Resilience counters (v2): queries answered from the epoch-cached bundle
+  // while the owning shard was down, queries shed past their deadline, and
+  // submissions rejected by an open per-tenant circuit breaker.
+  std::uint64_t degraded_served = 0;
+  std::uint64_t deadline_shed = 0;
+  std::uint64_t circuit_rejected = 0;
   std::uint32_t meta_shards = 1;  // metadata plane shard count
   std::vector<TenantMeter> tenants;  // dispatcher registration order
 };

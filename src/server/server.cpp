@@ -100,7 +100,7 @@ QueryOutcome local_query(const ServerOptions& opts,
 Server::Server(ServerOptions opts)
     : opts_(opts),
       plane_(make_plane(opts_)),
-      dispatcher_(opts_.default_limits) {
+      dispatcher_(opts_.default_limits, opts_.breaker) {
   dataset_.path = "/data/movies.log";
   // Same generation as make_movie_dataset and same per-shard DfsOptions, so
   // the served dataset's placement is byte-identical to a `--local` build
@@ -224,20 +224,27 @@ void Server::accept_loop() {
 
 void Server::handle_connection(const std::shared_ptr<Fd>& socket) {
   const Fd& fd = *socket;
+  const std::uint32_t io_ms = opts_.io_timeout_ms;
   // One request-response at a time per connection; a protocol error is
-  // answered (best effort) and the connection dropped.
+  // answered (best effort) and the connection dropped. A peer that stalls
+  // MID-frame — the slowloris shape: first header byte arrives, the rest
+  // never does — trips SocketTimeoutError (a SocketError) after io_ms and
+  // the handler drops the connection instead of wedging forever. Only the
+  // wait for a NEW message (first byte of a header) is unbounded.
   try {
     for (;;) {
-      const auto header_bytes = read_exact(fd, kFrameHeaderBytes);
-      if (!header_bytes.has_value()) return;  // clean EOF
-      const FrameHeader header = decode_frame_header(*header_bytes);
-      const auto payload = read_exact(fd, header.payload_len);
+      const auto first = read_exact(fd, 1);
+      if (!first.has_value()) return;  // clean EOF between messages
+      const auto rest = read_exact(fd, kFrameHeaderBytes - 1, io_ms);
+      if (!rest.has_value()) return;  // EOF inside the header: peer gone
+      const FrameHeader header = decode_frame_header(*first + *rest);
+      const auto payload = read_exact(fd, header.payload_len, io_ms);
       if (!payload.has_value()) return;
       check_frame_payload(header, *payload);
 
       const MsgType type = peek_type(*payload);
       if (type == MsgType::kShutdown) {
-        write_all(fd, frame(encode_shutdown_ok()));
+        write_all(fd, frame(encode_shutdown_ok()), io_ms);
         // Wake wait(); the owning thread (cmd_serve, a test) performs the
         // actual teardown — stop() joins this very handler, so the handler
         // cannot run it itself.
@@ -245,13 +252,13 @@ void Server::handle_connection(const std::shared_ptr<Fd>& socket) {
         return;
       }
       if (type == MsgType::kStats) {
-        write_all(fd, frame(encode_stats_ok(snapshot_stats())));
+        write_all(fd, frame(encode_stats_ok(snapshot_stats())), io_ms);
         continue;
       }
       if (type != MsgType::kQuery) {
         write_all(fd, frame(encode_rejected(
                           {RejectReason::kBadRequest,
-                           "only query/stats/shutdown messages are accepted"})));
+                           "only query/stats/shutdown messages are accepted"})), io_ms);
         continue;
       }
 
@@ -259,19 +266,18 @@ void Server::handle_connection(const std::shared_ptr<Fd>& socket) {
       try {
         request = decode_query(*payload);
       } catch (const ProtocolError& e) {
-        write_all(fd,
-                  frame(encode_rejected({RejectReason::kBadRequest, e.what()})));
+        write_all(fd, frame(encode_rejected({RejectReason::kBadRequest, e.what()})), io_ms);
         continue;
       }
       if (request.key.empty() || request.tenant.empty()) {
         write_all(fd, frame(encode_rejected({RejectReason::kBadRequest,
-                                             "tenant and key are required"})));
+                                             "tenant and key are required"})), io_ms);
         continue;
       }
       if (make_scheduler(request.scheduler, opts_.cfg.seed) == nullptr) {
         write_all(fd, frame(encode_rejected(
                           {RejectReason::kBadRequest,
-                           "unknown scheduler '" + request.scheduler + "'"})));
+                           "unknown scheduler '" + request.scheduler + "'"})), io_ms);
         continue;
       }
 
@@ -289,16 +295,20 @@ void Server::handle_connection(const std::shared_ptr<Fd>& socket) {
       switch (status) {
         case SubmitStatus::kQueueFull:
           write_all(fd, frame(encode_rejected({RejectReason::kQueueFull,
-                                               "tenant queue is full"})));
+                                               "tenant queue is full"})), io_ms);
           continue;
         case SubmitStatus::kTooManyInflight:
-          write_all(fd,
-                    frame(encode_rejected({RejectReason::kTooManyInflight,
-                                           "tenant in-flight cap reached"})));
+          write_all(fd, frame(encode_rejected({RejectReason::kTooManyInflight,
+                                           "tenant in-flight cap reached"})), io_ms);
+          continue;
+        case SubmitStatus::kCircuitOpen:
+          write_all(fd, frame(encode_rejected(
+                            {RejectReason::kCircuitOpen,
+                             "tenant circuit breaker is open"})), io_ms);
           continue;
         case SubmitStatus::kStopped:
           write_all(fd, frame(encode_rejected({RejectReason::kShuttingDown,
-                                               "server is draining"})));
+                                               "server is draining"})), io_ms);
           continue;
         case SubmitStatus::kAccepted:
           break;
@@ -320,10 +330,14 @@ void Server::handle_connection(const std::shared_ptr<Fd>& socket) {
               total > outcome.reply.service_micros
                   ? total - outcome.reply.service_micros
                   : 0;
-          write_all(fd, frame(encode_query_ok(outcome.reply)));
+          write_all(fd, frame(encode_query_ok(outcome.reply)), io_ms);
           queries_served_.fetch_add(1, std::memory_order_relaxed);
+        } else if (outcome.rejected) {
+          // Worker-side shed (deadline exceeded / shard unavailable): typed,
+          // so a retrying client can tell "don't bother" from "try again".
+          write_all(fd, frame(encode_rejected(outcome.rejection)), io_ms);
         } else {
-          write_all(fd, frame(encode_error(outcome.error)));
+          write_all(fd, frame(encode_error(outcome.error)), io_ms);
         }
       } catch (...) {
         std::lock_guard lock(pending_mu_);
@@ -340,7 +354,7 @@ void Server::handle_connection(const std::shared_ptr<Fd>& socket) {
   } catch (const ProtocolError& e) {
     try {
       write_all(fd, frame(encode_rejected({RejectReason::kBadRequest,
-                                           e.what()})));
+                                           e.what()})), io_ms);
     } catch (const SocketError&) {
     }
   } catch (const SocketError&) {
@@ -356,8 +370,11 @@ ServerStats Server::snapshot_stats() const {
   s.cache_revalidations = cs.revalidations;
   s.cache_rebuilds = cs.rebuilds;
   s.meta_shards = plane_.num_shards();
+  s.degraded_served = degraded_served_.load(std::memory_order_relaxed);
+  s.deadline_shed = deadline_shed_.load(std::memory_order_relaxed);
   for (const std::string& name : dispatcher_.tenants()) {
     const TenantStats ts = dispatcher_.tenant_stats(name);
+    s.circuit_rejected += ts.rejected_circuit;
     s.tenants.push_back({.tenant = name,
                          .submitted = ts.submitted,
                          .accepted = ts.accepted,
@@ -370,25 +387,86 @@ ServerStats Server::snapshot_stats() const {
   return s;
 }
 
+QueryOutcome Server::run_job(const DispatchJob& job) {
+  QueryOutcome outcome;
+  // Deadline budget is measured from ADMISSION, not dispatch: a job that sat
+  // in the tenant queue past its budget is stale — the client gave up — so
+  // doing the work now only starves live queries. Shed it typed instead.
+  if (job.request.deadline_ms != 0) {
+    const std::uint64_t budget_micros =
+        static_cast<std::uint64_t>(job.request.deadline_ms) * 1000;
+    if (now_micros() - job.submitted_micros > budget_micros) {
+      deadline_shed_.fetch_add(1, std::memory_order_relaxed);
+      outcome.rejected = true;
+      outcome.rejection = {RejectReason::kDeadlineExceeded,
+                           "deadline of " +
+                               std::to_string(job.request.deadline_ms) +
+                               "ms exceeded while queued"};
+      return outcome;
+    }
+  }
+  try {
+    const dfs::MiniDfs& shard = plane_.dfs_for(dataset_.path);
+    const core::DataNet* net = nullptr;
+    std::shared_ptr<const core::DataNet> cached;
+    if (job.request.use_datanet_meta) {
+      cached = cache_.get(plane_, dataset_.path);
+      net = cached.get();
+    }
+    return execute_query(shard, dataset_.path, net, job.request, opts_.cfg);
+  } catch (const dfs::ShardUnavailableError&) {
+    // The owning metadata shard is down mid-lease ("NameNode down"). The
+    // block BYTES survive a NameNode crash, so answer read-only from the
+    // shard's in-memory snapshot plus the last epoch-validated bundle —
+    // marked degraded so the client knows the metadata was not revalidated.
+  } catch (const std::exception& e) {
+    outcome.error = e.what();
+    return outcome;
+  }
+  try {
+    std::shared_ptr<const core::DataNet> stale;
+    if (job.request.use_datanet_meta) {
+      stale = cache_.get_stale(dataset_.path);
+      if (stale == nullptr) {
+        // Cold cache: nothing trustworthy to serve from. Typed, not an
+        // error — the client may retry after recover_shard.
+        outcome.rejected = true;
+        outcome.rejection = {RejectReason::kShardUnavailable,
+                             "metadata shard is down and no cached bundle "
+                             "exists for degraded serving"};
+        return outcome;
+      }
+    }
+    const auto snapshot =
+        plane_.dfs_snapshot(plane_.shard_of(dataset_.path));
+    outcome = execute_query(*snapshot, dataset_.path, stale.get(),
+                            job.request, opts_.cfg);
+    if (outcome.ok) {
+      outcome.reply.degraded = true;
+      degraded_served_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return outcome;
+  } catch (const std::exception& e) {
+    outcome.ok = false;
+    outcome.rejected = false;
+    outcome.error = e.what();
+    return outcome;
+  }
+}
+
 void Server::worker_loop() {
   for (;;) {
     auto job = dispatcher_.next();
     if (!job.has_value()) return;  // stopped and drained
-    QueryOutcome outcome;
-    try {
-      const dfs::MiniDfs& shard = plane_.dfs_for(dataset_.path);
-      const core::DataNet* net = nullptr;
-      std::shared_ptr<const core::DataNet> cached;
-      if (job->request.use_datanet_meta) {
-        cached = cache_.get(plane_, dataset_.path);
-        net = cached.get();
-      }
-      outcome = execute_query(shard, dataset_.path, net, job->request,
-                              opts_.cfg);
-    } catch (const std::exception& e) {
-      outcome.ok = false;
-      outcome.error = e.what();
-    }
+    QueryOutcome outcome = run_job(*job);
+    // Breaker accounting: an answered query (ok, degraded included) is a
+    // success; an execution error or shard-unavailable shed is a failure.
+    // Deadline sheds are neutral — the CLIENT's budget expired, the server
+    // did not fail — so they neither trip nor heal the breaker.
+    const bool deadline =
+        outcome.rejected &&
+        outcome.rejection.reason == RejectReason::kDeadlineExceeded;
+    if (!deadline) dispatcher_.record_outcome(job->tenant, outcome.ok);
     dispatcher_.complete(job->tenant);
     {
       std::lock_guard lock(pending_mu_);

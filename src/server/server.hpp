@@ -66,6 +66,16 @@ struct ServerOptions {
   // note); sharding changes which shard's epoch invalidates the cache, not
   // what is served.
   std::uint32_t meta_shards = 1;
+  // Wire idle timeout (PR 9): the longest a handler waits for the REST of a
+  // frame once its first byte arrived, and for reply writes to drain. A
+  // peer that stalls mid-frame (slowloris) is dropped after this instead of
+  // wedging the handler thread forever. Waiting for a new request on an
+  // idle keep-alive connection is still unbounded — idling between messages
+  // is legal. 0 disables (legacy block-forever behaviour).
+  std::uint32_t io_timeout_ms = 10'000;
+  // Per-tenant consecutive-failure circuit breaker; default-disabled
+  // (failure_threshold 0) so the clean path is untouched.
+  BreakerPolicy breaker;
 };
 
 // What the server knows about its hosted dataset beyond the metadata plane
@@ -76,11 +86,15 @@ struct HostedDataset {
 };
 
 // Outcome of executing one query (shared by the daemon path and the
-// in-process local_query golden path).
+// in-process local_query golden path). Exactly one of three shapes: ok
+// (reply valid, possibly degraded), rejected (typed worker-side shed —
+// deadline exceeded / shard unavailable), or error (!ok && !rejected).
 struct QueryOutcome {
   bool ok = false;
   QueryReply reply;
-  std::string error;  // set when !ok
+  bool rejected = false;
+  Rejection rejection;  // valid when rejected
+  std::string error;    // set when !ok && !rejected
 };
 
 // Deterministic digest over a selection's node-local output: a hash chain
@@ -144,6 +158,13 @@ class Server {
   [[nodiscard]] std::uint64_t queries_served() const noexcept {
     return queries_served_.load(std::memory_order_relaxed);
   }
+  // Resilience counters (PR 9).
+  [[nodiscard]] std::uint64_t degraded_served() const noexcept {
+    return degraded_served_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t deadline_shed() const noexcept {
+    return deadline_shed_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Handler {
@@ -158,6 +179,10 @@ class Server {
   void accept_loop();
   void handle_connection(const std::shared_ptr<Fd>& socket);
   void worker_loop();
+  // Execute one dispatched job: deadline shed -> typed rejection; owning
+  // shard down -> degraded serving from the epoch-cached bundle (or a typed
+  // shard-unavailable rejection on a cold cache); otherwise the normal path.
+  [[nodiscard]] QueryOutcome run_job(const DispatchJob& job);
   void reap_finished_handlers();
   // Mark shutdown requested (wakes wait()); does not tear down.
   void request_stop();
@@ -189,6 +214,8 @@ class Server {
 
   std::atomic<bool> started_{false};
   std::atomic<std::uint64_t> queries_served_{0};
+  std::atomic<std::uint64_t> degraded_served_{0};
+  std::atomic<std::uint64_t> deadline_shed_{0};
 
   std::mutex stop_mu_;
   std::condition_variable stop_cv_;

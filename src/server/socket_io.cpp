@@ -5,6 +5,7 @@
 #include <cstring>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -15,6 +16,26 @@ namespace {
 [[noreturn]] void fail(const char* what) {
   throw SocketError(std::string("datanetd socket: ") + what + ": " +
                     std::strerror(errno));
+}
+
+// Park in poll() until `events` is ready (or error/hangup, which the
+// following recv/send surfaces properly). timeout_ms == 0 waits forever.
+// Throws SocketTimeoutError when the deadline passes with no readiness.
+void wait_ready(const Fd& fd, short events, std::uint32_t timeout_ms,
+                const char* what) {
+  pollfd p{.fd = fd.get(), .events = events, .revents = 0};
+  for (;;) {
+    const int rc = ::poll(&p, 1, timeout_ms == 0 ? -1
+                                                 : static_cast<int>(timeout_ms));
+    if (rc > 0) return;
+    if (rc == 0) {
+      throw SocketTimeoutError(std::string("datanetd socket: ") + what +
+                               ": idle timeout after " +
+                               std::to_string(timeout_ms) + "ms");
+    }
+    if (errno == EINTR) continue;
+    fail(what);
+  }
 }
 
 }  // namespace
@@ -78,22 +99,36 @@ Fd connect_loopback(std::uint16_t port) {
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
-  for (;;) {
-    if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
-                  sizeof(addr)) == 0) {
-      break;
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    // POSIX leaves re-calling connect() after EINTR unspecified (it may
+    // report EALREADY/EISCONN for a connect that actually succeeded). The
+    // specified recovery is: wait for writability, then read SO_ERROR for
+    // the real outcome.
+    if (errno != EINTR) fail("connect");
+    wait_ready(fd, POLLOUT, 0, "connect");
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+      fail("connect (SO_ERROR)");
     }
-    if (errno == EINTR) continue;
-    fail("connect");
+    if (err != 0) {
+      errno = err;
+      fail("connect");
+    }
   }
   const int one = 1;
   (void)::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return fd;
 }
 
-void write_all(const Fd& fd, std::string_view data) {
+void write_all(const Fd& fd, std::string_view data,
+               std::uint32_t idle_timeout_ms) {
   std::size_t off = 0;
   while (off < data.size()) {
+    if (idle_timeout_ms != 0) {
+      wait_ready(fd, POLLOUT, idle_timeout_ms, "send");
+    }
     const ssize_t n =
         ::send(fd.get(), data.data() + off, data.size() - off, MSG_NOSIGNAL);
     if (n < 0) {
@@ -104,10 +139,14 @@ void write_all(const Fd& fd, std::string_view data) {
   }
 }
 
-std::optional<std::string> read_exact(const Fd& fd, std::size_t n) {
+std::optional<std::string> read_exact(const Fd& fd, std::size_t n,
+                                      std::uint32_t idle_timeout_ms) {
   std::string out(n, '\0');
   std::size_t off = 0;
   while (off < n) {
+    if (idle_timeout_ms != 0) {
+      wait_ready(fd, POLLIN, idle_timeout_ms, "recv");
+    }
     const ssize_t got = ::recv(fd.get(), out.data() + off, n - off, 0);
     if (got < 0) {
       if (errno == EINTR) continue;

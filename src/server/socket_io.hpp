@@ -1,9 +1,18 @@
 #pragma once
-// Minimal blocking POSIX socket plumbing shared by the datanetd listener and
-// the client library: an owning fd wrapper plus exact-length framed reads and
+// Minimal POSIX socket plumbing shared by the datanetd listener and the
+// client library: an owning fd wrapper plus exact-length framed reads and
 // writes over loopback TCP. Deliberately tiny — no readiness loop, no
 // non-blocking mode; datanetd's concurrency comes from its handler threads,
 // not from multiplexed IO.
+//
+// Deadlines (PR 9): every read/write takes an optional IDLE timeout in
+// milliseconds — the longest the call may sit in poll() without the socket
+// making progress (bytes arriving / buffer draining). 0 keeps the legacy
+// block-forever behaviour. Idle (not total) is the slowloris-relevant
+// notion: a peer that keeps trickling bytes resets the clock per chunk, but
+// one that stalls mid-frame trips SocketTimeoutError, a typed subclass of
+// SocketError, so callers can distinguish "peer is slow/dead" (retryable
+// with a fresh connection) from "peer sent garbage" (ProtocolError).
 
 #include <cstdint>
 #include <optional>
@@ -17,6 +26,14 @@ namespace datanet::server {
 class SocketError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
+};
+
+// The idle deadline expired before the socket made progress. Subclass so
+// retry policy can treat timeouts specially while generic SocketError
+// handling still catches them.
+class SocketTimeoutError : public SocketError {
+ public:
+  using SocketError::SocketError;
 };
 
 // Owning file descriptor (move-only).
@@ -49,13 +66,17 @@ class Fd {
 // Blocking connect to 127.0.0.1:`port`. Throws SocketError.
 [[nodiscard]] Fd connect_loopback(std::uint16_t port);
 
-// Write all of `data` (retrying short writes / EINTR). Throws SocketError.
-void write_all(const Fd& fd, std::string_view data);
+// Write all of `data` (retrying short writes / EINTR). Throws SocketError;
+// SocketTimeoutError if the send buffer stays full for `idle_timeout_ms`
+// (a peer that stopped reading). 0 = no deadline.
+void write_all(const Fd& fd, std::string_view data,
+               std::uint32_t idle_timeout_ms = 0);
 
 // Read exactly `n` bytes into a string. Returns nullopt on clean EOF at a
 // message boundary (0 bytes read); throws SocketError on mid-message EOF or
-// socket errors.
-[[nodiscard]] std::optional<std::string> read_exact(const Fd& fd,
-                                                    std::size_t n);
+// socket errors, SocketTimeoutError when no bytes arrive for
+// `idle_timeout_ms` (0 = no deadline).
+[[nodiscard]] std::optional<std::string> read_exact(
+    const Fd& fd, std::size_t n, std::uint32_t idle_timeout_ms = 0);
 
 }  // namespace datanet::server

@@ -626,7 +626,7 @@ TEST(ServerProtocol, StatsRoundTrip) {
   EXPECT_THROW(srv::decode_stats_ok(payload.substr(0, payload.size() - 3)),
                srv::ProtocolError);
   auto hostile = payload;
-  hostile[38] = '\xff';  // inside the tenant-count word (offset 37..40)
+  hostile[62] = '\xff';  // inside the tenant-count word (offset 61..64)
   EXPECT_THROW(srv::decode_stats_ok(hostile), srv::ProtocolError);
 }
 
@@ -670,4 +670,123 @@ TEST(ServerEndToEnd, StatsMeterTenantsAcrossShardedPlane) {
   // The stats message is read-only: it does not count as a served query.
   EXPECT_EQ(client.stats().queries_served, 5u);
   server.stop();
+}
+
+// ---- wire v2 back-compat (PR 9) ----
+
+// A v1 peer's kQuery has no deadline suffix; a v2 decoder must accept it
+// with the deadline defaulting off. A v1 payload is exactly a v2 payload
+// with the 4-byte suffix stripped (append-only evolution).
+TEST(ServerProtocolV2, QueryDecodesV1PayloadWithoutDeadline) {
+  srv::QueryRequest q;
+  q.tenant = "alice";
+  q.key = "movie_00007";
+  q.scheduler = "lpt";
+  q.use_datanet_meta = false;
+  q.deadline_ms = 250;
+  const std::string v2 = srv::encode_query(q);
+
+  const srv::QueryRequest back2 = srv::decode_query(v2);
+  EXPECT_EQ(back2.deadline_ms, 250u);
+
+  const std::string v1 = v2.substr(0, v2.size() - 4);
+  const srv::QueryRequest back1 = srv::decode_query(v1);
+  EXPECT_EQ(back1.tenant, q.tenant);
+  EXPECT_EQ(back1.key, q.key);
+  EXPECT_EQ(back1.scheduler, q.scheduler);
+  EXPECT_EQ(back1.use_datanet_meta, q.use_datanet_meta);
+  EXPECT_EQ(back1.deadline_ms, 0u);  // suffix absent -> no deadline
+
+  // A TORN v2 suffix (1..3 bytes) is still a protocol error, not silently
+  // accepted as v1.
+  EXPECT_THROW(srv::decode_query(v2.substr(0, v2.size() - 2)),
+               srv::ProtocolError);
+}
+
+TEST(ServerProtocolV2, QueryOkDecodesV1PayloadWithoutDegraded) {
+  srv::QueryReply r;
+  r.digest = 42;
+  r.matched_bytes = 7;
+  r.blocks_scanned = 3;
+  r.service_micros = 11;
+  r.queue_micros = 5;
+  r.degraded = true;
+  const std::string v2 = srv::encode_query_ok(r);
+  EXPECT_TRUE(srv::decode_query_ok(v2).degraded);
+
+  const std::string v1 = v2.substr(0, v2.size() - 1);
+  const srv::QueryReply back = srv::decode_query_ok(v1);
+  EXPECT_EQ(back.digest, 42u);
+  EXPECT_EQ(back.queue_micros, 5u);
+  EXPECT_FALSE(back.degraded);  // suffix absent -> not degraded
+}
+
+TEST(ServerProtocolV2, NewRejectReasonsRoundTrip) {
+  for (const srv::RejectReason reason :
+       {srv::RejectReason::kDeadlineExceeded, srv::RejectReason::kCircuitOpen,
+        srv::RejectReason::kShardUnavailable}) {
+    const auto back =
+        srv::decode_rejected(srv::encode_rejected({reason, "detail"}));
+    EXPECT_EQ(back.reason, reason);
+    EXPECT_FALSE(srv::reject_reason_name(reason).empty());
+  }
+}
+
+// ---- socket EOF semantics (PR 9 satellite) ----
+
+namespace {
+
+// A connected loopback pair: `a` is the connecting side, `b` the accepted
+// side. Loopback connect completes via the backlog, so no threads needed.
+struct SocketPair {
+  srv::Fd listener;
+  srv::Fd a;
+  srv::Fd b;
+  SocketPair() {
+    auto [fd, port] = srv::listen_loopback(0);
+    listener = std::move(fd);
+    a = srv::connect_loopback(port);
+    auto accepted = srv::accept_client(listener);
+    EXPECT_TRUE(accepted.has_value());
+    b = std::move(*accepted);
+  }
+};
+
+}  // namespace
+
+TEST(ServerSocket, ReadExactCleanEofAtMessageBoundary) {
+  SocketPair p;
+  srv::write_all(p.a, "hello");
+  p.a.reset();  // FIN after a complete message
+  const auto got = srv::read_exact(p.b, 5);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, "hello");
+  // EOF with zero bytes read is a CLEAN end of stream: nullopt, not a throw.
+  EXPECT_FALSE(srv::read_exact(p.b, 5).has_value());
+}
+
+TEST(ServerSocket, ReadExactMidMessageEofThrows) {
+  SocketPair p;
+  srv::write_all(p.a, "abc");
+  p.a.reset();  // FIN mid-message
+  // 3 of 5 bytes then EOF: the message is torn — typed error, never a
+  // truncated success.
+  EXPECT_THROW((void)srv::read_exact(p.b, 5), srv::SocketError);
+}
+
+TEST(ServerSocket, ReadExactIdleTimeoutThrowsTyped) {
+  SocketPair p;
+  // No bytes ever arrive: the idle deadline must surface as the typed
+  // subclass so retry policy can distinguish slow from garbled.
+  EXPECT_THROW((void)srv::read_exact(p.b, 1, 50), srv::SocketTimeoutError);
+  // The connection is still usable afterwards — a timeout is a deadline,
+  // not a protocol desync.
+  srv::write_all(p.a, "x");
+  const auto got = srv::read_exact(p.b, 1, 50);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, "x");
+}
+
+TEST(ServerSocket, PeekTypeOnEmptyPayloadThrows) {
+  EXPECT_THROW((void)srv::peek_type(std::string_view{}), srv::ProtocolError);
 }

@@ -11,8 +11,10 @@
 // digests checked against golden in-process runs — PR 7, see bench_server),
 // a metadata section (ring lookup throughput, shard balance and
 // kill-one-shard recovery wall over a 1/4/16 shard sweep, client lease-cache
-// hit rate — PR 8's sharded metadata plane), plus the deterministic
-// simulated report totals. Redirect to BENCH_PR8.json via
+// hit rate — PR 8's sharded metadata plane), a resilience section (serving
+// through a seeded ChaosProxy via the retrying client across a
+// crash/degrade/recover cycle — PR 9, see chaos_drill), plus the
+// deterministic simulated report totals. Redirect to BENCH_PR9.json via
 // tools/bench_report.sh.
 
 #include <algorithm>
@@ -39,7 +41,9 @@
 #include "mapred/report_json.hpp"
 #include "scheduler/datanet_sched.hpp"
 #include "scheduler/locality.hpp"
+#include "server/chaos_proxy.hpp"
 #include "server/client.hpp"
+#include "server/resilient_client.hpp"
 #include "server/server.hpp"
 #include "stats/descriptive.hpp"
 
@@ -538,6 +542,104 @@ int main() {
     std::printf("    \"lease_hit_rate\": %.4f\n",
                 accesses > 0 ? static_cast<double>(cs.lease_hits) / accesses
                              : 0.0);
+  }
+  std::printf("  },\n");
+
+  // Resilience (PR 9): the serving path behind a seeded ChaosProxy, queried
+  // through the retrying client, with the owning metadata shard crashed for
+  // the middle third (degraded serving) and recovered for the final third.
+  // all_accounted / any_wrong are the contract fields: every query must end
+  // golden, degraded-golden, or typed — goodput_qps is the wall-dependent
+  // extra.
+  std::printf("  \"resilience\": {\n");
+  {
+    server::ServerOptions sopts;
+    sopts.workers = 2;
+    sopts.cfg.num_nodes = 16;
+    sopts.cfg.block_size = 64 * 1024;
+    sopts.cfg.seed = 42;
+    sopts.dataset_blocks = 32;
+    sopts.io_timeout_ms = 2'000;
+    server::Server srv(sopts);
+    const auto journal_dir =
+        std::filesystem::temp_directory_path() / "datanet_bench_resilience";
+    std::filesystem::remove_all(journal_dir);
+    std::filesystem::create_directories(journal_dir);
+    srv.plane().attach_journals(journal_dir.string());
+    srv.start();
+
+    const auto& hot = srv.dataset().hot_keys;
+    std::vector<std::uint64_t> golden;
+    {
+      server::Client direct(srv.port(), 5'000);
+      for (const auto& hkey : hot) {
+        server::QueryRequest req;
+        req.tenant = "chaos";
+        req.key = hkey;
+        golden.push_back(direct.query(req).reply.digest);
+      }
+    }
+
+    server::ChaosPlan plan;
+    plan.seed = 7;
+    plan.stall_ms = 900;
+    server::ChaosProxy proxy(srv.port(), plan);
+    proxy.start();
+
+    constexpr std::uint64_t kQueries = 45;
+    const std::uint32_t shard = srv.plane().shard_of(srv.dataset().path);
+    std::uint64_t n_golden = 0, n_degraded = 0, n_typed = 0, n_wrong = 0;
+    const auto c0 = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < kQueries; ++i) {
+      if (i == kQueries / 3) srv.plane().crash_shard(shard);
+      if (i == 2 * kQueries / 3) (void)srv.plane().recover_shard(shard);
+      server::RetryPolicy policy;
+      policy.max_attempts = 3;
+      policy.base_backoff_ms = 1;
+      policy.max_backoff_ms = 10;
+      policy.timeout_ms = 300;
+      policy.seed = 7 ^ (i + 1);
+      server::ResilientClient client(proxy.port(), policy);
+      server::QueryRequest req;
+      req.tenant = "chaos";
+      req.key = hot[i % hot.size()];
+      try {
+        const auto result = client.query(req);
+        if (result.ok() && result.reply.digest == golden[i % golden.size()]) {
+          ++(result.reply.degraded ? n_degraded : n_golden);
+        } else if (result.ok()) {
+          ++n_wrong;
+        } else {
+          ++n_typed;
+        }
+      } catch (const server::RetriesExhaustedError&) {
+        ++n_typed;
+      }
+    }
+    const double cwall = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - c0)
+                             .count();
+    proxy.stop();
+    srv.stop();
+    std::filesystem::remove_all(journal_dir);
+
+    std::printf("    \"queries\": %llu,\n",
+                static_cast<unsigned long long>(kQueries));
+    std::printf("    \"golden\": %llu,\n",
+                static_cast<unsigned long long>(n_golden));
+    std::printf("    \"degraded_golden\": %llu,\n",
+                static_cast<unsigned long long>(n_degraded));
+    std::printf("    \"typed_errors\": %llu,\n",
+                static_cast<unsigned long long>(n_typed));
+    std::printf("    \"all_accounted\": %s,\n",
+                n_golden + n_degraded + n_typed + n_wrong == kQueries
+                    ? "true"
+                    : "false");
+    std::printf("    \"any_wrong\": %s,\n", n_wrong == 0 ? "false" : "true");
+    std::printf("    \"goodput_qps\": %.0f\n",
+                cwall > 0
+                    ? static_cast<double>(n_golden + n_degraded) / cwall
+                    : 0.0);
   }
   std::printf("  }\n}\n");
   return 0;

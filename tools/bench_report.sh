@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Build and run the machine-readable benchmark report, writing BENCH_PR8.json
+# Build and run the machine-readable benchmark report, writing BENCH_PR9.json
 # at the repo root: Fig. 5 selection wall time + simulated report totals for
 # both schedulers, the Fig. 7 shuffle speedups, the straggler-tail
 # attempt/timeout/speculation numbers, and the ReplicationMonitor MTTR sweep
@@ -8,7 +8,10 @@
 # server section (datanetd loopback qps + latency percentiles, digests
 # checked against golden in-process runs), and the PR 8 metadata section
 # (ring lookup throughput, shard balance + kill-one-shard recovery over a
-# 1/4/16 shard sweep, placement determinism, client lease-cache hit rate).
+# 1/4/16 shard sweep, placement determinism, client lease-cache hit rate),
+# and the PR 9 resilience section (chaos-proxied serving through the
+# retrying client across a crash/degrade/recover cycle: outcome split and
+# goodput, with the golden/degraded/typed contract checked).
 # Wall times depend on the host; the simulated totals are bit-for-bit
 # reproducible.
 #
@@ -21,6 +24,6 @@ build_dir="${repo_root}/${1:-build}"
 cmake -B "${build_dir}" -S "${repo_root}" >/dev/null
 cmake --build "${build_dir}" -j "$(nproc)" --target bench_report >/dev/null
 
-out="${repo_root}/BENCH_PR8.json"
+out="${repo_root}/BENCH_PR9.json"
 "${build_dir}/tools/bench_report" > "${out}"
 echo "wrote ${out}"

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Wire-chaos smoke: run the chaos_drill acceptance binary (server + seeded
+# ChaosProxy + retrying client; see tools/chaos_drill.cpp) under a hard
+# wall-clock bound. The drill's own contract is "every query ends golden,
+# degraded-golden, or typed"; the `timeout` wrapper turns "never hangs" from
+# a hope into a failing exit code. CI runs this against an ASan build so
+# "never crashes" covers lifetime bugs too (the degraded path serves from a
+# bundle that must outlive a shard swap).
+#
+# Usage: tools/chaos_smoke.sh [build-dir] (default: build)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/${1:-build}"
+drill="${build_dir}/tools/chaos_drill"
+
+[[ -x "${drill}" ]] || { echo "FAIL: ${drill} not built"; exit 1; }
+
+# Three seeds so one lucky fault schedule can't hide a regression. 120s is
+# ~10x the worst observed wall clock; hitting it means a hang, not load.
+for seed in 1 7 42; do
+  echo "== chaos drill seed=${seed} =="
+  timeout 120 "${drill}" --queries 45 --seed "${seed}" || {
+    rc=$?
+    if [[ "${rc}" -eq 124 ]]; then
+      echo "FAIL: chaos drill HUNG (seed=${seed})"
+    else
+      echo "FAIL: chaos drill exit=${rc} (seed=${seed})"
+    fi
+    exit 1
+  }
+done
+echo "chaos smoke PASS"

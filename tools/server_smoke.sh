@@ -42,9 +42,9 @@ extract() { sed -n "s/.*$1=\([0-9]*\).*/\1/p" <<< "$2"; }
 
 for key in movie_00000 movie_00001 movie_00002; do
   for sched in datanet locality; do
-    served="$("${cli}" query --port "${port}" --tenant smoke --key "${key}" \
+    served="$(timeout 60 "${cli}" query --port "${port}" --tenant smoke --key "${key}" \
       --scheduler "${sched}")"
-    golden="$("${cli}" query --key "${key}" --scheduler "${sched}" --local)"
+    golden="$(timeout 60 "${cli}" query --key "${key}" --scheduler "${sched}" --local)"
     sd="$(extract digest "${served}")"
     gd="$(extract digest "${golden}")"
     if [[ -z "${sd}" || "${sd}" != "${gd}" ]]; then
@@ -59,7 +59,7 @@ done
 # A bogus scheduler must come back as a typed rejection (exit 2), not a hang
 # or a crash.
 rc=0
-"${cli}" query --port "${port}" --tenant smoke --key movie_00000 \
+timeout 60 "${cli}" query --port "${port}" --tenant smoke --key movie_00000 \
   --scheduler no-such-scheduler > "${workdir}/reject.out" 2>&1 || rc=$?
 if [[ "${rc}" -ne 2 ]]; then
   echo "FAIL: bogus scheduler exit=${rc}, want 2 (typed rejection)"
@@ -67,7 +67,7 @@ if [[ "${rc}" -ne 2 ]]; then
 fi
 echo "OK  typed rejection for unknown scheduler"
 
-"${cli}" query --port "${port}" --shutdown
+timeout 60 "${cli}" query --port "${port}" --shutdown
 for _ in $(seq 1 100); do
   kill -0 "${daemon_pid}" 2>/dev/null || break
   sleep 0.1

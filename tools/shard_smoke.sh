@@ -29,9 +29,9 @@ cleanup() {
 trap cleanup EXIT
 
 # ---- 1. kill-one-shard drill ------------------------------------------------
-"${cli}" generate --out "${workdir}/shard.log" --records 6000 --seed 4
+timeout 60 "${cli}" generate --out "${workdir}/shard.log" --records 6000 --seed 4
 
-fsck_out="$("${cli}" fsck --in "${workdir}/shard.log" --meta-shards 4 \
+fsck_out="$(timeout 60 "${cli}" fsck --in "${workdir}/shard.log" --meta-shards 4 \
   --nodes 8 --workdir "${workdir}/plane")"
 echo "${fsck_out}"
 for want in "4 metadata shards" "other shard(s) still serving" \
@@ -62,8 +62,8 @@ echo "datanetd up on port ${port} (4 metadata shards)"
 extract() { sed -n "s/.*$1=\([0-9]*\).*/\1/p" <<< "$2"; }
 
 for key in movie_00000 movie_00001; do
-  served="$("${cli}" query --port "${port}" --tenant smoke --key "${key}")"
-  golden="$("${cli}" query --key "${key}" --local)"
+  served="$(timeout 60 "${cli}" query --port "${port}" --tenant smoke --key "${key}")"
+  golden="$(timeout 60 "${cli}" query --key "${key}" --local)"
   sd="$(extract digest "${served}")"
   gd="$(extract digest "${golden}")"
   if [[ -z "${sd}" || "${sd}" != "${gd}" ]]; then
@@ -75,7 +75,7 @@ for key in movie_00000 movie_00001; do
 done
 
 # ---- 3. per-tenant metering snapshot ----------------------------------------
-stats="$("${cli}" query --port "${port}" --stats --json)"
+stats="$(timeout 60 "${cli}" query --port "${port}" --stats --json)"
 echo "${stats}"
 for want in '"meta_shards": 4' '"tenant": "smoke"' '"queue_wait_micros"'; do
   if ! grep -qF "${want}" <<< "${stats}"; then
@@ -84,7 +84,7 @@ for want in '"meta_shards": 4' '"tenant": "smoke"' '"queue_wait_micros"'; do
 done
 echo "OK  stats report 4 shards and tenant metering"
 
-"${cli}" query --port "${port}" --shutdown
+timeout 60 "${cli}" query --port "${port}" --shutdown
 for _ in $(seq 1 100); do
   kill -0 "${daemon_pid}" 2>/dev/null || break
   sleep 0.1
