@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <exception>
 #include <filesystem>
+#include <memory>
+#include <random>
 #include <span>
 
 #include "apps/distinct_users.hpp"
@@ -20,8 +22,10 @@
 #include "dfs/fault_injector.hpp"
 #include "dfs/fs_image.hpp"
 #include "dfs/fsck.hpp"
+#include "dfs/ingest.hpp"
 #include "dfs/meta_plane.hpp"
 #include "dfs/replication_monitor.hpp"
+#include "elasticmap/live_map.hpp"
 #include "scheduler/datanet_sched.hpp"
 #include "scheduler/locality.hpp"
 #include "mapred/report_json.hpp"
@@ -76,6 +80,19 @@ std::vector<workload::Record> generate_records(const std::string& type,
   }
   throw std::invalid_argument("unknown --type '" + type +
                               "' (movie|github|worldcup)");
+}
+
+// Concatenated committed bytes of `path` in block order: sealed blocks in
+// file order, then the open (unsealed) block if ingestion left one.
+std::string file_content(const dfs::MiniDfs& fs, const std::string& path) {
+  std::string content;
+  for (const dfs::BlockId b : fs.blocks_of(path)) {
+    content.append(fs.read_block(b));
+  }
+  for (const auto& open : fs.open_blocks()) {
+    if (open.file == path) content.append(fs.read_block(open.id));
+  }
+  return content;
 }
 
 mapred::Job make_job(const std::string& name, const Args& args) {
@@ -468,6 +485,12 @@ int fsck_plane(const Args& args, std::ostream& out) {
         all.subspan(records.size() - std::min<std::size_t>(records.size(), 64));
     workload::ingest(plane.dfs_for(late_path), late_path, tail);
 
+    // Also leave an open (unsealed) block with a committed extent in flight
+    // on the victim — a crash mid-ingestion — so recovery replays the
+    // streaming journal ops, not just whole-file writes.
+    const auto open_id = plane.dfs_for(late_path).open_block(late_path);
+    plane.dfs_for(late_path).append_extent(open_id, "in-flight extent\n", 1);
+
     common::TextTable table({"shard", "files", "blocks", "epoch", "journal"});
     for (std::uint32_t s = 0; s < plane.num_shards(); ++s) {
       table.add_row({std::to_string(s),
@@ -492,8 +515,8 @@ int fsck_plane(const Args& args, std::ostream& out) {
     } catch (const dfs::ShardUnavailableError&) {
       typed_unavailable = true;
     }
-    out << "\ncrashed shard " << victim << "; " << (plane.num_shards() - 1)
-        << " other shard(s) still serving\n";
+    out << "\ncrashed shard " << victim << " (an open block in flight); "
+        << (plane.num_shards() - 1) << " other shard(s) still serving\n";
     if (!typed_unavailable) {
       out << "error: crashed shard did not raise ShardUnavailableError\n";
       rc = 1;
@@ -513,7 +536,8 @@ int fsck_plane(const Args& args, std::ostream& out) {
     const auto report = dfs::fsck(plane);
     out << "plane fsck: " << report.combined.total_blocks << " blocks, "
         << report.combined.missing_blocks << " missing, "
-        << report.combined.under_replicated << " under-replicated across "
+        << report.combined.under_replicated << " under-replicated, "
+        << report.combined.open_blocks << " open across "
         << plane.num_shards() << " shard(s)\n";
     if (!report.healthy()) {
       return fail(out, "plane fsck reports an unhealthy namespace");
@@ -628,6 +652,14 @@ int cmd_fsck(const Args& args, std::ostream& out) {
       rc = 1;
     }
 
+    // Leave one block open (unsealed) with a committed extent in flight —
+    // the state a crashed ingestor leaves behind — so the crash/recover
+    // round-trip below also covers the streaming-ingestion journal ops.
+    const auto open_id = fs.open_block("/data");
+    fs.append_extent(open_id, "in-flight extent\n", 1);
+    out << "left block " << open_id
+        << " open with one group-committed extent in flight\n";
+
     // Crash the NameNode and prove recover() rebuilds the same namespace
     // from checkpoint + journal suffix.
     const auto live_digest = fs.namespace_digest();
@@ -643,6 +675,257 @@ int cmd_fsck(const Args& args, std::ostream& out) {
       return fail(out, "recovered namespace digest mismatch");
     }
     out << "recovered namespace digest matches the pre-crash NameNode\n";
+
+    // Open-block audit: the recovered instance's open blocks (count, extent
+    // sequence, journaled length, content CRC) must agree with the live
+    // NameNode's committed state.
+    const auto audit = dfs::audit_open_blocks(fs, recovered);
+    out << "open-block audit: " << audit.open_blocks << " open block(s), "
+        << common::format_bytes(audit.open_bytes) << " in flight";
+    if (audit.ok()) {
+      out << " — journaled extents match stored bytes\n";
+    } else {
+      out << "\n";
+      for (const auto& v : audit.violations) out << "error: " << v << "\n";
+      rc = 1;
+    }
+  } catch (const std::exception& e) {
+    return fail(out, e.what());
+  }
+  warn_unused(args, out);
+  return rc;
+}
+
+int cmd_ingest(const Args& args, std::ostream& out) {
+  int rc = 0;
+  try {
+    // Input records: --in FILE, or a generated log (--type/--records/--seed).
+    std::vector<workload::Record> records;
+    if (const auto file = args.get("in")) {
+      workload::LoadStats ls;
+      records = workload::load_records(*file, &ls);
+    } else {
+      records = generate_records(args.get_or("type", "movie"),
+                                 args.get_u64_or("records", 20000),
+                                 args.get_u64_or("seed", 42));
+    }
+    if (records.size() < 2) {
+      return fail(out, "need at least 2 records to ingest");
+    }
+
+    const auto nodes = static_cast<std::uint32_t>(args.get_u64_or("nodes", 16));
+    dfs::DfsOptions dopt;
+    dopt.block_size = args.get_u64_or("block-size", 64 * 1024);
+    dopt.replication =
+        static_cast<std::uint32_t>(args.get_u64_or("replication", 3));
+    dopt.seed = args.get_u64_or("seed", 42);
+    dfs::IngestOptions iopt;
+    iopt.group_records = args.get_u64_or("group", 64);
+    elasticmap::LiveMapOptions lopt;
+    lopt.max_blocks_per_tick =
+        static_cast<std::uint32_t>(args.get_u64_or("map-blocks-per-tick", 4));
+    lopt.rebuild_watermark = args.get_double_or("rebuild-watermark", 0.25);
+    const std::string path = "/data/stream.log";
+
+    // The byte stream a never-crashed run stores, and per-key ground truth.
+    std::vector<std::string> lines;
+    lines.reserve(records.size());
+    std::string stream;
+    std::map<std::string, std::uint64_t> truth_bytes;
+    for (const auto& r : records) {
+      lines.push_back(workload::encode_record(r));
+      truth_bytes[r.key] += lines.back().size() + 1;
+      stream += lines.back();
+      stream.push_back('\n');
+    }
+
+    // Reference run: same records, same shape, never crashes, no journal.
+    dfs::MiniDfs ref(dfs::ClusterTopology::flat(nodes), dopt);
+    {
+      dfs::Ingestor ing(ref, path, iopt);
+      for (const auto& line : lines) ing.append(line);
+    }
+    if (file_content(ref, path) != stream) {
+      return fail(out, "reference ingestion did not store the input stream");
+    }
+
+    // Durable run: journal + checkpoint in --workdir, killed at a seeded
+    // record index (mid-group, mid-block — wherever the draw lands).
+    const std::string workdir = args.get_or(
+        "workdir",
+        (std::filesystem::temp_directory_path() / "datanet_ingest").string());
+    std::filesystem::create_directories(workdir);
+    const std::string journal_path = workdir + "/ingest.edits";
+    const std::string crash_journal = workdir + "/ingest.edits.crash";
+    const std::string image_path = workdir + "/ingest.fsimage";
+
+    std::uint64_t kill_at = args.get_u64_or("kill-at", 0);
+    if (kill_at == 0 || kill_at >= lines.size()) {
+      // Seeded draw from the middle half of the stream.
+      std::mt19937_64 rng(args.get_u64_or("kill-seed", 7));
+      kill_at = lines.size() / 4 +
+                rng() % std::max<std::uint64_t>(1, lines.size() / 2);
+      kill_at = std::max<std::uint64_t>(1, kill_at);
+    }
+    const std::uint64_t checkpoint_at =
+        args.get_u64_or("checkpoint-at", kill_at / 2);
+
+    dfs::MiniDfs live(dfs::ClusterTopology::flat(nodes), dopt);
+    dfs::EditLog journal(journal_path);
+    live.attach_edit_log(&journal);
+    dfs::FsImage::save(live, image_path);  // consistent (image, empty journal)
+    elasticmap::LiveMapMaintainer maint(live, path, lopt);
+    double peak_drift = 0.0;
+    auto ing = std::make_unique<dfs::Ingestor>(live, path, iopt);
+    ing->on_seal = [&](dfs::BlockId) {
+      maint.scan();
+      peak_drift = std::max(peak_drift, maint.ledger().estimated_chi_drift);
+      if (maint.ledger().rebuild_recommended) {
+        maint.full_rebuild();
+      } else {
+        maint.tick();
+      }
+    };
+    for (std::uint64_t i = 0; i < kill_at; ++i) {
+      ing->append(lines[i]);
+      if (i + 1 == checkpoint_at) {
+        dfs::FsImage::save(live, image_path);  // checkpoint with a block open
+      }
+    }
+    maint.scan();
+    const auto st = ing->stats();
+    out << "streamed " << st.records_appended << "/" << lines.size()
+        << " records before the crash: " << st.group_commits
+        << " group commit(s) of up to " << iopt.group_records << ", "
+        << st.blocks_sealed << " block(s) sealed, "
+        << (st.blocks_opened - st.blocks_sealed) << " open, "
+        << common::format_bytes(st.bytes_committed) << " durable\n";
+    const auto lg = maint.ledger();
+    out << "live map at crash: " << lg.covered_blocks << " blocks covered, "
+        << lg.stale_blocks << " stale, chi drift bound "
+        << common::fmt_double(lg.estimated_chi_drift, 4) << " (peak "
+        << common::fmt_double(peak_drift, 4) << "), " << lg.deltas_applied
+        << " delta(s), " << lg.full_rebuilds << " full rebuild(s)\n";
+
+    // CRASH: the journal file as it exists this instant is what survives;
+    // the ingestor's buffered tail (< one group) dies with the process.
+    std::filesystem::copy_file(
+        journal_path, crash_journal,
+        std::filesystem::copy_options::overwrite_existing);
+    dfs::RecoveryInfo info;
+    auto recovered = dfs::MiniDfs::recover(image_path, crash_journal, &info);
+    out << "\ncrash + recover: replayed " << info.replayed_frames
+        << " frame(s) past the checkpoint (" << info.skipped_frames
+        << " covered by it)" << (info.torn ? ", torn tail dropped" : "")
+        << "\n";
+
+    // The recovered namespace must equal the live one at the crash instant
+    // (MiniDfs holds only committed bytes, so live == durable here), and the
+    // open block's stored bytes must match the journaled extents.
+    if (recovered.namespace_digest() != live.namespace_digest()) {
+      return fail(out, "recovered namespace digest mismatch at the crash point");
+    }
+    const auto audit = dfs::audit_open_blocks(live, recovered);
+    out << "open-block audit: " << audit.open_blocks << " open, "
+        << common::format_bytes(audit.open_bytes) << " in flight";
+    if (audit.ok()) {
+      out << " — journaled extents match stored bytes\n";
+    } else {
+      out << "\n";
+      for (const auto& v : audit.violations) out << "error: " << v << "\n";
+      rc = 1;
+    }
+    ing.reset();  // the dead writer's buffer never reaches the crash journal
+
+    // Crash consistency: the recovered content is exactly a group-committed
+    // prefix of the reference stream, short of the kill point by less than
+    // one group.
+    const std::string recovered_content = file_content(recovered, path);
+    const auto committed = static_cast<std::uint64_t>(
+        std::count(recovered_content.begin(), recovered_content.end(), '\n'));
+    if (recovered_content != stream.substr(0, recovered_content.size())) {
+      return fail(out,
+                  "recovered content is not a prefix of the reference stream");
+    }
+    if (committed > kill_at || kill_at - committed >= iopt.group_records) {
+      return fail(out, "a group-committed batch was lost in the crash");
+    }
+    out << "recovered " << committed << " committed record(s); "
+        << (kill_at - committed)
+        << " buffered record(s) died with the process\n";
+
+    // Continue on the recovered NameNode: fresh (checkpoint, empty journal)
+    // pair as in MetaPlane::recover_shard, adopt the open block, stream the
+    // uncommitted remainder, then drain the map maintainer.
+    dfs::EditLog journal2(journal_path);
+    recovered.attach_edit_log(&journal2);
+    dfs::FsImage::save(recovered, image_path);
+    elasticmap::LiveMapMaintainer maint2(recovered, path, lopt);
+    {
+      dfs::Ingestor ing2(recovered, path, iopt);
+      ing2.on_seal = [&](dfs::BlockId) {
+        maint2.scan();
+        if (maint2.ledger().rebuild_recommended) {
+          maint2.full_rebuild();
+        } else {
+          maint2.tick();
+        }
+      };
+      for (std::uint64_t i = committed; i < lines.size(); ++i) {
+        ing2.append(lines[i]);
+      }
+    }
+    const std::uint64_t drain_ticks = maint2.drain();
+
+    // The continued run must be indistinguishable from one that never
+    // crashed: same bytes, same block boundaries, same estimates.
+    if (file_content(recovered, path) != stream) {
+      return fail(out, "continued ingestion diverged from the reference stream");
+    }
+    if (recovered.blocks_of(path).size() != ref.blocks_of(path).size()) {
+      return fail(out,
+                  "continued ingestion produced different block boundaries");
+    }
+    const auto ref_map =
+        elasticmap::ElasticMapArray::build(ref, path, lopt.build);
+    std::vector<std::pair<std::uint64_t, std::string>> ranked;
+    for (const auto& [key, bytes] : truth_bytes) ranked.emplace_back(bytes, key);
+    std::sort(ranked.rbegin(), ranked.rend());
+    common::TextTable table({"sub-dataset", "truth", "estimate", "chi"});
+    for (std::size_t i = 0; i < std::min<std::size_t>(5, ranked.size()); ++i) {
+      const auto& key = ranked[i].second;
+      const auto id = workload::subdataset_id(key);
+      const std::uint64_t est = maint2.map().estimate_total_size(id);
+      if (est != ref_map.estimate_total_size(id)) {
+        out << "error: delta-built estimate for '" << key
+            << "' diverges from the full rebuild\n";
+        rc = 1;
+      }
+      table.add_row(
+          {key, common::format_bytes(ranked[i].first),
+           common::format_bytes(est),
+           common::fmt_double(static_cast<double>(est) /
+                                  static_cast<double>(ranked[i].first),
+                              4)});
+    }
+    const auto lg2 = maint2.ledger();
+    out << "\nchi ledger after recovery + drain (" << drain_ticks
+        << " tick(s)): " << lg2.covered_blocks << " blocks covered, "
+        << lg2.stale_blocks << " stale, chi drift bound "
+        << common::fmt_double(lg2.estimated_chi_drift, 4) << ", "
+        << lg2.deltas_applied << " delta(s), " << lg2.full_rebuilds
+        << " full rebuild(s)\n"
+        << table.to_string();
+
+    const auto report = dfs::fsck(recovered);
+    out << "\nfsck: " << report.total_blocks << " blocks, "
+        << report.missing_blocks << " missing, " << report.under_replicated
+        << " under-replicated, " << report.open_blocks << " open\n";
+    if (!report.healthy() || report.open_blocks != 0) {
+      out << "error: namespace unhealthy (or a block left open) after close\n";
+      rc = 1;
+    }
+    out << (rc == 0 ? "ingestion drill passed\n" : "ingestion drill FAILED\n");
   } catch (const std::exception& e) {
     return fail(out, e.what());
   }
@@ -742,6 +1025,13 @@ commands:
             (exits non-zero on unrepairable blocks, journal corruption,
              checkpoint errors, or digest mismatch; --meta-shards M > 1 runs
              the sharded-plane kill-one-shard drill instead)
+  ingest    [--in FILE | --type movie|github|worldcup --records N] [--seed S]
+            [--group RECORDS] [--kill-at R | --kill-seed S] [--checkpoint-at R]
+            [--nodes N] [--block-size BYTES] [--replication R]
+            [--map-blocks-per-tick B] [--rebuild-watermark F] [--workdir DIR]
+            (streams records with group commit, crashes at a seeded point,
+             recovers, continues, and exits non-zero unless content, block
+             boundaries, and ElasticMap estimates match a never-crashed run)
   forecast  --in FILE --key SUBDATASET [--block-size BYTES]
   serve     [--port P] [--port-file FILE] [--workers W] [--max-queue Q]
             [--max-inflight I] [--max-connections C] [--meta-shards M]
@@ -773,6 +1063,7 @@ int run_cli(const std::vector<std::string>& argv, std::ostream& out) {
   if (command == "simulate") return cmd_simulate(*args, out);
   if (command == "faults") return cmd_faults(*args, out);
   if (command == "fsck") return cmd_fsck(*args, out);
+  if (command == "ingest") return cmd_ingest(*args, out);
   if (command == "forecast") return cmd_forecast(*args, out);
   if (command == "serve") return cmd_serve(*args, out);
   if (command == "query") return cmd_query(*args, out);

@@ -13,7 +13,13 @@
 //   fsck      — NameNode durability walkthrough: checkpoint + journal status,
 //               a fault plan, the under-replication table and healing queue
 //               before/after a ReplicationMonitor drain, and a crash/recover
-//               round-trip verified by namespace digest
+//               round-trip verified by namespace digest (including an open
+//               block left in flight, audited against the journal)
+//   ingest    — streaming-ingestion drill: group-committed appends through
+//               dfs::Ingestor with live ElasticMap maintenance, a seeded
+//               mid-stream crash, recovery from checkpoint + journal, and a
+//               continued run whose content and estimates must match a
+//               never-crashed reference (exits non-zero otherwise)
 //   forecast  — Section II-B imbalance forecast fitted from a log file
 //   serve     — run datanetd: the always-on multi-tenant selection service
 //               over a deterministic hosted dataset (loopback TCP)
@@ -36,6 +42,7 @@ int cmd_analyze(const Args& args, std::ostream& out);
 int cmd_simulate(const Args& args, std::ostream& out);
 int cmd_faults(const Args& args, std::ostream& out);
 int cmd_fsck(const Args& args, std::ostream& out);
+int cmd_ingest(const Args& args, std::ostream& out);
 int cmd_forecast(const Args& args, std::ostream& out);
 int cmd_serve(const Args& args, std::ostream& out);
 int cmd_query(const Args& args, std::ostream& out);

@@ -48,13 +48,17 @@ void print_reply(std::ostream& out, const server::QueryReply& r, bool json) {
         << ", \"blocks_scanned\": " << r.blocks_scanned
         << ", \"service_micros\": " << r.service_micros
         << ", \"queue_micros\": " << r.queue_micros
-        << ", \"degraded\": " << (r.degraded ? "true" : "false") << "}\n";
+        << ", \"degraded\": " << (r.degraded ? "true" : "false")
+        << ", \"staleness_micros\": " << r.staleness_micros << "}\n";
   } else {
     out << "digest=" << r.digest << " matched_bytes=" << r.matched_bytes
         << " blocks_scanned=" << r.blocks_scanned
         << " service_us=" << r.service_micros
-        << " queue_us=" << r.queue_micros
-        << (r.degraded ? " degraded=1" : "") << "\n";
+        << " queue_us=" << r.queue_micros;
+    if (r.degraded) {
+      out << " degraded=1 staleness_us=" << r.staleness_micros;
+    }
+    out << "\n";
   }
 }
 
@@ -67,7 +71,9 @@ void print_stats(std::ostream& out, const server::ServerStats& s, bool json) {
         << ", \"circuit_rejected\": " << s.circuit_rejected
         << ", \"cache\": {\"hits\": " << s.cache_hits
         << ", \"revalidations\": " << s.cache_revalidations
-        << ", \"rebuilds\": " << s.cache_rebuilds << "}, \"tenants\": [";
+        << ", \"rebuilds\": " << s.cache_rebuilds
+        << ", \"delta_applies\": " << s.cache_delta_applies
+        << "}, \"tenants\": [";
     for (std::size_t i = 0; i < s.tenants.size(); ++i) {
       const server::TenantMeter& t = s.tenants[i];
       out << (i > 0 ? ", " : "") << "{\"tenant\": \"" << t.tenant << "\""
@@ -88,7 +94,8 @@ void print_stats(std::ostream& out, const server::ServerStats& s, bool json) {
         << " circuit_rejected=" << s.circuit_rejected
         << " cache_hits=" << s.cache_hits
         << " cache_revalidations=" << s.cache_revalidations
-        << " cache_rebuilds=" << s.cache_rebuilds << "\n";
+        << " cache_rebuilds=" << s.cache_rebuilds
+        << " cache_delta_applies=" << s.cache_delta_applies << "\n";
     for (const server::TenantMeter& t : s.tenants) {
       out << "tenant " << t.tenant << ": submitted=" << t.submitted
           << " accepted=" << t.accepted
@@ -141,7 +148,8 @@ int cmd_serve(const Args& args, std::ostream& out) {
     out << "datanetd: served " << srv.queries_served()
         << " queries; metadata cache hits=" << cache.hits
         << " revalidations=" << cache.revalidations
-        << " rebuilds=" << cache.rebuilds << "\n";
+        << " rebuilds=" << cache.rebuilds
+        << " delta_applies=" << cache.delta_applies << "\n";
     return 0;
   } catch (const std::exception& e) {
     return fail(out, e.what());

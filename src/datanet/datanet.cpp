@@ -1,5 +1,7 @@
 #include "datanet/datanet.hpp"
 
+#include <stdexcept>
+
 namespace datanet::core {
 
 DataNet::DataNet(const dfs::MiniDfs& dfs, std::string path,
@@ -14,6 +16,18 @@ DataNet::DataNet(std::shared_ptr<const dfs::MiniDfs> dfs, std::string path,
       dfs_(keep_alive_.get()),
       path_(std::move(path)),
       meta_(elasticmap::ElasticMapArray::build(*dfs_, path_, options)) {}
+
+DataNet::DataNet(std::shared_ptr<const dfs::MiniDfs> dfs, std::string path,
+                 const elasticmap::ElasticMapArray& base)
+    : keep_alive_(std::move(dfs)),
+      dfs_(keep_alive_.get()),
+      path_(std::move(path)),
+      meta_(base) {
+  if (base.path() != path_) {
+    throw std::invalid_argument("DataNet: base map built for another path");
+  }
+  meta_.extend(*dfs_);  // throws if the covered prefix changed
+}
 
 std::vector<elasticmap::BlockShare> DataNet::distribution(
     std::string_view key) const {

@@ -34,6 +34,14 @@ class DataNet {
   DataNet(std::shared_ptr<const dfs::MiniDfs> dfs, std::string path,
           elasticmap::BuildOptions options = {});
 
+  // Delta construction (PR 10): copy `base`'s already-built ElasticMap and
+  // incrementally scan ONLY the blocks appended to `path` since base was
+  // built — the dataset cache's delta-apply path for growing datasets.
+  // Throws std::invalid_argument when the covered block prefix changed
+  // (file recreated/rewritten); callers fall back to a full build.
+  DataNet(std::shared_ptr<const dfs::MiniDfs> dfs, std::string path,
+          const elasticmap::ElasticMapArray& base);
+
   [[nodiscard]] const elasticmap::ElasticMapArray& meta() const noexcept {
     return meta_;
   }

@@ -110,6 +110,23 @@ std::string EditLog::encode(const EditRecord& record) {
       wire::put_u32(out, record.node);
       wire::put_u32(out, record.node2);
       break;
+    case EditOp::kOpenBlock:
+      wire::put_u64(out, record.block);
+      wire::put_bytes(out, record.file);
+      wire::put_u32(out, static_cast<std::uint32_t>(record.replicas.size()));
+      for (const NodeId n : record.replicas) wire::put_u32(out, n);
+      break;
+    case EditOp::kAppendExtent:
+      wire::put_u64(out, record.block);
+      wire::put_u64(out, record.extent_seq);
+      wire::put_u64(out, record.num_records);
+      wire::put_bytes(out, record.data);
+      break;
+    case EditOp::kSealBlock:
+      wire::put_u64(out, record.block);
+      wire::put_u64(out, record.num_records);
+      wire::put_u32(out, record.checksum);
+      break;
   }
   return out;
 }
@@ -119,7 +136,7 @@ EditRecord EditLog::decode(std::string_view payload) {
   EditRecord rec;
   const std::uint8_t op = c.u8();
   if (op < static_cast<std::uint8_t>(EditOp::kCreateFile) ||
-      op > static_cast<std::uint8_t>(EditOp::kMoveReplica)) {
+      op > static_cast<std::uint8_t>(EditOp::kSealBlock)) {
     throw std::runtime_error("EditLog: unknown opcode");
   }
   rec.op = static_cast<EditOp>(op);
@@ -153,6 +170,28 @@ EditRecord EditLog::decode(std::string_view payload) {
       rec.block = c.u64();
       rec.node = c.u32();
       rec.node2 = c.u32();
+      break;
+    case EditOp::kOpenBlock: {
+      rec.block = c.u64();
+      rec.file = c.bytes();
+      const std::uint32_t nreps = c.u32();
+      if (nreps > c.remaining() / 4) {
+        throw std::runtime_error("EditLog: corrupt replica count");
+      }
+      rec.replicas.reserve(nreps);
+      for (std::uint32_t i = 0; i < nreps; ++i) rec.replicas.push_back(c.u32());
+      break;
+    }
+    case EditOp::kAppendExtent:
+      rec.block = c.u64();
+      rec.extent_seq = c.u64();
+      rec.num_records = c.u64();
+      rec.data = c.bytes();
+      break;
+    case EditOp::kSealBlock:
+      rec.block = c.u64();
+      rec.num_records = c.u64();
+      rec.checksum = c.u32();
       break;
   }
   if (!c.exhausted()) throw std::runtime_error("EditLog: trailing bytes");

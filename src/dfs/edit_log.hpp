@@ -34,18 +34,27 @@ enum class EditOp : std::uint8_t {
   kRemoveReplica = 4,  // block, node (corrupt copy dropped by the NameNode)
   kAddReplica = 5,     // block, node (re-replication / monitor repair)
   kMoveReplica = 6,    // block, node -> node2 (balancer move)
+  // Streaming ingestion (PR 10). An open block is journaled in three acts so
+  // a crash at any byte leaves a replayable prefix: placement is fixed at
+  // open (replicas journaled explicitly — replay never re-runs the RNG),
+  // each group commit is one kAppendExtent frame, and seal publishes the
+  // block into its file's block list.
+  kOpenBlock = 7,      // block, file, replicas
+  kAppendExtent = 8,   // block, extent_seq, num_records, data
+  kSealBlock = 9,      // block, num_records, checksum
 };
 
 struct EditRecord {
   EditOp op = EditOp::kCreateFile;
-  std::string file;               // kCreateFile / kAddBlock
+  std::string file;               // kCreateFile / kAddBlock / kOpenBlock
   BlockId block = 0;              // block-scoped ops
-  std::uint64_t num_records = 0;  // kAddBlock
-  std::uint32_t checksum = 0;     // kAddBlock: commit-time CRC32 of `data`
+  std::uint64_t num_records = 0;  // kAddBlock / kAppendExtent / kSealBlock
+  std::uint32_t checksum = 0;     // kAddBlock / kSealBlock: CRC32 of bytes
   NodeId node = 0;                // node-scoped ops; kMoveReplica source
   NodeId node2 = 0;               // kMoveReplica target
-  std::vector<NodeId> replicas;   // kAddBlock initial placement
-  std::string data;               // kAddBlock block bytes
+  std::vector<NodeId> replicas;   // kAddBlock / kOpenBlock initial placement
+  std::string data;               // kAddBlock block bytes / kAppendExtent
+  std::uint64_t extent_seq = 0;   // kAppendExtent: 0-based per-block index
 };
 
 class EditLog {

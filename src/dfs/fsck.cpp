@@ -31,6 +31,11 @@ FsckReport fsck(const MiniDfs& dfs) {
     for (const NodeId n : reps) ++report.node_block_counts[n];
   }
 
+  for (const OpenBlockInfo& ob : dfs.open_blocks()) {
+    ++report.open_blocks;
+    report.open_bytes += ob.size_bytes;
+  }
+
   // Balance over active nodes only.
   double sum = 0.0, count = 0.0;
   for (NodeId n = 0; n < nodes; ++n) {
@@ -65,6 +70,8 @@ PlaneFsckReport fsck(const MetaPlane& plane) {
     c.under_replicated += r.under_replicated;
     c.missing_blocks += r.missing_blocks;
     c.over_replicated += r.over_replicated;
+    c.open_blocks += r.open_blocks;
+    c.open_bytes += r.open_bytes;
     if (c.node_block_counts.size() < r.node_block_counts.size()) {
       c.node_block_counts.resize(r.node_block_counts.size(), 0);
     }
@@ -126,6 +133,58 @@ PostFaultCheck check_post_fault_invariants(const MiniDfs& dfs) {
                       " — faults must not silently destroy replicated data";
   }
   return check;
+}
+
+OpenBlockAudit audit_open_blocks(const MiniDfs& live, const MiniDfs& durable) {
+  OpenBlockAudit audit;
+  const auto live_open = live.open_blocks();
+  const auto durable_open = durable.open_blocks();
+  audit.open_blocks = live_open.size();
+  for (const OpenBlockInfo& ob : live_open) audit.open_bytes += ob.size_bytes;
+
+  auto flag = [&audit](std::string what) {
+    ++audit.mismatched;
+    audit.violations.push_back(std::move(what));
+  };
+
+  if (live_open.size() != durable_open.size()) {
+    flag("open-block count: live " + std::to_string(live_open.size()) +
+         " vs durable " + std::to_string(durable_open.size()));
+  }
+  for (const OpenBlockInfo& lb : live_open) {
+    const auto it = std::find_if(
+        durable_open.begin(), durable_open.end(),
+        [&lb](const OpenBlockInfo& db) { return db.id == lb.id; });
+    if (it == durable_open.end()) {
+      flag("block " + std::to_string(lb.id) +
+           ": open on the live NameNode but not journaled");
+      continue;
+    }
+    const OpenBlockInfo& db = *it;
+    if (lb.size_bytes != db.size_bytes || lb.num_records != db.num_records ||
+        lb.extents_applied != db.extents_applied) {
+      flag("block " + std::to_string(lb.id) + ": stored " +
+           std::to_string(lb.size_bytes) + " B / " +
+           std::to_string(lb.num_records) + " rec / " +
+           std::to_string(lb.extents_applied) + " extents vs journaled " +
+           std::to_string(db.size_bytes) + " B / " +
+           std::to_string(db.num_records) + " rec / " +
+           std::to_string(db.extents_applied) + " extents");
+      continue;
+    }
+    if (lb.file != db.file) {
+      flag("block " + std::to_string(lb.id) + ": file '" + lb.file +
+           "' vs journaled '" + db.file + "'");
+      continue;
+    }
+    // Same length; the committed CONTENT must match too (the running CRC is
+    // recomputed at every group commit, so it stands in for the bytes).
+    if (live.block(lb.id).checksum != durable.block(db.id).checksum) {
+      flag("block " + std::to_string(lb.id) +
+           ": stored bytes disagree with the journaled extents (CRC)");
+    }
+  }
+  return audit;
 }
 
 BalanceResult balance_replicas(MiniDfs& dfs, std::uint64_t tolerance) {

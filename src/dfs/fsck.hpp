@@ -19,6 +19,8 @@ struct FsckReport {
   std::uint64_t under_replicated = 0;      // 0 < replicas < target
   std::uint64_t missing_blocks = 0;        // no replicas at all
   std::uint64_t over_replicated = 0;       // replicas > target
+  std::uint64_t open_blocks = 0;           // unsealed (mid-ingestion) blocks
+  std::uint64_t open_bytes = 0;            // committed bytes in open blocks
   std::vector<std::uint64_t> node_block_counts;  // replicas hosted per node
   double replica_balance_cv = 0.0;  // cv of counts over *active* nodes
 
@@ -70,6 +72,24 @@ struct PostFaultCheck {
   bool ok = true;
   std::string violation;
 };
+
+// Open-block integrity audit (PR 10): compares the live NameNode's open
+// blocks against what the durable state (checkpoint + journal) says they
+// should hold — `durable` is a MiniDfs::recover'd instance of the same
+// namespace. A clean run always matches (MiniDfs only holds committed
+// bytes); a mismatch means a group commit was lost or stored bytes diverged
+// from the journaled length, and `datanet fsck` exits non-zero on it.
+struct OpenBlockAudit {
+  std::uint64_t open_blocks = 0;   // open blocks on the live side
+  std::uint64_t open_bytes = 0;    // committed bytes across them
+  std::uint64_t mismatched = 0;
+  std::vector<std::string> violations;  // one human-readable line each
+
+  [[nodiscard]] bool ok() const { return mismatched == 0; }
+};
+
+[[nodiscard]] OpenBlockAudit audit_open_blocks(const MiniDfs& live,
+                                               const MiniDfs& durable);
 
 [[nodiscard]] PostFaultCheck check_post_fault_invariants(const MiniDfs& dfs);
 

@@ -135,6 +135,123 @@ BlockId MiniDfs::commit_block(const std::string& path, std::string data,
   return id;
 }
 
+// ---- streaming ingestion (open blocks) ----
+
+BlockId MiniDfs::open_block_impl(const std::string& path,
+                                 std::vector<NodeId> replicas) {
+  const BlockId id = blocks_.size();
+  BlockInfo info;
+  info.id = id;
+  info.file = path;
+  info.index_in_file = 0;  // assigned when the block seals
+  info.checksum = common::crc32(std::string_view{});
+  info.replicas = std::move(replicas);
+  for (const NodeId n : info.replicas) node_blocks_[n].push_back(id);
+  blocks_.push_back(std::move(info));
+  block_data_.emplace_back();
+  push_block_runtime_state(kOk);  // empty bytes match the empty-CRC
+  open_blocks_.emplace(id, OpenBlockState{path, 0});
+  replicas_changed(id);
+  return id;
+}
+
+BlockId MiniDfs::open_block(const std::string& path) {
+  std::unique_lock lock(cs_->mu);
+  if (!files_.contains(path)) {
+    throw std::out_of_range("open_block: no such file: " + path);
+  }
+  if (active_nodes_ == 0) {
+    throw std::runtime_error("MiniDfs: no active nodes to place a block on");
+  }
+  const std::uint32_t replication =
+      std::min(options_.replication, active_nodes_);
+  auto replicas =
+      placement_->place(topology_, node_active_, replication, placement_rng_);
+  const BlockId id = open_block_impl(path, std::move(replicas));
+  // Placement is journaled explicitly so replay never re-runs the RNG.
+  log_edit({.op = EditOp::kOpenBlock,
+            .file = path,
+            .block = id,
+            .replicas = blocks_[id].replicas});
+  return id;
+}
+
+void MiniDfs::append_extent_impl(BlockId id, std::string_view data,
+                                 std::uint64_t num_records) {
+  auto& state = open_blocks_.at(id);
+  block_data_[id].append(data);
+  BlockInfo& b = blocks_[id];
+  b.size_bytes += data.size();
+  b.num_records += num_records;
+  // The running CRC keeps verify_block and checkpoints uniform across open
+  // and sealed blocks at every group-commit boundary.
+  b.checksum = common::crc32(block_data_[id]);
+  total_bytes_ += data.size();
+  ++state.extents_applied;
+  cs_->verified[id].store(kOk, std::memory_order_release);
+  cs_->mutation_epoch.fetch_add(1, std::memory_order_relaxed);
+}
+
+void MiniDfs::append_extent(BlockId id, std::string_view data,
+                            std::uint64_t num_records) {
+  std::unique_lock lock(cs_->mu);
+  const auto it = open_blocks_.find(id);
+  if (it == open_blocks_.end()) {
+    throw std::invalid_argument("append_extent: block not open");
+  }
+  const std::uint64_t seq = it->second.extents_applied;
+  append_extent_impl(id, data, num_records);
+  log_edit({.op = EditOp::kAppendExtent,
+            .block = id,
+            .num_records = num_records,
+            .data = std::string(data),
+            .extent_seq = seq});
+}
+
+void MiniDfs::seal_block_impl(BlockId id) {
+  const auto it = open_blocks_.find(id);
+  BlockInfo& b = blocks_[id];
+  auto& file_blocks = files_.at(it->second.file);
+  b.index_in_file = static_cast<std::uint32_t>(file_blocks.size());
+  file_blocks.push_back(id);
+  open_blocks_.erase(it);
+  cs_->mutation_epoch.fetch_add(1, std::memory_order_relaxed);
+}
+
+void MiniDfs::seal_block(BlockId id) {
+  std::unique_lock lock(cs_->mu);
+  if (!open_blocks_.contains(id)) {
+    throw std::invalid_argument("seal_block: block not open");
+  }
+  seal_block_impl(id);
+  // The final count + CRC ride on the seal frame so audits (fsck) can check
+  // stored bytes against what the journal committed.
+  log_edit({.op = EditOp::kSealBlock,
+            .block = id,
+            .num_records = blocks_[id].num_records,
+            .checksum = blocks_[id].checksum});
+}
+
+bool MiniDfs::is_block_open(BlockId id) const {
+  std::shared_lock lock(cs_->mu);
+  return open_blocks_.contains(id);
+}
+
+std::vector<OpenBlockInfo> MiniDfs::open_blocks() const {
+  std::shared_lock lock(cs_->mu);
+  std::vector<OpenBlockInfo> out;
+  out.reserve(open_blocks_.size());
+  for (const auto& [id, state] : open_blocks_) {
+    const BlockInfo& b = blocks_[id];
+    out.push_back({.id = id,
+                   .file = state.file,
+                   .extents_applied = state.extents_applied,
+                   .size_bytes = b.size_bytes,
+                   .num_records = b.num_records});
+  }
+  return out;
+}
+
 bool MiniDfs::exists(std::string_view path) const {
   std::shared_lock lock(cs_->mu);
   return files_.contains(std::string(path));
@@ -169,6 +286,11 @@ std::string_view MiniDfs::read_block(BlockId id) const {
 
 PinnedRead MiniDfs::read_block_pinned(BlockId id) const {
   std::shared_lock lock(cs_->mu);
+  if (open_blocks_.contains(id)) {
+    // Open-block bytes relocate on append, so no zero-copy view can be
+    // guaranteed stable: readers only ever see sealed blocks.
+    throw std::invalid_argument("read_block_pinned: block is open");
+  }
   const std::string_view data = read_block_unlocked(id);
   // The shared lock orders this increment against any mutator: a mutator
   // that could invalidate the bytes takes the unique lock first and then
@@ -182,6 +304,9 @@ PinnedRead MiniDfs::read_replica_pinned(BlockId id, NodeId node) const {
   std::shared_lock lock(cs_->mu);
   if (id >= block_data_.size()) {
     throw std::out_of_range("read_replica: bad block");
+  }
+  if (open_blocks_.contains(id)) {
+    throw std::invalid_argument("read_replica_pinned: block is open");
   }
   if (!is_local_unlocked(id, node)) {
     throw std::invalid_argument("read_replica: node does not host block");
@@ -369,6 +494,11 @@ void MiniDfs::recount_under_replicated() {
 void MiniDfs::corrupt_block(BlockId id) {
   std::unique_lock lock(cs_->mu);
   if (id >= block_data_.size()) throw std::out_of_range("corrupt_block: bad block");
+  if (open_blocks_.contains(id)) {
+    // An append would recompute the CRC over the flipped bytes and mask the
+    // damage; open blocks are not a corruption target.
+    throw std::invalid_argument("corrupt_block: block is open");
+  }
   auto& data = block_data_[id];
   if (data.empty()) return;  // nothing to corrupt
   // The one post-commit byte mutation in the system: wait out every pinned
@@ -623,12 +753,41 @@ void MiniDfs::apply_edit(const EditRecord& record) {
         move_replica_impl(record.block, record.node, record.node2);
       }
       break;
+    case EditOp::kOpenBlock: {
+      if (record.block < blocks_.size()) break;  // already applied
+      if (record.block > blocks_.size()) {
+        throw std::runtime_error("apply_edit: block id gap in journal");
+      }
+      if (!files_.contains(record.file)) {
+        files_.emplace(record.file, std::vector<BlockId>{});
+      }
+      open_block_impl(record.file, record.replicas);
+      break;
+    }
+    case EditOp::kAppendExtent: {
+      if (record.block >= blocks_.size()) {
+        throw std::runtime_error("apply_edit: extent for unknown block");
+      }
+      const auto it = open_blocks_.find(record.block);
+      if (it == open_blocks_.end()) break;  // block already sealed
+      if (record.extent_seq < it->second.extents_applied) break;  // applied
+      if (record.extent_seq > it->second.extents_applied) {
+        throw std::runtime_error("apply_edit: extent sequence gap");
+      }
+      append_extent_impl(record.block, record.data, record.num_records);
+      break;
+    }
+    case EditOp::kSealBlock:
+      if (open_blocks_.contains(record.block)) {
+        seal_block_impl(record.block);
+      }
+      break;
   }
 }
 
 std::uint64_t MiniDfs::namespace_digest() const {
   std::shared_lock lock(cs_->mu);
-  std::uint64_t h = common::hash_bytes("minidfs-namespace-v1");
+  std::uint64_t h = common::hash_bytes("minidfs-namespace-v2");
   std::vector<std::string> names;
   names.reserve(files_.size());
   for (const auto& [name, _] : files_) names.push_back(name);
@@ -649,6 +808,24 @@ std::uint64_t MiniDfs::namespace_digest() const {
       for (const NodeId n : reps) h = common::hash_combine(h, n);
       h = common::hash_combine(h, common::hash_bytes(block_data_[id]));
     }
+  }
+  // Open blocks are durable state too: a recovered NameNode must restore
+  // them (bytes, extent count, placement) exactly up to the last committed
+  // group, so the digest covers them alongside the sealed namespace.
+  h = common::hash_combine(h, open_blocks_.size());
+  for (const auto& [id, state] : open_blocks_) {
+    const BlockInfo& b = blocks_[id];
+    h = common::hash_combine(h, id);
+    h = common::hash_combine(h, common::hash_bytes(state.file));
+    h = common::hash_combine(h, state.extents_applied);
+    h = common::hash_combine(h, b.size_bytes);
+    h = common::hash_combine(h, b.num_records);
+    h = common::hash_combine(h, b.checksum);
+    std::vector<NodeId> reps = b.replicas;
+    std::sort(reps.begin(), reps.end());
+    h = common::hash_combine(h, reps.size());
+    for (const NodeId n : reps) h = common::hash_combine(h, n);
+    h = common::hash_combine(h, common::hash_bytes(block_data_[id]));
   }
   for (const bool active : node_active_) {
     h = common::hash_combine(h, active ? 1 : 0);

@@ -30,6 +30,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <optional>
 #include <shared_mutex>
@@ -65,6 +66,17 @@ struct BlockInfo {
   std::uint64_t num_records = 0;
   std::uint32_t checksum = 0;    // CRC32 of the block bytes at commit
   std::vector<NodeId> replicas;  // distinct nodes hosting a copy
+};
+
+// Snapshot of one open (unsealed) block: durable bytes that are not yet part
+// of the query surface. Returned by open_blocks() for fsck and recovery
+// audits.
+struct OpenBlockInfo {
+  BlockId id = 0;
+  std::string file;
+  std::uint64_t extents_applied = 0;  // group commits folded into the block
+  std::uint64_t size_bytes = 0;
+  std::uint64_t num_records = 0;
 };
 
 struct DfsOptions {
@@ -202,6 +214,36 @@ class MiniDfs {
   // True iff `node` hosts a replica of `id`.
   [[nodiscard]] bool is_local(BlockId id, NodeId node) const;
 
+  // ---- streaming ingestion (open blocks, PR 10) ----
+  //
+  // An open block is a block whose bytes are durable — placement is fixed
+  // and journaled at open, every append_extent is one journaled group
+  // commit — but which is NOT yet part of the query surface: blocks_of(),
+  // ElasticMap builds and selection see only sealed blocks, so a reader
+  // racing ingestion always observes a committed prefix of whole blocks.
+  // Open-block bytes may relocate on append, so pinned zero-copy reads
+  // refuse open blocks; plain read_block works on the mutator thread.
+  // All three mutators follow the single-mutator contract.
+
+  // Allocate the next block id for `path` (which must exist), place its
+  // replicas now, and journal the placement. The block starts empty.
+  BlockId open_block(const std::string& path);
+
+  // Append one group-committed extent (one journal frame + flush). `data`
+  // is raw line-oriented bytes (records already '\n'-terminated). The
+  // block's checksum is recomputed over the grown bytes so verify_block
+  // and checkpoints stay uniform across open and sealed blocks.
+  void append_extent(BlockId id, std::string_view data,
+                     std::uint64_t num_records);
+
+  // Publish the block into its file's block list (index_in_file assigned
+  // here) and journal the seal with the final record count + checksum.
+  void seal_block(BlockId id);
+
+  [[nodiscard]] bool is_block_open(BlockId id) const;
+  // Every open block, ascending by id.
+  [[nodiscard]] std::vector<OpenBlockInfo> open_blocks() const;
+
   // ---- fault handling ----
 
   // Take a node out of service. Every replica it held is re-created on an
@@ -336,8 +378,21 @@ class MiniDfs {
     std::atomic<std::uint64_t> mutation_epoch{0};
   };
 
+  // Per-open-block bookkeeping beyond what BlockInfo carries. Ordered map:
+  // digest and open_blocks() iterate it deterministically.
+  struct OpenBlockState {
+    std::string file;
+    std::uint64_t extents_applied = 0;
+  };
+
   BlockId commit_block(const std::string& path, std::string data,
                        std::uint64_t num_records);
+  // Lock-free internals shared by the live mutators and apply_edit.
+  BlockId open_block_impl(const std::string& path,
+                          std::vector<NodeId> replicas);
+  void append_extent_impl(BlockId id, std::string_view data,
+                          std::uint64_t num_records);
+  void seal_block_impl(BlockId id);
   [[nodiscard]] bool replica_marked_corrupt(BlockId id, NodeId node) const;
   [[nodiscard]] bool is_local_unlocked(BlockId id, NodeId node) const;
   [[nodiscard]] bool verify_block_unlocked(BlockId id) const;
@@ -389,6 +444,9 @@ class MiniDfs {
       std::make_unique<ConcurrencyState>();
   // (block -> nodes whose copy is marked bad); sparse, fault-injection only.
   std::unordered_map<BlockId, std::vector<NodeId>> corrupt_replicas_;
+  // Blocks opened but not yet sealed: present in blocks_/block_data_ (dense
+  // ids) but absent from files_ until seal_block publishes them.
+  std::map<BlockId, OpenBlockState> open_blocks_;
   EditLog* journal_ = nullptr;  // non-owning; nullptr = no durability
 };
 

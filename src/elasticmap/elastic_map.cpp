@@ -126,6 +126,11 @@ ElasticMapArray ElasticMapArray::from_parts(std::string path, BuildOptions optio
 }
 
 std::uint64_t ElasticMapArray::extend(const dfs::MiniDfs& dfs) {
+  return extend(dfs, ~0ull);
+}
+
+std::uint64_t ElasticMapArray::extend(const dfs::MiniDfs& dfs,
+                                      std::uint64_t max_blocks) {
   const auto& blocks = dfs.blocks_of(path_);
   if (blocks.size() < metas_.size()) {
     throw std::invalid_argument("extend: file shrank since the array was built");
@@ -137,7 +142,8 @@ std::uint64_t ElasticMapArray::extend(const dfs::MiniDfs& dfs) {
   }
   const SeparatorOptions sep = resolve_separator(options_, dfs);
   std::uint64_t added = 0;
-  for (std::size_t i = metas_.size(); i < blocks.size(); ++i) {
+  for (std::size_t i = metas_.size(); i < blocks.size() && added < max_blocks;
+       ++i) {
     std::uint64_t scanned = 0;
     metas_.push_back(scan_block(dfs, blocks[i], sep, options_, &scanned));
     block_ids_.push_back(blocks[i]);

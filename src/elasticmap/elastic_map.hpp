@@ -56,6 +56,11 @@ class ElasticMapArray {
   // the already-covered blocks as an unchanged prefix.
   std::uint64_t extend(const dfs::MiniDfs& dfs);
 
+  // Rate-limited variant: incorporate at most `max_blocks` of the appended
+  // blocks (oldest first) — the LiveMapMaintainer's tick primitive. Same
+  // prefix validation; max_blocks == 0 incorporates nothing.
+  std::uint64_t extend(const dfs::MiniDfs& dfs, std::uint64_t max_blocks);
+
   [[nodiscard]] std::uint64_t num_blocks() const noexcept { return metas_.size(); }
   [[nodiscard]] const BlockMeta& block_meta(std::uint64_t block_index) const;
   [[nodiscard]] dfs::BlockId block_id(std::uint64_t block_index) const;

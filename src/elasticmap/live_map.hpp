@@ -1,0 +1,93 @@
+#pragma once
+// elasticmap::LiveMapMaintainer — keeps one dataset's ElasticMapArray fresh
+// while the dataset grows (PR 10). Blocks sealed by the ingestion path are
+// incorporated as incremental deltas (ElasticMapArray::extend scans only the
+// new blocks: a dominant-set + Bloom-tail BlockMeta per block appended to
+// the array) instead of a full rebuild, rate-limited by the same tick/drain
+// discipline as dfs::ReplicationMonitor.
+//
+// Between deltas the map is measurably stale: every sub-dataset estimate
+// misses the bytes of sealed-but-uncovered blocks, so the accuracy drift is
+// bounded by the stale byte fraction — if a fraction f of the file's bytes
+// is uncovered, the Eq. 6 estimate is at most f low and |chi - 1| <= f.
+// The StalenessLedger tracks exactly that bound, plus a rebuild watermark
+// for when accumulated drift says a from-scratch build is warranted.
+//
+// Thread contract: the maintainer runs on the mutator side (the thread that
+// seals blocks, or a background compactor serialized with it); readers keep
+// using their own immutable snapshots (server::DatasetCache).
+
+#include <cstdint>
+#include <string>
+
+#include "dfs/mini_dfs.hpp"
+#include "elasticmap/elastic_map.hpp"
+
+namespace datanet::elasticmap {
+
+struct LiveMapOptions {
+  BuildOptions build;
+  std::uint32_t max_blocks_per_tick = 4;  // delta-apply rate limit
+  // When stale bytes exceed this fraction of the file's total bytes, the
+  // ledger recommends a full rebuild (drift bound considered too loose).
+  double rebuild_watermark = 0.25;
+  std::uint64_t max_drain_ticks = 100000;  // drain() safety valve
+};
+
+// Per-dataset staleness/accuracy accounting, refreshed by every scan/tick.
+struct StalenessLedger {
+  std::uint64_t covered_blocks = 0;  // blocks the map incorporates
+  std::uint64_t covered_bytes = 0;
+  std::uint64_t stale_blocks = 0;    // sealed since the last delta
+  std::uint64_t stale_bytes = 0;
+  // Upper bound on |chi - 1| from staleness alone:
+  // stale_bytes / (covered_bytes + stale_bytes); 0 when the file is empty.
+  double estimated_chi_drift = 0.0;
+  bool rebuild_recommended = false;  // drift past the rebuild watermark
+  std::uint64_t deltas_applied = 0;  // blocks incorporated incrementally
+  std::uint64_t full_rebuilds = 0;
+  std::uint64_t scans = 0;
+  std::uint64_t ticks = 0;
+};
+
+class LiveMapMaintainer {
+ public:
+  // Builds the initial map over `path` (which may have zero blocks so far).
+  LiveMapMaintainer(const dfs::MiniDfs& dfs, std::string path,
+                    LiveMapOptions options = {});
+
+  // Refresh the ledger against the live namespace; returns the number of
+  // stale (sealed but uncovered) blocks. Skipped cheaply when the DFS
+  // mutation epoch has not moved since the last scan.
+  std::uint64_t scan();
+
+  // One unit of background time: incorporate up to max_blocks_per_tick
+  // stale blocks as deltas. Returns the number of blocks applied.
+  std::uint64_t tick();
+
+  // scan + tick until no stale blocks remain; returns ticks spent.
+  std::uint64_t drain();
+
+  // From-scratch rebuild (what the deltas amortize away); resets staleness
+  // and bumps full_rebuilds. Returns the number of blocks covered.
+  std::uint64_t full_rebuild();
+
+  [[nodiscard]] const StalenessLedger& ledger() const noexcept {
+    return ledger_;
+  }
+  [[nodiscard]] const ElasticMapArray& map() const noexcept { return map_; }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  void refresh_ledger();
+
+  const dfs::MiniDfs& dfs_;
+  std::string path_;
+  LiveMapOptions options_;
+  ElasticMapArray map_;
+  StalenessLedger ledger_;
+  std::uint64_t scanned_epoch_ = 0;
+  bool scanned_ = false;
+};
+
+}  // namespace datanet::elasticmap

@@ -44,6 +44,8 @@ const char* fault_mode_name(FaultMode m) noexcept {
       return "stall";
     case FaultMode::kSplit:
       return "split";
+    case FaultMode::kCorrupt:
+      return "corrupt";
   }
   return "unknown";
 }
@@ -85,9 +87,9 @@ void ChaosProxy::stop() {
 }
 
 FaultMode ChaosProxy::mode_of(std::uint64_t index) const {
-  const std::uint32_t weights[5] = {plan_.weight_clean, plan_.weight_reset,
+  const std::uint32_t weights[6] = {plan_.weight_clean,    plan_.weight_reset,
                                     plan_.weight_truncate, plan_.weight_stall,
-                                    plan_.weight_split};
+                                    plan_.weight_split,    plan_.weight_corrupt};
   std::uint64_t total = 0;
   for (const std::uint32_t w : weights) total += w;
   if (total == 0) return FaultMode::kClean;
@@ -95,7 +97,7 @@ FaultMode ChaosProxy::mode_of(std::uint64_t index) const {
   // fault schedule is a pure function of the seed, independent of timing.
   std::mt19937_64 rng(plan_.seed ^ (index * 0x9e3779b97f4a7c15ull + 1));
   std::uint64_t draw = rng() % total;
-  for (std::uint8_t m = 0; m < 5; ++m) {
+  for (std::uint8_t m = 0; m < 6; ++m) {
     if (draw < weights[m]) return static_cast<FaultMode>(m);
     draw -= weights[m];
   }
@@ -127,15 +129,19 @@ void ChaosProxy::accept_loop() {
         case FaultMode::kSplit:
           ++stats_.splits;
           break;
+        case FaultMode::kCorrupt:
+          ++stats_.corruptions;
+          break;
       }
     }
     Relay r;
     r.client = std::make_shared<Fd>(std::move(*client));
     r.upstream = std::make_shared<Fd>();
     r.thread = std::thread([this, client_fd = r.client,
-                            upstream_fd = r.upstream, mode] {
+                            upstream_fd = r.upstream, mode,
+                            conn = index - 1] {
       try {
-        relay(client_fd, upstream_fd, mode);
+        relay(client_fd, upstream_fd, mode, conn);
       } catch (const std::exception&) {
         // A torn connection is chaos working as intended, not a proxy bug.
       }
@@ -148,7 +154,8 @@ void ChaosProxy::accept_loop() {
 }
 
 void ChaosProxy::relay(const std::shared_ptr<Fd>& client,
-                       const std::shared_ptr<Fd>& upstream, FaultMode mode) {
+                       const std::shared_ptr<Fd>& upstream, FaultMode mode,
+                       std::uint64_t index) {
   if (mode == FaultMode::kReset) return;  // slam the door unread
 
   // The Relay entry shares this Fd, so stop() can shut it and unblock a
@@ -156,9 +163,24 @@ void ChaosProxy::relay(const std::shared_ptr<Fd>& client,
   *upstream = connect_loopback(upstream_port_);
   const Fd& up = *upstream;
 
+  bool corrupted = false;
   for (;;) {
     auto request = read_frame(*client);
     if (!request.has_value()) return;  // client done
+    if (mode == FaultMode::kCorrupt && !corrupted &&
+        request->size() > kFrameHeaderBytes) {
+      // Flip one seeded bit inside the request PAYLOAD (header untouched so
+      // the upstream stream stays framed and the damage is the payload CRC's
+      // problem, exactly the surface a flaky NIC would hit). Seeded from
+      // (plan seed, connection index) like mode_of, so the drill replays.
+      std::mt19937_64 rng(plan_.seed ^ (index * 0x9e3779b97f4a7c15ull + 2));
+      const std::size_t payload_bits =
+          (request->size() - kFrameHeaderBytes) * 8;
+      const std::size_t bit = rng() % payload_bits;
+      (*request)[kFrameHeaderBytes + bit / 8] ^=
+          static_cast<char>(1u << (bit % 8));
+      corrupted = true;
+    }
     write_all(up, *request);
     auto reply = read_frame(up);
     if (!reply.has_value()) return;  // server went away
@@ -198,6 +220,9 @@ void ChaosProxy::relay(const std::shared_ptr<Fd>& client,
         break;  // keep relaying further exchanges
       }
       case FaultMode::kClean:
+      case FaultMode::kCorrupt:
+        // Corruption happened on the way UP; the server's typed rejection
+        // (and its connection drop) comes back verbatim.
         write_all(*client, *reply);
         break;
       case FaultMode::kReset:

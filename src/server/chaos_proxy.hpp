@@ -14,6 +14,11 @@
 //   kSplit     relay faithfully but dribble the reply in split_bytes chunks
 //              with delay_ms pauses (MUST still succeed end-to-end with the
 //              golden digest: slow is not wrong)
+//   kCorrupt   flip one seeded bit inside the first relayed request frame's
+//              payload (mid-connection byte corruption — the frame header
+//              stays intact so the stream stays framed). The server's CRC
+//              check must surface this as a typed bad_request and drop the
+//              connection; a wrong answer is the one forbidden outcome
 //   kClean     relay faithfully
 //
 // Determinism: connection k's fault is drawn from mt19937_64(seed ^ k) over
@@ -39,6 +44,7 @@ enum class FaultMode : std::uint8_t {
   kTruncate = 2,
   kStall = 3,
   kSplit = 4,
+  kCorrupt = 5,
 };
 
 [[nodiscard]] const char* fault_mode_name(FaultMode m) noexcept;
@@ -51,6 +57,9 @@ struct ChaosPlan {
   std::uint32_t weight_truncate = 1;
   std::uint32_t weight_stall = 1;
   std::uint32_t weight_split = 1;
+  // Default 0 so pre-existing drill schedules (pure functions of the seed
+  // over the five original weights) replay unchanged; opt in explicitly.
+  std::uint32_t weight_corrupt = 0;
   std::uint32_t stall_ms = 400;   // silence injected by kStall
   std::uint32_t delay_ms = 1;     // pause between kSplit chunks
   std::uint32_t split_bytes = 7;  // kSplit chunk size (deliberately odd)
@@ -65,6 +74,7 @@ class ChaosProxy {
     std::uint64_t truncations = 0;
     std::uint64_t stalls = 0;
     std::uint64_t splits = 0;
+    std::uint64_t corruptions = 0;
   };
 
   // Binds an ephemeral loopback listener; relaying starts in start().
@@ -85,7 +95,8 @@ class ChaosProxy {
  private:
   void accept_loop();
   void relay(const std::shared_ptr<Fd>& client,
-             const std::shared_ptr<Fd>& upstream, FaultMode mode);
+             const std::shared_ptr<Fd>& upstream, FaultMode mode,
+             std::uint64_t index);
 
   ChaosPlan plan_;
   std::uint16_t upstream_port_;

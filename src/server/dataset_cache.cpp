@@ -1,6 +1,16 @@
 #include "server/dataset_cache.hpp"
 
+#include <chrono>
+#include <stdexcept>
+
 namespace datanet::server {
+
+std::uint64_t DatasetCache::now_micros() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 std::shared_ptr<const core::DataNet> DatasetCache::get(
     const dfs::MiniDfs& dfs, const std::string& path) {
@@ -25,6 +35,7 @@ std::shared_ptr<const core::DataNet> DatasetCache::get_impl(
       entries_.erase(it);
     } else if (e.epoch == epoch) {
       ++stats_.hits;
+      e.validated_micros = now_micros();
       return e.net;
     } else if (dfs.blocks_of(path).size() == e.num_blocks) {
       // Epoch moved on the same instance: distinguish replica churn
@@ -32,7 +43,33 @@ std::shared_ptr<const core::DataNet> DatasetCache::get_impl(
       // ElasticMap still exact) from growth or recreation of the file.
       e.epoch = epoch;
       ++stats_.revalidations;
+      e.validated_micros = now_micros();
       return e.net;
+    } else if (dfs.blocks_of(path).size() > e.num_blocks) {
+      // Growth on the same instance (streaming ingestion sealed new blocks):
+      // delta-apply. The new bundle copies the cached ElasticMap and scans
+      // only the appended blocks; extend() validates that the covered block
+      // prefix is unchanged and throws when the file was actually recreated
+      // with more blocks, in which case we fall through to a full rebuild.
+      try {
+        // Copy (not move) the pin: if extend() throws we still need it for
+        // the full-rebuild fallback. The unpinned variant gets a non-owning
+        // alias — same lifetime contract as the ref-ctor path.
+        auto pinned = pin != nullptr
+                          ? pin
+                          : std::shared_ptr<const dfs::MiniDfs>(
+                                std::shared_ptr<const dfs::MiniDfs>{}, &dfs);
+        auto net = std::make_shared<const core::DataNet>(std::move(pinned),
+                                                         path, e.net->meta());
+        e.net = net;
+        e.epoch = epoch;
+        e.num_blocks = static_cast<std::size_t>(net->meta().num_blocks());
+        e.validated_micros = now_micros();
+        ++stats_.delta_applies;
+        return net;
+      } catch (const std::invalid_argument&) {
+        entries_.erase(it);  // prefix changed: rebuild from scratch below
+      }
     } else {
       entries_.erase(it);
     }
@@ -54,7 +91,8 @@ std::shared_ptr<const core::DataNet> DatasetCache::get_impl(
                                .src = &dfs,
                                .epoch = epoch,
                                .num_blocks = static_cast<std::size_t>(
-                                   net->meta().num_blocks())});
+                                   net->meta().num_blocks()),
+                               .validated_micros = now_micros()});
   ++stats_.rebuilds;
   return net;
 }
@@ -69,11 +107,14 @@ std::shared_ptr<const core::DataNet> DatasetCache::get(
   return get_impl(dfs, path, plane.dfs_snapshot(plane.shard_of(path)));
 }
 
-std::shared_ptr<const core::DataNet> DatasetCache::get_stale(
+DatasetCache::StaleBundle DatasetCache::get_stale(
     const std::string& path) const {
   std::lock_guard lock(mu_);
   const auto it = entries_.find(path);
-  return it == entries_.end() ? nullptr : it->second.net;
+  if (it == entries_.end()) return {};
+  const std::uint64_t now = now_micros();
+  const std::uint64_t then = it->second.validated_micros;
+  return {it->second.net, now > then ? now - then : 0};
 }
 
 void DatasetCache::invalidate(const std::string& path) {

@@ -14,8 +14,12 @@
 //     are unchanged, so the ElasticMap is still exact: revalidate the entry
 //     at the new epoch instead of rebuilding. This is what keeps a serving
 //     daemon's cache warm while a ReplicationMonitor heals underneath it.
-//   * epoch moved, block count changed -> the file grew or was recreated:
-//     drop and rebuild.
+//   * epoch moved, block count GREW on the same instance -> the file was
+//     appended to (streaming ingestion): DELTA-APPLY — copy the cached
+//     entry's ElasticMap and incrementally scan only the new blocks
+//     (ElasticMapArray::extend) instead of rebuilding from scratch. Falls
+//     back to a full rebuild if the covered prefix changed underneath.
+//   * anything else (shrank, recreated, different instance) -> rebuild.
 // Byte-flips from corrupt_block are deliberately treated as transient
 // (repair restores the committed bytes); the estimates a momentarily-corrupt
 // block contributes were built from the committed content, which is also
@@ -39,6 +43,7 @@ class DatasetCache {
     std::uint64_t hits = 0;
     std::uint64_t revalidations = 0;  // replica churn only: entry kept
     std::uint64_t rebuilds = 0;       // misses + invalidations
+    std::uint64_t delta_applies = 0;  // growth absorbed incrementally
   };
 
   // Shared immutable snapshot for `path` on `dfs`, building it on miss.
@@ -64,14 +69,18 @@ class DatasetCache {
   [[nodiscard]] std::shared_ptr<const core::DataNet> get(
       const dfs::MetaPlane& plane, const std::string& path);
 
-  // Degraded-mode read (PR 9): the last successfully built bundle for
+  // Degraded-mode read (PR 9/10): the last successfully built bundle for
   // `path`, WITHOUT epoch validation — the owning shard may be down, so
-  // there is nothing to validate against. nullptr when no bundle was ever
-  // built (a cold cache cannot serve degraded). The snapshot is immutable
-  // and epoch-tagged, so when the shard comes back the normal get() path
-  // revalidates or rebuilds as usual.
-  [[nodiscard]] std::shared_ptr<const core::DataNet> get_stale(
-      const std::string& path) const;
+  // there is nothing to validate against. net == nullptr when no bundle was
+  // ever built (a cold cache cannot serve degraded). age_micros says how
+  // long ago the entry was last known fresh (built, revalidated, delta-
+  // applied, or hit with an unchanged epoch), so degraded replies can carry
+  // their staleness instead of silently trusting the bundle.
+  struct StaleBundle {
+    std::shared_ptr<const core::DataNet> net;
+    std::uint64_t age_micros = 0;
+  };
+  [[nodiscard]] StaleBundle get_stale(const std::string& path) const;
 
   void invalidate(const std::string& path);
   [[nodiscard]] Stats stats() const;
@@ -89,7 +98,12 @@ class DatasetCache {
     const dfs::MiniDfs* src = nullptr;
     std::uint64_t epoch = 0;
     std::size_t num_blocks = 0;
+    // steady-clock stamp of the last moment the entry was known to match
+    // the live namespace; get_stale reports now - this as the bundle's age.
+    std::uint64_t validated_micros = 0;
   };
+
+  [[nodiscard]] static std::uint64_t now_micros();
 
   [[nodiscard]] std::shared_ptr<const core::DataNet> get_impl(
       const dfs::MiniDfs& dfs, const std::string& path,

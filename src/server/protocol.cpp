@@ -102,7 +102,8 @@ std::string encode_query_ok(const QueryReply& r) {
   wire::put_u64(out, r.blocks_scanned);
   wire::put_u64(out, r.service_micros);
   wire::put_u64(out, r.queue_micros);
-  out.push_back(r.degraded ? 1 : 0);  // v2 suffix
+  out.push_back(r.degraded ? 1 : 0);    // v2 suffix
+  wire::put_u64(out, r.staleness_micros);  // v3 suffix
   return out;
 }
 
@@ -146,6 +147,7 @@ std::string encode_stats_ok(const ServerStats& s) {
     wire::put_u64(out, t.completed);
     wire::put_u64(out, t.queue_wait_micros);
   }
+  wire::put_u64(out, s.cache_delta_applies);  // v3 suffix
   return out;
 }
 
@@ -192,8 +194,10 @@ QueryReply decode_query_ok(std::string_view payload) {
     r.blocks_scanned = c.u64();
     r.service_micros = c.u64();
     r.queue_micros = c.u64();
-    // v1 payloads end here; v2 appends the degraded flag.
+    // v1 payloads end here; v2 appends the degraded flag, v3 the staleness
+    // age of a degraded reply's bundle.
     if (!c.exhausted()) r.degraded = c.u8() != 0;
+    if (!c.exhausted()) r.staleness_micros = c.u64();
     expect_drained(c);
     return r;
   } catch (const ProtocolError&) {
@@ -252,6 +256,8 @@ ServerStats decode_stats_ok(std::string_view payload) {
       t.completed = c.u64();
       t.queue_wait_micros = c.u64();
     }
+    // v2 payloads end here; v3 appends the delta-apply counter.
+    if (!c.exhausted()) s.cache_delta_applies = c.u64();
     expect_drained(c);
     return s;
   } catch (const ProtocolError&) {

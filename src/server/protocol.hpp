@@ -31,11 +31,12 @@ constexpr std::size_t kFrameHeaderBytes = 12;
 constexpr std::uint32_t kMaxPayloadBytes = 1u << 20;
 
 // Message-layer version. v2 (PR 9) appends a deadline budget to kQuery and a
-// degraded flag to kQueryOk. The frame magic is unchanged; v2 decoders accept
-// v1 payloads (the appended fields default off), so an old client can talk to
-// a new server and vice versa — the back-compat contract the round-trip
-// tests pin.
-constexpr std::uint32_t kWireVersion = 2;
+// degraded flag to kQueryOk. v3 (PR 10) appends a staleness age to kQueryOk
+// and a delta-apply counter to kStatsOk. The frame magic is unchanged;
+// decoders accept older payloads (appended fields default off), so an old
+// client can talk to a new server and vice versa — the back-compat contract
+// the round-trip tests pin.
+constexpr std::uint32_t kWireVersion = 3;
 
 enum class MsgType : std::uint8_t {
   kQuery = 1,       // client -> server: run one selection
@@ -83,6 +84,10 @@ struct QueryReply {
   // metadata shard was down and the server answered from its epoch-cached
   // bundle (last validated DataNet + last-known block placement).
   bool degraded = false;
+  // v3: how long ago the bundle that answered a DEGRADED reply was last
+  // known fresh (validated against the live namespace), in microseconds.
+  // Zero on non-degraded replies: those were validated on this query.
+  std::uint64_t staleness_micros = 0;
 };
 
 struct Rejection {
@@ -118,6 +123,9 @@ struct ServerStats {
   std::uint64_t circuit_rejected = 0;
   std::uint32_t meta_shards = 1;  // metadata plane shard count
   std::vector<TenantMeter> tenants;  // dispatcher registration order
+  // v3: dataset-cache growth absorbed by delta-apply (incremental ElasticMap
+  // extension) instead of a full rebuild.
+  std::uint64_t cache_delta_applies = 0;
 };
 
 // ---- frame layer ----

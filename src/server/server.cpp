@@ -369,6 +369,7 @@ ServerStats Server::snapshot_stats() const {
   s.cache_hits = cs.hits;
   s.cache_revalidations = cs.revalidations;
   s.cache_rebuilds = cs.rebuilds;
+  s.cache_delta_applies = cs.delta_applies;
   s.meta_shards = plane_.num_shards();
   s.degraded_served = degraded_served_.load(std::memory_order_relaxed);
   s.deadline_shed = deadline_shed_.load(std::memory_order_relaxed);
@@ -425,8 +426,11 @@ QueryOutcome Server::run_job(const DispatchJob& job) {
   }
   try {
     std::shared_ptr<const core::DataNet> stale;
+    std::uint64_t staleness_micros = 0;
     if (job.request.use_datanet_meta) {
-      stale = cache_.get_stale(dataset_.path);
+      auto bundle = cache_.get_stale(dataset_.path);
+      stale = bundle.net;
+      staleness_micros = bundle.age_micros;
       if (stale == nullptr) {
         // Cold cache: nothing trustworthy to serve from. Typed, not an
         // error — the client may retry after recover_shard.
@@ -443,6 +447,10 @@ QueryOutcome Server::run_job(const DispatchJob& job) {
                             job.request, opts_.cfg);
     if (outcome.ok) {
       outcome.reply.degraded = true;
+      // How long since the bundle was last known fresh: the client can
+      // decide whether an aged answer is still acceptable (PR 9 leftover —
+      // degraded mode used to trust the cached bundle silently).
+      outcome.reply.staleness_micros = staleness_micros;
       degraded_served_.fetch_add(1, std::memory_order_relaxed);
     }
     return outcome;

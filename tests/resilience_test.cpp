@@ -376,8 +376,55 @@ TEST(ChaosProxy, FaultScheduleIsPureFunctionOfSeed) {
     EXPECT_EQ(a.mode_of(k), b.mode_of(k));
     modes_seen[static_cast<std::uint8_t>(a.mode_of(k))] = true;
   }
-  // With equal weights, 64 draws cover every mode.
+  // With equal weights, 64 draws cover every mode. kCorrupt is opt-in
+  // (weight 0 by default) precisely so this schedule is unchanged from the
+  // five-mode plans older drills were seeded with.
   for (const bool seen : modes_seen) EXPECT_TRUE(seen);
+
+  srv::ChaosPlan with_corrupt = plan;
+  with_corrupt.weight_corrupt = 5;
+  srv::ChaosProxy c(1, with_corrupt);
+  bool corrupt_drawn = false;
+  for (std::uint64_t k = 0; k < 64; ++k) {
+    corrupt_drawn |= c.mode_of(k) == srv::FaultMode::kCorrupt;
+  }
+  EXPECT_TRUE(corrupt_drawn);
+}
+
+// ---- mid-connection byte corruption (PR 10 satellite) ----
+
+TEST(ChaosProxy, CorruptedRequestIsTypedBadRequestNeverAWrongAnswer) {
+  srv::ServerOptions opts = small_server();
+  srv::Server server(opts);
+  server.start();
+  srv::ChaosPlan plan;
+  plan.seed = 99;
+  plan.weight_clean = 0;
+  plan.weight_reset = 0;
+  plan.weight_truncate = 0;
+  plan.weight_stall = 0;
+  plan.weight_split = 0;
+  plan.weight_corrupt = 1;  // every connection flips one request payload bit
+  srv::ChaosProxy proxy(server.port(), plan);
+  proxy.start();
+
+  // Different connection indices flip different seeded bits; whatever the
+  // bit, the server's frame CRC must catch it — a typed bad_request and a
+  // dropped connection. A computed (wrong) answer is the forbidden outcome.
+  for (int i = 0; i < 8; ++i) {
+    srv::Client client(proxy.port(), 2'000);
+    const auto result =
+        client.query(query_for("alice", server.dataset().hot_keys.front()));
+    ASSERT_EQ(result.status, srv::ClientResult::Status::kRejected) << i;
+    EXPECT_EQ(result.rejection.reason, srv::RejectReason::kBadRequest) << i;
+    EXPECT_THROW(
+        (void)client.query(query_for("alice", "k")), srv::SocketError)
+        << "connection " << i << " survived a corrupted frame";
+  }
+  EXPECT_EQ(proxy.stats().corruptions, 8u);
+  EXPECT_EQ(server.queries_served(), 0u);
+  proxy.stop();
+  server.stop();
 }
 
 // ---- deadline shedding ----
@@ -437,6 +484,7 @@ TEST(ServerResilience, ServesDegradedFromCachedBundleWhileShardDown) {
   const auto before = client.query(q);
   ASSERT_TRUE(before.ok());
   EXPECT_FALSE(before.reply.degraded);
+  EXPECT_EQ(before.reply.staleness_micros, 0u);
 
   // NameNode down, DataNodes up: the owning shard refuses routed access but
   // the block bytes and the cached bundle survive.
@@ -446,8 +494,10 @@ TEST(ServerResilience, ServesDegradedFromCachedBundleWhileShardDown) {
   ASSERT_TRUE(during.ok());
   EXPECT_TRUE(during.reply.degraded);
   // Degraded is stale-tolerant, not wrong: nothing mutated, so the digest
-  // is still golden.
+  // is still golden — and the reply says HOW stale the bundle is (time
+  // since it was last validated against the live namespace).
   EXPECT_EQ(during.reply.digest, before.reply.digest);
+  EXPECT_GT(during.reply.staleness_micros, 0u);
   EXPECT_EQ(server.degraded_served(), 1u);
 
   // Recovery restores normal (non-degraded) service.
@@ -489,7 +539,7 @@ TEST(DatasetCacheLifetime, RecoveredShardRebuildsWhileStaleBundleStaysAlive) {
 
   plane.crash_shard(0);
   // Degraded reads hand back the same bundle, un-revalidated.
-  EXPECT_EQ(cache.get_stale(path).get(), warm.get());
+  EXPECT_EQ(cache.get_stale(path).net.get(), warm.get());
   (void)plane.recover_shard(0);
 
   // Post-recovery get() must REBUILD, not revalidate: the recovered shard

@@ -2,7 +2,7 @@
 // multi-tenant admission control with typed rejections, deficit-round-robin
 // fairness (flooder vs trickler, weighted shares, deterministic dispatch
 // order), DatasetCache epoch invalidation (hit / replica-churn revalidation
-// / growth rebuild), and the loopback end-to-end paths: served digests
+// / growth delta-apply), and the loopback end-to-end paths: served digests
 // matching in-process golden runs, bad-request handling, admission
 // rejections over the wire, graceful shutdown with drain, and queries
 // racing live replica churn (the zero-copy pinned-read path under a
@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "datanet/experiment.hpp"
+#include "elasticmap/elastic_map.hpp"
 #include "server/client.hpp"
 #include "server/dataset_cache.hpp"
 #include "server/dispatcher.hpp"
@@ -79,12 +80,16 @@ TEST(ServerProtocol, ReplyAndRejectionRoundTrip) {
   r.blocks_scanned = 13;
   r.service_micros = 999;
   r.queue_micros = 5;
+  r.degraded = true;
+  r.staleness_micros = 123'456;
   const srv::QueryReply back = srv::decode_query_ok(srv::encode_query_ok(r));
   EXPECT_EQ(back.digest, r.digest);
   EXPECT_EQ(back.matched_bytes, r.matched_bytes);
   EXPECT_EQ(back.blocks_scanned, r.blocks_scanned);
   EXPECT_EQ(back.service_micros, r.service_micros);
   EXPECT_EQ(back.queue_micros, r.queue_micros);
+  EXPECT_TRUE(back.degraded);
+  EXPECT_EQ(back.staleness_micros, 123'456u);
 
   const srv::Rejection rej = srv::decode_rejected(srv::encode_rejected(
       {srv::RejectReason::kQueueFull, "tenant queue is full"}));
@@ -330,7 +335,7 @@ TEST(DatasetCache, HitRevalidateAndRebuild) {
   EXPECT_EQ(cache.stats().revalidations, 2u);
 }
 
-TEST(DatasetCache, GrowthUnderTheSamePathRebuilds) {
+TEST(DatasetCache, GrowthUnderTheSamePathDeltaApplies) {
   dfs::MiniDfs mini(dfs::ClusterTopology::flat(4),
                     {.block_size = 1024, .replication = 2, .seed = 7});
   srv::DatasetCache cache;
@@ -346,10 +351,20 @@ TEST(DatasetCache, GrowthUnderTheSamePathRebuilds) {
   for (int i = 0; i < 8; ++i) writer.append("100\tk\t" + payload);
   writer.close();
   ASSERT_GT(mini.blocks_of("/data/log").size(), before);
+  // Streaming growth: the cache extends the prior map over the appended
+  // blocks instead of rescanning the whole file — a NEW bundle (immutable
+  // snapshots for in-flight queries), but no second full rebuild.
   const auto big = cache.get(mini, "/data/log");
   EXPECT_NE(big.get(), small.get());
-  EXPECT_EQ(cache.stats().rebuilds, 2u);
+  EXPECT_EQ(cache.stats().rebuilds, 1u);
+  EXPECT_EQ(cache.stats().delta_applies, 1u);
   EXPECT_EQ(big->meta().num_blocks(), mini.blocks_of("/data/log").size());
+  // The delta-applied map answers exactly like a from-scratch build.
+  const auto fresh =
+      datanet::elasticmap::ElasticMapArray::build(mini, "/data/log", {});
+  const auto id = datanet::workload::subdataset_id("100");
+  EXPECT_EQ(big->meta().estimate_total_size(id),
+            fresh.estimate_total_size(id));
 }
 
 // ---- end to end over loopback ----
@@ -592,6 +607,7 @@ TEST(ServerProtocol, StatsRoundTrip) {
   s.cache_hits = 40;
   s.cache_revalidations = 1;
   s.cache_rebuilds = 1;
+  s.cache_delta_applies = 6;
   s.meta_shards = 4;
   srv::TenantMeter a;
   a.tenant = "alice";
@@ -614,6 +630,7 @@ TEST(ServerProtocol, StatsRoundTrip) {
   EXPECT_EQ(decoded.queries_served, 42u);
   EXPECT_EQ(decoded.meta_shards, 4u);
   EXPECT_EQ(decoded.cache_hits, 40u);
+  EXPECT_EQ(decoded.cache_delta_applies, 6u);
   ASSERT_EQ(decoded.tenants.size(), 2u);
   EXPECT_EQ(decoded.tenants[0].tenant, "alice");
   EXPECT_EQ(decoded.tenants[0].rejected_queue_full, 2u);
@@ -703,7 +720,7 @@ TEST(ServerProtocolV2, QueryDecodesV1PayloadWithoutDeadline) {
                srv::ProtocolError);
 }
 
-TEST(ServerProtocolV2, QueryOkDecodesV1PayloadWithoutDegraded) {
+TEST(ServerProtocolV2, QueryOkDecodesOlderPayloadsWithoutSuffixes) {
   srv::QueryReply r;
   r.digest = 42;
   r.matched_bytes = 7;
@@ -711,14 +728,27 @@ TEST(ServerProtocolV2, QueryOkDecodesV1PayloadWithoutDegraded) {
   r.service_micros = 11;
   r.queue_micros = 5;
   r.degraded = true;
-  const std::string v2 = srv::encode_query_ok(r);
-  EXPECT_TRUE(srv::decode_query_ok(v2).degraded);
+  r.staleness_micros = 9'000;
+  const std::string v3 = srv::encode_query_ok(r);
+  EXPECT_TRUE(srv::decode_query_ok(v3).degraded);
+  EXPECT_EQ(srv::decode_query_ok(v3).staleness_micros, 9'000u);
 
-  const std::string v1 = v2.substr(0, v2.size() - 1);
-  const srv::QueryReply back = srv::decode_query_ok(v1);
-  EXPECT_EQ(back.digest, 42u);
-  EXPECT_EQ(back.queue_micros, 5u);
-  EXPECT_FALSE(back.degraded);  // suffix absent -> not degraded
+  // v2 payload: degraded flag, no staleness word.
+  const std::string v2 = v3.substr(0, v3.size() - 8);
+  const srv::QueryReply back2 = srv::decode_query_ok(v2);
+  EXPECT_TRUE(back2.degraded);
+  EXPECT_EQ(back2.staleness_micros, 0u);  // suffix absent -> unknown age
+
+  // v1 payload: neither suffix.
+  const std::string v1 = v3.substr(0, v3.size() - 9);
+  const srv::QueryReply back1 = srv::decode_query_ok(v1);
+  EXPECT_EQ(back1.digest, 42u);
+  EXPECT_EQ(back1.queue_micros, 5u);
+  EXPECT_FALSE(back1.degraded);  // suffix absent -> not degraded
+
+  // A TORN staleness word is a protocol error, not silently dropped.
+  EXPECT_THROW(srv::decode_query_ok(v3.substr(0, v3.size() - 3)),
+               srv::ProtocolError);
 }
 
 TEST(ServerProtocolV2, NewRejectReasonsRoundTrip) {

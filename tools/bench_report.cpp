@@ -13,9 +13,11 @@
 // kill-one-shard recovery wall over a 1/4/16 shard sweep, client lease-cache
 // hit rate — PR 8's sharded metadata plane), a resilience section (serving
 // through a seeded ChaosProxy via the retrying client across a
-// crash/degrade/recover cycle — PR 9, see chaos_drill), plus the
-// deterministic simulated report totals. Redirect to BENCH_PR9.json via
-// tools/bench_report.sh.
+// crash/degrade/recover cycle — PR 9, see chaos_drill), an ingest section
+// (journaled group-commit append throughput, delta-apply vs full-rebuild
+// map maintenance wall, and the chi-drift-vs-maintenance-interval curve —
+// PR 10's streaming ingestion), plus the deterministic simulated report
+// totals. Redirect to BENCH_PR10.json via tools/bench_report.sh.
 
 #include <algorithm>
 #include <chrono>
@@ -32,12 +34,15 @@
 #include "apps/word_count.hpp"
 #include "common/simd_scan.hpp"
 #include "datanet/selection_runtime.hpp"
+#include "dfs/edit_log.hpp"
 #include "dfs/fault_injector.hpp"
 #include "dfs/fsck.hpp"
 #include "dfs/hash_ring.hpp"
+#include "dfs/ingest.hpp"
 #include "dfs/meta_client.hpp"
 #include "dfs/meta_plane.hpp"
 #include "dfs/replication_monitor.hpp"
+#include "elasticmap/live_map.hpp"
 #include "mapred/report_json.hpp"
 #include "scheduler/datanet_sched.hpp"
 #include "scheduler/locality.hpp"
@@ -46,6 +51,9 @@
 #include "server/resilient_client.hpp"
 #include "server/server.hpp"
 #include "stats/descriptive.hpp"
+#include "workload/dataset.hpp"
+#include "workload/movie_gen.hpp"
+#include "workload/record.hpp"
 
 namespace {
 
@@ -640,6 +648,124 @@ int main() {
                 cwall > 0
                     ? static_cast<double>(n_golden + n_degraded) / cwall
                     : 0.0);
+  }
+  std::printf("  },\n");
+
+  // Streaming ingestion (PR 10): journaled group-commit append throughput,
+  // the wall-clock case for delta-applying sealed blocks into the ElasticMap
+  // instead of rebuilding it, and the chi-drift bound as a function of how
+  // often the maintainer drains (EXPERIMENTS.md's drift-vs-interval curve).
+  // delta_matches_rebuild is the deterministic contract field: the
+  // incrementally maintained map must answer exactly like a fresh build.
+  std::printf("  \"ingest\": {\n");
+  {
+    workload::MovieGenOptions gopt;
+    gopt.num_records = 40'000;
+    gopt.num_movies = 24;
+    gopt.seed = 2016;
+    std::vector<std::string> lines;
+    std::uint64_t stream_bytes = 0;
+    for (const auto& r : workload::MovieLogGenerator(gopt).generate()) {
+      lines.push_back(workload::encode_record(r));
+      stream_bytes += lines.back().size() + 1;
+    }
+    dfs::DfsOptions dopt;
+    dopt.block_size = 16 * 1024;
+    dopt.replication = 3;
+    dopt.seed = 42;
+    const std::string path = "/bench/stream.log";
+    const auto bench_dir =
+        std::filesystem::temp_directory_path() / "datanet_bench_ingest";
+    std::filesystem::remove_all(bench_dir);
+    std::filesystem::create_directories(bench_dir);
+
+    // Append throughput through the full durable path: every group commit is
+    // one framed-and-flushed journal record. Fresh cluster per rep.
+    const double append_secs = best_of(3, [&] {
+      dfs::MiniDfs mini(dfs::ClusterTopology::flat(16), dopt);
+      dfs::EditLog journal((bench_dir / "ingest.edits").string());
+      mini.attach_edit_log(&journal);
+      dfs::Ingestor ing(mini, path, {.group_records = 64});
+      for (const auto& line : lines) ing.append(line);
+    });
+    std::printf("    \"records\": %zu,\n", lines.size());
+    std::printf("    \"append_records_per_sec\": %.0f,\n",
+                append_secs > 0
+                    ? static_cast<double>(lines.size()) / append_secs
+                    : 0.0);
+    std::printf("    \"append_mib_per_sec\": %.1f,\n",
+                append_secs > 0 ? static_cast<double>(stream_bytes) /
+                                      (1 << 20) / append_secs
+                                : 0.0);
+
+    // Delta-apply vs full rebuild: cover the first half, stream the second,
+    // then time catching the map up by deltas vs rebuilding it from scratch.
+    // One shot each (the maintainer state is consumed by the drain).
+    dfs::MiniDfs mini(dfs::ClusterTopology::flat(16), dopt);
+    {
+      dfs::Ingestor ing(mini, path, {.group_records = 64});
+      for (std::size_t i = 0; i < lines.size() / 2; ++i) ing.append(lines[i]);
+    }
+    elasticmap::LiveMapMaintainer maint(mini, path, {});
+    {
+      dfs::Ingestor ing(mini, path, {.group_records = 64});
+      for (std::size_t i = lines.size() / 2; i < lines.size(); ++i) {
+        ing.append(lines[i]);
+      }
+    }
+    const auto d0 = std::chrono::steady_clock::now();
+    (void)maint.drain();
+    const double delta_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - d0)
+                                .count();
+    const double rebuild_ms = 1e3 * best_of(3, [&] {
+      (void)elasticmap::ElasticMapArray::build(mini, path, {});
+    });
+    const auto fresh = elasticmap::ElasticMapArray::build(mini, path, {});
+    bool matches = true;
+    const workload::GroundTruth truth(mini, path);
+    for (const auto id : truth.ids_by_size()) {
+      matches &= maint.map().estimate_total_size(id) ==
+                 fresh.estimate_total_size(id);
+    }
+    std::printf("    \"blocks\": %llu,\n",
+                static_cast<unsigned long long>(
+                    mini.blocks_of(path).size()));
+    std::printf("    \"delta_catchup_half_ms\": %.3f,\n", delta_ms);
+    std::printf("    \"full_rebuild_ms\": %.3f,\n", rebuild_ms);
+    std::printf("    \"delta_matches_rebuild\": %s,\n",
+                matches ? "true" : "false");
+
+    // Chi-drift curve: prime the map over the first eighth of the stream
+    // (a cold map is 100% stale by definition — not the interesting regime),
+    // then stream the rest draining the maintainer every `interval` sealed
+    // blocks, recording the worst drift bound seen right before a drain.
+    // Deterministic (no wall clock involved).
+    std::printf("    \"peak_chi_drift_by_drain_interval\": {");
+    bool first_iv = true;
+    for (const std::uint64_t interval : {1u, 2u, 4u, 8u, 16u}) {
+      dfs::MiniDfs m2(dfs::ClusterTopology::flat(16), dopt);
+      const std::size_t warmup = lines.size() / 8;
+      {
+        dfs::Ingestor warm(m2, path, {.group_records = 64});
+        for (std::size_t i = 0; i < warmup; ++i) warm.append(lines[i]);
+      }
+      elasticmap::LiveMapMaintainer m2m(m2, path, {});
+      double peak = 0.0;
+      std::uint64_t seals = 0;
+      dfs::Ingestor ing(m2, path, {.group_records = 64});
+      ing.on_seal = [&](dfs::BlockId) {
+        (void)m2m.scan();
+        peak = std::max(peak, m2m.ledger().estimated_chi_drift);
+        if (++seals % interval == 0) (void)m2m.drain();
+      };
+      for (std::size_t i = warmup; i < lines.size(); ++i) ing.append(lines[i]);
+      std::printf("%s\"%llu\": %.4f", first_iv ? "" : ", ",
+                  static_cast<unsigned long long>(interval), peak);
+      first_iv = false;
+    }
+    std::printf("}\n");
+    std::filesystem::remove_all(bench_dir);
   }
   std::printf("  }\n}\n");
   return 0;
